@@ -1,0 +1,161 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// A3: google-benchmark microbenchmarks of the computational primitives —
+// Morton coding, element algebra, BIGMIN, decomposition, and B+-tree
+// operations. These establish that the experiment results above are
+// I/O-shaped, not CPU-shaped.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "decompose/decompose.h"
+#include "decompose/region.h"
+#include "geom/clip.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "transform/morton4.h"
+#include "zorder/bigmin.h"
+#include "zorder/morton.h"
+#include "zorder/zkey.h"
+
+namespace zdb {
+namespace {
+
+void BM_MortonEncode(benchmark::State& state) {
+  Random rng(1);
+  uint32_t x = static_cast<uint32_t>(rng.Uniform(1 << 16));
+  uint32_t y = static_cast<uint32_t>(rng.Uniform(1 << 16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MortonEncode(x, y, 16));
+    x = (x + 12345) & 0xffff;
+    y = (y + 54321) & 0xffff;
+  }
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_MortonDecode(benchmark::State& state) {
+  uint64_t z = 0x123456789abcdefULL & ((1ULL << 32) - 1);
+  for (auto _ : state) {
+    GridCoord x, y;
+    MortonDecode(z, 16, &x, &y);
+    benchmark::DoNotOptimize(x + y);
+    z = (z + 7919) & ((1ULL << 32) - 1);
+  }
+}
+BENCHMARK(BM_MortonDecode);
+
+void BM_BigMin(benchmark::State& state) {
+  const GridRect rect{1000, 2000, 5000, 6000};
+  uint64_t z = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigMin(z, rect, 16));
+    z = (z + 104729) & ((1ULL << 32) - 1);
+  }
+}
+BENCHMARK(BM_BigMin);
+
+void BM_Decompose(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  Random rng(2);
+  std::vector<GridRect> rects;
+  for (int i = 0; i < 256; ++i) {
+    const GridCoord x = static_cast<GridCoord>(rng.Uniform(60000));
+    const GridCoord y = static_cast<GridCoord>(rng.Uniform(60000));
+    rects.push_back(GridRect{x, y, x + 500, y + 500});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Decompose(rects[i % rects.size()], 16, DecomposeOptions::SizeBound(k)));
+    ++i;
+  }
+}
+BENCHMARK(BM_Decompose)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Morton4Encode(benchmark::State& state) {
+  uint16_t c = 12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Morton4Encode(c, static_cast<uint16_t>(c + 1),
+                                           static_cast<uint16_t>(c + 2),
+                                           static_cast<uint16_t>(c + 3)));
+    c = static_cast<uint16_t>(c + 7);
+  }
+}
+BENCHMARK(BM_Morton4Encode);
+
+void BM_PolygonClipArea(benchmark::State& state) {
+  Random rng(5);
+  std::vector<Point> ring;
+  for (int i = 0; i < 8; ++i) {
+    const double ang = 2 * 3.14159265358979 * i / 8;
+    ring.push_back(Point{0.5 + 0.3 * std::cos(ang),
+                         0.5 + 0.3 * std::sin(ang)});
+  }
+  const Polygon poly(ring);
+  double x = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PolygonRectIntersectionArea(poly, Rect{x, 0.3, x + 0.2, 0.7}));
+    x = 0.2 + std::fmod(x + 0.013, 0.4);
+  }
+}
+BENCHMARK(BM_PolygonClipArea);
+
+void BM_DecomposeRegionPolygon(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  std::vector<Point> ring;
+  for (int i = 0; i < 8; ++i) {
+    const double ang = 2 * 3.14159265358979 * i / 8;
+    ring.push_back(Point{0.5 + 0.1 * std::cos(ang),
+                         0.5 + 0.1 * std::sin(ang)});
+  }
+  const Polygon poly(ring);
+  const PolygonRegion region(&poly);
+  const SpaceMapper mapper;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DecomposeRegion(region, mapper, DecomposeOptions::SizeBound(k)));
+  }
+}
+BENCHMARK(BM_DecomposeRegionPolygon)->Arg(4)->Arg(16);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  auto pager = Pager::OpenInMemory(4096);
+  BufferPool pool(pager.get(), 256);
+  auto tree = BTree::Create(&pool).value();
+  Random rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const ZElement e(rng.Next() & ((1ULL << 32) - 1), 32, 16);
+    const std::string key = EncodeZKey(e, static_cast<ObjectId>(i++));
+    benchmark::DoNotOptimize(tree->Insert(Slice(key), Slice("v")));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeGet(benchmark::State& state) {
+  auto pager = Pager::OpenInMemory(4096);
+  BufferPool pool(pager.get(), 256);
+  auto tree = BTree::Create(&pool).value();
+  Random rng(4);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 50000; ++i) {
+    const ZElement e(rng.Next() & ((1ULL << 32) - 1), 32, 16);
+    keys.push_back(EncodeZKey(e, static_cast<ObjectId>(i)));
+    (void)tree->Insert(Slice(keys.back()), Slice("v"));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Get(Slice(keys[i % keys.size()])));
+    ++i;
+  }
+}
+BENCHMARK(BM_BTreeGet);
+
+}  // namespace
+}  // namespace zdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Redundancy auto-tuning: the paper's practical upshot is that the right
+// redundancy bound depends on the data and the query mix. This tool
+// sweeps the size-bound k on a sample of the workload and recommends the
+// configuration with the lowest total page cost, weighting query and
+// update traffic per a user-settable ratio.
+//
+//   $ ./build/examples/tune_redundancy [distribution] [n]
+//     distribution: uniform-small | uniform-large | clusters | diagonal |
+//                   skewed-sizes | contours
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+
+using namespace zdb;
+
+int main(int argc, char** argv) {
+  Distribution dist = Distribution::kClusters;
+  if (argc > 1) {
+    bool found = false;
+    for (Distribution d : kAllDistributions) {
+      if (DistributionName(d) == argv[1]) {
+        dist = d;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown distribution '%s'\n", argv[1]);
+      return 1;
+    }
+  }
+  const size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10000;
+
+  // Workload model: mostly 0.1% windows, some 1% windows, a few points,
+  // and one insert per ten queries.
+  const double kInsertsPerQuery = 0.1;
+  DataGenOptions dg;
+  dg.distribution = dist;
+  const auto data = GenerateData(n, dg);
+  const auto small_windows = GenerateWindows(20, 0.001, QueryGenOptions{});
+  const auto big_windows = GenerateWindows(10, 0.01, QueryGenOptions{});
+  const auto points = GeneratePoints(20, 17);
+
+  Table table("redundancy tuning — " + DistributionName(dist) + " (" +
+                  std::to_string(n) + " objects)",
+              {"k", "query cost", "insert cost", "weighted", "index pages"});
+
+  double best_cost = 1e300;
+  uint32_t best_k = 1;
+  for (uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    Env env = MakeEnv();
+    SpatialIndexOptions opt;
+    opt.data = DecomposeOptions::SizeBound(k);
+    BuildResult br;
+    auto index = BuildZIndex(&env, data, opt, &br).value();
+
+    auto r1 = RunWindowQueries(&env, index.get(), small_windows).value();
+    auto r2 = RunWindowQueries(&env, index.get(), big_windows).value();
+    auto r3 = RunPointQueries(&env, index.get(), points).value();
+    // Weight by the workload mix: 2/3 small windows, 1/6 big, 1/6 points.
+    const double query_cost = (r1.avg_accesses * 4 + r2.avg_accesses +
+                               r3.avg_accesses) / 6.0;
+    const double weighted =
+        query_cost + kInsertsPerQuery * br.avg_insert_accesses;
+    auto stats = index->btree()->ComputeStats().value();
+
+    if (weighted < best_cost) {
+      best_cost = weighted;
+      best_k = k;
+    }
+    table.AddRow({std::to_string(k), Fmt(query_cost, 1),
+                  Fmt(br.avg_insert_accesses, 2), Fmt(weighted, 1),
+                  Fmt(static_cast<uint64_t>(stats.total_pages()))});
+  }
+  table.Print();
+  std::printf(
+      "\nrecommendation: size-bound k = %u (%.1f weighted accesses per "
+      "operation)\n",
+      best_k, best_cost);
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Interactive shell over a zdb spatial index — insert, query and inspect
+// from stdin. Useful for exploring the redundancy behaviour by hand.
+//
+//   $ ./build/examples/zdb_shell [k]
+//   zdb> insert 0.1 0.1 0.3 0.2
+//   id 0 (3 elements)
+//   zdb> window 0.0 0.0 0.5 0.5
+//   hits: 0    (candidates 3, false hits 0, 7 page accesses)
+//   zdb> help
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/spatial_index.h"
+#include "storage/pager.h"
+
+using namespace zdb;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  insert X1 Y1 X2 Y2     add a rectangle (unit-square coords)\n"
+      "  poly X1 Y1 X2 Y2 ...   add a polygon (3+ vertices)\n"
+      "  window X1 Y1 X2 Y2     objects intersecting the window\n"
+      "  contain X1 Y1 X2 Y2    objects fully inside the window\n"
+      "  point X Y              objects containing the point\n"
+      "  knn X Y K              K nearest objects\n"
+      "  erase ID               remove an object\n"
+      "  stats                  index statistics\n"
+      "  levels                 element-level histogram\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t k = argc > 1
+                         ? static_cast<uint32_t>(std::strtoul(
+                               argv[1], nullptr, 10))
+                         : 4;
+  auto pager = Pager::OpenInMemory(4096);
+  BufferPool pool(pager.get(), 256);
+  SpatialIndexOptions options;
+  options.data = DecomposeOptions::SizeBound(k);
+  auto index = SpatialIndex::Create(&pool, options).value();
+  std::printf("zdb shell — size-bound k=%u. Type 'help'.\n", k);
+
+  std::string line;
+  while (std::printf("zdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+      continue;
+    }
+
+    const IoStats snap = pager->io_stats();
+    if (cmd == "insert") {
+      Rect r;
+      if (!(in >> r.xlo >> r.ylo >> r.xhi >> r.yhi)) {
+        std::printf("usage: insert X1 Y1 X2 Y2\n");
+        continue;
+      }
+      const uint64_t before = index->build_stats().index_entries;
+      auto oid = index->Insert(r);
+      if (!oid.ok()) {
+        std::printf("error: %s\n", oid.status().ToString().c_str());
+        continue;
+      }
+      std::printf("id %u (%llu elements)\n", oid.value(),
+                  static_cast<unsigned long long>(
+                      index->build_stats().index_entries - before));
+    } else if (cmd == "poly") {
+      std::vector<Point> ring;
+      double x, y;
+      while (in >> x >> y) ring.push_back(Point{x, y});
+      auto oid = index->InsertPolygon(Polygon(std::move(ring)));
+      if (!oid.ok()) {
+        std::printf("error: %s\n", oid.status().ToString().c_str());
+        continue;
+      }
+      std::printf("id %u (polygon)\n", oid.value());
+    } else if (cmd == "window" || cmd == "contain") {
+      Rect w;
+      if (!(in >> w.xlo >> w.ylo >> w.xhi >> w.yhi)) {
+        std::printf("usage: %s X1 Y1 X2 Y2\n", cmd.c_str());
+        continue;
+      }
+      QueryStats qs;
+      auto hits = cmd == "window" ? index->WindowQuery(w, &qs)
+                                  : index->ContainmentQuery(w, &qs);
+      if (!hits.ok()) {
+        std::printf("error: %s\n", hits.status().ToString().c_str());
+        continue;
+      }
+      std::printf("hits:");
+      for (ObjectId oid : hits.value()) std::printf(" %u", oid);
+      std::printf(
+          "\n  (candidates %llu, duplicates %llu, false hits %llu, "
+          "%llu page accesses)\n",
+          static_cast<unsigned long long>(qs.candidates),
+          static_cast<unsigned long long>(qs.duplicates()),
+          static_cast<unsigned long long>(qs.false_hits),
+          static_cast<unsigned long long>(
+              pager->io_stats().Since(snap).accesses()));
+    } else if (cmd == "point") {
+      Point p;
+      if (!(in >> p.x >> p.y)) {
+        std::printf("usage: point X Y\n");
+        continue;
+      }
+      auto hits = index->PointQuery(p);
+      if (!hits.ok()) {
+        std::printf("error: %s\n", hits.status().ToString().c_str());
+        continue;
+      }
+      std::printf("hits:");
+      for (ObjectId oid : hits.value()) std::printf(" %u", oid);
+      std::printf("\n");
+    } else if (cmd == "knn") {
+      Point p;
+      size_t kk;
+      if (!(in >> p.x >> p.y >> kk)) {
+        std::printf("usage: knn X Y K\n");
+        continue;
+      }
+      auto nn = index->NearestNeighbors(p, kk);
+      if (!nn.ok()) {
+        std::printf("error: %s\n", nn.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& [oid, dist] : nn.value()) {
+        std::printf("  id %u at %.5f\n", oid, dist);
+      }
+    } else if (cmd == "erase") {
+      ObjectId oid;
+      if (!(in >> oid)) {
+        std::printf("usage: erase ID\n");
+        continue;
+      }
+      Status s = index->Erase(oid);
+      std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+    } else if (cmd == "stats") {
+      auto tree_stats = index->btree()->ComputeStats();
+      if (!tree_stats.ok()) continue;
+      std::printf(
+          "objects %llu, index entries %llu, redundancy %.2f, avg error "
+          "%.3f\nB+-tree: height %u, %u leaf + %u internal pages, "
+          "%.2f leaf fill\n",
+          static_cast<unsigned long long>(index->build_stats().objects),
+          static_cast<unsigned long long>(
+              index->build_stats().index_entries),
+          index->build_stats().redundancy(),
+          index->build_stats().avg_error(), tree_stats->height,
+          tree_stats->leaf_pages, tree_stats->internal_pages,
+          tree_stats->avg_leaf_fill);
+    } else if (cmd == "levels") {
+      auto hist = index->LevelHistogram();
+      if (!hist.ok()) continue;
+      for (size_t lvl = 0; lvl < hist->size(); ++lvl) {
+        if ((*hist)[lvl] > 0) {
+          std::printf("  level %2zu: %llu entries\n", lvl,
+                      static_cast<unsigned long long>((*hist)[lvl]));
+        }
+      }
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "bench_util/table.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace zdb {
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Fmt(uint64_t v) { return std::to_string(v); }
+std::string Fmt(int v) { return std::to_string(v); }
+
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, size_t w, bool left) {
+    std::string out;
+    if (left) {
+      out = s + std::string(w - s.size(), ' ');
+    } else {
+      out = std::string(w - s.size(), ' ') + s;
+    }
+    return out;
+  };
+
+  std::cout << "\n== " << title_ << " ==\n";
+  std::string header, rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    header += pad(columns_[c], widths[c], c == 0);
+    rule += std::string(widths[c], '-');
+    if (c + 1 < columns_.size()) {
+      header += "  ";
+      rule += "--";
+    }
+  }
+  std::cout << header << "\n" << rule << "\n";
+  for (const auto& row : rows_) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += pad(row[c], widths[c], c == 0);
+      if (c + 1 < row.size()) line += "  ";
+    }
+    std::cout << line << "\n";
+  }
+  std::cout.flush();
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += columns_[c];
+    out += (c + 1 < columns_.size()) ? "," : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out += (c + 1 < row.size()) ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace zdb

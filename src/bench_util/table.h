@@ -1,0 +1,45 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Aligned-text table printer for the experiment binaries, which emit the
+// paper-style tables on stdout (and optionally CSV for plotting).
+
+#ifndef ZDB_BENCH_UTIL_TABLE_H_
+#define ZDB_BENCH_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace zdb {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with per-column alignment (first column left, rest right).
+  void Print() const;
+
+  /// Comma-separated rendering for downstream plotting.
+  std::string ToCsv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string Fmt(double v, int precision = 2);
+
+/// Integer formatting.
+std::string Fmt(uint64_t v);
+std::string Fmt(int v);
+
+
+}  // namespace zdb
+
+#endif  // ZDB_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,140 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Slotted-page B+-tree node. Cells grow down from the page end, the slot
+// array grows up after the header; removal leaves garbage that Compact()
+// reclaims. Two node kinds share the layout:
+//
+//   leaf cell:     [klen varint][vlen varint][key][value]
+//   internal cell: [klen varint][key][child u32]
+//
+// Internal nodes with n cells route as: cell i = (key_i, child_i) where
+// child_i covers keys in [key_{i-1}, key_i); the header's `next` field is
+// the rightmost child covering keys >= key_{n-1}. In leaves `next` is the
+// right-sibling page (the leaf chain used by range scans).
+//
+// Header layout (12 bytes):
+//   0  u8   type (1 = leaf, 2 = internal)
+//   1  u8   reserved
+//   2  u16  cell count
+//   4  u16  content start (lowest used cell offset)
+//   6  u16  fragmented (garbage) bytes
+//   8  u32  next (right sibling / rightmost child)
+
+#ifndef ZDB_BTREE_NODE_H_
+#define ZDB_BTREE_NODE_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace zdb {
+
+/// Typed view over a pinned B+-tree page. Owns the pin for its lifetime.
+class Node {
+ public:
+  enum class Type : uint8_t { kLeaf = 1, kInternal = 2 };
+
+  static constexpr size_t kHeaderSize = 12;
+
+  /// Wraps an already-initialized page.
+  explicit Node(PageRef ref, uint32_t page_size)
+      : ref_(std::move(ref)), page_size_(page_size) {}
+
+  /// Formats a fresh page as an empty node of the given type.
+  static void Init(PageRef* ref, Type type, uint32_t page_size);
+
+  Type type() const;
+  bool is_leaf() const { return type() == Type::kLeaf; }
+  uint16_t count() const;
+
+  PageId next() const;
+  void set_next(PageId id);
+
+  PageId id() const { return ref_.id(); }
+  uint32_t page_size() const { return page_size_; }
+
+  /// Key of cell i (both node kinds).
+  Slice Key(uint16_t i) const;
+
+  /// Value of leaf cell i.
+  Slice Value(uint16_t i) const;
+
+  /// Child pointer i of an internal node, i in [0, count()]. i == count()
+  /// returns the rightmost child (header `next`).
+  PageId Child(uint16_t i) const;
+  void SetChild(uint16_t i, PageId child);
+
+  /// First index whose key is >= `key` (count() if none).
+  uint16_t LowerBound(const Slice& key) const;
+
+  /// First index whose key is > `key` (count() if none).
+  uint16_t UpperBound(const Slice& key) const;
+
+  /// Inserts a leaf cell at index i. Returns false if the page lacks space
+  /// even after compaction.
+  bool LeafInsert(uint16_t i, const Slice& key, const Slice& value);
+
+  /// Inserts an internal cell (key, child) at index i.
+  bool InternalInsert(uint16_t i, const Slice& key, PageId child);
+
+  /// Removes cell i (either kind), leaving reclaimable garbage.
+  void Remove(uint16_t i);
+
+  /// Replaces the value of leaf cell i. Returns false if space is lacking.
+  bool LeafSetValue(uint16_t i, const Slice& value);
+
+  /// Bytes of payload (slots + live cells); used for underflow decisions.
+  size_t UsedBytes() const;
+
+  /// Contiguous + fragmented free bytes.
+  size_t FreeBytes() const;
+
+  /// Would a cell of this size (plus its slot) fit after compaction?
+  bool HasSpaceFor(size_t cell_size) const {
+    return FreeBytes() >= cell_size + 2;
+  }
+
+  /// Serialized size of a leaf cell for the given key/value.
+  static size_t LeafCellSize(size_t klen, size_t vlen);
+
+  /// Serialized size of an internal cell for the given key.
+  static size_t InternalCellSize(size_t klen);
+
+  /// Rewrites live cells contiguously, zeroing fragmentation.
+  void Compact();
+
+  /// Largest cell a page of this size can accept while still holding at
+  /// least four cells (guards the split logic).
+  static size_t MaxCellSize(uint32_t page_size) {
+    return (page_size - kHeaderSize) / 4 - 2;
+  }
+
+ private:
+  const char* base() const { return ref_.data(); }
+  char* mbase() { return ref_.mutable_data(); }
+
+  uint16_t SlotOffset(uint16_t i) const;
+  void SetSlotOffset(uint16_t i, uint16_t off);
+  const char* Cell(uint16_t i) const { return base() + SlotOffset(i); }
+
+  /// Size in bytes of cell i as stored.
+  size_t CellSize(uint16_t i) const;
+
+  /// Inserts a preserialized cell at index i; false if no space.
+  bool InsertCell(uint16_t i, const char* cell, size_t size);
+
+  void set_count(uint16_t n);
+  uint16_t content_start() const;
+  void set_content_start(uint16_t v);
+  uint16_t frag_bytes() const;
+  void set_frag_bytes(uint16_t v);
+
+  PageRef ref_;
+  uint32_t page_size_;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_BTREE_NODE_H_

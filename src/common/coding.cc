@@ -1,0 +1,62 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "common/coding.h"
+
+namespace zdb {
+
+size_t EncodeVarint32(char* dst, uint32_t v) {
+  unsigned char* p = reinterpret_cast<unsigned char*>(dst);
+  size_t n = 0;
+  while (v >= 0x80) {
+    p[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  p[n++] = static_cast<unsigned char>(v);
+  return n;
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  char buf[5];
+  dst->append(buf, EncodeVarint32(buf, v));
+}
+
+bool GetVarint32(const char** p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  int shift = 0;
+  const unsigned char* q = reinterpret_cast<const unsigned char*>(*p);
+  const unsigned char* end = reinterpret_cast<const unsigned char*>(limit);
+  while (q < end && shift <= 28) {
+    uint32_t byte = *q++;
+    result |= (byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = reinterpret_cast<const char*>(q);
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+size_t VarintLength32(uint32_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::string ToHex(const Slice& s) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (size_t i = 0; i < s.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace zdb

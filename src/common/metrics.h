@@ -1,0 +1,42 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Logical I/O accounting. All experiment results in this repository are
+// reported in page accesses (the 1989 literature's unit), so the counters
+// here are the measurement substrate for every bench.
+
+#ifndef ZDB_COMMON_METRICS_H_
+#define ZDB_COMMON_METRICS_H_
+
+#include <cstdint>
+
+namespace zdb {
+
+/// Counters for page-level I/O. Pager increments reads/writes; BufferPool
+/// increments hits/misses/evictions. "Accesses" in benches means
+/// reads + writes (i.e. buffer-pool misses that reached the pager).
+struct IoStats {
+  uint64_t page_reads = 0;     ///< pages fetched from the file
+  uint64_t page_writes = 0;    ///< pages written back to the file
+  uint64_t pool_hits = 0;      ///< buffer-pool hits (no file access)
+  uint64_t pool_misses = 0;    ///< buffer-pool misses
+  uint64_t pool_evictions = 0; ///< pages evicted to make room
+
+  uint64_t accesses() const { return page_reads + page_writes; }
+
+  void Reset() { *this = IoStats{}; }
+
+  /// Difference since a snapshot; used to attribute I/O to one operation.
+  IoStats Since(const IoStats& snap) const {
+    IoStats d;
+    d.page_reads = page_reads - snap.page_reads;
+    d.page_writes = page_writes - snap.page_writes;
+    d.pool_hits = pool_hits - snap.pool_hits;
+    d.pool_misses = pool_misses - snap.pool_misses;
+    d.pool_evictions = pool_evictions - snap.pool_evictions;
+    return d;
+  }
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_COMMON_METRICS_H_

@@ -1,0 +1,94 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Deterministic pseudo-random generator for workload generation and tests.
+// xoshiro256** — fast, high quality, and identical output across platforms,
+// which keeps benchmark workloads reproducible.
+
+#ifndef ZDB_COMMON_RANDOM_H_
+#define ZDB_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace zdb {
+
+/// Deterministic RNG; same seed → same sequence on every platform.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller (one value per call, cached pair).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1, u2;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_COMMON_RANDOM_H_

@@ -1,0 +1,85 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Result<T>: a Status plus a value, for fallible functions that produce
+// something. Mirrors arrow::Result / absl::StatusOr in miniature.
+
+#ifndef ZDB_COMMON_RESULT_H_
+#define ZDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace zdb {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: `return Status::NotFound();`
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of an error Result aborts
+  /// with the status message (in every build mode — silent UB here turns
+  /// I/O errors into crashes far from the cause).
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; otherwise assigns the
+/// value to `lhs`. Use only in functions returning Status or Result.
+#define ZDB_ASSIGN_OR_RETURN(lhs, expr)               \
+  do {                                                \
+    auto _zdb_result = (expr);                        \
+    if (!_zdb_result.ok()) return _zdb_result.status(); \
+    lhs = std::move(_zdb_result).value();             \
+  } while (0)
+
+}  // namespace zdb
+
+#endif  // ZDB_COMMON_RESULT_H_

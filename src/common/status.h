@@ -1,0 +1,101 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Status: lightweight error propagation without exceptions, in the style
+// used by LevelDB/RocksDB. Functions that can fail return a Status (or a
+// Result<T>, see result.h); callers must check ok() before using outputs.
+
+#ifndef ZDB_COMMON_STATUS_H_
+#define ZDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace zdb {
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIOError,
+    kNoSpace,
+    kAlreadyExists,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NoSpace(std::string msg = "") {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "IOError: short read".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kIOError: name = "IOError"; break;
+      case Code::kNoSpace: name = "NoSpace"; break;
+      case Code::kAlreadyExists: name = "AlreadyExists"; break;
+      case Code::kInternal: name = "Internal"; break;
+    }
+    if (msg_.empty()) return name;
+    return name + ": " + msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK status to the caller. Use only in functions that
+/// themselves return Status.
+#define ZDB_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::zdb::Status _zdb_status = (expr);        \
+    if (!_zdb_status.ok()) return _zdb_status; \
+  } while (0)
+
+}  // namespace zdb
+
+#endif  // ZDB_COMMON_STATUS_H_

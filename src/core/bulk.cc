@@ -1,0 +1,62 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Bulk loading: decompose everything, sort the entry keys once, and
+// build the B+-tree bottom-up. The paper's incremental-insert cost grows
+// with redundancy (E6); bulk loading pays the redundancy once in a sort
+// instead of k random descents per object (ablation A5).
+
+#include <algorithm>
+
+#include "core/spatial_index.h"
+#include "zorder/zkey.h"
+
+namespace zdb {
+
+Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
+  if (btree_->size() != 0 || store_->size() != 0) {
+    return Status::InvalidArgument("bulk load into non-empty index");
+  }
+
+  std::string value;
+  if (options_.store_mbr_in_leaf) value.resize(kEncodedRectSize);
+
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(data.size() * 2);
+
+  for (const Rect& mbr : data) {
+    if (!mbr.valid()) return Status::InvalidArgument("invalid MBR");
+    ObjectId oid;
+    ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr));
+    const Decomposition decomp =
+        Decompose(mapper_.ToGrid(mbr), options_.grid_bits, options_.data);
+    if (options_.store_mbr_in_leaf) EncodeRect(mbr, value.data());
+    for (const ZElement& elem : decomp.elements) {
+      entries.push_back({EncodeZKey(elem, oid), value});
+      level_mask_ |= 1ULL << elem.level;
+    }
+    ++build_stats_.objects;
+    build_stats_.index_entries += decomp.elements.size();
+    build_stats_.total_error += decomp.error();
+    ++live_objects_;
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+
+  size_t i = 0;
+  return btree_->BulkLoad(
+      [&](std::string* key, std::string* val) {
+        if (i >= entries.size()) return false;
+        *key = entries[i].key;
+        *val = entries[i].value;
+        ++i;
+        return true;
+      },
+      fill);
+}
+
+}  // namespace zdb

@@ -1,0 +1,41 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#ifndef ZDB_CORE_OPTIONS_H_
+#define ZDB_CORE_OPTIONS_H_
+
+#include "decompose/decompose.h"
+#include "geom/grid.h"
+#include "geom/rect.h"
+
+namespace zdb {
+
+/// Configuration of a redundant z-order spatial index. The data-side
+/// decomposition policy is the paper's central knob; the query-side
+/// policy and the two ablation switches are study instruments.
+struct SpatialIndexOptions {
+  /// World bounds mapped onto the grid.
+  Rect world = Rect{0.0, 0.0, 1.0, 1.0};
+
+  /// Grid resolution per axis (z-addresses use 2 * grid_bits bits).
+  uint32_t grid_bits = kDefaultGridBits;
+
+  /// How inserted objects are decomposed (data redundancy).
+  DecomposeOptions data = DecomposeOptions::SizeBound(4);
+
+  /// How query regions are decomposed before the index is scanned.
+  DecomposeOptions query = DecomposeOptions::SizeBound(4);
+
+  /// Ablation: replicate each object's exact MBR into the index leaves so
+  /// the filter step can test it without fetching the object record.
+  /// Off by default (the paper's economics: false hits cost data-page
+  /// accesses).
+  bool store_mbr_in_leaf = false;
+
+  /// Ablation: instead of decomposing the query, scan its single
+  /// enclosing element and skip dead space with BIGMIN jumps.
+  bool use_bigmin = false;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_CORE_OPTIONS_H_

@@ -1,0 +1,56 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Variable-length polygon heap. Exact polygon rings are appended into
+// slotted pages; a PolyRef packs (page index, slot). Fetching a polygon
+// during query refinement costs a page access through the buffer pool,
+// exactly like object-record fetches — non-rectangular refinement is
+// strictly more expensive, as it was in the era's systems.
+
+#ifndef ZDB_CORE_POLYGON_STORE_H_
+#define ZDB_CORE_POLYGON_STORE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geom/polygon.h"
+#include "storage/buffer_pool.h"
+
+namespace zdb {
+
+/// Packed locator: high 20 bits page index, low 12 bits slot.
+using PolyRef = uint32_t;
+
+class PolygonStore {
+ public:
+  explicit PolygonStore(BufferPool* pool);
+
+  /// Appends a polygon; fails if the ring alone exceeds one page.
+  Result<PolyRef> Insert(const Polygon& poly);
+
+  /// Fetches a stored ring.
+  Result<Polygon> Fetch(PolyRef ref);
+
+  /// Largest ring size a page can hold.
+  uint32_t max_vertices() const { return max_vertices_; }
+
+  uint32_t page_count() const {
+    return static_cast<uint32_t>(pages_.size());
+  }
+
+  /// Page directory (for persistence; see spatial_index checkpointing).
+  const std::vector<PageId>& pages() const { return pages_; }
+  void RestorePages(std::vector<PageId> pages) { pages_ = std::move(pages); }
+
+ private:
+  static constexpr uint32_t kSlotBits = 12;
+  static constexpr uint32_t kMaxSlots = 1u << kSlotBits;
+
+  BufferPool* pool_;
+  uint32_t page_size_;
+  uint32_t max_vertices_;
+  std::vector<PageId> pages_;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_CORE_POLYGON_STORE_H_

@@ -1,0 +1,250 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "core/spatial_index.h"
+
+#include "decompose/region.h"
+#include "geom/clip.h"
+#include "zorder/zkey.h"
+
+namespace zdb {
+
+Result<std::unique_ptr<SpatialIndex>> SpatialIndex::Create(
+    BufferPool* pool, const SpatialIndexOptions& options) {
+  if (options.grid_bits < 1 || options.grid_bits > kMaxGridBits) {
+    return Status::InvalidArgument("grid_bits out of range");
+  }
+  std::unique_ptr<SpatialIndex> index(new SpatialIndex(pool, options));
+  ZDB_ASSIGN_OR_RETURN(index->btree_, BTree::Create(pool));
+  index->store_ = std::make_unique<ObjectStore>(pool);
+  index->polys_ = std::make_unique<PolygonStore>(pool);
+  return index;
+}
+
+Result<ObjectId> SpatialIndex::Insert(const Rect& mbr, uint32_t payload) {
+  if (!mbr.valid()) return Status::InvalidArgument("invalid MBR");
+  ObjectId oid;
+  ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr, payload));
+
+  const GridRect grect = mapper_.ToGrid(mbr);
+  const Decomposition decomp =
+      Decompose(grect, options_.grid_bits, options_.data);
+
+  std::string value;
+  if (options_.store_mbr_in_leaf) {
+    value.resize(kEncodedRectSize);
+    EncodeRect(mbr, value.data());
+  }
+
+  for (const ZElement& elem : decomp.elements) {
+    ZDB_RETURN_IF_ERROR(
+        btree_->Insert(Slice(EncodeZKey(elem, oid)), Slice(value)));
+    level_mask_ |= 1ULL << elem.level;
+  }
+
+  ++build_stats_.objects;
+  build_stats_.index_entries += decomp.elements.size();
+  build_stats_.total_error += decomp.error();
+  ++live_objects_;
+  return oid;
+}
+
+Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly) {
+  if (poly.size() < 3) {
+    return Status::InvalidArgument("polygon needs at least 3 vertices");
+  }
+  if (options_.store_mbr_in_leaf) {
+    return Status::InvalidArgument(
+        "polygon objects are incompatible with store_mbr_in_leaf");
+  }
+  PolyRef ref;
+  ZDB_ASSIGN_OR_RETURN(ref, polys_->Insert(poly));
+  ObjectId oid;
+  ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(poly.Bounds(), ref));
+  {
+    // Flip the record to polygon kind.
+    ObjectRecord rec;
+    ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(oid));
+    rec.kind = ObjectKind::kPolygon;
+    ZDB_RETURN_IF_ERROR(store_->Rewrite(oid, rec));
+  }
+
+  const PolygonRegion region(&poly);
+  const RegionDecomposition decomp =
+      DecomposeRegion(region, mapper_, options_.data);
+  for (const ZElement& elem : decomp.elements) {
+    ZDB_RETURN_IF_ERROR(
+        btree_->Insert(Slice(EncodeZKey(elem, oid)), Slice()));
+    level_mask_ |= 1ULL << elem.level;
+  }
+
+  ++build_stats_.objects;
+  build_stats_.index_entries += decomp.elements.size();
+  build_stats_.total_error += decomp.error();
+  ++live_objects_;
+  return oid;
+}
+
+Status SpatialIndex::Erase(ObjectId oid) {
+  ObjectRecord rec;
+  ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(oid));
+  if (!rec.live) return Status::NotFound("object already erased");
+
+  // Recompute the (deterministic) decomposition to find the entries.
+  std::vector<ZElement> elements;
+  if (rec.kind == ObjectKind::kPolygon) {
+    Polygon poly;
+    ZDB_ASSIGN_OR_RETURN(poly, polys_->Fetch(rec.payload));
+    const PolygonRegion region(&poly);
+    elements = DecomposeRegion(region, mapper_, options_.data).elements;
+  } else {
+    elements =
+        Decompose(mapper_.ToGrid(rec.mbr), options_.grid_bits, options_.data)
+            .elements;
+  }
+  for (const ZElement& elem : elements) {
+    ZDB_RETURN_IF_ERROR(btree_->Delete(Slice(EncodeZKey(elem, oid))));
+  }
+  ZDB_RETURN_IF_ERROR(store_->Erase(oid));
+  --live_objects_;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- refinement
+
+Result<bool> SpatialIndex::RecordIntersects(const ObjectRecord& rec,
+                                            const Rect& window) {
+  if (!rec.mbr.Intersects(window)) return false;
+  if (rec.kind == ObjectKind::kRect) return true;
+  Polygon poly;
+  ZDB_ASSIGN_OR_RETURN(poly, polys_->Fetch(rec.payload));
+  return poly.Intersects(window);
+}
+
+Result<double> SpatialIndex::DistanceTo(ObjectId oid, const Point& p) {
+  ObjectRecord rec;
+  ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(oid));
+  if (rec.kind == ObjectKind::kRect) return rec.mbr.DistanceTo(p);
+  Polygon poly;
+  ZDB_ASSIGN_OR_RETURN(poly, polys_->Fetch(rec.payload));
+  return poly.DistanceTo(p);
+}
+
+template <typename Predicate>
+Result<std::vector<ObjectId>> SpatialIndex::Refine(
+    std::vector<ObjectId> candidates, Predicate pred, QueryStats* stats) {
+  std::vector<ObjectId> results;
+  results.reserve(candidates.size());
+  for (ObjectId oid : candidates) {
+    ObjectRecord rec;
+    ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(oid));
+    bool keep = false;
+    if (rec.live) {
+      ZDB_ASSIGN_OR_RETURN(keep, pred(rec));
+    }
+    if (keep) {
+      results.push_back(oid);
+    } else if (stats != nullptr) {
+      ++stats->false_hits;
+    }
+  }
+  if (stats != nullptr) stats->results = results.size();
+  return results;
+}
+
+// ---------------------------------------------------------------- queries
+
+Result<std::vector<ObjectId>> SpatialIndex::WindowQuery(const Rect& window,
+                                                        QueryStats* stats) {
+  const GridRect qgrid = mapper_.ToGrid(window);
+  const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
+    return mbr.Intersects(window);
+  };
+  std::vector<ObjectId> candidates;
+  ZDB_ASSIGN_OR_RETURN(candidates,
+                       CollectCandidatesFiltered(qgrid, &leaf_pred, stats));
+  if (options_.store_mbr_in_leaf) {
+    if (stats != nullptr) stats->results = candidates.size();
+    return candidates;
+  }
+  return Refine(
+      std::move(candidates),
+      [&](const ObjectRecord& rec) { return RecordIntersects(rec, window); },
+      stats);
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::PointQuery(const Point& p,
+                                                       QueryStats* stats) {
+  const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
+    return mbr.Contains(p);
+  };
+  std::vector<ObjectId> candidates;
+  ZDB_ASSIGN_OR_RETURN(
+      candidates,
+      CollectPointCandidatesFiltered(mapper_.ToGridX(p.x),
+                                     mapper_.ToGridY(p.y), &leaf_pred,
+                                     stats));
+  if (options_.store_mbr_in_leaf) {
+    if (stats != nullptr) stats->results = candidates.size();
+    return candidates;
+  }
+  return Refine(
+      std::move(candidates),
+      [&](const ObjectRecord& rec) -> Result<bool> {
+        if (!rec.mbr.Contains(p)) return false;
+        if (rec.kind == ObjectKind::kRect) return true;
+        Polygon poly;
+        ZDB_ASSIGN_OR_RETURN(poly, polys_->Fetch(rec.payload));
+        return poly.Contains(p);
+      },
+      stats);
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
+    const Rect& window, QueryStats* stats) {
+  const GridRect qgrid = mapper_.ToGrid(window);
+  const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
+    return window.Contains(mbr);
+  };
+  std::vector<ObjectId> candidates;
+  ZDB_ASSIGN_OR_RETURN(candidates,
+                       CollectCandidatesFiltered(qgrid, &leaf_pred, stats));
+  if (options_.store_mbr_in_leaf) {
+    if (stats != nullptr) stats->results = candidates.size();
+    return candidates;
+  }
+  // A tight MBR inside the window implies the object is inside, for both
+  // kinds.
+  return Refine(
+      std::move(candidates),
+      [&](const ObjectRecord& rec) -> Result<bool> {
+        return window.Contains(rec.mbr);
+      },
+      stats);
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::EnclosureQuery(
+    const Rect& window, QueryStats* stats) {
+  const GridRect qgrid = mapper_.ToGrid(window);
+  const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
+    return mbr.Contains(window);
+  };
+  std::vector<ObjectId> candidates;
+  ZDB_ASSIGN_OR_RETURN(candidates,
+                       CollectCandidatesFiltered(qgrid, &leaf_pred, stats));
+  if (options_.store_mbr_in_leaf) {
+    if (stats != nullptr) stats->results = candidates.size();
+    return candidates;
+  }
+  return Refine(
+      std::move(candidates),
+      [&](const ObjectRecord& rec) -> Result<bool> {
+        if (!rec.mbr.Contains(window)) return false;
+        if (rec.kind == ObjectKind::kRect) return true;
+        Polygon poly;
+        ZDB_ASSIGN_OR_RETURN(poly, polys_->Fetch(rec.payload));
+        return PolygonContainsRect(poly, window);
+      },
+      stats);
+}
+
+}  // namespace zdb

@@ -1,0 +1,194 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// SpatialIndex: the public API of the reproduction. A redundant z-order
+// spatial index per Orenstein (SIGMOD 1989): objects are decomposed into
+// z-elements (decompose/), the (element, oid) pairs are stored in a
+// B+-tree (btree/), exact geometry lives in an object store, and queries
+// run filter-and-refine over z-interval scans plus enclosing-element
+// probes.
+//
+// Typical use:
+//
+//   auto pager = Pager::OpenInMemory(512);
+//   BufferPool pool(pager.get(), 128);
+//   SpatialIndexOptions opt;
+//   opt.data = DecomposeOptions::SizeBound(8);
+//   auto index = SpatialIndex::Create(&pool, opt).value();
+//   ObjectId id = index->Insert(Rect{.2, .2, .3, .25}).value();
+//   auto hits = index->WindowQuery(Rect{.1, .1, .4, .4}).value();
+
+#ifndef ZDB_CORE_SPATIAL_INDEX_H_
+#define ZDB_CORE_SPATIAL_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/object_store.h"
+#include "core/options.h"
+#include "core/polygon_store.h"
+#include "core/stats.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace zdb {
+
+class SpatialIndex {
+ public:
+  /// Creates an empty index whose pages come from `pool`.
+  static Result<std::unique_ptr<SpatialIndex>> Create(
+      BufferPool* pool, const SpatialIndexOptions& options);
+
+  /// Re-attaches an index previously persisted with Checkpoint() in the
+  /// same paged file. The stored options are restored verbatim.
+  static Result<std::unique_ptr<SpatialIndex>> Open(BufferPool* pool,
+                                                    PageId master_page);
+
+  /// Persists the index state (options, B+-tree meta, store directories,
+  /// counters) and returns the master page id to pass to Open(). The
+  /// master page is allocated on the first call and reused afterwards.
+  /// Call BufferPool::FlushAll() / Pager::Sync() afterwards for
+  /// durability.
+  Result<PageId> Checkpoint();
+
+  // ------------------------------------------------------------- updates
+
+  /// Inserts an object by MBR; returns its id. `payload` is an opaque
+  /// application reference carried in the object record.
+  Result<ObjectId> Insert(const Rect& mbr, uint32_t payload = 0);
+
+  /// Inserts a simple polygon. The exact ring is persisted in the
+  /// polygon store and the *polygon itself* (not its MBR) is decomposed
+  /// into z-elements; queries refine against the exact geometry.
+  /// Incompatible with store_mbr_in_leaf (the leaf MBR cannot refine a
+  /// polygon).
+  Result<ObjectId> InsertPolygon(const Polygon& poly);
+
+  /// Removes an object: deletes all its index entries and tombstones the
+  /// object record.
+  Status Erase(ObjectId oid);
+
+  /// Bulk loads rectangles into an empty index: objects are appended to
+  /// the object store, all (element, oid) entries are generated and
+  /// sorted, and the B+-tree is built bottom-up at `fill` leaf
+  /// occupancy. Far cheaper than n inserts and yields a denser tree.
+  Status BulkLoad(const std::vector<Rect>& data, double fill = 0.9);
+
+  // ------------------------------------------------------------- queries
+
+  /// All live objects whose MBR intersects `window`.
+  Result<std::vector<ObjectId>> WindowQuery(const Rect& window,
+                                            QueryStats* stats = nullptr);
+
+  /// All live objects whose MBR contains `p`.
+  Result<std::vector<ObjectId>> PointQuery(const Point& p,
+                                           QueryStats* stats = nullptr);
+
+  /// All live objects whose MBR is fully inside `window` ("containment").
+  Result<std::vector<ObjectId>> ContainmentQuery(const Rect& window,
+                                                 QueryStats* stats = nullptr);
+
+  /// All live objects whose MBR encloses `window` ("enclosure").
+  Result<std::vector<ObjectId>> EnclosureQuery(const Rect& window,
+                                               QueryStats* stats = nullptr);
+
+  /// The k nearest objects to `p` by exact geometry distance (0 when the
+  /// point is inside the object), closest first. Implemented as an
+  /// expanding-window search: the radius doubles until the k-th hit is
+  /// provably inside the searched window. `rounds` (optional) reports
+  /// the number of expansions.
+  Result<std::vector<std::pair<ObjectId, double>>> NearestNeighbors(
+      const Point& p, size_t k, QueryStats* stats = nullptr,
+      uint32_t* rounds = nullptr);
+
+  // ------------------------------------------------------------ plumbing
+
+  const SpatialIndexOptions& options() const { return options_; }
+  const SpaceMapper& mapper() const { return mapper_; }
+  BTree* btree() { return btree_.get(); }
+  ObjectStore* objects() { return store_.get(); }
+  PolygonStore* polygons() { return polys_.get(); }
+  BufferPool* pool() { return pool_; }
+
+  /// Fetches an object's exact geometry distance to a point: 0 inside,
+  /// Euclidean otherwise. Polygon objects use their exact ring.
+  Result<double> DistanceTo(ObjectId oid, const Point& p);
+
+  const IndexBuildStats& build_stats() const { return build_stats_; }
+
+  /// Bitmask of element levels present in the index (bit L set if some
+  /// entry was inserted at level L). Conservative: never cleared.
+  uint64_t level_mask() const { return level_mask_; }
+
+  /// Exact per-level entry counts (index 0 = whole-space element, up to
+  /// 2 * grid_bits). Scans the whole index; diagnostics/analysis use.
+  Result<std::vector<uint64_t>> LevelHistogram();
+
+  /// Live objects (inserted minus erased).
+  uint64_t object_count() const { return live_objects_; }
+
+ private:
+  friend Result<std::vector<std::pair<ObjectId, ObjectId>>> SpatialJoin(
+      SpatialIndex* a, SpatialIndex* b, JoinStats* stats);
+
+  SpatialIndex(BufferPool* pool, const SpatialIndexOptions& options)
+      : pool_(pool),
+        options_(options),
+        mapper_(options.world, options.grid_bits) {}
+
+  /// Shared filter stage: every unique candidate whose element
+  /// approximation touches the query grid rect. Defined in query.cc.
+  Result<std::vector<ObjectId>> CollectCandidates(const GridRect& qgrid,
+                                                  QueryStats* stats);
+
+  /// As above; in store-MBR-in-leaf mode additionally applies `leaf_pred`
+  /// to the MBR replicated in the leaf, making refinement I/O-free.
+  Result<std::vector<ObjectId>> CollectCandidatesFiltered(
+      const GridRect& qgrid,
+      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats);
+
+  /// Candidates for a point (ancestor probes only). Defined in query.cc.
+  Result<std::vector<ObjectId>> CollectPointCandidates(GridCoord gx,
+                                                       GridCoord gy,
+                                                       QueryStats* stats);
+
+  Result<std::vector<ObjectId>> CollectPointCandidatesFiltered(
+      GridCoord gx, GridCoord gy,
+      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats);
+
+  /// Refinement driver shared by the public queries. The predicate sees
+  /// the full object record and may fetch exact geometry.
+  template <typename Predicate>
+  Result<std::vector<ObjectId>> Refine(std::vector<ObjectId> candidates,
+                                       Predicate pred, QueryStats* stats);
+
+  /// Exact-geometry test of one record against a window (intersection).
+  Result<bool> RecordIntersects(const ObjectRecord& rec, const Rect& window);
+
+  BufferPool* pool_;
+  SpatialIndexOptions options_;
+  SpaceMapper mapper_;
+  std::unique_ptr<BTree> btree_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<PolygonStore> polys_;
+  IndexBuildStats build_stats_;
+  uint64_t level_mask_ = 0;
+  uint64_t live_objects_ = 0;
+
+  // Persistence bookkeeping (see core/persist.cc).
+  PageId master_page_ = kInvalidPageId;
+  PageId obj_dir_chain_ = kInvalidPageId;
+  PageId poly_dir_chain_ = kInvalidPageId;
+};
+
+/// Spatial join: all pairs (a-object, b-object) with intersecting MBRs,
+/// computed by a synchronized z-order merge of the two indexes' entry
+/// streams with enclosure stacks (Orenstein's merge algorithm).
+Result<std::vector<std::pair<ObjectId, ObjectId>>> SpatialJoin(
+    SpatialIndex* a, SpatialIndex* b, JoinStats* stats = nullptr);
+
+}  // namespace zdb
+
+#endif  // ZDB_CORE_SPATIAL_INDEX_H_

@@ -1,0 +1,140 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "decompose/decompose.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace zdb {
+
+namespace {
+
+struct HeapEntry {
+  ZElement elem;
+  uint64_t dead;  ///< covered cells not belonging to the object
+
+  bool operator<(const HeapEntry& o) const {
+    if (dead != o.dead) return dead < o.dead;  // max-heap by dead space
+    return elem.zmin > o.elem.zmin;            // deterministic tie-break
+  }
+};
+
+uint64_t DeadCells(const ZElement& e, const GridRect& rect) {
+  return e.CellCount() - e.ToGridRect().IntersectionCells(rect);
+}
+
+/// Re-merges sibling pairs that both ended up in the result — such a pair
+/// is exactly its parent, so merging lowers redundancy for free.
+void MergeSiblings(std::vector<ZElement>* elements) {
+  std::sort(elements->begin(), elements->end());
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    std::vector<ZElement> out;
+    out.reserve(elements->size());
+    size_t i = 0;
+    while (i < elements->size()) {
+      if (i + 1 < elements->size()) {
+        const ZElement& a = (*elements)[i];
+        const ZElement& b = (*elements)[i + 1];
+        if (a.level == b.level && a.level > 0 && a.Parent() == b.Parent() &&
+            a.zmin != b.zmin) {
+          out.push_back(a.Parent());
+          i += 2;
+          merged = true;
+          continue;
+        }
+      }
+      out.push_back((*elements)[i]);
+      ++i;
+    }
+    *elements = std::move(out);
+  }
+}
+
+}  // namespace
+
+Decomposition Decompose(const GridRect& rect, uint32_t grid_bits,
+                        const DecomposeOptions& options) {
+  Decomposition result;
+  result.object_cells = rect.CellCount();
+
+  const uint32_t zbits = 2 * grid_bits;
+  const uint32_t max_level = std::min(options.max_level, zbits);
+  const bool size_bound =
+      options.policy == DecomposeOptions::Policy::kSizeBound;
+  const uint32_t budget =
+      size_bound ? std::max(1u, options.max_elements) : options.hard_cap;
+
+  std::priority_queue<HeapEntry> heap;
+  std::vector<ZElement> final_elements;
+
+  ZElement root = ZElement::Enclosing(rect, grid_bits);
+  // The minimal enclosing element may already be deeper than the cap;
+  // lift it so the level bound holds for every emitted element.
+  while (root.level > max_level) root = root.Parent();
+  uint64_t total_dead = DeadCells(root, rect);
+  heap.push({root, total_dead});
+
+  // The error target in absolute cells (size-bound ignores it).
+  const double target_dead =
+      size_bound ? 0.0
+                 : options.max_error * static_cast<double>(rect.CellCount());
+
+  while (!heap.empty()) {
+    // Error-bound: stop refining once the approximation is good enough.
+    if (!size_bound && static_cast<double>(total_dead) <= target_dead) break;
+
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dead == 0 || top.elem.level >= max_level) {
+      final_elements.push_back(top.elem);
+      continue;
+    }
+
+    HeapEntry children[2];
+    int n_children = 0;
+    for (int i = 0; i < 2; ++i) {
+      const ZElement child = top.elem.Child(i);
+      const uint64_t live = child.ToGridRect().IntersectionCells(rect);
+      if (live > 0) {
+        children[n_children++] = {child, child.CellCount() - live};
+      }
+    }
+    assert(n_children >= 1);
+
+    const size_t count = final_elements.size() + heap.size() + 1;
+    const size_t growth = static_cast<size_t>(n_children) - 1;
+    if (count + growth > budget) {
+      // No budget to split this element; keep it as is. Elements still in
+      // the heap may have cheaper (non-growing) splits, so keep going.
+      final_elements.push_back(top.elem);
+      continue;
+    }
+
+    uint64_t child_dead = 0;
+    for (int i = 0; i < n_children; ++i) {
+      child_dead += children[i].dead;
+      heap.push(children[i]);
+    }
+    total_dead = total_dead - top.dead + child_dead;
+  }
+
+  // Drain whatever is left (error target met or budget spent).
+  while (!heap.empty()) {
+    final_elements.push_back(heap.top().elem);
+    heap.pop();
+  }
+
+  MergeSiblings(&final_elements);
+
+  result.covered_cells = 0;
+  for (const ZElement& e : final_elements) {
+    result.covered_cells += e.CellCount();
+  }
+  result.elements = std::move(final_elements);
+  return result;
+}
+
+}  // namespace zdb

@@ -1,0 +1,89 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Object/query decomposition into z-elements — the core contribution of
+// "Redundancy in Spatial Databases" (Orenstein, SIGMOD 1989). A spatial
+// object is approximated by a set of disjoint z-elements covering it; the
+// two policies trade approximation quality against redundancy:
+//
+//   * size-bound: at most k elements per object (k = 1 degenerates to the
+//     classic minimal-enclosing-z-region scheme);
+//   * error-bound: refine until the dead space (covered minus object
+//     area) drops below `max_error` times the object's area.
+//
+// Both use the same greedy refinement: repeatedly split the element
+// contributing the most dead space, discarding child elements that do not
+// touch the object, until the policy's budget or the resolution floor is
+// reached. A final pass re-merges sibling pairs that both survived (a
+// split that bought nothing).
+
+#ifndef ZDB_DECOMPOSE_DECOMPOSE_H_
+#define ZDB_DECOMPOSE_DECOMPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/grid.h"
+#include "zorder/zelement.h"
+
+namespace zdb {
+
+struct DecomposeOptions {
+  enum class Policy { kSizeBound, kErrorBound };
+
+  Policy policy = Policy::kSizeBound;
+
+  /// Size-bound budget k (>= 1). Used when policy == kSizeBound.
+  uint32_t max_elements = 4;
+
+  /// Error-bound epsilon: decompose until dead_cells <= max_error *
+  /// object_cells. Used when policy == kErrorBound.
+  double max_error = 0.1;
+
+  /// Resolution cap in prefix bits (clamped to 2 * grid_bits). Elements
+  /// never get finer than this level.
+  uint32_t max_level = UINT32_MAX;
+
+  /// Safety cap on element count for the error-bound policy.
+  uint32_t hard_cap = 4096;
+
+  static DecomposeOptions SizeBound(uint32_t k) {
+    DecomposeOptions o;
+    o.policy = Policy::kSizeBound;
+    o.max_elements = k;
+    return o;
+  }
+  static DecomposeOptions ErrorBound(double eps, uint32_t cap = 4096) {
+    DecomposeOptions o;
+    o.policy = Policy::kErrorBound;
+    o.max_error = eps;
+    o.hard_cap = cap;
+    return o;
+  }
+};
+
+/// A decomposition: disjoint elements in canonical z order, plus the
+/// accounting the experiments report.
+struct Decomposition {
+  std::vector<ZElement> elements;
+  uint64_t object_cells = 0;   ///< grid cells of the object itself
+  uint64_t covered_cells = 0;  ///< grid cells of the union of elements
+
+  /// Redundancy r: elements per object.
+  size_t redundancy() const { return elements.size(); }
+
+  /// Relative dead space: (covered - object) / object.
+  double error() const {
+    if (object_cells == 0) return 0.0;
+    return static_cast<double>(covered_cells - object_cells) /
+           static_cast<double>(object_cells);
+  }
+};
+
+/// Decomposes a grid rectangle per the options. The result's elements are
+/// pairwise disjoint, sorted canonically, and their union covers `rect`.
+Decomposition Decompose(const GridRect& rect, uint32_t grid_bits,
+                        const DecomposeOptions& options);
+
+}  // namespace zdb
+
+#endif  // ZDB_DECOMPOSE_DECOMPOSE_H_

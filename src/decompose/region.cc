@@ -1,0 +1,148 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "decompose/region.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace zdb {
+
+namespace {
+
+struct HeapEntry {
+  ZElement elem;
+  double dead;  ///< world area of the element's cell not in the region
+
+  bool operator<(const HeapEntry& o) const {
+    if (dead != o.dead) return dead < o.dead;
+    return elem.zmin > o.elem.zmin;
+  }
+};
+
+/// Relative tolerance below which a cell counts as fully covered —
+/// protects against endless refinement on floating-point residue.
+constexpr double kCoveredTol = 1e-9;
+
+void MergeSiblings(std::vector<ZElement>* elements) {
+  std::sort(elements->begin(), elements->end());
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    std::vector<ZElement> out;
+    out.reserve(elements->size());
+    size_t i = 0;
+    while (i < elements->size()) {
+      if (i + 1 < elements->size()) {
+        const ZElement& a = (*elements)[i];
+        const ZElement& b = (*elements)[i + 1];
+        if (a.level == b.level && a.level > 0 && a.Parent() == b.Parent() &&
+            a.zmin != b.zmin) {
+          out.push_back(a.Parent());
+          i += 2;
+          merged = true;
+          continue;
+        }
+      }
+      out.push_back((*elements)[i]);
+      ++i;
+    }
+    *elements = std::move(out);
+  }
+}
+
+}  // namespace
+
+RegionDecomposition DecomposeRegion(const Region& region,
+                                    const SpaceMapper& mapper,
+                                    const DecomposeOptions& options) {
+  RegionDecomposition result;
+  result.object_area = region.Area();
+
+  const uint32_t gbits = mapper.bits();
+  const uint32_t zbits = 2 * gbits;
+  const uint32_t max_level = std::min(options.max_level, zbits);
+  const bool size_bound =
+      options.policy == DecomposeOptions::Policy::kSizeBound;
+  const uint32_t budget =
+      size_bound ? std::max(1u, options.max_elements) : options.hard_cap;
+
+  auto dead_area = [&](const ZElement& e) {
+    const Rect cell = mapper.ToWorld(e.ToGridRect());
+    const double covered = region.IntersectionArea(cell);
+    const double dead = cell.area() - covered;
+    return (dead <= kCoveredTol * cell.area()) ? 0.0 : dead;
+  };
+
+  ZElement root = ZElement::Enclosing(mapper.ToGrid(region.WorldBounds()),
+                                      gbits);
+  while (root.level > max_level) root = root.Parent();
+
+  std::priority_queue<HeapEntry> heap;
+  std::vector<ZElement> final_elements;
+  double total_dead = dead_area(root);
+  heap.push({root, total_dead});
+
+  const double target_dead =
+      size_bound ? 0.0 : options.max_error * region.Area();
+
+  while (!heap.empty()) {
+    if (!size_bound && total_dead <= target_dead) break;
+
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dead == 0.0 || top.elem.level >= max_level) {
+      final_elements.push_back(top.elem);
+      continue;
+    }
+
+    HeapEntry children[2];
+    int n_children = 0;
+    for (int i = 0; i < 2; ++i) {
+      const ZElement child = top.elem.Child(i);
+      const Rect cell = mapper.ToWorld(child.ToGridRect());
+      // Positive-area overlap only: boundary-only contact contributes
+      // nothing to the approximation and would soak up the whole budget
+      // (a zero-overlap cell is all dead space, i.e. maximal priority).
+      if (region.IntersectsCell(cell) &&
+          region.IntersectionArea(cell) > 0.0) {
+        children[n_children++] = {child, dead_area(child)};
+      }
+    }
+    if (n_children == 0) {
+      // Degenerate (zero-area) regions: keep the parent so the element
+      // union still covers the object.
+      final_elements.push_back(top.elem);
+      continue;
+    }
+
+    const size_t count = final_elements.size() + heap.size() + 1;
+    const size_t growth = static_cast<size_t>(n_children) - 1;
+    if (count + growth > budget) {
+      final_elements.push_back(top.elem);
+      continue;
+    }
+
+    double child_dead = 0;
+    for (int i = 0; i < n_children; ++i) {
+      child_dead += children[i].dead;
+      heap.push(children[i]);
+    }
+    total_dead = total_dead - top.dead + child_dead;
+  }
+
+  while (!heap.empty()) {
+    final_elements.push_back(heap.top().elem);
+    heap.pop();
+  }
+  MergeSiblings(&final_elements);
+
+  result.covered_area = 0.0;
+  for (const ZElement& e : final_elements) {
+    result.covered_area += mapper.ToWorld(e.ToGridRect()).area();
+  }
+  result.elements = std::move(final_elements);
+  return result;
+}
+
+}  // namespace zdb

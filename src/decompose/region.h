@@ -1,0 +1,101 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Region-generic decomposition. Orenstein's method applies to arbitrary
+// spatial objects, not just rectangles: any region that can answer
+// "do you intersect this cell?" and "how much of this cell do you cover?"
+// can be decomposed into z-elements with exact dead-space accounting.
+// The polygon instantiation decomposes the actual geometry — a far
+// tighter approximation than decomposing the MBR for slim or diagonal
+// objects (see bench_a3_polygon).
+
+#ifndef ZDB_DECOMPOSE_REGION_H_
+#define ZDB_DECOMPOSE_REGION_H_
+
+#include <vector>
+
+#include "decompose/decompose.h"
+#include "geom/clip.h"
+#include "geom/grid.h"
+#include "geom/polygon.h"
+
+namespace zdb {
+
+/// A spatial object queried by the decomposition. Areas are in world
+/// units.
+class Region {
+ public:
+  virtual ~Region() = default;
+
+  /// Bounding rectangle in world coordinates.
+  virtual Rect WorldBounds() const = 0;
+
+  /// True if the region shares at least a point with the (closed) cell.
+  virtual bool IntersectsCell(const Rect& cell) const = 0;
+
+  /// Area of region ∩ cell.
+  virtual double IntersectionArea(const Rect& cell) const = 0;
+
+  /// Total region area.
+  virtual double Area() const = 0;
+};
+
+/// Rectangle as a Region (the generic path; the integer-exact
+/// Decompose(GridRect, ...) overload remains the fast path for MBRs).
+class RectRegion : public Region {
+ public:
+  explicit RectRegion(const Rect& rect) : rect_(rect) {}
+  Rect WorldBounds() const override { return rect_; }
+  bool IntersectsCell(const Rect& cell) const override {
+    return rect_.Intersects(cell);
+  }
+  double IntersectionArea(const Rect& cell) const override {
+    return rect_.IntersectionArea(cell);
+  }
+  double Area() const override { return rect_.area(); }
+
+ private:
+  Rect rect_;
+};
+
+/// Simple polygon as a Region. The referenced polygon must outlive it.
+class PolygonRegion : public Region {
+ public:
+  explicit PolygonRegion(const Polygon* poly)
+      : poly_(poly), bounds_(poly->Bounds()), area_(poly->Area()) {}
+  Rect WorldBounds() const override { return bounds_; }
+  bool IntersectsCell(const Rect& cell) const override {
+    return poly_->Intersects(cell);
+  }
+  double IntersectionArea(const Rect& cell) const override {
+    return PolygonRectIntersectionArea(*poly_, cell);
+  }
+  double Area() const override { return area_; }
+
+ private:
+  const Polygon* poly_;
+  Rect bounds_;
+  double area_;
+};
+
+/// Result of a region decomposition; areas are world units.
+struct RegionDecomposition {
+  std::vector<ZElement> elements;  ///< disjoint, canonical order
+  double object_area = 0.0;
+  double covered_area = 0.0;  ///< world area of the element union
+
+  size_t redundancy() const { return elements.size(); }
+  double error() const {
+    if (object_area <= 0.0) return 0.0;
+    return (covered_area - object_area) / object_area;
+  }
+};
+
+/// Decomposes an arbitrary region per the options (same policies as the
+/// rectangle overload). The element union covers region ∩ world.
+RegionDecomposition DecomposeRegion(const Region& region,
+                                    const SpaceMapper& mapper,
+                                    const DecomposeOptions& options);
+
+}  // namespace zdb
+
+#endif  // ZDB_DECOMPOSE_REGION_H_

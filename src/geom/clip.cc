@@ -1,0 +1,95 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "geom/clip.h"
+
+#include <vector>
+
+namespace zdb {
+
+namespace {
+
+enum class Side { kLeft, kRight, kBottom, kTop };
+
+bool Inside(const Point& p, Side side, const Rect& r) {
+  switch (side) {
+    case Side::kLeft: return p.x >= r.xlo;
+    case Side::kRight: return p.x <= r.xhi;
+    case Side::kBottom: return p.y >= r.ylo;
+    case Side::kTop: return p.y <= r.yhi;
+  }
+  return false;
+}
+
+Point IntersectEdge(const Point& a, const Point& b, Side side,
+                    const Rect& r) {
+  double t;
+  switch (side) {
+    case Side::kLeft:
+      t = (r.xlo - a.x) / (b.x - a.x);
+      return Point{r.xlo, a.y + t * (b.y - a.y)};
+    case Side::kRight:
+      t = (r.xhi - a.x) / (b.x - a.x);
+      return Point{r.xhi, a.y + t * (b.y - a.y)};
+    case Side::kBottom:
+      t = (r.ylo - a.y) / (b.y - a.y);
+      return Point{a.x + t * (b.x - a.x), r.ylo};
+    case Side::kTop:
+      t = (r.yhi - a.y) / (b.y - a.y);
+      return Point{a.x + t * (b.x - a.x), r.yhi};
+  }
+  return a;
+}
+
+std::vector<Point> ClipAgainstSide(const std::vector<Point>& input,
+                                   Side side, const Rect& r) {
+  std::vector<Point> output;
+  const size_t n = input.size();
+  output.reserve(n + 4);
+  for (size_t i = 0; i < n; ++i) {
+    const Point& cur = input[i];
+    const Point& prev = input[(i + n - 1) % n];
+    const bool cur_in = Inside(cur, side, r);
+    const bool prev_in = Inside(prev, side, r);
+    if (cur_in) {
+      if (!prev_in) output.push_back(IntersectEdge(prev, cur, side, r));
+      output.push_back(cur);
+    } else if (prev_in) {
+      output.push_back(IntersectEdge(prev, cur, side, r));
+    }
+  }
+  return output;
+}
+
+}  // namespace
+
+Polygon ClipPolygonToRect(const Polygon& poly, const Rect& rect) {
+  std::vector<Point> ring = poly.vertices();
+  for (Side side :
+       {Side::kLeft, Side::kRight, Side::kBottom, Side::kTop}) {
+    if (ring.empty()) break;
+    ring = ClipAgainstSide(ring, side, rect);
+  }
+  return Polygon(std::move(ring));
+}
+
+double PolygonRectIntersectionArea(const Polygon& poly, const Rect& rect) {
+  if (poly.empty() || !poly.Bounds().Intersects(rect)) return 0.0;
+  if (rect.Contains(poly.Bounds())) return poly.Area();
+  return ClipPolygonToRect(poly, rect).Area();
+}
+
+bool PolygonContainsRect(const Polygon& poly, const Rect& rect) {
+  if (poly.empty() || !poly.Bounds().Contains(rect)) return false;
+  const double rect_area = rect.area();
+  if (rect_area == 0.0) {
+    // Degenerate rectangle: membership of its corners decides.
+    return poly.Contains(Point{rect.xlo, rect.ylo}) &&
+           poly.Contains(Point{rect.xhi, rect.yhi});
+  }
+  const double covered = PolygonRectIntersectionArea(poly, rect);
+  // Exact for exactly-representable coordinates; a relative tolerance
+  // absorbs clipping round-off.
+  return covered >= rect_area * (1.0 - 1e-12);
+}
+
+}  // namespace zdb

@@ -1,0 +1,31 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Polygon clipping against axis-aligned rectangles (Sutherland-Hodgman).
+// Used by region decomposition to account dead space exactly: the area of
+// a z-element's cell NOT covered by the object is the refinement
+// priority, and for polygons that requires polygon∩rect area.
+
+#ifndef ZDB_GEOM_CLIP_H_
+#define ZDB_GEOM_CLIP_H_
+
+#include "geom/polygon.h"
+#include "geom/rect.h"
+
+namespace zdb {
+
+/// Clips a simple polygon to a rectangle. The result is a (possibly
+/// empty) polygon; for convex input it is exact, for concave input the
+/// standard Sutherland-Hodgman caveat applies (degenerate bridging edges
+/// of zero area may appear, which do not affect area computation).
+Polygon ClipPolygonToRect(const Polygon& poly, const Rect& rect);
+
+/// Area of polygon ∩ rect.
+double PolygonRectIntersectionArea(const Polygon& poly, const Rect& rect);
+
+/// True if the rectangle lies entirely inside the polygon (boundary
+/// contact counts as inside): area(poly ∩ rect) == area(rect).
+bool PolygonContainsRect(const Polygon& poly, const Rect& rect);
+
+}  // namespace zdb
+
+#endif  // ZDB_GEOM_CLIP_H_

@@ -1,0 +1,51 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "geom/grid.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace zdb {
+
+std::string GridRect::ToString() const {
+  return "[" + std::to_string(xlo) + "," + std::to_string(ylo) + " - " +
+         std::to_string(xhi) + "," + std::to_string(yhi) + "]";
+}
+
+SpaceMapper::SpaceMapper(Rect world, uint32_t bits)
+    : world_(world), bits_(bits) {
+  assert(bits >= 1 && bits <= kMaxGridBits);
+  assert(world.xhi > world.xlo && world.yhi > world.ylo);
+  max_coord_ = static_cast<GridCoord>((1ULL << bits) - 1);
+  const double cells = static_cast<double>(1ULL << bits);
+  cells_per_x_ = cells / (world.xhi - world.xlo);
+  cells_per_y_ = cells / (world.yhi - world.ylo);
+}
+
+GridCoord SpaceMapper::ToGridX(double x) const {
+  const double c = std::floor((x - world_.xlo) * cells_per_x_);
+  if (c < 0) return 0;
+  if (c > max_coord_) return max_coord_;
+  return static_cast<GridCoord>(c);
+}
+
+GridCoord SpaceMapper::ToGridY(double y) const {
+  const double c = std::floor((y - world_.ylo) * cells_per_y_);
+  if (c < 0) return 0;
+  if (c > max_coord_) return max_coord_;
+  return static_cast<GridCoord>(c);
+}
+
+GridRect SpaceMapper::ToGrid(const Rect& r) const {
+  return GridRect{ToGridX(r.xlo), ToGridY(r.ylo), ToGridX(r.xhi),
+                  ToGridY(r.yhi)};
+}
+
+Rect SpaceMapper::ToWorld(const GridRect& g) const {
+  return Rect{world_.xlo + g.xlo / cells_per_x_,
+              world_.ylo + g.ylo / cells_per_y_,
+              world_.xlo + (g.xhi + 1.0) / cells_per_x_,
+              world_.ylo + (g.yhi + 1.0) / cells_per_y_};
+}
+
+}  // namespace zdb

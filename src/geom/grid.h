@@ -1,0 +1,99 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Integer grid space. Z-order decomposition operates on an N x N grid of
+// cells (N = 2^bits); SpaceMapper converts between world coordinates and
+// grid cells. The grid resolution is the decomposition's resolution floor:
+// no element can be smaller than one cell.
+
+#ifndef ZDB_GEOM_GRID_H_
+#define ZDB_GEOM_GRID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/rect.h"
+
+namespace zdb {
+
+using GridCoord = uint32_t;
+
+/// Default grid resolution: 2^16 cells per axis (32-bit z-addresses).
+inline constexpr uint32_t kDefaultGridBits = 16;
+
+/// Maximum supported resolution (z-addresses must fit in 64 bits).
+inline constexpr uint32_t kMaxGridBits = 31;
+
+/// Inclusive rectangle of grid cells: cells [xlo..xhi] x [ylo..yhi].
+struct GridRect {
+  GridCoord xlo = 0;
+  GridCoord ylo = 0;
+  GridCoord xhi = 0;
+  GridCoord yhi = 0;
+
+  uint64_t width() const { return static_cast<uint64_t>(xhi) - xlo + 1; }
+  uint64_t height() const { return static_cast<uint64_t>(yhi) - ylo + 1; }
+
+  /// Number of cells covered.
+  uint64_t CellCount() const { return width() * height(); }
+
+  bool Intersects(const GridRect& r) const {
+    return xlo <= r.xhi && r.xlo <= xhi && ylo <= r.yhi && r.ylo <= yhi;
+  }
+
+  bool Contains(const GridRect& r) const {
+    return r.xlo >= xlo && r.xhi <= xhi && r.ylo >= ylo && r.yhi <= yhi;
+  }
+
+  /// Cells in the overlap (0 when disjoint).
+  uint64_t IntersectionCells(const GridRect& r) const {
+    if (!Intersects(r)) return 0;
+    const uint64_t w = static_cast<uint64_t>(
+                           (xhi < r.xhi ? xhi : r.xhi)) -
+                       (xlo > r.xlo ? xlo : r.xlo) + 1;
+    const uint64_t h = static_cast<uint64_t>(
+                           (yhi < r.yhi ? yhi : r.yhi)) -
+                       (ylo > r.ylo ? ylo : r.ylo) + 1;
+    return w * h;
+  }
+
+  std::string ToString() const;
+};
+
+inline bool operator==(const GridRect& a, const GridRect& b) {
+  return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi && a.yhi == b.yhi;
+}
+
+/// Maps world rectangles to grid-cell rectangles and back. The grid
+/// covers the configured world bounds; world geometry outside the bounds
+/// is clamped to the border cells.
+class SpaceMapper {
+ public:
+  /// World bounds default to the unit square, grid to 2^16 per axis.
+  explicit SpaceMapper(Rect world = Rect{0.0, 0.0, 1.0, 1.0},
+                       uint32_t bits = kDefaultGridBits);
+
+  uint32_t bits() const { return bits_; }
+  GridCoord max_coord() const { return max_coord_; }
+  const Rect& world() const { return world_; }
+
+  /// Grid cell containing the point (clamped to the grid).
+  GridCoord ToGridX(double x) const;
+  GridCoord ToGridY(double y) const;
+
+  /// Smallest grid rectangle covering the world rectangle.
+  GridRect ToGrid(const Rect& r) const;
+
+  /// World-space extent of a grid rectangle.
+  Rect ToWorld(const GridRect& g) const;
+
+ private:
+  Rect world_;
+  uint32_t bits_;
+  GridCoord max_coord_;
+  double cells_per_x_;
+  double cells_per_y_;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_GEOM_GRID_H_

@@ -1,0 +1,163 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace zdb {
+
+namespace {
+
+/// Orientation of the triple (a, b, c): >0 counter-clockwise, <0
+/// clockwise, 0 collinear.
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  const double d1 = Cross(b1, b2, a1);
+  const double d2 = Cross(b1, b2, a2);
+  const double d3 = Cross(a1, a2, b1);
+  const double d4 = Cross(a1, a2, b2);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(b1, b2, a1)) return true;
+  if (d2 == 0 && OnSegment(b1, b2, a2)) return true;
+  if (d3 == 0 && OnSegment(a1, a2, b1)) return true;
+  if (d4 == 0 && OnSegment(a1, a2, b2)) return true;
+  return false;
+}
+
+Rect Polygon::Bounds() const {
+  if (vertices_.empty()) return Rect{};
+  Rect r{vertices_[0].x, vertices_[0].y, vertices_[0].x, vertices_[0].y};
+  for (const Point& p : vertices_) {
+    r.xlo = std::min(r.xlo, p.x);
+    r.ylo = std::min(r.ylo, p.y);
+    r.xhi = std::max(r.xhi, p.x);
+    r.yhi = std::max(r.yhi, p.y);
+  }
+  return r;
+}
+
+double Polygon::Area() const {
+  double sum = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    sum += a.x * b.y - b.x * a.y;
+  }
+  return std::abs(sum) / 2.0;
+}
+
+bool Polygon::Contains(const Point& p) const {
+  const size_t n = vertices_.size();
+  if (n < 3) return false;
+  // Boundary counts as inside.
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    if (Cross(a, b, p) == 0 && OnSegment(a, b, p)) return true;
+  }
+  // Even-odd ray cast to +x.
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_at = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_at > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::DistanceTo(const Point& p) const {
+  if (Contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    // Point-to-segment distance.
+    const double abx = b.x - a.x, aby = b.y - a.y;
+    const double len2 = abx * abx + aby * aby;
+    double t = 0.0;
+    if (len2 > 0) {
+      t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+      t = std::max(0.0, std::min(1.0, t));
+    }
+    const double cx = a.x + t * abx, cy = a.y + t * aby;
+    const double dx = p.x - cx, dy = p.y - cy;
+    best = std::min(best, std::sqrt(dx * dx + dy * dy));
+  }
+  return best;
+}
+
+bool Polygon::Intersects(const Rect& r) const {
+  const size_t n = vertices_.size();
+  if (n == 0) return false;
+  if (!Bounds().Intersects(r)) return false;
+  // Any polygon vertex inside the rectangle?
+  for (const Point& p : vertices_) {
+    if (r.Contains(p)) return true;
+  }
+  // Any rectangle corner inside the polygon?
+  const Point corners[4] = {{r.xlo, r.ylo}, {r.xhi, r.ylo},
+                            {r.xhi, r.yhi}, {r.xlo, r.yhi}};
+  for (const Point& c : corners) {
+    if (Contains(c)) return true;
+  }
+  // Any edge crossing?
+  const Point edges[4][2] = {{corners[0], corners[1]},
+                             {corners[1], corners[2]},
+                             {corners[2], corners[3]},
+                             {corners[3], corners[0]}};
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    for (const auto& e : edges) {
+      if (SegmentsIntersect(a, b, e[0], e[1])) return true;
+    }
+  }
+  return false;
+}
+
+bool PolygonsIntersect(const Polygon& a, const Polygon& b) {
+  if (a.empty() || b.empty()) return false;
+  if (!a.Bounds().Intersects(b.Bounds())) return false;
+  // Vertex containment covers full-containment cases.
+  for (const Point& p : a.vertices()) {
+    if (b.Contains(p)) return true;
+  }
+  for (const Point& p : b.vertices()) {
+    if (a.Contains(p)) return true;
+  }
+  // Edge crossings cover partial overlap without contained vertices.
+  const size_t na = a.size(), nb = b.size();
+  for (size_t i = 0; i < na; ++i) {
+    const Point& a1 = a.vertices()[i];
+    const Point& a2 = a.vertices()[(i + 1) % na];
+    for (size_t j = 0; j < nb; ++j) {
+      const Point& b1 = b.vertices()[j];
+      const Point& b2 = b.vertices()[(j + 1) % nb];
+      if (SegmentsIntersect(a1, a2, b1, b2)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace zdb

@@ -1,0 +1,61 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Simple polygons for the refinement step of filter-and-refine queries on
+// non-rectangular objects (example applications; the core experiments use
+// rectangles, as the 1989 evaluations did).
+
+#ifndef ZDB_GEOM_POLYGON_H_
+#define ZDB_GEOM_POLYGON_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace zdb {
+
+/// A simple (non-self-intersecting) polygon given by its vertex ring.
+/// Orientation does not matter; the ring is implicitly closed.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Minimal bounding rectangle.
+  Rect Bounds() const;
+
+  /// Signed-area magnitude via the shoelace formula.
+  double Area() const;
+
+  /// Even-odd (crossing number) containment; boundary points count as
+  /// inside for the purposes of intersection queries.
+  bool Contains(const Point& p) const;
+
+  /// Exact polygon/rectangle intersection test: true if the regions share
+  /// at least one point (including boundary contact).
+  bool Intersects(const Rect& r) const;
+
+  /// Euclidean distance from p to the polygon (0 when inside).
+  double DistanceTo(const Point& p) const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// Segment intersection helper exposed for tests: true if segments
+/// [a1,a2] and [b1,b2] share a point.
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// Exact simple-polygon/simple-polygon intersection test (shared point,
+/// including boundary contact and full containment either way).
+bool PolygonsIntersect(const Polygon& a, const Polygon& b);
+
+}  // namespace zdb
+
+#endif  // ZDB_GEOM_POLYGON_H_

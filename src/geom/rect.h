@@ -1,0 +1,90 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Axis-aligned rectangles, the object and query primitive of the
+// reproduction. Closed on all sides: touching boundaries intersect, as in
+// the 1980s spatial-index literature.
+
+#ifndef ZDB_GEOM_RECT_H_
+#define ZDB_GEOM_RECT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "geom/point.h"
+
+namespace zdb {
+
+/// Closed axis-aligned rectangle [xlo, xhi] x [ylo, yhi].
+struct Rect {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = 0.0;
+  double yhi = 0.0;
+
+  static Rect FromCenter(double cx, double cy, double ex, double ey) {
+    return Rect{cx - ex, cy - ey, cx + ex, cy + ey};
+  }
+
+  bool valid() const { return xlo <= xhi && ylo <= yhi; }
+
+  double width() const { return xhi - xlo; }
+  double height() const { return yhi - ylo; }
+  double area() const { return width() * height(); }
+
+  /// Perimeter / 2; the "margin" criterion in split heuristics.
+  double margin() const { return width() + height(); }
+
+  Point center() const { return Point{(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+
+  bool Contains(const Rect& r) const {
+    return r.xlo >= xlo && r.xhi <= xhi && r.ylo >= ylo && r.yhi <= yhi;
+  }
+
+  bool Intersects(const Rect& r) const {
+    return xlo <= r.xhi && r.xlo <= xhi && ylo <= r.yhi && r.ylo <= yhi;
+  }
+
+  /// Smallest rectangle covering both.
+  Rect Union(const Rect& r) const {
+    return Rect{std::min(xlo, r.xlo), std::min(ylo, r.ylo),
+                std::max(xhi, r.xhi), std::max(yhi, r.yhi)};
+  }
+
+  /// Overlap region; invalid (xlo > xhi) when disjoint.
+  Rect Intersection(const Rect& r) const {
+    return Rect{std::max(xlo, r.xlo), std::max(ylo, r.ylo),
+                std::min(xhi, r.xhi), std::min(yhi, r.yhi)};
+  }
+
+  /// Euclidean distance from p to the rectangle (0 when inside).
+  double DistanceTo(const Point& p) const {
+    const double dx = std::max({xlo - p.x, 0.0, p.x - xhi});
+    const double dy = std::max({ylo - p.y, 0.0, p.y - yhi});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Overlap area (0 when disjoint).
+  double IntersectionArea(const Rect& r) const {
+    const double w = std::min(xhi, r.xhi) - std::max(xlo, r.xlo);
+    const double h = std::min(yhi, r.yhi) - std::max(ylo, r.ylo);
+    return (w > 0 && h > 0) ? w * h : 0.0;
+  }
+
+  std::string ToString() const {
+    return "[" + std::to_string(xlo) + "," + std::to_string(ylo) + " - " +
+           std::to_string(xhi) + "," + std::to_string(yhi) + "]";
+  }
+};
+
+inline bool operator==(const Rect& a, const Rect& b) {
+  return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi && a.yhi == b.yhi;
+}
+
+}  // namespace zdb
+
+#endif  // ZDB_GEOM_RECT_H_

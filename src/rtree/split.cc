@@ -1,0 +1,275 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace zdb {
+
+Rect GroupBounds(const std::vector<REntry>& entries) {
+  assert(!entries.empty());
+  Rect r = entries[0].rect;
+  for (size_t i = 1; i < entries.size(); ++i) r = r.Union(entries[i].rect);
+  return r;
+}
+
+namespace {
+
+double Enlargement(const Rect& group, const Rect& add) {
+  return group.Union(add).area() - group.area();
+}
+
+/// Guttman's PickSeeds: the pair wasting the most area together.
+void PickSeedsQuadratic(const std::vector<REntry>& entries, size_t* s1,
+                        size_t* s2) {
+  double worst = -std::numeric_limits<double>::infinity();
+  *s1 = 0;
+  *s2 = 1;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = entries[i].rect.Union(entries[j].rect).area() -
+                           entries[i].rect.area() - entries[j].rect.area();
+      if (waste > worst) {
+        worst = waste;
+        *s1 = i;
+        *s2 = j;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void QuadraticSplit(const std::vector<REntry>& entries, uint32_t min_entries,
+                    std::vector<REntry>* group_a,
+                    std::vector<REntry>* group_b) {
+  group_a->clear();
+  group_b->clear();
+  const size_t n = entries.size();
+  assert(n >= 2);
+
+  size_t s1, s2;
+  PickSeedsQuadratic(entries, &s1, &s2);
+  group_a->push_back(entries[s1]);
+  group_b->push_back(entries[s2]);
+  Rect bounds_a = entries[s1].rect;
+  Rect bounds_b = entries[s2].rect;
+
+  std::vector<bool> assigned(n, false);
+  assigned[s1] = assigned[s2] = true;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // Force-assign when one group must take everything left to reach the
+    // minimum occupancy.
+    if (group_a->size() + remaining == min_entries) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group_a->push_back(entries[i]);
+          assigned[i] = true;
+        }
+      }
+      return;
+    }
+    if (group_b->size() + remaining == min_entries) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group_b->push_back(entries[i]);
+          assigned[i] = true;
+        }
+      }
+      return;
+    }
+
+    // PickNext: the entry with the greatest preference for one group.
+    size_t best = n;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double da = Enlargement(bounds_a, entries[i].rect);
+      const double db = Enlargement(bounds_b, entries[i].rect);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    assert(best < n);
+    const double da = Enlargement(bounds_a, entries[best].rect);
+    const double db = Enlargement(bounds_b, entries[best].rect);
+    bool to_a;
+    if (da != db) {
+      to_a = da < db;
+    } else if (bounds_a.area() != bounds_b.area()) {
+      to_a = bounds_a.area() < bounds_b.area();
+    } else {
+      to_a = group_a->size() <= group_b->size();
+    }
+    if (to_a) {
+      group_a->push_back(entries[best]);
+      bounds_a = bounds_a.Union(entries[best].rect);
+    } else {
+      group_b->push_back(entries[best]);
+      bounds_b = bounds_b.Union(entries[best].rect);
+    }
+    assigned[best] = true;
+    --remaining;
+  }
+}
+
+void LinearSplit(const std::vector<REntry>& entries, uint32_t min_entries,
+                 std::vector<REntry>* group_a, std::vector<REntry>* group_b) {
+  group_a->clear();
+  group_b->clear();
+  const size_t n = entries.size();
+  assert(n >= 2);
+
+  // LinearPickSeeds: per dimension, the pair with the greatest normalized
+  // separation (highest low side vs lowest high side).
+  const Rect total = GroupBounds(entries);
+  size_t best_lo_x = 0, best_hi_x = 0, best_lo_y = 0, best_hi_y = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (entries[i].rect.xlo > entries[best_lo_x].rect.xlo) best_lo_x = i;
+    if (entries[i].rect.xhi < entries[best_hi_x].rect.xhi) best_hi_x = i;
+    if (entries[i].rect.ylo > entries[best_lo_y].rect.ylo) best_lo_y = i;
+    if (entries[i].rect.yhi < entries[best_hi_y].rect.yhi) best_hi_y = i;
+  }
+  const double sep_x =
+      (total.width() > 0)
+          ? (entries[best_lo_x].rect.xlo - entries[best_hi_x].rect.xhi) /
+                total.width()
+          : 0.0;
+  const double sep_y =
+      (total.height() > 0)
+          ? (entries[best_lo_y].rect.ylo - entries[best_hi_y].rect.yhi) /
+                total.height()
+          : 0.0;
+
+  size_t s1, s2;
+  if (sep_x >= sep_y) {
+    s1 = best_hi_x;
+    s2 = best_lo_x;
+  } else {
+    s1 = best_hi_y;
+    s2 = best_lo_y;
+  }
+  if (s1 == s2) s2 = (s1 + 1) % n;  // degenerate data: any distinct pair
+
+  group_a->push_back(entries[s1]);
+  group_b->push_back(entries[s2]);
+  Rect bounds_a = entries[s1].rect;
+  Rect bounds_b = entries[s2].rect;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (i == s1 || i == s2) continue;
+    const double da = Enlargement(bounds_a, entries[i].rect);
+    const double db = Enlargement(bounds_b, entries[i].rect);
+    if (da < db || (da == db && group_a->size() <= group_b->size())) {
+      group_a->push_back(entries[i]);
+      bounds_a = bounds_a.Union(entries[i].rect);
+    } else {
+      group_b->push_back(entries[i]);
+      bounds_b = bounds_b.Union(entries[i].rect);
+    }
+  }
+
+  // Enforce minimum occupancy by moving the last-added entries if needed.
+  while (group_a->size() < min_entries && group_b->size() > min_entries) {
+    group_a->push_back(group_b->back());
+    group_b->pop_back();
+  }
+  while (group_b->size() < min_entries && group_a->size() > min_entries) {
+    group_b->push_back(group_a->back());
+    group_a->pop_back();
+  }
+}
+
+namespace {
+
+/// Margin/overlap/area goodness of splitting sorted entries at `split`.
+struct DistributionCost {
+  double margin = 0.0;
+  double overlap = 0.0;
+  double area = 0.0;
+};
+
+DistributionCost CostAt(const std::vector<REntry>& sorted, size_t split) {
+  Rect a = sorted[0].rect;
+  for (size_t i = 1; i < split; ++i) a = a.Union(sorted[i].rect);
+  Rect b = sorted[split].rect;
+  for (size_t i = split + 1; i < sorted.size(); ++i) {
+    b = b.Union(sorted[i].rect);
+  }
+  DistributionCost c;
+  c.margin = a.margin() + b.margin();
+  c.overlap = a.IntersectionArea(b);
+  c.area = a.area() + b.area();
+  return c;
+}
+
+}  // namespace
+
+void RStarSplit(const std::vector<REntry>& entries, uint32_t min_entries,
+                std::vector<REntry>* group_a, std::vector<REntry>* group_b) {
+  group_a->clear();
+  group_b->clear();
+  const size_t n = entries.size();
+  assert(n >= 2 * static_cast<size_t>(min_entries));
+
+  // Candidate sort orders: low and high side per axis.
+  using Order = std::vector<REntry>;
+  Order by_xlo = entries, by_xhi = entries, by_ylo = entries,
+        by_yhi = entries;
+  auto cmp = [](auto proj) {
+    return [proj](const REntry& a, const REntry& b) {
+      return proj(a.rect) < proj(b.rect);
+    };
+  };
+  std::sort(by_xlo.begin(), by_xlo.end(),
+            cmp([](const Rect& r) { return r.xlo; }));
+  std::sort(by_xhi.begin(), by_xhi.end(),
+            cmp([](const Rect& r) { return r.xhi; }));
+  std::sort(by_ylo.begin(), by_ylo.end(),
+            cmp([](const Rect& r) { return r.ylo; }));
+  std::sort(by_yhi.begin(), by_yhi.end(),
+            cmp([](const Rect& r) { return r.yhi; }));
+
+  // ChooseSplitAxis: minimal total margin over all distributions.
+  double margin_x = 0.0, margin_y = 0.0;
+  for (size_t split = min_entries; split + min_entries <= n; ++split) {
+    margin_x += CostAt(by_xlo, split).margin + CostAt(by_xhi, split).margin;
+    margin_y += CostAt(by_ylo, split).margin + CostAt(by_yhi, split).margin;
+  }
+  const Order* candidates[2];
+  if (margin_x <= margin_y) {
+    candidates[0] = &by_xlo;
+    candidates[1] = &by_xhi;
+  } else {
+    candidates[0] = &by_ylo;
+    candidates[1] = &by_yhi;
+  }
+
+  // ChooseSplitIndex: minimal overlap, ties by minimal area.
+  const Order* best_order = candidates[0];
+  size_t best_split = min_entries;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const Order* order : candidates) {
+    for (size_t split = min_entries; split + min_entries <= n; ++split) {
+      const DistributionCost c = CostAt(*order, split);
+      if (c.overlap < best_overlap ||
+          (c.overlap == best_overlap && c.area < best_area)) {
+        best_overlap = c.overlap;
+        best_area = c.area;
+        best_order = order;
+        best_split = split;
+      }
+    }
+  }
+  group_a->assign(best_order->begin(), best_order->begin() + best_split);
+  group_b->assign(best_order->begin() + best_split, best_order->end());
+}
+
+}  // namespace zdb

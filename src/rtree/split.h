@@ -1,0 +1,39 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// R-tree node split algorithms (Guttman, SIGMOD 1984). Operate on the
+// materialized entry set of an overflowing node.
+
+#ifndef ZDB_RTREE_SPLIT_H_
+#define ZDB_RTREE_SPLIT_H_
+
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace zdb {
+
+/// Partitions `entries` (size capacity + 1) into two groups, each with at
+/// least `min_entries` members, minimizing (heuristically) the total area
+/// of the two covering rectangles.
+void QuadraticSplit(const std::vector<REntry>& entries, uint32_t min_entries,
+                    std::vector<REntry>* group_a,
+                    std::vector<REntry>* group_b);
+
+/// Guttman's linear-cost variant: seeds by greatest normalized
+/// separation, then distributes in input order by least enlargement.
+void LinearSplit(const std::vector<REntry>& entries, uint32_t min_entries,
+                 std::vector<REntry>* group_a, std::vector<REntry>* group_b);
+
+/// R*-tree-style split (Beckmann et al. 1990, without forced reinsert):
+/// chooses the split axis by minimal margin sum over all valid
+/// distributions of sorted entries, then the distribution with minimal
+/// overlap (ties: minimal total area).
+void RStarSplit(const std::vector<REntry>& entries, uint32_t min_entries,
+                std::vector<REntry>* group_a, std::vector<REntry>* group_b);
+
+/// Covering rectangle of a group. Precondition: non-empty.
+Rect GroupBounds(const std::vector<REntry>& entries);
+
+}  // namespace zdb
+
+#endif  // ZDB_RTREE_SPLIT_H_

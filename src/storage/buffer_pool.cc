@@ -1,0 +1,178 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace zdb {
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageId PageRef::id() const {
+  assert(valid());
+  return pool_->frames_[frame_].id;
+}
+
+const char* PageRef::data() const {
+  assert(valid());
+  return pool_->frames_[frame_].data.data();
+}
+
+char* PageRef::mutable_data() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+  return pool_->frames_[frame_].data.data();
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+  assert(capacity >= 1);
+  frames_.resize(capacity);
+  for (auto& f : frames_) f.data.resize(pager_->page_size());
+  free_frames_.reserve(capacity);
+  for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort write-back; errors here have nowhere to go.
+  (void)FlushAll();
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.pins > 0);
+  --f.pins;
+}
+
+Status BufferPool::WriteBack(Frame* f) {
+  if (!f->dirty) return Status::OK();
+  ZDB_RETURN_IF_ERROR(pager_->WritePage(f->id, f->data.data()));
+  f->dirty = false;
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  // Evict the least-recently-used unpinned frame.
+  size_t victim = frames_.size();
+  uint64_t best = UINT64_MAX;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pins == 0 && f.last_used < best) {
+      best = f.last_used;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::NoSpace("buffer pool exhausted: all pages pinned");
+  }
+  Frame& f = frames_[victim];
+  ZDB_RETURN_IF_ERROR(WriteBack(&f));
+  ++pager_->mutable_io_stats()->pool_evictions;
+  table_.erase(f.id);
+  f.id = kInvalidPageId;
+  return victim;
+}
+
+Result<PageRef> BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++pager_->mutable_io_stats()->pool_hits;
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    Touch(it->second);
+    return PageRef(this, it->second);
+  }
+  ++pager_->mutable_io_stats()->pool_misses;
+  size_t idx;
+  ZDB_ASSIGN_OR_RETURN(idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  Status s = pager_->ReadPage(id, f.data.data());
+  if (!s.ok()) {
+    free_frames_.push_back(idx);
+    return s;
+  }
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  table_[id] = idx;
+  Touch(idx);
+  return PageRef(this, idx);
+}
+
+Result<PageRef> BufferPool::New() {
+  PageId id;
+  ZDB_ASSIGN_OR_RETURN(id, pager_->Allocate());
+  size_t idx;
+  ZDB_ASSIGN_OR_RETURN(idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  std::memset(f.data.data(), 0, f.data.size());
+  f.id = id;
+  f.pins = 1;
+  f.dirty = true;
+  table_[id] = idx;
+  Touch(idx);
+  return PageRef(this, idx);
+}
+
+Status BufferPool::Delete(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pins > 0) {
+      return Status::InvalidArgument("deleting a pinned page");
+    }
+    f.dirty = false;  // contents are garbage now; never write back
+    f.id = kInvalidPageId;
+    free_frames_.push_back(it->second);
+    table_.erase(it);
+  }
+  return pager_->Free(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) {
+      if (f.pins > 0) {
+        return Status::InvalidArgument("flushing with pinned dirty page");
+      }
+      ZDB_RETURN_IF_ERROR(WriteBack(&f));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Clear() {
+  ZDB_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.id != kInvalidPageId) {
+      if (f.pins > 0) return Status::InvalidArgument("clearing pinned page");
+      f.id = kInvalidPageId;
+      free_frames_.push_back(i);
+    }
+  }
+  table_.clear();
+  return Status::OK();
+}
+
+}  // namespace zdb

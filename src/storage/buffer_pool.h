@@ -1,0 +1,115 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// LRU buffer pool over a Pager. Callers pin pages through RAII PageRefs;
+// unpinned pages stay cached until evicted, and only pool misses and dirty
+// write-backs reach the pager's I/O counters. Benches control the cache
+// regime by sizing the pool (e.g. "root page only" to mirror the 1989
+// experimental setups).
+
+#ifndef ZDB_STORAGE_BUFFER_POOL_H_
+#define ZDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/pager.h"
+
+namespace zdb {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageRef is alive the frame cannot be
+/// evicted and its data pointer stays valid. Move-only.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  ~PageRef() { Release(); }
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const;
+
+  /// Read-only view of the page bytes.
+  const char* data() const;
+
+  /// Mutable view; automatically marks the page dirty.
+  char* mutable_data();
+
+  /// Drops the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+};
+
+/// Fixed-capacity page cache with LRU replacement and pin counts.
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames (>= 1).
+  BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the pager on a miss.
+  Result<PageRef> Fetch(PageId id);
+
+  /// Allocates a fresh page, pinned and zero-filled (and dirty).
+  Result<PageRef> New();
+
+  /// Removes page `id` from the pool (must be unpinned) and frees it in
+  /// the pager.
+  Status Delete(PageId id);
+
+  /// Writes back all dirty unpinned pages. Pinned dirty pages are an error.
+  Status FlushAll();
+
+  /// Writes back everything and drops the cache (keeps capacity).
+  Status Clear();
+
+  Pager* pager() const { return pager_; }
+  size_t capacity() const { return frames_.size(); }
+
+  /// Pages currently cached.
+  size_t cached_pages() const { return table_.size(); }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    std::vector<char> data;
+    uint32_t pins = 0;
+    bool dirty = false;
+    uint64_t last_used = 0;
+  };
+
+  void Unpin(size_t frame);
+  void Touch(size_t frame) { frames_[frame].last_used = ++tick_; }
+
+  /// Finds a frame to (re)use, evicting the LRU unpinned page if needed.
+  Result<size_t> AcquireFrame();
+
+  Status WriteBack(Frame* f);
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> table_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,31 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Page identifiers and constants shared by the pager, buffer pool and the
+// access methods built on them.
+
+#ifndef ZDB_STORAGE_PAGE_H_
+#define ZDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace zdb {
+
+/// Identifies a fixed-size page within a database file. Page 0 is the
+/// pager's own header page; access methods never see it.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (null pointers in on-disk structures).
+inline constexpr PageId kInvalidPageId = 0;
+
+/// Default page size. The 1989 comparisons used 512-byte pages to emulate
+/// large files with small datasets; benches configure this explicitly.
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+inline constexpr uint32_t kMinPageSize = 256;
+
+/// Capped at 32 KiB so in-page offsets fit in uint16_t.
+inline constexpr uint32_t kMaxPageSize = 1 << 15;
+
+}  // namespace zdb
+
+#endif  // ZDB_STORAGE_PAGE_H_

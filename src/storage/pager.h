@@ -1,0 +1,122 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Pager: allocates and persists fixed-size pages in a File, with a free
+// list for recycling and counters for every page transfer. Access methods
+// never talk to the pager directly; they go through the BufferPool so that
+// repeated touches of a hot page are not charged as disk accesses.
+//
+// On-disk layout:
+//   page 0 (header): magic | page_size | page_count | freelist_head
+//   freed pages: first 4 bytes link to the next free page.
+
+#ifndef ZDB_STORAGE_PAGER_H_
+#define ZDB_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "storage/file.h"
+#include "storage/page.h"
+
+namespace zdb {
+
+/// Allocates, reads and writes fixed-size pages within a File.
+/// Single-threaded by design (the reproduction measures logical I/O, not
+/// concurrency).
+class Pager {
+ public:
+  /// Opens a pager over `file`. If the file is empty it is formatted with
+  /// the given page size; otherwise the stored page size must match.
+  static Result<std::unique_ptr<Pager>> Open(std::unique_ptr<File> file,
+                                             uint32_t page_size);
+
+  /// Opens a pager with a rollback journal for atomic batches. If the
+  /// journal holds an uncommitted batch (crash before CommitBatch), it is
+  /// rolled back before the pager becomes usable.
+  static Result<std::unique_ptr<Pager>> Open(std::unique_ptr<File> file,
+                                             std::unique_ptr<File> journal,
+                                             uint32_t page_size);
+
+  /// Convenience: pager over a fresh in-memory file.
+  static std::unique_ptr<Pager> OpenInMemory(
+      uint32_t page_size = kDefaultPageSize);
+
+  // ------------------------------------------------- atomic batches
+  //
+  // Between BeginBatch() and CommitBatch(), the first in-place overwrite
+  // of each pre-batch page appends its before-image to the journal; a
+  // crash (reopen) before CommitBatch rolls every change back, including
+  // truncating pages allocated inside the batch. Protocol per batch:
+  // flush the buffer pool, then CommitBatch(). Requires a journal file.
+
+  /// Starts an atomic batch. Fails if none was configured or one is
+  /// already active.
+  Status BeginBatch();
+
+  /// Durably ends the batch: header + file sync, then journal reset.
+  Status CommitBatch();
+
+  bool in_batch() const { return in_batch_; }
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Total pages ever allocated (including freed ones and the header).
+  uint32_t page_count() const { return page_count_; }
+
+  /// Pages currently allocated to callers (excludes header and free list).
+  uint32_t live_page_count() const { return live_pages_; }
+
+  /// Allocates a page (recycling the free list first). The new page's
+  /// contents are undefined until written.
+  Result<PageId> Allocate();
+
+  /// Returns a page to the free list.
+  Status Free(PageId id);
+
+  /// Reads page `id` into `buf` (page_size bytes). Counts one page read.
+  Status ReadPage(PageId id, char* buf);
+
+  /// Writes page `id` from `buf`. Counts one page write.
+  Status WritePage(PageId id, const char* buf);
+
+  /// Persists the header (page count, free list) and syncs the file.
+  Status Sync();
+
+  const IoStats& io_stats() const { return io_; }
+  IoStats* mutable_io_stats() { return &io_; }
+
+ private:
+  Pager(std::unique_ptr<File> file, uint32_t page_size)
+      : file_(std::move(file)), page_size_(page_size) {}
+
+  Status LoadHeader();
+  Status StoreHeader();
+
+  /// Appends page `id`'s current on-disk image to the journal if this
+  /// batch has not journaled it yet.
+  Status JournalBeforeImage(PageId id);
+
+  /// Restores before-images from a non-empty journal and truncates the
+  /// database back to its pre-batch size.
+  Status Rollback();
+
+  std::unique_ptr<File> file_;
+  std::unique_ptr<File> journal_;
+  uint32_t page_size_;
+  uint32_t page_count_ = 1;  // page 0 is the header
+  uint32_t live_pages_ = 0;
+  PageId freelist_head_ = kInvalidPageId;
+  IoStats io_;
+
+  bool in_batch_ = false;
+  uint32_t batch_page_count_ = 0;  ///< page_count_ at BeginBatch
+  uint32_t journal_entries_ = 0;
+  std::unordered_set<PageId> journaled_;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_STORAGE_PAGER_H_

@@ -1,0 +1,81 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "transform/decompose4.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <queue>
+
+namespace zdb {
+
+namespace {
+
+struct HeapEntry {
+  ZElement4 elem;
+  unsigned __int128 dead;
+
+  bool operator<(const HeapEntry& o) const {
+    if (dead != o.dead) return dead < o.dead;
+    return elem.zmin > o.elem.zmin;
+  }
+};
+
+unsigned __int128 DeadVolume(const ZElement4& e, const Box4& box) {
+  const Box4 cell = e.ToBox();
+  return cell.Volume() - cell.IntersectionVolume(box);
+}
+
+/// Smallest element containing both corners of the box.
+ZElement4 Enclosing(const Box4& box) {
+  const uint64_t z1 = Morton4Encode(box.lo[0], box.lo[1], box.lo[2],
+                                    box.lo[3]);
+  const uint64_t z2 = Morton4Encode(box.hi[0], box.hi[1], box.hi[2],
+                                    box.hi[3]);
+  const uint32_t common =
+      (z1 == z2) ? 64 : static_cast<uint32_t>(std::countl_zero(z1 ^ z2));
+  const uint64_t mask = (common == 0) ? 0 : (~0ULL << (64 - common));
+  return ZElement4{z1 & mask, static_cast<uint8_t>(common)};
+}
+
+}  // namespace
+
+std::vector<ZElement4> DecomposeBox4(const Box4& box,
+                                     uint32_t max_elements) {
+  const uint32_t budget = std::max(1u, max_elements);
+  std::priority_queue<HeapEntry> heap;
+  std::vector<ZElement4> final_elements;
+
+  const ZElement4 root = Enclosing(box);
+  heap.push({root, DeadVolume(root, box)});
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dead == 0 || top.elem.is_full_resolution()) {
+      final_elements.push_back(top.elem);
+      continue;
+    }
+    HeapEntry children[2];
+    int n_children = 0;
+    for (int i = 0; i < 2; ++i) {
+      const ZElement4 child = top.elem.Child(i);
+      if (child.ToBox().Intersects(box)) {
+        children[n_children++] = {child, DeadVolume(child, box)};
+      }
+    }
+    assert(n_children >= 1);
+    const size_t count = final_elements.size() + heap.size() + 1;
+    const size_t growth = static_cast<size_t>(n_children) - 1;
+    if (count + growth > budget) {
+      final_elements.push_back(top.elem);
+      continue;
+    }
+    for (int i = 0; i < n_children; ++i) heap.push(children[i]);
+  }
+
+  std::sort(final_elements.begin(), final_elements.end());
+  return final_elements;
+}
+
+}  // namespace zdb

@@ -1,0 +1,25 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Query decomposition in the 4-D transform space. Data objects are
+// single points there (redundancy 1 by construction); all approximation
+// happens on the QUERY side: the 4-D query box — typically touching two
+// axes of the space — is covered by z-elements with the same greedy
+// max-dead-volume refinement as the 2-D case.
+
+#ifndef ZDB_TRANSFORM_DECOMPOSE4_H_
+#define ZDB_TRANSFORM_DECOMPOSE4_H_
+
+#include <vector>
+
+#include "transform/element4.h"
+
+namespace zdb {
+
+/// Covers `box` with at most `max_elements` disjoint z-elements, sorted
+/// canonically.
+std::vector<ZElement4> DecomposeBox4(const Box4& box,
+                                     uint32_t max_elements);
+
+}  // namespace zdb
+
+#endif  // ZDB_TRANSFORM_DECOMPOSE4_H_

@@ -1,0 +1,38 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "transform/element4.h"
+
+namespace zdb {
+
+std::string Box4::ToString() const {
+  std::string s = "[";
+  for (int d = 0; d < 4; ++d) {
+    s += std::to_string(lo[d]) + ".." + std::to_string(hi[d]);
+    if (d < 3) s += " x ";
+  }
+  return s + "]";
+}
+
+Box4 ZElement4::ToBox() const {
+  Box4 box;
+  for (int d = 0; d < 4; ++d) {
+    // Bits of dimension d live at code positions 4i + d; position p is
+    // fixed by the prefix iff p >= 64 - level.
+    uint32_t fixed = 0;
+    for (int i = 15; i >= 0; --i) {
+      if (4 * i + d >= 64 - static_cast<int>(level)) {
+        ++fixed;
+      } else {
+        break;
+      }
+    }
+    const uint16_t lo_d = CollectBits4(zmin >> d);
+    const uint16_t spread =
+        (fixed >= 16) ? 0 : static_cast<uint16_t>((1u << (16 - fixed)) - 1);
+    box.lo[d] = lo_d;
+    box.hi[d] = static_cast<uint16_t>(lo_d | spread);
+  }
+  return box;
+}
+
+}  // namespace zdb

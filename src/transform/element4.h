@@ -1,0 +1,98 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// 4-D z-elements: prefix cells of the 64-bit transform space. Same
+// algebra as the 2-D ZElement, on four dimensions. Geometric cells are
+// Box4 — products of dyadic intervals, one per dimension.
+
+#ifndef ZDB_TRANSFORM_ELEMENT4_H_
+#define ZDB_TRANSFORM_ELEMENT4_H_
+
+#include <cstdint>
+#include <string>
+
+#include "transform/morton4.h"
+
+namespace zdb {
+
+/// Inclusive box of 4-D grid cells.
+struct Box4 {
+  uint16_t lo[4] = {0, 0, 0, 0};
+  uint16_t hi[4] = {0, 0, 0, 0};
+
+  bool Intersects(const Box4& o) const {
+    for (int d = 0; d < 4; ++d) {
+      if (lo[d] > o.hi[d] || o.lo[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const Box4& o) const {
+    for (int d = 0; d < 4; ++d) {
+      if (o.lo[d] < lo[d] || o.hi[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  /// Cell count (up to 2^64; exact in 128-bit arithmetic).
+  unsigned __int128 Volume() const {
+    unsigned __int128 v = 1;
+    for (int d = 0; d < 4; ++d) {
+      v *= static_cast<uint64_t>(hi[d]) - lo[d] + 1;
+    }
+    return v;
+  }
+
+  unsigned __int128 IntersectionVolume(const Box4& o) const {
+    unsigned __int128 v = 1;
+    for (int d = 0; d < 4; ++d) {
+      const uint32_t l = lo[d] > o.lo[d] ? lo[d] : o.lo[d];
+      const uint32_t h = hi[d] < o.hi[d] ? hi[d] : o.hi[d];
+      if (l > h) return 0;
+      v *= h - l + 1;
+    }
+    return v;
+  }
+
+  std::string ToString() const;
+};
+
+/// A prefix of `level` bits of a 64-bit 4-D Morton code.
+struct ZElement4 {
+  uint64_t zmin = 0;
+  uint8_t level = 0;  ///< 0 (whole space) .. 64 (single cell)
+
+  static ZElement4 Root() { return ZElement4{}; }
+
+  /// Width of the z-interval: 2^(64-level).
+  unsigned __int128 interval_size() const {
+    return static_cast<unsigned __int128>(1) << (64 - level);
+  }
+
+  uint64_t zmax() const {
+    if (level == 0) return ~0ULL;
+    return zmin | ((~0ULL) >> level);
+  }
+
+  bool is_full_resolution() const { return level == 64; }
+
+  ZElement4 Child(int i) const {
+    const uint64_t half = 1ULL << (63 - level);
+    return ZElement4{zmin | (i ? half : 0),
+                     static_cast<uint8_t>(level + 1)};
+  }
+
+  /// The 4-D cell box this element covers.
+  Box4 ToBox() const;
+
+  bool operator<(const ZElement4& e) const {
+    if (zmin != e.zmin) return zmin < e.zmin;
+    return level < e.level;
+  }
+  bool operator==(const ZElement4& e) const {
+    return zmin == e.zmin && level == e.level;
+  }
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_TRANSFORM_ELEMENT4_H_

@@ -1,0 +1,37 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "transform/morton4.h"
+
+namespace zdb {
+
+uint64_t SpreadBits4(uint16_t v) {
+  uint64_t x = v;
+  x = (x | (x << 24)) & 0x000000ff000000ffULL;
+  x = (x | (x << 12)) & 0x000f000f000f000fULL;
+  x = (x | (x << 6)) & 0x0303030303030303ULL;
+  x = (x | (x << 3)) & 0x1111111111111111ULL;
+  return x;
+}
+
+uint16_t CollectBits4(uint64_t v) {
+  uint64_t x = v & 0x1111111111111111ULL;
+  x = (x | (x >> 3)) & 0x0303030303030303ULL;
+  x = (x | (x >> 6)) & 0x000f000f000f000fULL;
+  x = (x | (x >> 12)) & 0x000000ff000000ffULL;
+  x = (x | (x >> 24)) & 0x000000000000ffffULL;
+  return static_cast<uint16_t>(x);
+}
+
+uint64_t Morton4Encode(uint16_t c0, uint16_t c1, uint16_t c2, uint16_t c3) {
+  return SpreadBits4(c0) | (SpreadBits4(c1) << 1) | (SpreadBits4(c2) << 2) |
+         (SpreadBits4(c3) << 3);
+}
+
+void Morton4Decode(uint64_t z, uint16_t c[4]) {
+  c[0] = CollectBits4(z);
+  c[1] = CollectBits4(z >> 1);
+  c[2] = CollectBits4(z >> 2);
+  c[3] = CollectBits4(z >> 3);
+}
+
+}  // namespace zdb

@@ -1,0 +1,33 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// 4-dimensional Morton codes for the transformation technique: a 2-D
+// rectangle becomes the 4-D point (xlo, xhi, ylo, yhi) — the "corner
+// representation" — and is stored as a single z-order key. Dimension d's
+// bit i occupies code bit 4*i + d, so 16-bit coordinates fill a 64-bit
+// code exactly.
+
+#ifndef ZDB_TRANSFORM_MORTON4_H_
+#define ZDB_TRANSFORM_MORTON4_H_
+
+#include <cstdint>
+
+namespace zdb {
+
+/// Coordinate resolution per dimension of the 4-D transform space.
+inline constexpr uint32_t kTransformBits = 16;
+
+/// Spreads the low 16 bits of v so bit i moves to bit 4i.
+uint64_t SpreadBits4(uint16_t v);
+
+/// Inverse of SpreadBits4: collects bits at positions 4i.
+uint16_t CollectBits4(uint64_t v);
+
+/// Z-code of the 4-D point (c0, c1, c2, c3).
+uint64_t Morton4Encode(uint16_t c0, uint16_t c1, uint16_t c2, uint16_t c3);
+
+/// Inverse of Morton4Encode.
+void Morton4Decode(uint64_t z, uint16_t c[4]);
+
+}  // namespace zdb
+
+#endif  // ZDB_TRANSFORM_MORTON4_H_

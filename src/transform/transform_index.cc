@@ -1,0 +1,182 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "transform/transform_index.h"
+
+#include <algorithm>
+
+#include "btree/cursor.h"
+#include "common/coding.h"
+
+namespace zdb {
+
+namespace {
+
+/// Key layout: 8-byte big-endian 4-D z-code | 4-byte big-endian oid.
+std::string EncodeTKey(uint64_t z, ObjectId oid) {
+  std::string key;
+  key.reserve(12);
+  PutFixed64BE(&key, z);
+  PutFixed32BE(&key, oid);
+  return key;
+}
+
+bool DecodeTKey(const Slice& key, uint64_t* z, ObjectId* oid) {
+  if (key.size() != 12) return false;
+  *z = DecodeFixed64BE(key.data());
+  *oid = DecodeFixed32BE(key.data() + 8);
+  return true;
+}
+
+bool GridPointInBox(uint64_t z, const Box4& box) {
+  uint16_t c[4];
+  Morton4Decode(z, c);
+  for (int d = 0; d < 4; ++d) {
+    if (c[d] < box.lo[d] || c[d] > box.hi[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TransformIndex>> TransformIndex::Create(
+    BufferPool* pool, const TransformIndexOptions& options) {
+  if (options.query_elements < 1) {
+    return Status::InvalidArgument("query_elements must be >= 1");
+  }
+  std::unique_ptr<TransformIndex> index(
+      new TransformIndex(pool, options));
+  ZDB_ASSIGN_OR_RETURN(index->btree_, BTree::Create(pool));
+  index->store_ = std::make_unique<ObjectStore>(pool);
+  return index;
+}
+
+void TransformIndex::ToGridPoint(const Rect& r, uint16_t c[4]) const {
+  c[0] = static_cast<uint16_t>(mapper_.ToGridX(r.xlo));
+  c[1] = static_cast<uint16_t>(mapper_.ToGridX(r.xhi));
+  c[2] = static_cast<uint16_t>(mapper_.ToGridY(r.ylo));
+  c[3] = static_cast<uint16_t>(mapper_.ToGridY(r.yhi));
+}
+
+Result<ObjectId> TransformIndex::Insert(const Rect& mbr) {
+  if (!mbr.valid()) return Status::InvalidArgument("invalid MBR");
+  ObjectId oid;
+  ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr));
+  uint16_t c[4];
+  ToGridPoint(mbr, c);
+  const uint64_t z = Morton4Encode(c[0], c[1], c[2], c[3]);
+  ZDB_RETURN_IF_ERROR(btree_->Insert(Slice(EncodeTKey(z, oid)), Slice()));
+  ++live_objects_;
+  return oid;
+}
+
+Status TransformIndex::Erase(ObjectId oid) {
+  ObjectRecord rec;
+  ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(oid));
+  if (!rec.live) return Status::NotFound("object already erased");
+  uint16_t c[4];
+  ToGridPoint(rec.mbr, c);
+  const uint64_t z = Morton4Encode(c[0], c[1], c[2], c[3]);
+  ZDB_RETURN_IF_ERROR(btree_->Delete(Slice(EncodeTKey(z, oid))));
+  ZDB_RETURN_IF_ERROR(store_->Erase(oid));
+  --live_objects_;
+  return Status::OK();
+}
+
+template <typename Predicate>
+Result<std::vector<ObjectId>> TransformIndex::BoxQuery(const Box4& box,
+                                                       Predicate pred,
+                                                       QueryStats* stats) {
+  const auto elements = DecomposeBox4(box, options_.query_elements);
+  if (stats != nullptr) stats->query_elements += elements.size();
+
+  std::vector<ObjectId> candidates;
+  for (const ZElement4& e : elements) {
+    const std::string end = EncodeTKey(e.zmax(), 0xffffffffu);
+    Cursor cur(pool_, pool_->pager()->page_size());
+    ZDB_ASSIGN_OR_RETURN(cur, btree_->Seek(Slice(EncodeTKey(e.zmin, 0))));
+    while (cur.Valid() && cur.key().compare(Slice(end)) <= 0) {
+      uint64_t z;
+      ObjectId oid;
+      if (!DecodeTKey(cur.key(), &z, &oid)) {
+        return Status::Corruption("malformed transform key");
+      }
+      if (stats != nullptr) ++stats->index_entries;
+      // CPU-only filter: the element's cell may exceed the query box.
+      if (GridPointInBox(z, box)) {
+        if (stats != nullptr) ++stats->candidates;
+        candidates.push_back(oid);
+      }
+      ZDB_RETURN_IF_ERROR(cur.Next());
+    }
+  }
+  // Each object has exactly one entry: no duplicate elimination needed.
+  if (stats != nullptr) stats->unique_candidates = candidates.size();
+  std::sort(candidates.begin(), candidates.end());
+
+  std::vector<ObjectId> results;
+  results.reserve(candidates.size());
+  for (ObjectId oid : candidates) {
+    ObjectRecord rec;
+    ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(oid));
+    if (rec.live && pred(rec.mbr)) {
+      results.push_back(oid);
+    } else if (stats != nullptr) {
+      ++stats->false_hits;
+    }
+  }
+  if (stats != nullptr) stats->results = results.size();
+  return results;
+}
+
+Result<std::vector<ObjectId>> TransformIndex::WindowQuery(
+    const Rect& window, QueryStats* stats) {
+  const uint16_t max = static_cast<uint16_t>(mapper_.max_coord());
+  Box4 box;
+  // R intersects W  <=>  R.xlo <= W.xhi, R.xhi >= W.xlo, same in y.
+  box.lo[0] = 0;
+  box.hi[0] = static_cast<uint16_t>(mapper_.ToGridX(window.xhi));
+  box.lo[1] = static_cast<uint16_t>(mapper_.ToGridX(window.xlo));
+  box.hi[1] = max;
+  box.lo[2] = 0;
+  box.hi[2] = static_cast<uint16_t>(mapper_.ToGridY(window.yhi));
+  box.lo[3] = static_cast<uint16_t>(mapper_.ToGridY(window.ylo));
+  box.hi[3] = max;
+  return BoxQuery(
+      box, [&](const Rect& mbr) { return mbr.Intersects(window); }, stats);
+}
+
+Result<std::vector<ObjectId>> TransformIndex::PointQuery(const Point& p,
+                                                         QueryStats* stats) {
+  const uint16_t max = static_cast<uint16_t>(mapper_.max_coord());
+  const uint16_t gx = static_cast<uint16_t>(mapper_.ToGridX(p.x));
+  const uint16_t gy = static_cast<uint16_t>(mapper_.ToGridY(p.y));
+  Box4 box;
+  box.lo[0] = 0;
+  box.hi[0] = gx;
+  box.lo[1] = gx;
+  box.hi[1] = max;
+  box.lo[2] = 0;
+  box.hi[2] = gy;
+  box.lo[3] = gy;
+  box.hi[3] = max;
+  return BoxQuery(
+      box, [&](const Rect& mbr) { return mbr.Contains(p); }, stats);
+}
+
+Result<std::vector<ObjectId>> TransformIndex::ContainmentQuery(
+    const Rect& window, QueryStats* stats) {
+  Box4 box;
+  // R inside W  <=>  R.xlo >= W.xlo, R.xhi <= W.xhi, same in y.
+  box.lo[0] = static_cast<uint16_t>(mapper_.ToGridX(window.xlo));
+  box.hi[0] = static_cast<uint16_t>(mapper_.ToGridX(window.xhi));
+  box.lo[1] = box.lo[0];
+  box.hi[1] = box.hi[0];
+  box.lo[2] = static_cast<uint16_t>(mapper_.ToGridY(window.ylo));
+  box.hi[2] = static_cast<uint16_t>(mapper_.ToGridY(window.yhi));
+  box.lo[3] = box.lo[2];
+  box.hi[3] = box.hi[2];
+  return BoxQuery(
+      box, [&](const Rect& mbr) { return window.Contains(mbr); }, stats);
+}
+
+}  // namespace zdb

@@ -1,0 +1,90 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// The transformation technique (Nievergelt & Hinrichs; the era's main
+// alternative to redundancy): a rectangle is the 4-D corner point
+// (xlo, xhi, ylo, yhi) stored under a single 4-D z-order key — exactly
+// one index entry per object, no duplicates, trivial updates. The price
+// moves to the query side: "rectangles intersecting W" becomes a 4-D box
+// query touching two faces of the transform space, whose z-cover is
+// coarse — the strongly correlated data distribution the era's papers
+// blame for the technique's weaknesses. Compared against the redundant
+// z-index in bench_e11_transform.
+
+#ifndef ZDB_TRANSFORM_TRANSFORM_INDEX_H_
+#define ZDB_TRANSFORM_TRANSFORM_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/object_store.h"
+#include "core/stats.h"
+#include "geom/grid.h"
+#include "geom/point.h"
+#include "transform/decompose4.h"
+
+namespace zdb {
+
+struct TransformIndexOptions {
+  /// World bounds mapped onto the 2^16 transform grid.
+  Rect world = Rect{0.0, 0.0, 1.0, 1.0};
+
+  /// Query-side element budget for covering the 4-D query box.
+  uint32_t query_elements = 64;
+};
+
+/// Spatial index for rectangles via the corner transformation.
+class TransformIndex {
+ public:
+  static Result<std::unique_ptr<TransformIndex>> Create(
+      BufferPool* pool, const TransformIndexOptions& options);
+
+  /// Inserts a rectangle (one index entry); returns its id.
+  Result<ObjectId> Insert(const Rect& mbr);
+
+  /// Removes an object.
+  Status Erase(ObjectId oid);
+
+  /// All live objects whose MBR intersects the window.
+  Result<std::vector<ObjectId>> WindowQuery(const Rect& window,
+                                            QueryStats* stats = nullptr);
+
+  /// All live objects whose MBR contains the point.
+  Result<std::vector<ObjectId>> PointQuery(const Point& p,
+                                           QueryStats* stats = nullptr);
+
+  /// All live objects whose MBR lies inside the window.
+  Result<std::vector<ObjectId>> ContainmentQuery(const Rect& window,
+                                                 QueryStats* stats = nullptr);
+
+  BTree* btree() { return btree_.get(); }
+  ObjectStore* objects() { return store_.get(); }
+  uint64_t object_count() const { return live_objects_; }
+  const TransformIndexOptions& options() const { return options_; }
+
+ private:
+  TransformIndex(BufferPool* pool, const TransformIndexOptions& options)
+      : pool_(pool),
+        options_(options),
+        mapper_(options.world, kTransformBits) {}
+
+  /// 4-D grid point of a rectangle (corner representation).
+  void ToGridPoint(const Rect& r, uint16_t c[4]) const;
+
+  /// Runs a 4-D box query: scan the box's z-cover, filter by the decoded
+  /// grid point (no I/O), refine via the object store with `pred`.
+  template <typename Predicate>
+  Result<std::vector<ObjectId>> BoxQuery(const Box4& box, Predicate pred,
+                                         QueryStats* stats);
+
+  BufferPool* pool_;
+  TransformIndexOptions options_;
+  SpaceMapper mapper_;
+  std::unique_ptr<BTree> btree_;
+  std::unique_ptr<ObjectStore> store_;
+  uint64_t live_objects_ = 0;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_TRANSFORM_TRANSFORM_INDEX_H_

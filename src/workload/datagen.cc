@@ -1,0 +1,171 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "workload/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zdb {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double Clamp01(double v) {
+  if (v < 0.0) return 0.0;
+  if (v > 0.999999) return 0.999999;
+  return v;
+}
+
+Rect ClampedRect(double cx, double cy, double ex, double ey) {
+  Rect r = Rect::FromCenter(Clamp01(cx), Clamp01(cy), ex, ey);
+  r.xlo = Clamp01(r.xlo);
+  r.ylo = Clamp01(r.ylo);
+  r.xhi = Clamp01(r.xhi);
+  r.yhi = Clamp01(r.yhi);
+  return r;
+}
+
+std::vector<Rect> UniformRects(size_t n, double max_extent, Random* rng) {
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ClampedRect(rng->NextDouble(), rng->NextDouble(),
+                              rng->UniformDouble(0, max_extent),
+                              rng->UniformDouble(0, max_extent)));
+  }
+  return out;
+}
+
+std::vector<Rect> ClusterRects(size_t n, uint32_t clusters, Random* rng) {
+  std::vector<Point> centers;
+  centers.reserve(clusters);
+  for (uint32_t i = 0; i < clusters; ++i) {
+    centers.push_back(Point{rng->NextDouble(), rng->NextDouble()});
+  }
+  std::vector<Rect> out;
+  out.reserve(n);
+  // Objects are generated cluster by cluster, matching the sorted
+  // insertion order that stresses methods sensitive to it.
+  const size_t per_cluster = n / clusters + 1;
+  for (uint32_t c = 0; c < clusters && out.size() < n; ++c) {
+    for (size_t i = 0; i < per_cluster && out.size() < n; ++i) {
+      const double cx = centers[c].x + rng->Gaussian(0, 0.02);
+      const double cy = centers[c].y + rng->Gaussian(0, 0.02);
+      out.push_back(ClampedRect(cx, cy, rng->UniformDouble(0, 0.004),
+                                rng->UniformDouble(0, 0.004)));
+    }
+  }
+  return out;
+}
+
+std::vector<Rect> DiagonalRects(size_t n, Random* rng) {
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = rng->NextDouble();
+    const double cx = t + rng->Gaussian(0, 0.01);
+    const double cy = t + rng->Gaussian(0, 0.01);
+    out.push_back(ClampedRect(cx, cy, rng->UniformDouble(0, 0.005),
+                              rng->UniformDouble(0, 0.005)));
+  }
+  return out;
+}
+
+std::vector<Rect> SkewedSizeRects(size_t n, Random* rng) {
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Pareto-like extents: mostly tiny, occasionally spanning ~10% of
+    // space. alpha ~ 1.5.
+    const double u = std::max(rng->NextDouble(), 1e-9);
+    const double extent = std::min(0.1, 0.0005 / std::pow(u, 1.0 / 1.5));
+    out.push_back(ClampedRect(rng->NextDouble(), rng->NextDouble(),
+                              rng->UniformDouble(0.2, 1.0) * extent,
+                              rng->UniformDouble(0.2, 1.0) * extent));
+  }
+  return out;
+}
+
+/// Height field with a few sinusoidal "hills"; contour lines are sampled
+/// by marching along the level sets and emitting short segment MBRs, in
+/// contour order (a sorted insertion pattern, like quad-tree-ordered map
+/// data).
+double HeightField(double x, double y) {
+  return 0.5 + 0.25 * std::sin(3.1 * kPi * x) * std::cos(2.3 * kPi * y) +
+         0.15 * std::sin(7.3 * kPi * x + 1.7) * std::sin(5.1 * kPi * y) +
+         0.10 * std::cos(11.9 * kPi * (x + y));
+}
+
+std::vector<Rect> ContourRects(size_t n, Random* rng) {
+  std::vector<Rect> out;
+  out.reserve(n);
+  // March a fine lattice; wherever a cell straddles a contour level, emit
+  // the cell-sized segment rectangle. Levels are swept outer-to-inner so
+  // insertion order follows contours.
+  const int grid = static_cast<int>(std::sqrt(static_cast<double>(n) * 2)) + 8;
+  const double step = 1.0 / grid;
+  for (double level = 0.1; level <= 0.9 && out.size() < n; level += 0.05) {
+    for (int gy = 0; gy < grid && out.size() < n; ++gy) {
+      for (int gx = 0; gx < grid && out.size() < n; ++gx) {
+        const double x0 = gx * step, y0 = gy * step;
+        const double h00 = HeightField(x0, y0);
+        const double h10 = HeightField(x0 + step, y0);
+        const double h01 = HeightField(x0, y0 + step);
+        const double h11 = HeightField(x0 + step, y0 + step);
+        const double lo = std::min(std::min(h00, h10), std::min(h01, h11));
+        const double hi = std::max(std::max(h00, h10), std::max(h01, h11));
+        if (lo <= level && level <= hi) {
+          // Jitter so duplicate keys do not arise.
+          const double jx = rng->UniformDouble(0, step * 0.1);
+          const double jy = rng->UniformDouble(0, step * 0.1);
+          out.push_back(Rect{Clamp01(x0 + jx), Clamp01(y0 + jy),
+                             Clamp01(x0 + step * 0.9 + jx),
+                             Clamp01(y0 + step * 0.9 + jy)});
+        }
+      }
+    }
+  }
+  // Top up with small uniform segments if the lattice undershot n.
+  while (out.size() < n) {
+    out.push_back(ClampedRect(rng->NextDouble(), rng->NextDouble(), 0.004,
+                              0.004));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniformSmall: return "uniform-small";
+    case Distribution::kUniformLarge: return "uniform-large";
+    case Distribution::kClusters: return "clusters";
+    case Distribution::kDiagonal: return "diagonal";
+    case Distribution::kSkewedSizes: return "skewed-sizes";
+    case Distribution::kContours: return "contours";
+  }
+  return "?";
+}
+
+std::vector<Rect> GenerateData(size_t n, const DataGenOptions& options) {
+  Random rng(options.seed ^ (static_cast<uint64_t>(options.distribution)
+                             << 32));
+  switch (options.distribution) {
+    case Distribution::kUniformSmall:
+      return UniformRects(n, 0.005, &rng);
+    case Distribution::kUniformLarge:
+      return UniformRects(n, 0.05, &rng);
+    case Distribution::kClusters:
+      return ClusterRects(n, options.clusters, &rng);
+    case Distribution::kDiagonal:
+      return DiagonalRects(n, &rng);
+    case Distribution::kSkewedSizes:
+      return SkewedSizeRects(n, &rng);
+    case Distribution::kContours:
+      return ContourRects(n, &rng);
+  }
+  return {};
+}
+
+}  // namespace zdb

@@ -1,0 +1,54 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Synthetic data generators. The paper's datasets are not shipped with
+// it; these generators reproduce the standard distribution mix of the
+// late-1980s spatial-index evaluations (uniform with small/large objects,
+// Gaussian clusters, a diagonal band, skewed object sizes) plus a
+// synthetic cartographic substitute for "real map data": elevation
+// contour lines of a rolling-hills height field, sampled into short
+// segments. All generators are deterministic in the seed.
+
+#ifndef ZDB_WORKLOAD_DATAGEN_H_
+#define ZDB_WORKLOAD_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geom/rect.h"
+
+namespace zdb {
+
+enum class Distribution {
+  kUniformSmall,   ///< uniform centers; extents U[0, 0.005]
+  kUniformLarge,   ///< uniform centers; extents U[0, 0.05]
+  kClusters,       ///< Gaussian clusters around random cluster points
+  kDiagonal,       ///< centers on the main diagonal (worst case for z k=1)
+  kSkewedSizes,    ///< uniform centers; Zipf-ish extents (few huge objects)
+  kContours,       ///< synthetic map: contour-line segments of a height field
+};
+
+/// All distributions, in a stable order for sweep loops.
+inline constexpr Distribution kAllDistributions[] = {
+    Distribution::kUniformSmall, Distribution::kUniformLarge,
+    Distribution::kClusters,     Distribution::kDiagonal,
+    Distribution::kSkewedSizes,  Distribution::kContours,
+};
+
+/// Short label used in experiment tables.
+std::string DistributionName(Distribution d);
+
+struct DataGenOptions {
+  Distribution distribution = Distribution::kUniformSmall;
+  uint64_t seed = 1;
+  /// Cluster count for kClusters.
+  uint32_t clusters = 16;
+};
+
+/// Generates n object MBRs inside the unit square.
+std::vector<Rect> GenerateData(size_t n, const DataGenOptions& options);
+
+}  // namespace zdb
+
+#endif  // ZDB_WORKLOAD_DATAGEN_H_

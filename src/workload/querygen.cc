@@ -1,0 +1,46 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "workload/querygen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zdb {
+
+std::vector<Rect> GenerateWindows(size_t n, double selectivity,
+                                  const QueryGenOptions& options) {
+  Random rng(options.seed ^ static_cast<uint64_t>(selectivity * 1e9));
+  std::vector<Rect> out;
+  out.reserve(n);
+  const double side = std::sqrt(selectivity);
+  for (size_t i = 0; i < n; ++i) {
+    double w = side, h = side;
+    if (options.aspect_jitter > 0.0) {
+      const double f = rng.UniformDouble(1.0 - options.aspect_jitter,
+                                         1.0 + options.aspect_jitter);
+      w = side * f;
+      h = selectivity / w;
+    }
+    const double cx = rng.NextDouble();
+    const double cy = rng.NextDouble();
+    Rect r = Rect::FromCenter(cx, cy, w / 2, h / 2);
+    r.xlo = std::max(0.0, r.xlo);
+    r.ylo = std::max(0.0, r.ylo);
+    r.xhi = std::min(0.999999, r.xhi);
+    r.yhi = std::min(0.999999, r.yhi);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Point> GeneratePoints(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+  return out;
+}
+
+}  // namespace zdb

@@ -1,0 +1,35 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Query generators: square windows of a target selectivity (fraction of
+// the data space), slim windows, and point queries — the query mix of the
+// era's evaluations.
+
+#ifndef ZDB_WORKLOAD_QUERYGEN_H_
+#define ZDB_WORKLOAD_QUERYGEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace zdb {
+
+struct QueryGenOptions {
+  uint64_t seed = 7;
+  /// Aspect jitter: side lengths vary uniformly in
+  /// [1-aspect_jitter, 1+aspect_jitter] times the square side.
+  double aspect_jitter = 0.0;
+};
+
+/// n windows whose area is `selectivity` (fraction of the unit square),
+/// centers uniform, clipped to the unit square.
+std::vector<Rect> GenerateWindows(size_t n, double selectivity,
+                                  const QueryGenOptions& options);
+
+/// n uniform query points.
+std::vector<Point> GeneratePoints(size_t n, uint64_t seed);
+
+}  // namespace zdb
+
+#endif  // ZDB_WORKLOAD_QUERYGEN_H_

@@ -1,0 +1,92 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "zorder/bigmin.h"
+
+#include <cassert>
+
+#include "zorder/morton.h"
+
+namespace zdb {
+
+namespace {
+
+/// Mask of the bits belonging to the same dimension as bit `pos`, at
+/// positions strictly below `pos`. With x on even and y on odd bits, the
+/// dimension alternates with pos parity.
+uint64_t SameDimBelow(uint32_t pos) {
+  const uint64_t dim_mask =
+      (pos % 2 == 0) ? 0x5555555555555555ULL : 0xAAAAAAAAAAAAAAAAULL;
+  const uint64_t below = (pos == 0) ? 0 : ((1ULL << pos) - 1);
+  return dim_mask & below;
+}
+
+/// LOAD "10...0": set bit pos, clear lower same-dimension bits.
+uint64_t Load10(uint64_t v, uint32_t pos) {
+  return (v & ~SameDimBelow(pos)) | (1ULL << pos);
+}
+
+/// LOAD "01...1": clear bit pos, set lower same-dimension bits.
+uint64_t Load01(uint64_t v, uint32_t pos) {
+  return (v | SameDimBelow(pos)) & ~(1ULL << pos);
+}
+
+}  // namespace
+
+bool ZCodeInRect(uint64_t zcode, const GridRect& rect, uint32_t grid_bits) {
+  GridCoord x, y;
+  MortonDecode(zcode, grid_bits, &x, &y);
+  return x >= rect.xlo && x <= rect.xhi && y >= rect.ylo && y <= rect.yhi;
+}
+
+std::optional<uint64_t> BigMin(uint64_t zcode, const GridRect& rect,
+                               uint32_t grid_bits) {
+  uint64_t zmin = MortonEncode(rect.xlo, rect.ylo, grid_bits);
+  uint64_t zmax = MortonEncode(rect.xhi, rect.yhi, grid_bits);
+  std::optional<uint64_t> bigmin;
+
+  const uint32_t zbits = 2 * grid_bits;
+  for (uint32_t i = zbits; i-- > 0;) {
+    const uint64_t bit = 1ULL << i;
+    const int z = (zcode & bit) ? 1 : 0;
+    const int lo = (zmin & bit) ? 1 : 0;
+    const int hi = (zmax & bit) ? 1 : 0;
+    const int triple = (z << 2) | (lo << 1) | hi;
+    switch (triple) {
+      case 0b000:
+        break;
+      case 0b001:
+        bigmin = Load10(zmin, i);
+        zmax = Load01(zmax, i);
+        break;
+      case 0b011:
+        // zcode is below the whole remaining range: its minimum wins.
+        return zmin;
+      case 0b100:
+        // zcode is above the whole remaining range.
+        return bigmin;
+      case 0b101:
+        zmin = Load10(zmin, i);
+        break;
+      case 0b111:
+        break;
+      case 0b010:
+      case 0b110:
+      default:
+        // lo=1, hi=0 cannot happen for a valid rectangle.
+        assert(false && "invalid BIGMIN state");
+        return std::nullopt;
+    }
+  }
+  // The loop completing means zcode itself lies inside the rectangle.
+  // The next in-rect code is zcode + 1 if that is still inside; otherwise
+  // one recursive call (whose argument is outside the rectangle, so it
+  // resolves within its bit loop) finds the jump-in point.
+  if (zcode >= MortonEncode(rect.xhi, rect.yhi, grid_bits)) {
+    return std::nullopt;
+  }
+  const uint64_t next = zcode + 1;
+  if (ZCodeInRect(next, rect, grid_bits)) return next;
+  return BigMin(next, rect, grid_bits);
+}
+
+}  // namespace zdb

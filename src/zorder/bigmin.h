@@ -1,0 +1,29 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// BIGMIN ("next jump-in point") after Tropf & Herzog (1981): given a
+// z-code and a query rectangle, the smallest z-code strictly greater than
+// the given one that lies inside the rectangle. Lets a z-interval scan
+// skip the dead space a coarse query approximation drags in — the
+// alternative to decomposing the query finely (ablation A1).
+
+#ifndef ZDB_ZORDER_BIGMIN_H_
+#define ZDB_ZORDER_BIGMIN_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "geom/grid.h"
+
+namespace zdb {
+
+/// Smallest z-code > zcode whose cell lies inside `rect` (on a grid with
+/// `grid_bits` bits per axis); nullopt when no such code exists.
+std::optional<uint64_t> BigMin(uint64_t zcode, const GridRect& rect,
+                               uint32_t grid_bits);
+
+/// True if the cell addressed by zcode lies inside rect.
+bool ZCodeInRect(uint64_t zcode, const GridRect& rect, uint32_t grid_bits);
+
+}  // namespace zdb
+
+#endif  // ZDB_ZORDER_BIGMIN_H_

@@ -1,0 +1,44 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "zorder/morton.h"
+
+#include <cassert>
+
+namespace zdb {
+
+uint64_t SpreadBits(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+uint32_t CollectBits(uint64_t v) {
+  uint64_t x = v & 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+
+uint64_t MortonEncode(GridCoord x, GridCoord y, uint32_t bits) {
+  assert(bits >= 1 && bits <= kMaxGridBits);
+  assert(x < (1ULL << bits) && y < (1ULL << bits));
+  (void)bits;
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+void MortonDecode(uint64_t z, uint32_t bits, GridCoord* x, GridCoord* y) {
+  assert(bits >= 1 && bits <= kMaxGridBits);
+  assert(bits == kMaxGridBits || z < (1ULL << (2 * bits)));
+  (void)bits;
+  *x = CollectBits(z);
+  *y = CollectBits(z >> 1);
+}
+
+}  // namespace zdb

@@ -1,0 +1,32 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Morton (Z-order / Peano) codes for 2-D grid coordinates. The code
+// interleaves y above x — bit 2i of the code is x_i, bit 2i+1 is y_i —
+// so the first (most significant) split of the recursive decomposition
+// halves the y axis, as in Orenstein's papers.
+
+#ifndef ZDB_ZORDER_MORTON_H_
+#define ZDB_ZORDER_MORTON_H_
+
+#include <cstdint>
+
+#include "geom/grid.h"
+
+namespace zdb {
+
+/// Spreads the low 32 bits of v so bit i moves to bit 2i.
+uint64_t SpreadBits(uint32_t v);
+
+/// Inverse of SpreadBits: collects even-position bits of v.
+uint32_t CollectBits(uint64_t v);
+
+/// Z-code of the cell (x, y) on a 2^bits x 2^bits grid. The result uses
+/// the low 2*bits bits. Precondition: x, y < 2^bits.
+uint64_t MortonEncode(GridCoord x, GridCoord y, uint32_t bits);
+
+/// Inverse of MortonEncode.
+void MortonDecode(uint64_t z, uint32_t bits, GridCoord* x, GridCoord* y);
+
+}  // namespace zdb
+
+#endif  // ZDB_ZORDER_MORTON_H_

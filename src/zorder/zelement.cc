@@ -1,0 +1,72 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "zorder/zelement.h"
+
+#include <bit>
+#include <cassert>
+
+#include "zorder/morton.h"
+
+namespace zdb {
+
+ZElement ZElement::Cell(GridCoord x, GridCoord y, uint32_t grid_bits) {
+  return ZElement(MortonEncode(x, y, grid_bits),
+                  static_cast<uint8_t>(2 * grid_bits),
+                  static_cast<uint8_t>(grid_bits));
+}
+
+ZElement ZElement::Enclosing(const GridRect& r, uint32_t grid_bits) {
+  const uint64_t z1 = MortonEncode(r.xlo, r.ylo, grid_bits);
+  const uint64_t z2 = MortonEncode(r.xhi, r.yhi, grid_bits);
+  const uint32_t zbits = 2 * grid_bits;
+  uint32_t common;
+  if (z1 == z2) {
+    common = zbits;
+  } else {
+    common = static_cast<uint32_t>(std::countl_zero(z1 ^ z2)) -
+             (64 - zbits);
+  }
+  const uint64_t mask =
+      (common == 0) ? 0 : (~0ULL << (zbits - common)) & ((zbits == 64)
+                                                             ? ~0ULL
+                                                             : ((1ULL << zbits) - 1));
+  return ZElement(z1 & mask, static_cast<uint8_t>(common),
+                  static_cast<uint8_t>(grid_bits));
+}
+
+ZElement ZElement::Child(int i) const {
+  assert(!is_full_resolution());
+  assert(i == 0 || i == 1);
+  const uint64_t half = interval_size() >> 1;
+  return ZElement(zmin | (i ? half : 0), static_cast<uint8_t>(level + 1),
+                  gbits);
+}
+
+ZElement ZElement::Parent() const {
+  assert(level > 0);
+  const uint64_t parent_mask = ~(interval_size() * 2 - 1);
+  return ZElement(zmin & parent_mask, static_cast<uint8_t>(level - 1),
+                  gbits);
+}
+
+GridRect ZElement::ToGridRect() const {
+  GridCoord x0, y0;
+  MortonDecode(zmin, gbits, &x0, &y0);
+  // With y interleaved above x, odd levels have split y one more time.
+  const uint32_t ny = (level + 1) / 2;
+  const uint32_t nx = level / 2;
+  const GridCoord dx = static_cast<GridCoord>((1ULL << (gbits - nx)) - 1);
+  const GridCoord dy = static_cast<GridCoord>((1ULL << (gbits - ny)) - 1);
+  return GridRect{x0, y0, x0 + dx, y0 + dy};
+}
+
+std::string ZElement::ToString() const {
+  std::string s = "z[";
+  for (uint32_t i = 0; i < level; ++i) {
+    s.push_back((zmin >> (zbits() - 1 - i)) & 1 ? '1' : '0');
+  }
+  s += "]@" + std::to_string(level);
+  return s;
+}
+
+}  // namespace zdb

@@ -1,0 +1,92 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// ZElement: one cell of the recursive binary decomposition of z-space —
+// the "element" of Orenstein's redundancy framework. An element is a
+// bit-string prefix of the Morton code; geometrically a rectangle of grid
+// cells (square at even levels, 2:1 at odd levels), and in z-space the
+// contiguous interval [zmin, zmax]. Objects and queries are approximated
+// by sets of elements (see decompose/).
+
+#ifndef ZDB_ZORDER_ZELEMENT_H_
+#define ZDB_ZORDER_ZELEMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/grid.h"
+
+namespace zdb {
+
+/// A prefix of `level` bits of a 2*bits()-bit Morton code. `zmin` holds
+/// the prefix left-aligned within the code width: all bits below
+/// (zbits - level) are zero. Canonical order is (zmin, level) ascending,
+/// which places an element immediately before everything it contains.
+struct ZElement {
+  uint64_t zmin = 0;
+  uint8_t level = 0;   ///< prefix length in bits, 0 (whole space)..zbits
+  uint8_t gbits = 0;   ///< grid bits per axis; zbits() == 2 * gbits
+
+  ZElement() = default;
+  ZElement(uint64_t zmin_in, uint8_t level_in, uint8_t gbits_in)
+      : zmin(zmin_in), level(level_in), gbits(gbits_in) {}
+
+  /// The whole space (empty prefix).
+  static ZElement Root(uint32_t grid_bits) {
+    return ZElement(0, 0, static_cast<uint8_t>(grid_bits));
+  }
+
+  /// The full-resolution element of a single grid cell.
+  static ZElement Cell(GridCoord x, GridCoord y, uint32_t grid_bits);
+
+  /// Smallest element covering the grid rectangle (the classic
+  /// non-redundant "minimal enclosing z-region").
+  static ZElement Enclosing(const GridRect& r, uint32_t grid_bits);
+
+  uint32_t zbits() const { return 2u * gbits; }
+
+  /// Width of the z-interval in full-resolution cells: 2^(zbits-level).
+  uint64_t interval_size() const { return 1ULL << (zbits() - level); }
+
+  /// Last z-code inside the element.
+  uint64_t zmax() const { return zmin | (interval_size() - 1); }
+
+  /// True if this element's interval contains e's (prefix relation).
+  bool Contains(const ZElement& e) const {
+    return level <= e.level && zmin <= e.zmin && e.zmax() <= zmax();
+  }
+
+  bool Intersects(const ZElement& e) const {
+    return Contains(e) || e.Contains(*this);
+  }
+
+  bool is_full_resolution() const { return level == zbits(); }
+
+  /// Child i (0 = lower half, 1 = upper half of the z-interval).
+  /// Precondition: !is_full_resolution().
+  ZElement Child(int i) const;
+
+  /// Enclosing element one level up. Precondition: level > 0.
+  ZElement Parent() const;
+
+  /// The grid-cell rectangle this element covers.
+  GridRect ToGridRect() const;
+
+  /// Number of grid cells covered (same as interval_size()).
+  uint64_t CellCount() const { return interval_size(); }
+
+  /// Canonical order: (zmin, level) ascending. An element sorts before
+  /// all elements it contains.
+  bool operator<(const ZElement& e) const {
+    if (zmin != e.zmin) return zmin < e.zmin;
+    return level < e.level;
+  }
+  bool operator==(const ZElement& e) const {
+    return zmin == e.zmin && level == e.level && gbits == e.gbits;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_ZORDER_ZELEMENT_H_

@@ -1,0 +1,55 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "zorder/zkey.h"
+
+#include "common/coding.h"
+
+namespace zdb {
+
+std::string EncodeZKey(const ZElement& elem, ObjectId oid) {
+  std::string key;
+  key.reserve(kZKeySize);
+  PutFixed64BE(&key, elem.zmin);
+  key.push_back(static_cast<char>(elem.level));
+  PutFixed32BE(&key, oid);
+  return key;
+}
+
+bool DecodeZKey(const Slice& key, uint32_t grid_bits, ZElement* elem,
+                ObjectId* oid) {
+  if (key.size() != kZKeySize) return false;
+  elem->zmin = DecodeFixed64BE(key.data());
+  elem->level = static_cast<uint8_t>(key[8]);
+  elem->gbits = static_cast<uint8_t>(grid_bits);
+  if (elem->level > elem->zbits()) return false;
+  *oid = DecodeFixed32BE(key.data() + 9);
+  return true;
+}
+
+std::string ZScanStartKey(const ZElement& elem) {
+  std::string key;
+  key.reserve(kZKeySize);
+  PutFixed64BE(&key, elem.zmin);
+  key.push_back(0);
+  PutFixed32BE(&key, 0);
+  return key;
+}
+
+std::string ZScanEndKey(const ZElement& elem) {
+  std::string key;
+  key.reserve(kZKeySize);
+  PutFixed64BE(&key, elem.zmax());
+  key.push_back(static_cast<char>(0xff));
+  PutFixed32BE(&key, 0xffffffffu);
+  return key;
+}
+
+std::string ZProbeStartKey(const ZElement& elem) {
+  return EncodeZKey(elem, 0);
+}
+
+std::string ZProbeEndKey(const ZElement& elem) {
+  return EncodeZKey(elem, 0xffffffffu);
+}
+
+}  // namespace zdb

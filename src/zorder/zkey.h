@@ -1,0 +1,51 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Order-preserving byte encoding of (z-element, object id) index keys.
+// Layout: 8-byte big-endian zmin | 1-byte level | 4-byte big-endian oid.
+// Lexicographic byte order therefore equals (zmin, level, oid) order,
+// which is the canonical element order: an element sorts immediately
+// before every element it contains that starts at the same z, and all
+// elements inside its z-interval follow contiguously — so both the range
+// scan and the ancestor probes of query evaluation are plain B+-tree
+// scans.
+
+#ifndef ZDB_ZORDER_ZKEY_H_
+#define ZDB_ZORDER_ZKEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "zorder/zelement.h"
+
+namespace zdb {
+
+/// Object identifier within an index (assigned by the object store).
+using ObjectId = uint32_t;
+
+inline constexpr size_t kZKeySize = 13;
+
+/// Serializes (element, oid) to a 13-byte key.
+std::string EncodeZKey(const ZElement& elem, ObjectId oid);
+
+/// Parses a key produced by EncodeZKey. Returns false on malformed input.
+/// `grid_bits` restores the element's gbits field (not stored in keys).
+bool DecodeZKey(const Slice& key, uint32_t grid_bits, ZElement* elem,
+                ObjectId* oid);
+
+/// First possible key of any (element', oid) stored with zmin >= elem.zmin.
+/// Seeking here starts a scan over everything inside elem's z-interval.
+std::string ZScanStartKey(const ZElement& elem);
+
+/// Inclusive upper bound: the greatest possible key of any element whose
+/// zmin lies inside elem's z-interval.
+std::string ZScanEndKey(const ZElement& elem);
+
+/// First possible key for exactly this element (any oid); with
+/// ZProbeEndKey brackets the duplicates of one element.
+std::string ZProbeStartKey(const ZElement& elem);
+std::string ZProbeEndKey(const ZElement& elem);
+
+}  // namespace zdb
+
+#endif  // ZDB_ZORDER_ZKEY_H_

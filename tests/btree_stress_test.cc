@@ -1,0 +1,109 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Larger-scale B+-tree stress: bulk load followed by heavy mixed churn,
+// across page sizes, with invariant audits. Catches rebalancing bugs
+// that only appear at depth >= 4 or with thousands of merges.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "btree/btree.h"
+#include "btree/cursor.h"
+#include "common/random.h"
+#include "storage/pager.h"
+
+namespace zdb {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "k%010llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+class BTreeStressTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreeStressTest, BulkLoadThenChurn) {
+  const uint32_t page_size = GetParam();
+  auto pager = Pager::OpenInMemory(page_size);
+  BufferPool pool(pager.get(), 128);
+  auto tree = BTree::Create(&pool).value();
+
+  // Bulk load 20k sorted entries.
+  std::map<std::string, std::string> model;
+  const uint64_t n = 20000;
+  {
+    uint64_t i = 0;
+    ASSERT_TRUE(tree->BulkLoad([&](std::string* k, std::string* v) {
+                      if (i >= n) return false;
+                      *k = Key(i * 3);  // gaps for later inserts
+                      *v = "v" + std::to_string(i);
+                      model[*k] = *v;
+                      ++i;
+                      return true;
+                    })
+                    .ok());
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  if (page_size == 256) {
+    EXPECT_GE(tree->height(), 4u);  // deep tree on tiny pages
+  }
+
+  // Heavy churn: 30k mixed operations biased toward deletion first, then
+  // insertion, forcing merge storms and regrowth.
+  Random rng(page_size * 7 + 1);
+  for (int phase = 0; phase < 2; ++phase) {
+    const int delete_bias = phase == 0 ? 70 : 20;
+    for (int op = 0; op < 15000; ++op) {
+      const std::string key = Key(rng.Uniform(n * 3));
+      if (static_cast<int>(rng.Uniform(100)) < delete_bias) {
+        Status s = tree->Delete(key);
+        if (model.count(key)) {
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          model.erase(key);
+        } else {
+          ASSERT_TRUE(s.IsNotFound());
+        }
+      } else {
+        const std::string val = "x" + std::to_string(rng.Next() % 997);
+        Status s = tree->Insert(key, val);
+        if (model.count(key)) {
+          ASSERT_TRUE(s.IsAlreadyExists());
+        } else {
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          model[key] = val;
+        }
+      }
+    }
+    ASSERT_TRUE(tree->CheckInvariants().ok()) << "phase " << phase;
+    ASSERT_EQ(tree->size(), model.size());
+  }
+
+  // Full ordered equivalence.
+  auto cur = tree->SeekFirst().value();
+  auto it = model.begin();
+  while (cur.Valid()) {
+    ASSERT_NE(it, model.end());
+    ASSERT_EQ(cur.key().ToString(), it->first);
+    ASSERT_EQ(cur.value().ToString(), it->second);
+    ASSERT_TRUE(cur.Next().ok());
+    ++it;
+  }
+  ASSERT_EQ(it, model.end());
+
+  // Drain to empty: page accounting must return everything.
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(tree->Delete(k).ok());
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->height(), 1u);
+  EXPECT_LE(pager->live_page_count(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BTreeStressTest,
+                         ::testing::Values(256u, 1024u));
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,264 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// B+-tree suite: directed cases plus parameterized random-operation
+// equivalence against std::map across page sizes.
+
+#include "btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "btree/cursor.h"
+#include "common/random.h"
+#include "storage/pager.h"
+
+namespace zdb {
+namespace {
+
+struct TreeFixture {
+  explicit TreeFixture(uint32_t page_size, size_t pool_pages = 128)
+      : pager(Pager::OpenInMemory(page_size)),
+        pool(pager.get(), pool_pages),
+        tree(BTree::Create(&pool).value()) {}
+
+  std::unique_ptr<Pager> pager;
+  BufferPool pool;
+  std::unique_ptr<BTree> tree;
+};
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+TEST(BTree, EmptyTree) {
+  TreeFixture f(512);
+  EXPECT_EQ(f.tree->size(), 0u);
+  EXPECT_EQ(f.tree->height(), 1u);
+  EXPECT_TRUE(f.tree->Get("nope").status().IsNotFound());
+  EXPECT_TRUE(f.tree->Delete("nope").IsNotFound());
+  auto cur = f.tree->SeekFirst().value();
+  EXPECT_FALSE(cur.Valid());
+  EXPECT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(BTree, InsertRejectsDuplicates) {
+  TreeFixture f(512);
+  ASSERT_TRUE(f.tree->Insert("a", "1").ok());
+  EXPECT_TRUE(f.tree->Insert("a", "2").IsAlreadyExists());
+  EXPECT_EQ(f.tree->Get("a").value(), "1");
+  EXPECT_EQ(f.tree->size(), 1u);
+}
+
+TEST(BTree, PutOverwrites) {
+  TreeFixture f(512);
+  ASSERT_TRUE(f.tree->Put("a", "1").ok());
+  ASSERT_TRUE(f.tree->Put("a", "22").ok());
+  EXPECT_EQ(f.tree->Get("a").value(), "22");
+  EXPECT_EQ(f.tree->size(), 1u);
+  // Overwrite with a much larger value, forcing the remove+reinsert path.
+  ASSERT_TRUE(f.tree->Put("a", std::string(100, 'x')).ok());
+  EXPECT_EQ(f.tree->Get("a").value(), std::string(100, 'x'));
+  EXPECT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(BTree, AscendingInsertSplitsCorrectly) {
+  TreeFixture f(256);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Key(i), "v" + std::to_string(i)).ok()) << i;
+  }
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+  EXPECT_GT(f.tree->height(), 2u);
+  for (int i = 0; i < n; i += 37) {
+    EXPECT_EQ(f.tree->Get(Key(i)).value(), "v" + std::to_string(i));
+  }
+}
+
+TEST(BTree, DescendingInsertSplitsCorrectly) {
+  TreeFixture f(256);
+  const int n = 2000;
+  for (int i = n - 1; i >= 0; --i) {
+    ASSERT_TRUE(f.tree->Insert(Key(i), "v").ok());
+  }
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+  EXPECT_EQ(f.tree->size(), static_cast<uint64_t>(n));
+}
+
+TEST(BTree, DeleteToEmptyShrinksHeight) {
+  TreeFixture f(256);
+  const int n = 1500;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Key(i), "v").ok());
+  }
+  const uint32_t grown = f.tree->height();
+  EXPECT_GT(grown, 1u);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(f.tree->Delete(Key(i)).ok()) << i;
+  }
+  EXPECT_EQ(f.tree->size(), 0u);
+  EXPECT_EQ(f.tree->height(), 1u);
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+  // Pages were returned: only root + meta (+free list reuse) remain live.
+  EXPECT_LE(f.pager->live_page_count(), 3u);
+}
+
+TEST(BTree, CursorScansRange) {
+  TreeFixture f(512);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Key(2 * i), "v").ok());
+  }
+  // Seek to a key between entries.
+  auto cur = f.tree->Seek(Key(101)).value();
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.key().ToString(), Key(102));
+  int seen = 0;
+  while (cur.Valid() && seen < 10) {
+    EXPECT_EQ(cur.key().ToString(), Key(102 + 2 * seen));
+    ASSERT_TRUE(cur.Next().ok());
+    ++seen;
+  }
+  // Seek past the end.
+  auto end = f.tree->Seek(Key(99999)).value();
+  EXPECT_FALSE(end.Valid());
+}
+
+TEST(BTree, RejectsOversizedCell) {
+  TreeFixture f(256);
+  EXPECT_TRUE(f.tree->Insert("k", std::string(1000, 'v'))
+                  .IsInvalidArgument());
+}
+
+TEST(BTree, ReopenViaMetaPage) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  PageId meta;
+  {
+    auto tree = BTree::Create(&pool).value();
+    meta = tree->meta_page();
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(tree->Insert(Key(i), "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(tree->Flush().ok());
+  }
+  auto tree = BTree::Open(&pool, meta).value();
+  EXPECT_EQ(tree->size(), 300u);
+  EXPECT_EQ(tree->Get(Key(123)).value(), "v123");
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(BTree, BulkLoadMatchesIncremental) {
+  TreeFixture bulk(512);
+  const int n = 3000;
+  int i = 0;
+  ASSERT_TRUE(bulk.tree
+                  ->BulkLoad([&](std::string* k, std::string* v) {
+                    if (i >= n) return false;
+                    *k = Key(i);
+                    *v = "v" + std::to_string(i);
+                    ++i;
+                    return true;
+                  })
+                  .ok());
+  ASSERT_TRUE(bulk.tree->CheckInvariants().ok());
+  EXPECT_EQ(bulk.tree->size(), static_cast<uint64_t>(n));
+  for (int j = 0; j < n; j += 97) {
+    EXPECT_EQ(bulk.tree->Get(Key(j)).value(), "v" + std::to_string(j));
+  }
+  // Bulk-loaded trees are denser than insert-built ones.
+  auto stats = bulk.tree->ComputeStats().value();
+  EXPECT_GT(stats.avg_leaf_fill, 0.8);
+}
+
+TEST(BTree, BulkLoadRejectsUnsortedInput) {
+  TreeFixture f(512);
+  int i = 0;
+  const char* keys[] = {"b", "a"};
+  EXPECT_TRUE(f.tree
+                  ->BulkLoad([&](std::string* k, std::string* v) {
+                    if (i >= 2) return false;
+                    *k = keys[i++];
+                    *v = "v";
+                    return true;
+                  })
+                  .IsInvalidArgument());
+}
+
+TEST(BTree, BulkLoadEmptyInput) {
+  TreeFixture f(512);
+  ASSERT_TRUE(
+      f.tree->BulkLoad([](std::string*, std::string*) { return false; })
+          .ok());
+  EXPECT_EQ(f.tree->size(), 0u);
+  EXPECT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+// ------------------------------------------------ parameterized random ops
+
+class BTreeRandomTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreeRandomTest, MatchesStdMapUnderChurn) {
+  const uint32_t page_size = GetParam();
+  TreeFixture f(page_size);
+  std::map<std::string, std::string> model;
+  Random rng(page_size);
+
+  for (int op = 0; op < 8000; ++op) {
+    const std::string key = Key(static_cast<int>(rng.Uniform(3000)));
+    const int kind = static_cast<int>(rng.Uniform(100));
+    if (kind < 45) {
+      const std::string val = "v" + std::to_string(rng.Next() % 1000);
+      Status s = f.tree->Insert(key, val);
+      if (model.count(key)) {
+        ASSERT_TRUE(s.IsAlreadyExists());
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        model[key] = val;
+      }
+    } else if (kind < 60) {
+      const std::string val = "w" + std::to_string(rng.Next() % 1000);
+      ASSERT_TRUE(f.tree->Put(key, val).ok());
+      model[key] = val;
+    } else if (kind < 85) {
+      Status s = f.tree->Delete(key);
+      if (model.count(key)) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        model.erase(key);
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else {
+      auto got = f.tree->Get(key);
+      if (model.count(key)) {
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got.value(), model[key]);
+      } else {
+        ASSERT_TRUE(got.status().IsNotFound());
+      }
+    }
+    if (op % 1000 == 999) {
+      ASSERT_TRUE(f.tree->CheckInvariants().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+  ASSERT_EQ(f.tree->size(), model.size());
+
+  // Ordered scan equivalence.
+  auto cur = f.tree->SeekFirst().value();
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(cur.Valid());
+    ASSERT_EQ(cur.key().ToString(), k);
+    ASSERT_EQ(cur.value().ToString(), v);
+    ASSERT_TRUE(cur.Next().ok());
+  }
+  ASSERT_FALSE(cur.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BTreeRandomTest,
+                         ::testing::Values(256u, 512u, 1024u, 4096u));
+
+}  // namespace
+}  // namespace zdb

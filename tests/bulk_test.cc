@@ -1,0 +1,102 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/spatial_index.h"
+#include "storage/pager.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+TEST(BulkLoad, EquivalentToIncremental) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  const auto data = GenerateData(1000, dg);
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(8);
+
+  auto bulk = SpatialIndex::Create(&pool, opt).value();
+  ASSERT_TRUE(bulk->BulkLoad(data).ok());
+  ASSERT_TRUE(bulk->btree()->CheckInvariants().ok());
+
+  auto incr = SpatialIndex::Create(&pool, opt).value();
+  for (const Rect& r : data) ASSERT_TRUE(incr->Insert(r).ok());
+
+  EXPECT_EQ(bulk->btree()->size(), incr->btree()->size());
+  EXPECT_EQ(bulk->build_stats().index_entries,
+            incr->build_stats().index_entries);
+
+  for (const Rect& w : GenerateWindows(20, 0.01, QueryGenOptions{})) {
+    auto a = bulk->WindowQuery(w).value();
+    auto b = incr->WindowQuery(w).value();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b);
+  }
+  for (const Point& p : GeneratePoints(30, 3)) {
+    auto a = bulk->PointQuery(p).value();
+    auto b = incr->PointQuery(p).value();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(BulkLoad, SupportsUpdatesAfterwards) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformSmall;
+  const auto data = GenerateData(500, dg);
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  auto index = SpatialIndex::Create(&pool, opt).value();
+  ASSERT_TRUE(index->BulkLoad(data).ok());
+
+  // Erase half, insert replacements, verify against brute force.
+  for (ObjectId oid = 0; oid < 250; ++oid) {
+    ASSERT_TRUE(index->Erase(oid).ok());
+  }
+  const Rect fresh{0.42, 0.42, 0.43, 0.43};
+  const ObjectId fresh_oid = index->Insert(fresh).value();
+  EXPECT_EQ(fresh_oid, 500u);
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+
+  auto got = index->WindowQuery(Rect{0, 0, 1, 1}).value();
+  std::sort(got.begin(), got.end());
+  std::vector<ObjectId> expect;
+  for (ObjectId oid = 250; oid < 500; ++oid) expect.push_back(oid);
+  expect.push_back(500);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(BulkLoad, RejectsNonEmptyIndex) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 16);
+  auto index = SpatialIndex::Create(&pool, SpatialIndexOptions{}).value();
+  ASSERT_TRUE(index->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  EXPECT_TRUE(index->BulkLoad({Rect{0.3, 0.3, 0.4, 0.4}})
+                  .IsInvalidArgument());
+}
+
+TEST(BulkLoad, EmptyInput) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 16);
+  auto index = SpatialIndex::Create(&pool, SpatialIndexOptions{}).value();
+  ASSERT_TRUE(index->BulkLoad({}).ok());
+  EXPECT_TRUE(index->WindowQuery(Rect{0, 0, 1, 1}).value().empty());
+  // Still usable.
+  ASSERT_TRUE(index->Insert(Rect{0.5, 0.5, 0.6, 0.6}).ok());
+  EXPECT_EQ(index->WindowQuery(Rect{0, 0, 1, 1}).value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace zdb

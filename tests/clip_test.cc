@@ -1,0 +1,113 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "geom/clip.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace zdb {
+namespace {
+
+Polygon Square(double lo, double hi) {
+  return Polygon({{lo, lo}, {hi, lo}, {hi, hi}, {lo, hi}});
+}
+
+TEST(Clip, RectFullyInside) {
+  const Polygon p = Square(0.0, 1.0);
+  const Rect r{0.2, 0.2, 0.5, 0.5};
+  EXPECT_NEAR(PolygonRectIntersectionArea(p, r), r.area(), 1e-12);
+  EXPECT_TRUE(PolygonContainsRect(p, r));
+}
+
+TEST(Clip, PolygonFullyInsideRect) {
+  const Polygon p = Square(0.4, 0.6);
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_NEAR(PolygonRectIntersectionArea(p, r), p.Area(), 1e-12);
+  EXPECT_FALSE(PolygonContainsRect(p, r));
+}
+
+TEST(Clip, PartialOverlap) {
+  const Polygon p = Square(0.0, 0.5);
+  const Rect r{0.25, 0.25, 0.75, 0.75};
+  EXPECT_NEAR(PolygonRectIntersectionArea(p, r), 0.25 * 0.25, 1e-12);
+  EXPECT_FALSE(PolygonContainsRect(p, r));
+}
+
+TEST(Clip, Disjoint) {
+  const Polygon p = Square(0.0, 0.2);
+  const Rect r{0.5, 0.5, 0.9, 0.9};
+  EXPECT_DOUBLE_EQ(PolygonRectIntersectionArea(p, r), 0.0);
+  EXPECT_TRUE(ClipPolygonToRect(p, r).empty());
+}
+
+TEST(Clip, TriangleAreaExact) {
+  // Right triangle clipped by a half-plane-like rect.
+  const Polygon tri({{0, 0}, {1, 0}, {0, 1}});
+  const Rect left_half{0, 0, 0.5, 1.0};
+  // Area of triangle left of x=0.5: 1/2 - (area of right part).
+  // Right part is a smaller similar triangle with legs 0.5: area 0.125.
+  EXPECT_NEAR(PolygonRectIntersectionArea(tri, left_half), 0.375, 1e-12);
+}
+
+TEST(Clip, ConcavePolygonArea) {
+  // "L" shape: unit square minus upper-right quadrant.
+  const Polygon l({{0, 0}, {1, 0}, {1, 0.5}, {0.5, 0.5}, {0.5, 1}, {0, 1}});
+  EXPECT_NEAR(l.Area(), 0.75, 1e-12);
+  // The clip that removes the notch region entirely.
+  EXPECT_NEAR(PolygonRectIntersectionArea(l, Rect{0.5, 0.5, 1, 1}), 0.0,
+              1e-12);
+  // A rect spanning the notch: only the lower half is covered.
+  EXPECT_NEAR(PolygonRectIntersectionArea(l, Rect{0.6, 0.0, 1.0, 1.0}),
+              0.4 * 0.5, 1e-12);
+  EXPECT_FALSE(PolygonContainsRect(l, Rect{0.4, 0.4, 0.6, 0.6}));
+  EXPECT_TRUE(PolygonContainsRect(l, Rect{0.1, 0.1, 0.4, 0.4}));
+}
+
+TEST(Clip, AreaAdditivityProperty) {
+  // Splitting the clip rect in half must preserve total area.
+  Random rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Point> ring;
+    const double cx = rng.NextDouble(), cy = rng.NextDouble();
+    const int sides = 3 + static_cast<int>(rng.Uniform(6));
+    for (int i = 0; i < sides; ++i) {
+      const double ang = 2 * 3.14159265358979 * i / sides;
+      const double rad = 0.05 + 0.3 * rng.NextDouble();
+      ring.push_back(Point{cx + rad * std::cos(ang),
+                           cy + rad * std::sin(ang)});
+    }
+    const Polygon poly(ring);
+    const Rect r{0.1, 0.1, 0.9, 0.9};
+    const double mid = 0.5;
+    const double whole = PolygonRectIntersectionArea(poly, r);
+    const double left =
+        PolygonRectIntersectionArea(poly, Rect{r.xlo, r.ylo, mid, r.yhi});
+    const double right =
+        PolygonRectIntersectionArea(poly, Rect{mid, r.ylo, r.xhi, r.yhi});
+    ASSERT_NEAR(whole, left + right, 1e-9);
+  }
+}
+
+TEST(Clip, DegenerateRect) {
+  const Polygon p = Square(0.0, 1.0);
+  EXPECT_TRUE(PolygonContainsRect(p, Rect{0.5, 0.5, 0.5, 0.5}));
+  EXPECT_FALSE(PolygonContainsRect(p, Rect{1.5, 1.5, 1.5, 1.5}));
+}
+
+TEST(PolygonsIntersectTest, AllRelations) {
+  const Polygon a = Square(0.0, 0.5);
+  EXPECT_TRUE(PolygonsIntersect(a, Square(0.4, 0.9)));   // overlap
+  EXPECT_TRUE(PolygonsIntersect(a, Square(0.1, 0.3)));   // containment
+  EXPECT_TRUE(PolygonsIntersect(Square(0.1, 0.3), a));   // reversed
+  EXPECT_TRUE(PolygonsIntersect(a, Square(0.5, 0.9)));   // corner touch
+  EXPECT_FALSE(PolygonsIntersect(a, Square(0.6, 0.9)));  // disjoint
+  // Cross shapes with no contained vertices.
+  const Polygon horizontal({{0.0, 0.4}, {1.0, 0.4}, {1.0, 0.6}, {0.0, 0.6}});
+  const Polygon vertical({{0.4, 0.0}, {0.6, 0.0}, {0.6, 1.0}, {0.4, 1.0}});
+  EXPECT_TRUE(PolygonsIntersect(horizontal, vertical));
+  EXPECT_FALSE(PolygonsIntersect(Polygon(), a));
+}
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,87 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace zdb {
+namespace {
+
+TEST(Coding, FixedRoundTrip) {
+  char buf[8];
+  EncodeFixed16(buf, 0xbeef);
+  EXPECT_EQ(DecodeFixed16(buf), 0xbeef);
+  EncodeFixed32(buf, 0xdeadbeef);
+  EXPECT_EQ(DecodeFixed32(buf), 0xdeadbeefu);
+  EncodeFixed64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789abcdefULL);
+}
+
+TEST(Coding, FixedBERoundTrip) {
+  char buf[8];
+  for (uint64_t v : {0ULL, 1ULL, 0xffULL, 0x100ULL, 0xffffffffULL,
+                     0x123456789abcdefULL, 0xffffffffffffffffULL}) {
+    EncodeFixed64BE(buf, v);
+    EXPECT_EQ(DecodeFixed64BE(buf), v);
+  }
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xffffffffu}) {
+    EncodeFixed32BE(buf, v);
+    EXPECT_EQ(DecodeFixed32BE(buf), v);
+  }
+}
+
+TEST(Coding, BigEndianPreservesOrder) {
+  Random rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    std::string ka, kb;
+    PutFixed64BE(&ka, a);
+    PutFixed64BE(&kb, b);
+    EXPECT_EQ(a < b, Slice(ka).compare(Slice(kb)) < 0)
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Coding, VarintRoundTrip) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 300u, 16383u, 16384u, 1u << 21,
+                     0xffffffffu}) {
+    std::string s;
+    PutVarint32(&s, v);
+    EXPECT_EQ(s.size(), VarintLength32(v));
+    const char* p = s.data();
+    uint32_t got = 0;
+    ASSERT_TRUE(GetVarint32(&p, s.data() + s.size(), &got));
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(p, s.data() + s.size());
+  }
+}
+
+TEST(Coding, VarintTruncatedFails) {
+  std::string s;
+  PutVarint32(&s, 1u << 28);
+  for (size_t cut = 0; cut + 1 < s.size(); ++cut) {
+    const char* p = s.data();
+    uint32_t got;
+    EXPECT_FALSE(GetVarint32(&p, s.data() + cut, &got)) << "cut=" << cut;
+  }
+}
+
+TEST(Coding, VarintOverlongFails) {
+  // Six continuation bytes exceed the 32-bit shift budget.
+  const char bad[] = {'\x80', '\x80', '\x80', '\x80', '\x80', '\x01'};
+  const char* p = bad;
+  uint32_t got;
+  EXPECT_FALSE(GetVarint32(&p, bad + sizeof(bad), &got));
+}
+
+TEST(Coding, HexRendering) {
+  const char raw[] = {'\x00', '\x0a', '\xff'};
+  EXPECT_EQ(ToHex(Slice(raw, 3)), "000aff");
+  EXPECT_EQ(ToHex(Slice()), "");
+}
+
+}  // namespace
+}  // namespace zdb

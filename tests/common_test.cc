@@ -1,0 +1,135 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace zdb {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+
+  const Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+  EXPECT_EQ(Status::IOError().ToString(), "IOError");
+}
+
+Status FailsThrough() {
+  ZDB_RETURN_IF_ERROR(Status::Corruption("inner"));
+  return Status::OK();  // unreachable
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  const Status s = FailsThrough();
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> err(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UseAssign(int v, int* out) {
+  ZDB_ASSIGN_OR_RETURN(*out, Half(v));
+  return Status::OK();
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssign(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(UseAssign(9, &out).IsInvalidArgument());
+}
+
+TEST(Slice, CompareAndPrefix) {
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("abc")), 0);
+  // Unsigned comparison: 0x80 sorts above 0x7f.
+  const char hi[] = {'\x80'};
+  const char lo[] = {'\x7f'};
+  EXPECT_GT(Slice(hi, 1).compare(Slice(lo, 1)), 0);
+
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+  EXPECT_TRUE(Slice("abc").starts_with(Slice()));
+}
+
+TEST(Slice, RemovePrefixAndEquality) {
+  Slice s("hello world");
+  s.remove_prefix(6);
+  EXPECT_EQ(s, Slice("world"));
+  EXPECT_NE(s, Slice("worlds"));
+  EXPECT_EQ(s.ToString(), "world");
+}
+
+TEST(Random, Deterministic) {
+  Random a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Random, UniformBounds) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const double u = rng.UniformDouble(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Random, GaussianMoments) {
+  Random rng(6);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Random, Bernoulli) {
+  Random rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace zdb

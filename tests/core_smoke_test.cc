@@ -1,0 +1,161 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// End-to-end smoke: spatial index queries must equal brute-force scans on
+// random data, across decomposition policies and the ablation modes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_util/runner.h"
+#include "core/spatial_index.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+std::vector<ObjectId> BruteWindow(const std::vector<Rect>& data,
+                                  const Rect& w) {
+  std::vector<ObjectId> out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].Intersects(w)) out.push_back(static_cast<ObjectId>(i));
+  }
+  return out;
+}
+
+TEST(CoreSmoke, WindowQueriesMatchBruteForce) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformLarge;
+  const auto data = GenerateData(800, dg);
+
+  for (bool leaf_mbr : {false, true}) {
+    for (bool bigmin : {false, true}) {
+      Env env = MakeEnv(512, 64);
+      SpatialIndexOptions opt;
+      opt.data = DecomposeOptions::SizeBound(4);
+      opt.store_mbr_in_leaf = leaf_mbr;
+      opt.use_bigmin = bigmin;
+      auto index_r = BuildZIndex(&env, data, opt);
+      ASSERT_TRUE(index_r.ok()) << index_r.status().ToString();
+      auto& index = *index_r.value();
+
+      const auto windows = GenerateWindows(30, 0.01, QueryGenOptions{});
+      for (const Rect& w : windows) {
+        auto got_r = index.WindowQuery(w);
+        ASSERT_TRUE(got_r.ok()) << got_r.status().ToString();
+        auto got = got_r.value();
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, BruteWindow(data, w))
+            << "leaf_mbr=" << leaf_mbr << " bigmin=" << bigmin
+            << " window=" << w.ToString();
+      }
+    }
+  }
+}
+
+TEST(CoreSmoke, PointQueriesMatchBruteForce) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kSkewedSizes;
+  const auto data = GenerateData(600, dg);
+
+  Env env = MakeEnv(512, 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::ErrorBound(0.2);
+  auto index = BuildZIndex(&env, data, opt).value();
+
+  const auto points = GeneratePoints(50, 99);
+  for (const Point& p : points) {
+    auto got = index->PointQuery(p).value();
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> expect;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Contains(p)) expect.push_back(static_cast<ObjectId>(i));
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(CoreSmoke, JoinMatchesNestedLoop) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  dg.seed = 3;
+  const auto data_a = GenerateData(300, dg);
+  dg.seed = 4;
+  const auto data_b = GenerateData(300, dg);
+
+  Env env = MakeEnv(512, 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  auto a = BuildZIndex(&env, data_a, opt).value();
+  auto b = BuildZIndex(&env, data_b, opt).value();
+
+  auto got_r = SpatialJoin(a.get(), b.get());
+  ASSERT_TRUE(got_r.ok()) << got_r.status().ToString();
+  auto got = got_r.value();
+  std::sort(got.begin(), got.end());
+
+  std::vector<std::pair<ObjectId, ObjectId>> expect;
+  for (size_t i = 0; i < data_a.size(); ++i) {
+    for (size_t j = 0; j < data_b.size(); ++j) {
+      if (data_a[i].Intersects(data_b[j])) {
+        expect.emplace_back(static_cast<ObjectId>(i),
+                            static_cast<ObjectId>(j));
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(CoreSmoke, RTreeMatchesBruteForce) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformLarge;
+  const auto data = GenerateData(700, dg);
+
+  for (auto split :
+       {RTreeOptions::Split::kQuadratic, RTreeOptions::Split::kLinear}) {
+    Env env = MakeEnv(512, 64);
+    RTreeOptions opt;
+    opt.split = split;
+    auto tree = BuildRTree(&env, data, opt).value();
+    ASSERT_TRUE(tree->CheckInvariants().ok());
+
+    const auto windows = GenerateWindows(30, 0.02, QueryGenOptions{});
+    for (const Rect& w : windows) {
+      auto got = tree->WindowQuery(w).value();
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, BruteWindow(data, w));
+    }
+  }
+}
+
+TEST(CoreSmoke, EraseRemovesObjects) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformSmall;
+  const auto data = GenerateData(400, dg);
+
+  Env env = MakeEnv(512, 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(8);
+  auto index = BuildZIndex(&env, data, opt).value();
+
+  // Erase every third object.
+  std::vector<bool> alive(data.size(), true);
+  for (size_t i = 0; i < data.size(); i += 3) {
+    ASSERT_TRUE(index->Erase(static_cast<ObjectId>(i)).ok());
+    alive[i] = false;
+  }
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+
+  const Rect everything{0, 0, 1, 1};
+  auto got = index->WindowQuery(everything).value();
+  std::sort(got.begin(), got.end());
+  std::vector<ObjectId> expect;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (alive[i]) expect.push_back(static_cast<ObjectId>(i));
+  }
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,200 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Decomposition properties: coverage, disjointness, budget compliance,
+// error-bound compliance, canonical order, determinism, sibling merging.
+
+#include "decompose/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace zdb {
+namespace {
+
+GridRect RandomRect(Random* rng, uint32_t gbits) {
+  const GridCoord max = static_cast<GridCoord>((1u << gbits) - 1);
+  GridCoord x1 = static_cast<GridCoord>(rng->Uniform(max + 1));
+  GridCoord x2 = static_cast<GridCoord>(rng->Uniform(max + 1));
+  GridCoord y1 = static_cast<GridCoord>(rng->Uniform(max + 1));
+  GridCoord y2 = static_cast<GridCoord>(rng->Uniform(max + 1));
+  return GridRect{std::min(x1, x2), std::min(y1, y2), std::max(x1, x2),
+                  std::max(y1, y2)};
+}
+
+/// Checks the universal decomposition invariants and returns covered
+/// cells (exactly, via per-element rect intersection arithmetic).
+void CheckInvariants(const GridRect& rect, const Decomposition& d,
+                     uint32_t gbits) {
+  ASSERT_FALSE(d.elements.empty());
+  ASSERT_EQ(d.object_cells, rect.CellCount());
+
+  uint64_t covered = 0;
+  uint64_t covering_rect = 0;
+  for (size_t i = 0; i < d.elements.size(); ++i) {
+    const ZElement& e = d.elements[i];
+    ASSERT_EQ(e.gbits, gbits);
+    // Canonical sorted order, pairwise disjoint.
+    if (i > 0) {
+      ASSERT_TRUE(d.elements[i - 1] < e);
+      ASSERT_GT(e.zmin, d.elements[i - 1].zmax());
+    }
+    // Every element touches the object (no wasted elements).
+    ASSERT_GT(e.ToGridRect().IntersectionCells(rect), 0u);
+    covered += e.CellCount();
+    covering_rect += e.ToGridRect().IntersectionCells(rect);
+  }
+  ASSERT_EQ(covered, d.covered_cells);
+  // Union of elements covers the object exactly once (disjoint + rect
+  // fully inside the union).
+  ASSERT_EQ(covering_rect, rect.CellCount());
+  ASSERT_GE(d.covered_cells, d.object_cells);
+}
+
+TEST(Decompose, SizeBoundRespectsBudget) {
+  Random rng(21);
+  const uint32_t gbits = 8;
+  for (int trial = 0; trial < 300; ++trial) {
+    const GridRect rect = RandomRect(&rng, gbits);
+    for (uint32_t k : {1u, 2u, 3u, 4u, 8u, 16u}) {
+      const auto d = Decompose(rect, gbits, DecomposeOptions::SizeBound(k));
+      CheckInvariants(rect, d, gbits);
+      ASSERT_LE(d.elements.size(), k) << rect.ToString() << " k=" << k;
+    }
+  }
+}
+
+TEST(Decompose, SizeBoundOneIsEnclosing) {
+  Random rng(22);
+  const uint32_t gbits = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    const GridRect rect = RandomRect(&rng, gbits);
+    const auto d = Decompose(rect, gbits, DecomposeOptions::SizeBound(1));
+    ASSERT_EQ(d.elements.size(), 1u);
+    ASSERT_EQ(d.elements[0], ZElement::Enclosing(rect, gbits));
+  }
+}
+
+TEST(Decompose, ErrorBoundMeetsTarget) {
+  Random rng(23);
+  const uint32_t gbits = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    const GridRect rect = RandomRect(&rng, gbits);
+    for (double eps : {1.0, 0.5, 0.1, 0.01}) {
+      DecomposeOptions opt = DecomposeOptions::ErrorBound(eps);
+      const auto d = Decompose(rect, gbits, opt);
+      CheckInvariants(rect, d, gbits);
+      // The resolution floor is reachable at gbits=8, so the bound must
+      // actually be met (the hard cap of 4096 is far away).
+      ASSERT_LE(d.error(), eps + 1e-12)
+          << rect.ToString() << " eps=" << eps;
+    }
+  }
+}
+
+TEST(Decompose, ErrorZeroYieldsExactCover) {
+  // A dyadic-aligned rect decomposes with zero error and few elements.
+  const uint32_t gbits = 6;
+  const GridRect aligned{16, 16, 31, 31};  // one quadrant-of-quadrant
+  const auto d = Decompose(aligned, gbits, DecomposeOptions::ErrorBound(0.0));
+  ASSERT_EQ(d.error(), 0.0);
+  ASSERT_EQ(d.elements.size(), 1u);
+
+  // An unaligned rect still reaches zero error at the resolution floor.
+  const GridRect odd{3, 5, 9, 11};
+  const auto d2 = Decompose(odd, gbits, DecomposeOptions::ErrorBound(0.0));
+  ASSERT_EQ(d2.error(), 0.0);
+  ASSERT_EQ(d2.covered_cells, odd.CellCount());
+}
+
+TEST(Decompose, MonotoneErrorInBudget) {
+  Random rng(24);
+  const uint32_t gbits = 8;
+  for (int trial = 0; trial < 100; ++trial) {
+    const GridRect rect = RandomRect(&rng, gbits);
+    double prev_error = 1e300;
+    for (uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const auto d = Decompose(rect, gbits, DecomposeOptions::SizeBound(k));
+      ASSERT_LE(d.error(), prev_error + 1e-12) << "k=" << k;
+      prev_error = d.error();
+    }
+  }
+}
+
+TEST(Decompose, SingleCellObject) {
+  const uint32_t gbits = 8;
+  const GridRect cell{100, 200, 100, 200};
+  for (uint32_t k : {1u, 8u}) {
+    const auto d = Decompose(cell, gbits, DecomposeOptions::SizeBound(k));
+    ASSERT_EQ(d.elements.size(), 1u);
+    ASSERT_EQ(d.error(), 0.0);
+    ASSERT_EQ(d.elements[0].CellCount(), 1u);
+  }
+}
+
+TEST(Decompose, FullSpaceObject) {
+  const uint32_t gbits = 8;
+  const GridCoord max = 255;
+  const GridRect all{0, 0, max, max};
+  const auto d = Decompose(all, gbits, DecomposeOptions::SizeBound(16));
+  ASSERT_EQ(d.elements.size(), 1u);  // root covers exactly, no splitting
+  ASSERT_EQ(d.elements[0].level, 0);
+}
+
+TEST(Decompose, MaxLevelCapsResolution) {
+  const uint32_t gbits = 8;
+  DecomposeOptions opt = DecomposeOptions::ErrorBound(0.0);
+  opt.max_level = 6;
+  const GridRect odd{3, 5, 9, 11};
+  const auto d = Decompose(odd, gbits, opt);
+  for (const ZElement& e : d.elements) {
+    ASSERT_LE(e.level, 6u);
+  }
+  // With capped resolution the error cannot reach zero for this rect.
+  ASSERT_GT(d.error(), 0.0);
+}
+
+TEST(Decompose, Deterministic) {
+  Random rng(25);
+  const uint32_t gbits = 10;
+  for (int trial = 0; trial < 50; ++trial) {
+    const GridRect rect = RandomRect(&rng, gbits);
+    const auto a = Decompose(rect, gbits, DecomposeOptions::SizeBound(8));
+    const auto b = Decompose(rect, gbits, DecomposeOptions::SizeBound(8));
+    ASSERT_EQ(a.elements, b.elements);
+  }
+}
+
+TEST(Decompose, NoMergeableSiblingsRemain) {
+  Random rng(26);
+  const uint32_t gbits = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    const GridRect rect = RandomRect(&rng, gbits);
+    const auto d = Decompose(rect, gbits, DecomposeOptions::SizeBound(16));
+    for (size_t i = 0; i + 1 < d.elements.size(); ++i) {
+      const ZElement& a = d.elements[i];
+      const ZElement& b = d.elements[i + 1];
+      const bool siblings = a.level == b.level && a.level > 0 &&
+                            a.Parent() == b.Parent() && a.zmin != b.zmin;
+      ASSERT_FALSE(siblings) << "unmerged siblings at " << i;
+    }
+  }
+}
+
+TEST(Decompose, RedundancyGrowsWithBudgetForSlimObjects) {
+  // A long, thin object straddling the center needs many elements.
+  const uint32_t gbits = 10;
+  const GridRect slim{10, 500, 1000, 515};
+  size_t prev = 0;
+  for (uint32_t k : {1u, 4u, 16u, 64u}) {
+    const auto d = Decompose(slim, gbits, DecomposeOptions::SizeBound(k));
+    ASSERT_GE(d.elements.size(), prev);
+    prev = d.elements.size();
+  }
+  ASSERT_GT(prev, 8u);
+}
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,176 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include "geom/grid.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+
+namespace zdb {
+namespace {
+
+TEST(Rect, BasicPredicates) {
+  const Rect a{0.1, 0.1, 0.5, 0.4};
+  EXPECT_TRUE(a.valid());
+  EXPECT_DOUBLE_EQ(a.area(), 0.4 * 0.3);
+  EXPECT_DOUBLE_EQ(a.margin(), 0.7);
+  EXPECT_TRUE(a.Contains(Point{0.3, 0.2}));
+  EXPECT_TRUE(a.Contains(Point{0.1, 0.1}));  // boundary inclusive
+  EXPECT_FALSE(a.Contains(Point{0.6, 0.2}));
+  EXPECT_TRUE(a.Contains(Rect{0.2, 0.2, 0.3, 0.3}));
+  EXPECT_FALSE(a.Contains(Rect{0.2, 0.2, 0.6, 0.3}));
+}
+
+TEST(Rect, IntersectionSemantics) {
+  const Rect a{0.0, 0.0, 0.5, 0.5};
+  EXPECT_TRUE(a.Intersects(Rect{0.4, 0.4, 0.9, 0.9}));
+  EXPECT_TRUE(a.Intersects(Rect{0.5, 0.5, 0.9, 0.9}));  // touching counts
+  EXPECT_FALSE(a.Intersects(Rect{0.51, 0.0, 0.9, 0.9}));
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Rect{0.4, 0.4, 0.9, 0.9}), 0.01);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Rect{0.5, 0.5, 0.9, 0.9}), 0.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Rect{0.6, 0.6, 0.9, 0.9}), 0.0);
+
+  const Rect u = a.Union(Rect{0.4, 0.4, 0.9, 0.9});
+  EXPECT_EQ(u, (Rect{0.0, 0.0, 0.9, 0.9}));
+  const Rect i = a.Intersection(Rect{0.4, 0.4, 0.9, 0.9});
+  EXPECT_EQ(i, (Rect{0.4, 0.4, 0.5, 0.5}));
+  EXPECT_FALSE(a.Intersection(Rect{0.6, 0.6, 0.9, 0.9}).valid());
+}
+
+TEST(Rect, DegenerateRects) {
+  const Rect point_like{0.3, 0.3, 0.3, 0.3};
+  EXPECT_TRUE(point_like.valid());
+  EXPECT_DOUBLE_EQ(point_like.area(), 0.0);
+  EXPECT_TRUE(point_like.Contains(Point{0.3, 0.3}));
+  EXPECT_TRUE(point_like.Intersects(Rect{0.2, 0.2, 0.4, 0.4}));
+
+  const Rect inverted{0.5, 0.5, 0.4, 0.4};
+  EXPECT_FALSE(inverted.valid());
+}
+
+TEST(Segments, Intersection) {
+  const Point a{0, 0}, b{1, 1}, c{0, 1}, d{1, 0};
+  EXPECT_TRUE(SegmentsIntersect(a, b, c, d));
+  EXPECT_FALSE(SegmentsIntersect(a, Point{0.4, 0.4}, c, Point{0.1, 0.9}));
+  // Collinear overlap and endpoint touch.
+  EXPECT_TRUE(SegmentsIntersect(a, b, Point{0.5, 0.5}, Point{2, 2}));
+  EXPECT_TRUE(SegmentsIntersect(a, b, b, Point{2, 0}));
+  // Parallel, non-touching.
+  EXPECT_FALSE(SegmentsIntersect(a, Point{1, 0}, Point{0, 0.1},
+                                 Point{1, 0.1}));
+}
+
+Polygon Triangle() {
+  return Polygon({{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}});
+}
+
+TEST(Polygon, ContainsPoint) {
+  const Polygon t = Triangle();
+  EXPECT_TRUE(t.Contains(Point{0.5, 0.4}));
+  EXPECT_FALSE(t.Contains(Point{0.1, 0.1}));
+  EXPECT_FALSE(t.Contains(Point{0.5, 0.9}));
+  // Boundary points count as inside.
+  EXPECT_TRUE(t.Contains(Point{0.5, 0.2}));
+  EXPECT_TRUE(t.Contains(Point{0.2, 0.2}));
+}
+
+TEST(Polygon, AreaAndBounds) {
+  const Polygon t = Triangle();
+  EXPECT_NEAR(t.Area(), 0.5 * 0.6 * 0.6, 1e-12);
+  const Rect b = t.Bounds();
+  EXPECT_EQ(b, (Rect{0.2, 0.2, 0.8, 0.8}));
+
+  // Orientation independence.
+  const Polygon rev({{0.5, 0.8}, {0.8, 0.2}, {0.2, 0.2}});
+  EXPECT_NEAR(rev.Area(), t.Area(), 1e-12);
+}
+
+TEST(Polygon, IntersectsRect) {
+  const Polygon t = Triangle();
+  // Rect fully inside the polygon.
+  EXPECT_TRUE(t.Intersects(Rect{0.45, 0.3, 0.55, 0.4}));
+  // Polygon fully inside the rect.
+  EXPECT_TRUE(t.Intersects(Rect{0.0, 0.0, 1.0, 1.0}));
+  // Edge crossing without contained vertices.
+  EXPECT_TRUE(t.Intersects(Rect{0.0, 0.25, 1.0, 0.3}));
+  // Disjoint but bounding boxes overlap (rect in the triangle's corner
+  // notch).
+  EXPECT_FALSE(t.Intersects(Rect{0.7, 0.6, 0.8, 0.8}));
+  // Fully disjoint.
+  EXPECT_FALSE(t.Intersects(Rect{0.85, 0.85, 0.95, 0.95}));
+  // Touching a vertex.
+  EXPECT_TRUE(t.Intersects(Rect{0.0, 0.0, 0.2, 0.2}));
+}
+
+TEST(Polygon, ConcavePolygon) {
+  // A "U" shape; the notch is outside.
+  const Polygon u({{0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.7, 0.9},
+                   {0.7, 0.3}, {0.3, 0.3}, {0.3, 0.9}, {0.1, 0.9}});
+  EXPECT_TRUE(u.Contains(Point{0.2, 0.5}));   // left arm
+  EXPECT_TRUE(u.Contains(Point{0.8, 0.5}));   // right arm
+  EXPECT_FALSE(u.Contains(Point{0.5, 0.6}));  // notch
+  EXPECT_TRUE(u.Contains(Point{0.5, 0.2}));   // base
+  EXPECT_FALSE(u.Intersects(Rect{0.4, 0.5, 0.6, 0.8}));  // inside notch
+  EXPECT_TRUE(u.Intersects(Rect{0.4, 0.2, 0.6, 0.8}));   // spans base
+}
+
+TEST(Polygon, DegenerateCases) {
+  EXPECT_FALSE(Polygon().Intersects(Rect{0, 0, 1, 1}));
+  EXPECT_FALSE(Polygon().Contains(Point{0, 0}));
+  EXPECT_DOUBLE_EQ(Polygon({{0.5, 0.5}}).Area(), 0.0);
+}
+
+// ------------------------------------------------------------------- grid
+
+TEST(SpaceMapper, RoundTripsCells) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 8);  // 256x256 grid
+  EXPECT_EQ(m.max_coord(), 255u);
+  EXPECT_EQ(m.ToGridX(0.0), 0u);
+  EXPECT_EQ(m.ToGridX(0.5), 128u);
+  EXPECT_EQ(m.ToGridX(0.999999), 255u);
+  // Out-of-bounds coordinates clamp.
+  EXPECT_EQ(m.ToGridX(-0.5), 0u);
+  EXPECT_EQ(m.ToGridX(1.5), 255u);
+
+  const GridRect g = m.ToGrid(Rect{0.25, 0.5, 0.5, 0.75});
+  const Rect back = m.ToWorld(g);
+  // The grid rect covers the original rect.
+  EXPECT_LE(back.xlo, 0.25);
+  EXPECT_GE(back.xhi, 0.5);
+  EXPECT_LE(back.ylo, 0.5);
+  EXPECT_GE(back.yhi, 0.75);
+  // ...within one cell of slack per side.
+  EXPECT_NEAR(back.xlo, 0.25, 1.0 / 256);
+  EXPECT_NEAR(back.xhi, 0.5, 1.0 / 256);
+}
+
+TEST(SpaceMapper, NonUnitWorld) {
+  const SpaceMapper m(Rect{-100, 50, 300, 250}, 10);
+  EXPECT_EQ(m.ToGridX(-100), 0u);
+  EXPECT_EQ(m.ToGridY(50), 0u);
+  EXPECT_EQ(m.ToGridX(299.9), 1023u);
+  const GridRect g = m.ToGrid(Rect{0, 100, 100, 150});
+  const Rect back = m.ToWorld(g);
+  EXPECT_LE(back.xlo, 0.0);
+  EXPECT_GE(back.xhi, 100.0);
+}
+
+TEST(GridRect, CellArithmetic) {
+  const GridRect a{2, 3, 5, 7};
+  EXPECT_EQ(a.width(), 4u);
+  EXPECT_EQ(a.height(), 5u);
+  EXPECT_EQ(a.CellCount(), 20u);
+  const GridRect b{5, 7, 9, 9};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.IntersectionCells(b), 1u);  // single shared cell
+  EXPECT_FALSE(a.Intersects(GridRect{6, 3, 9, 7}));
+  EXPECT_TRUE(a.Contains(GridRect{2, 3, 2, 3}));
+  EXPECT_FALSE(a.Contains(GridRect{2, 3, 6, 7}));
+  // Single-cell rect.
+  const GridRect c{4, 4, 4, 4};
+  EXPECT_EQ(c.CellCount(), 1u);
+  EXPECT_EQ(a.IntersectionCells(c), 1u);
+}
+
+}  // namespace
+}  // namespace zdb

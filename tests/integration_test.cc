@@ -1,0 +1,126 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Cross-module integration: a mixed insert/erase/query session at scale
+// with a tiny buffer pool (heavy eviction traffic), verified against an
+// in-memory model; plus an I/O-accounting sanity check that redundancy
+// actually buys fewer page accesses on the pathological workload.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_util/runner.h"
+#include "core/spatial_index.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+TEST(Integration, MixedSessionUnderTinyPool) {
+  // Pool of 12 frames: every operation fights for cache.
+  Env env = MakeEnv(512, 12);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  auto index = SpatialIndex::Create(env.pool.get(), opt).value();
+
+  DataGenOptions dg;
+  dg.distribution = Distribution::kContours;
+  const auto data = GenerateData(3000, dg);
+
+  std::vector<bool> alive(data.size(), false);
+  Random rng(55);
+  size_t next_insert = 0;
+
+  for (int op = 0; op < 4500; ++op) {
+    const int kind = static_cast<int>(rng.Uniform(100));
+    if (kind < 60 && next_insert < data.size()) {
+      ASSERT_EQ(index->Insert(data[next_insert]).value(),
+                static_cast<ObjectId>(next_insert));
+      alive[next_insert] = true;
+      ++next_insert;
+    } else if (kind < 75 && next_insert > 0) {
+      const ObjectId victim =
+          static_cast<ObjectId>(rng.Uniform(next_insert));
+      Status s = index->Erase(victim);
+      if (alive[victim]) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        alive[victim] = false;
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else if (kind < 90) {
+      const auto w = GenerateWindows(1, 0.005,
+                                     QueryGenOptions{rng.Next(), 0.0})[0];
+      auto got = index->WindowQuery(w).value();
+      std::sort(got.begin(), got.end());
+      std::vector<ObjectId> expect;
+      for (size_t i = 0; i < next_insert; ++i) {
+        if (alive[i] && data[i].Intersects(w)) {
+          expect.push_back(static_cast<ObjectId>(i));
+        }
+      }
+      ASSERT_EQ(got, expect) << "op " << op;
+    } else {
+      const Point p{rng.NextDouble(), rng.NextDouble()};
+      auto got = index->PointQuery(p).value();
+      std::sort(got.begin(), got.end());
+      std::vector<ObjectId> expect;
+      for (size_t i = 0; i < next_insert; ++i) {
+        if (alive[i] && data[i].Contains(p)) {
+          expect.push_back(static_cast<ObjectId>(i));
+        }
+      }
+      ASSERT_EQ(got, expect) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+}
+
+TEST(Integration, RedundancyReducesAccessesOnDiagonalData) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kDiagonal;
+  const auto data = GenerateData(5000, dg);
+  const auto windows = GenerateWindows(20, 0.0001, QueryGenOptions{});
+
+  double cost_k1 = 0, cost_k8 = 0;
+  for (uint32_t k : {1u, 8u}) {
+    Env env = MakeEnv();
+    SpatialIndexOptions opt;
+    opt.data = DecomposeOptions::SizeBound(k);
+    auto index = BuildZIndex(&env, data, opt).value();
+    auto rr = RunWindowQueries(&env, index.get(), windows).value();
+    (k == 1 ? cost_k1 : cost_k8) = rr.avg_accesses;
+  }
+  // The paper's headline effect: the non-redundant scheme pays several
+  // times more page accesses for tiny queries on diagonal data.
+  EXPECT_GT(cost_k1, 2.0 * cost_k8)
+      << "k=1 " << cost_k1 << " vs k=8 " << cost_k8;
+}
+
+TEST(Integration, IoCountersAreConsistent) {
+  Env env = MakeEnv(512, 64);
+  SpatialIndexOptions opt;
+  auto index = SpatialIndex::Create(env.pool.get(), opt).value();
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformSmall;
+  for (const Rect& r : GenerateData(2000, dg)) {
+    ASSERT_TRUE(index->Insert(r).ok());
+  }
+  ASSERT_TRUE(env.pool->FlushAll().ok());
+  const IoStats s = env.pager->io_stats();
+  // Misses reach the pager as reads; evictions of dirty pages as writes.
+  EXPECT_GE(s.pool_misses + s.pool_hits, s.page_reads);
+  EXPECT_GT(s.pool_hits, 0u);
+  EXPECT_GT(s.page_writes, 0u);
+
+  // A repeated identical query with a warm pool costs nothing.
+  const Rect w{0.4, 0.4, 0.41, 0.41};
+  (void)index->WindowQuery(w).value();
+  const IoStats before = env.pager->io_stats();
+  (void)index->WindowQuery(w).value();
+  EXPECT_EQ(env.pager->io_stats().Since(before).page_reads, 0u);
+}
+
+}  // namespace
+}  // namespace zdb

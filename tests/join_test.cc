@@ -1,0 +1,143 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/spatial_index.h"
+#include "storage/pager.h"
+#include "workload/datagen.h"
+
+namespace zdb {
+namespace {
+
+struct JoinFixture {
+  JoinFixture() : pager(Pager::OpenInMemory(512)), pool(pager.get(), 64) {}
+
+  std::unique_ptr<SpatialIndex> Make(const DecomposeOptions& policy) {
+    SpatialIndexOptions opt;
+    opt.data = policy;
+    return SpatialIndex::Create(&pool, opt).value();
+  }
+
+  std::unique_ptr<Pager> pager;
+  BufferPool pool;
+};
+
+std::vector<std::pair<ObjectId, ObjectId>> NestedLoop(
+    const std::vector<Rect>& a, const std::vector<Rect>& b) {
+  std::vector<std::pair<ObjectId, ObjectId>> out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (a[i].Intersects(b[j])) {
+        out.emplace_back(static_cast<ObjectId>(i),
+                         static_cast<ObjectId>(j));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SpatialJoin, EmptyInputs) {
+  JoinFixture f;
+  auto a = f.Make(DecomposeOptions::SizeBound(4));
+  auto b = f.Make(DecomposeOptions::SizeBound(4));
+  EXPECT_TRUE(SpatialJoin(a.get(), b.get()).value().empty());
+
+  ASSERT_TRUE(a->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  EXPECT_TRUE(SpatialJoin(a.get(), b.get()).value().empty());
+  EXPECT_TRUE(SpatialJoin(b.get(), a.get()).value().empty());
+}
+
+TEST(SpatialJoin, MismatchedConfigsRejected) {
+  JoinFixture f;
+  auto a = f.Make(DecomposeOptions::SizeBound(4));
+  SpatialIndexOptions opt;
+  opt.grid_bits = 12;
+  auto b = SpatialIndex::Create(&f.pool, opt).value();
+  EXPECT_TRUE(
+      SpatialJoin(a.get(), b.get()).status().IsInvalidArgument());
+}
+
+TEST(SpatialJoin, AsymmetricPolicies) {
+  // Layers may use different redundancy; correctness must hold.
+  JoinFixture f;
+  auto a = f.Make(DecomposeOptions::SizeBound(1));
+  auto b = f.Make(DecomposeOptions::ErrorBound(0.05));
+
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformLarge;
+  dg.seed = 31;
+  const auto data_a = GenerateData(200, dg);
+  dg.seed = 32;
+  const auto data_b = GenerateData(200, dg);
+  for (const Rect& r : data_a) ASSERT_TRUE(a->Insert(r).ok());
+  for (const Rect& r : data_b) ASSERT_TRUE(b->Insert(r).ok());
+
+  auto got = SpatialJoin(a.get(), b.get()).value();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, NestedLoop(data_a, data_b));
+}
+
+TEST(SpatialJoin, SelfJoinOfIdenticalLayers) {
+  JoinFixture f;
+  auto a = f.Make(DecomposeOptions::SizeBound(4));
+  auto b = f.Make(DecomposeOptions::SizeBound(4));
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  const auto data = GenerateData(150, dg);
+  for (const Rect& r : data) {
+    ASSERT_TRUE(a->Insert(r).ok());
+    ASSERT_TRUE(b->Insert(r).ok());
+  }
+  auto got = SpatialJoin(a.get(), b.get()).value();
+  // Every object intersects its twin, so the diagonal is present.
+  std::sort(got.begin(), got.end());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(std::binary_search(
+        got.begin(), got.end(),
+        std::make_pair(static_cast<ObjectId>(i), static_cast<ObjectId>(i))));
+  }
+  EXPECT_EQ(got, NestedLoop(data, data));
+}
+
+TEST(SpatialJoin, ErasedObjectsDropOut) {
+  JoinFixture f;
+  auto a = f.Make(DecomposeOptions::SizeBound(4));
+  auto b = f.Make(DecomposeOptions::SizeBound(4));
+  ASSERT_TRUE(a->Insert(Rect{0.1, 0.1, 0.3, 0.3}).ok());
+  ASSERT_TRUE(a->Insert(Rect{0.6, 0.6, 0.8, 0.8}).ok());
+  ASSERT_TRUE(b->Insert(Rect{0.2, 0.2, 0.7, 0.7}).ok());
+
+  auto before = SpatialJoin(a.get(), b.get()).value();
+  EXPECT_EQ(before.size(), 2u);
+  ASSERT_TRUE(a->Erase(0).ok());
+  auto after = SpatialJoin(a.get(), b.get()).value();
+  EXPECT_EQ(after,
+            (std::vector<std::pair<ObjectId, ObjectId>>{{1, 0}}));
+}
+
+TEST(SpatialJoin, StatsIdentities) {
+  JoinFixture f;
+  auto a = f.Make(DecomposeOptions::SizeBound(4));
+  auto b = f.Make(DecomposeOptions::SizeBound(4));
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformLarge;
+  dg.seed = 41;
+  const auto data_a = GenerateData(250, dg);
+  dg.seed = 42;
+  const auto data_b = GenerateData(250, dg);
+  for (const Rect& r : data_a) ASSERT_TRUE(a->Insert(r).ok());
+  for (const Rect& r : data_b) ASSERT_TRUE(b->Insert(r).ok());
+
+  JoinStats js;
+  auto got = SpatialJoin(a.get(), b.get(), &js).value();
+  EXPECT_EQ(js.results, got.size());
+  EXPECT_GE(js.candidate_pairs, js.unique_pairs);
+  EXPECT_EQ(js.unique_pairs, js.results + js.false_pairs);
+  EXPECT_EQ(js.entries_scanned,
+            a->btree()->size() + b->btree()->size());
+}
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,81 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "core/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/pager.h"
+
+namespace zdb {
+namespace {
+
+TEST(ObjectStore, InsertFetchRoundTrip) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 8);
+  ObjectStore store(&pool);
+
+  const Rect r{0.1, 0.2, 0.3, 0.4};
+  const ObjectId oid = store.Insert(r, 42).value();
+  EXPECT_EQ(oid, 0u);
+  const ObjectRecord rec = store.Fetch(oid).value();
+  EXPECT_EQ(rec.mbr, r);
+  EXPECT_EQ(rec.payload, 42u);
+  EXPECT_TRUE(rec.live);
+}
+
+TEST(ObjectStore, DenseIdsAcrossPages) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 8);
+  ObjectStore store(&pool);
+  const uint32_t per_page = store.records_per_page();
+  ASSERT_GT(per_page, 1u);
+
+  const uint32_t n = per_page * 3 + 5;
+  for (uint32_t i = 0; i < n; ++i) {
+    const Rect r{i * 1e-4, 0, i * 1e-4 + 1e-5, 1e-5};
+    EXPECT_EQ(store.Insert(r).value(), i);
+  }
+  EXPECT_EQ(store.page_count(), 4u);
+  EXPECT_EQ(store.size(), n);
+  for (uint32_t i = 0; i < n; i += 7) {
+    EXPECT_DOUBLE_EQ(store.Fetch(i).value().mbr.xlo, i * 1e-4);
+  }
+}
+
+TEST(ObjectStore, EraseTombstones) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 8);
+  ObjectStore store(&pool);
+  const ObjectId oid = store.Insert(Rect{0, 0, 1, 1}).value();
+  ASSERT_TRUE(store.Erase(oid).ok());
+  EXPECT_FALSE(store.Fetch(oid).value().live);
+  EXPECT_TRUE(store.Erase(oid).IsNotFound());  // double erase
+}
+
+TEST(ObjectStore, OutOfRangeFails) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 8);
+  ObjectStore store(&pool);
+  EXPECT_TRUE(store.Fetch(0).status().IsNotFound());
+  EXPECT_TRUE(store.Erase(5).IsNotFound());
+}
+
+TEST(ObjectStore, FetchCostsPageAccessWhenCold) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 4);
+  ObjectStore store(&pool);
+  for (int i = 0; i < 100; ++i) {
+    (void)store.Insert(Rect{0, 0, 0.1, 0.1});
+  }
+  ASSERT_TRUE(pool.Clear().ok());
+  const IoStats before = pager->io_stats();
+  (void)store.Fetch(0).value();
+  EXPECT_EQ(pager->io_stats().Since(before).page_reads, 1u);
+  // Warm fetch of a neighbor on the same page: no new read.
+  const IoStats warm = pager->io_stats();
+  (void)store.Fetch(1).value();
+  EXPECT_EQ(pager->io_stats().Since(warm).page_reads, 0u);
+}
+
+}  // namespace
+}  // namespace zdb

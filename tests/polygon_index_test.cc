@@ -1,0 +1,329 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Polygon objects in the spatial index: store round-trips, exact-geometry
+// query equivalence against brute force, mixed rect/polygon layers,
+// erase, join, and kNN.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/spatial_index.h"
+#include "rtree/rtree.h"
+#include "storage/pager.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+Polygon RandomBlob(Random* rng, double cx, double cy, double radius) {
+  std::vector<Point> ring;
+  const int sides = 4 + static_cast<int>(rng->Uniform(5));
+  for (int i = 0; i < sides; ++i) {
+    const double ang = 2 * 3.14159265358979 * i / sides;
+    const double r = radius * rng->UniformDouble(0.5, 1.0);
+    ring.push_back(Point{cx + r * std::cos(ang), cy + r * std::sin(ang)});
+  }
+  return Polygon(std::move(ring));
+}
+
+std::vector<Polygon> RandomBlobs(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Polygon> out;
+  while (out.size() < n) {
+    Polygon p = RandomBlob(&rng, rng.UniformDouble(0.15, 0.85),
+                           rng.UniformDouble(0.15, 0.85),
+                           rng.UniformDouble(0.02, 0.12));
+    const Rect b = p.Bounds();
+    if (b.xlo >= 0 && b.ylo >= 0 && b.xhi < 1 && b.yhi < 1) {
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+struct Fixture {
+  Fixture() : pager(Pager::OpenInMemory(512)), pool(pager.get(), 64) {
+    SpatialIndexOptions opt;
+    opt.data = DecomposeOptions::SizeBound(8);
+    index = SpatialIndex::Create(&pool, opt).value();
+  }
+  std::unique_ptr<Pager> pager;
+  BufferPool pool;
+  std::unique_ptr<SpatialIndex> index;
+};
+
+// ------------------------------------------------------------ poly store
+
+TEST(PolygonStore, RoundTripAcrossPages) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 16);
+  PolygonStore store(&pool);
+  ASSERT_GE(store.max_vertices(), 8u);
+
+  const auto blobs = RandomBlobs(100, 7);
+  std::vector<PolyRef> refs;
+  for (const Polygon& p : blobs) refs.push_back(store.Insert(p).value());
+  EXPECT_GT(store.page_count(), 1u);
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    const Polygon got = store.Fetch(refs[i]).value();
+    ASSERT_EQ(got.size(), blobs[i].size());
+    for (size_t v = 0; v < got.size(); ++v) {
+      ASSERT_EQ(got.vertices()[v], blobs[i].vertices()[v]);
+    }
+  }
+}
+
+TEST(PolygonStore, RejectsBadInput) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 16);
+  PolygonStore store(&pool);
+  EXPECT_TRUE(store.Insert(Polygon()).status().IsInvalidArgument());
+  std::vector<Point> huge(store.max_vertices() + 1);
+  EXPECT_TRUE(store.Insert(Polygon(huge)).status().IsInvalidArgument());
+  EXPECT_TRUE(store.Fetch(0).status().IsNotFound());
+}
+
+// ------------------------------------------------------------- the index
+
+TEST(PolygonIndex, WindowAndPointMatchBruteForce) {
+  Fixture f;
+  const auto blobs = RandomBlobs(200, 8);
+  for (const Polygon& p : blobs) {
+    ASSERT_TRUE(f.index->InsertPolygon(p).ok());
+  }
+
+  for (const Rect& w : GenerateWindows(25, 0.01, QueryGenOptions{})) {
+    auto got = f.index->WindowQuery(w).value();
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> expect;
+    for (size_t i = 0; i < blobs.size(); ++i) {
+      if (blobs[i].Intersects(w)) expect.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got, expect) << w.ToString();
+  }
+
+  for (const Point& p : GeneratePoints(60, 12)) {
+    auto got = f.index->PointQuery(p).value();
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> expect;
+    for (size_t i = 0; i < blobs.size(); ++i) {
+      if (blobs[i].Contains(p)) expect.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(PolygonIndex, ExactRefinementBeatsMbr) {
+  // A slim diagonal polygon: its MBR intersects a window its geometry
+  // misses; the polygon path must return the exact answer.
+  Fixture f;
+  const Polygon sliver(
+      {{0.1, 0.1}, {0.15, 0.1}, {0.9, 0.85}, {0.9, 0.9}, {0.85, 0.9}});
+  const ObjectId oid = f.index->InsertPolygon(sliver).value();
+  (void)oid;
+
+  const Rect off_diagonal{0.2, 0.7, 0.3, 0.8};  // inside MBR, off geometry
+  EXPECT_TRUE(sliver.Bounds().Intersects(off_diagonal));
+  EXPECT_FALSE(sliver.Intersects(off_diagonal));
+  QueryStats qs;
+  EXPECT_TRUE(f.index->WindowQuery(off_diagonal, &qs).value().empty());
+
+  const Rect on_diagonal{0.45, 0.45, 0.55, 0.55};
+  EXPECT_EQ(f.index->WindowQuery(on_diagonal).value().size(), 1u);
+}
+
+TEST(PolygonIndex, MixedLayersAndErase) {
+  Fixture f;
+  const auto blobs = RandomBlobs(80, 9);
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformSmall;
+  const auto rects = GenerateData(80, dg);
+
+  // Interleave polygon and rect inserts.
+  std::vector<bool> is_poly;
+  for (size_t i = 0; i < 80; ++i) {
+    ASSERT_TRUE(f.index->InsertPolygon(blobs[i]).ok());
+    is_poly.push_back(true);
+    ASSERT_TRUE(f.index->Insert(rects[i]).ok());
+    is_poly.push_back(false);
+  }
+
+  auto intersects = [&](size_t oid, const Rect& w) {
+    if (is_poly[oid]) return blobs[oid / 2].Intersects(w);
+    return rects[oid / 2].Intersects(w);
+  };
+
+  for (const Rect& w : GenerateWindows(15, 0.02, QueryGenOptions{})) {
+    auto got = f.index->WindowQuery(w).value();
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> expect;
+    for (size_t i = 0; i < is_poly.size(); ++i) {
+      if (intersects(i, w)) expect.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got, expect);
+  }
+
+  // Erase all polygons; only rects remain.
+  for (size_t i = 0; i < is_poly.size(); i += 2) {
+    ASSERT_TRUE(f.index->Erase(static_cast<ObjectId>(i)).ok());
+  }
+  ASSERT_TRUE(f.index->btree()->CheckInvariants().ok());
+  auto got = f.index->WindowQuery(Rect{0, 0, 1, 1}).value();
+  EXPECT_EQ(got.size(), 80u);
+  for (ObjectId oid : got) EXPECT_EQ(oid % 2, 1u);
+}
+
+TEST(PolygonIndex, EnclosureUsesExactGeometry) {
+  Fixture f;
+  // A ring-like concave polygon ("U") does NOT enclose a window sitting
+  // in its notch, although its MBR does.
+  const Polygon u({{0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.7, 0.9},
+                   {0.7, 0.3}, {0.3, 0.3}, {0.3, 0.9}, {0.1, 0.9}});
+  ASSERT_TRUE(f.index->InsertPolygon(u).ok());
+  const Rect notch{0.45, 0.5, 0.55, 0.6};
+  EXPECT_TRUE(u.Bounds().Contains(notch));
+  EXPECT_TRUE(f.index->EnclosureQuery(notch).value().empty());
+  const Rect base{0.45, 0.15, 0.55, 0.25};
+  EXPECT_EQ(f.index->EnclosureQuery(base).value().size(), 1u);
+}
+
+TEST(PolygonIndex, RejectedUnderLeafMbrMode) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 16);
+  SpatialIndexOptions opt;
+  opt.store_mbr_in_leaf = true;
+  auto index = SpatialIndex::Create(&pool, opt).value();
+  const Polygon tri({{0.1, 0.1}, {0.2, 0.1}, {0.15, 0.2}});
+  EXPECT_TRUE(index->InsertPolygon(tri).status().IsInvalidArgument());
+}
+
+TEST(PolygonIndex, JoinRefinesExactly) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  auto a = SpatialIndex::Create(&pool, opt).value();
+  auto b = SpatialIndex::Create(&pool, opt).value();
+
+  const auto blobs_a = RandomBlobs(60, 13);
+  const auto blobs_b = RandomBlobs(60, 14);
+  for (const Polygon& p : blobs_a) ASSERT_TRUE(a->InsertPolygon(p).ok());
+  for (const Polygon& p : blobs_b) ASSERT_TRUE(b->InsertPolygon(p).ok());
+
+  auto got = SpatialJoin(a.get(), b.get()).value();
+  std::sort(got.begin(), got.end());
+  std::vector<std::pair<ObjectId, ObjectId>> expect;
+  for (size_t i = 0; i < blobs_a.size(); ++i) {
+    for (size_t j = 0; j < blobs_b.size(); ++j) {
+      if (PolygonsIntersect(blobs_a[i], blobs_b[j])) {
+        expect.emplace_back(static_cast<ObjectId>(i),
+                            static_cast<ObjectId>(j));
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
+// ------------------------------------------------------------------- kNN
+
+TEST(Knn, MatchesBruteForceOnRects) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  auto index = SpatialIndex::Create(&pool, opt).value();
+
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  const auto data = GenerateData(600, dg);
+  for (const Rect& r : data) ASSERT_TRUE(index->Insert(r).ok());
+
+  Random rng(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    const size_t k = 1 + rng.Uniform(10);
+    auto got = index->NearestNeighbors(p, k).value();
+    ASSERT_EQ(got.size(), k);
+
+    // Brute-force k smallest distances.
+    std::vector<std::pair<double, ObjectId>> all;
+    for (size_t i = 0; i < data.size(); ++i) {
+      all.emplace_back(data[i].DistanceTo(p), static_cast<ObjectId>(i));
+    }
+    std::sort(all.begin(), all.end());
+    for (size_t i = 0; i < k; ++i) {
+      // Compare distances (ids can tie at equal distance).
+      ASSERT_NEAR(got[i].second, all[i].first, 1e-12)
+          << "trial " << trial << " i " << i;
+    }
+    // Sorted ascending.
+    for (size_t i = 1; i < k; ++i) {
+      ASSERT_LE(got[i - 1].second, got[i].second);
+    }
+  }
+}
+
+TEST(Knn, PolygonDistancesAreExact) {
+  Fixture f;
+  const Polygon tri({{0.5, 0.5}, {0.7, 0.5}, {0.6, 0.7}});
+  const ObjectId oid = f.index->InsertPolygon(tri).value();
+
+  // A point whose MBR distance is 0 but polygon distance is positive
+  // (inside the MBR, outside the triangle).
+  const Point p{0.52, 0.68};
+  ASSERT_TRUE(tri.Bounds().Contains(p));
+  ASSERT_FALSE(tri.Contains(p));
+  auto got = f.index->NearestNeighbors(p, 1).value();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, oid);
+  EXPECT_GT(got[0].second, 0.0);
+  EXPECT_NEAR(got[0].second, tri.DistanceTo(p), 1e-12);
+}
+
+TEST(Knn, EdgeCases) {
+  Fixture f;
+  EXPECT_TRUE(f.index->NearestNeighbors(Point{0.5, 0.5}, 3).value().empty());
+  ASSERT_TRUE(f.index->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  // k larger than the population returns everything.
+  auto got = f.index->NearestNeighbors(Point{0.9, 0.9}, 5).value();
+  EXPECT_EQ(got.size(), 1u);
+  // k == 0.
+  EXPECT_TRUE(f.index->NearestNeighbors(Point{0.5, 0.5}, 0).value().empty());
+  // Query point inside an object: distance 0.
+  auto inside = f.index->NearestNeighbors(Point{0.15, 0.15}, 1).value();
+  EXPECT_DOUBLE_EQ(inside[0].second, 0.0);
+}
+
+TEST(Knn, RTreeMatchesZIndex) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  auto index = SpatialIndex::Create(&pool, opt).value();
+  auto rtree = RTree::Create(&pool, RTreeOptions{}).value();
+
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformSmall;
+  const auto data = GenerateData(500, dg);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index->Insert(data[i]).ok());
+    ASSERT_TRUE(rtree->Insert(data[i], static_cast<ObjectId>(i)).ok());
+  }
+
+  Random rng(16);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    auto za = index->NearestNeighbors(p, 5).value();
+    auto ra = rtree->NearestNeighbors(p, 5).value();
+    ASSERT_EQ(za.size(), ra.size());
+    for (size_t i = 0; i < za.size(); ++i) {
+      ASSERT_NEAR(za[i].second, ra[i].second, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zdb

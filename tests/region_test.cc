@@ -1,0 +1,135 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Region-generic decomposition: coverage and budget invariants for
+// polygon regions, and the consistency of the generic rectangle path
+// with the integer-exact one.
+
+#include "decompose/region.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace zdb {
+namespace {
+
+Polygon RandomStar(Random* rng, double cx, double cy, double radius) {
+  std::vector<Point> ring;
+  const int sides = 5 + static_cast<int>(rng->Uniform(6));
+  for (int i = 0; i < sides; ++i) {
+    const double ang = 2 * 3.14159265358979 * i / sides;
+    const double r = radius * rng->UniformDouble(0.4, 1.0);
+    ring.push_back(Point{cx + r * std::cos(ang), cy + r * std::sin(ang)});
+  }
+  return Polygon(std::move(ring));
+}
+
+void CheckRegionInvariants(const Region& region, const SpaceMapper& mapper,
+                           const RegionDecomposition& d) {
+  ASSERT_FALSE(d.elements.empty());
+  // Disjoint, canonically ordered.
+  for (size_t i = 1; i < d.elements.size(); ++i) {
+    ASSERT_GT(d.elements[i].zmin, d.elements[i - 1].zmax());
+  }
+  // Coverage: random points inside the region fall inside some element.
+  Random rng(77);
+  const Rect bounds = region.WorldBounds();
+  int checked = 0;
+  for (int i = 0; i < 2000 && checked < 300; ++i) {
+    const Point p{rng.UniformDouble(bounds.xlo, bounds.xhi),
+                  rng.UniformDouble(bounds.ylo, bounds.yhi)};
+    const Rect probe{p.x, p.y, p.x, p.y};
+    if (region.IntersectionArea(Rect{p.x - 1e-9, p.y - 1e-9, p.x + 1e-9,
+                                     p.y + 1e-9}) <= 0) {
+      continue;  // point (probably) not inside the region
+    }
+    (void)probe;
+    ++checked;
+    bool covered = false;
+    for (const ZElement& e : d.elements) {
+      const Rect cell = mapper.ToWorld(e.ToGridRect());
+      if (cell.Contains(p)) {
+        covered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(covered) << "uncovered point " << p.x << "," << p.y;
+  }
+  ASSERT_GT(checked, 50);
+  ASSERT_GE(d.covered_area, d.object_area - 1e-9);
+}
+
+TEST(RegionDecompose, PolygonSizeBound) {
+  Random rng(51);
+  const SpaceMapper mapper;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Polygon poly = RandomStar(&rng, rng.UniformDouble(0.3, 0.7),
+                                    rng.UniformDouble(0.3, 0.7), 0.2);
+    const PolygonRegion region(&poly);
+    for (uint32_t k : {1u, 4u, 16u}) {
+      const auto d =
+          DecomposeRegion(region, mapper, DecomposeOptions::SizeBound(k));
+      ASSERT_LE(d.elements.size(), k);
+      CheckRegionInvariants(region, mapper, d);
+    }
+  }
+}
+
+TEST(RegionDecompose, PolygonErrorBound) {
+  Random rng(52);
+  const SpaceMapper mapper;
+  const Polygon poly = RandomStar(&rng, 0.5, 0.5, 0.25);
+  const PolygonRegion region(&poly);
+  double prev_error = 1e300;
+  for (double eps : {2.0, 1.0, 0.5, 0.2, 0.1}) {
+    const auto d = DecomposeRegion(region, mapper,
+                                   DecomposeOptions::ErrorBound(eps, 2048));
+    CheckRegionInvariants(region, mapper, d);
+    EXPECT_LE(d.error(), eps + 1e-9) << "eps=" << eps;
+    EXPECT_LE(d.error(), prev_error + 1e-9);
+    prev_error = d.error();
+  }
+}
+
+TEST(RegionDecompose, ExactGeometryBeatsMbrForSlimDiagonal) {
+  // A thin diagonal sliver: its MBR is mostly dead space, so decomposing
+  // the exact geometry gives a far smaller covered area at equal element
+  // budget — the motivation for region-generic decomposition.
+  const Polygon sliver(
+      {{0.1, 0.1}, {0.12, 0.1}, {0.9, 0.88}, {0.9, 0.9}, {0.88, 0.9}});
+  const SpaceMapper mapper;
+  const PolygonRegion exact(&sliver);
+  const RectRegion mbr(sliver.Bounds());
+
+  const auto opt = DecomposeOptions::SizeBound(16);
+  const auto d_exact = DecomposeRegion(exact, mapper, opt);
+  const auto d_mbr = DecomposeRegion(mbr, mapper, opt);
+  EXPECT_LT(d_exact.covered_area, d_mbr.covered_area / 4)
+      << "exact " << d_exact.covered_area << " mbr " << d_mbr.covered_area;
+}
+
+TEST(RegionDecompose, RectRegionAgreesWithIntegerPath) {
+  Random rng(53);
+  const SpaceMapper mapper;
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x = rng.UniformDouble(0.0, 0.8);
+    const double y = rng.UniformDouble(0.0, 0.8);
+    const Rect rect{x, y, x + rng.UniformDouble(0.01, 0.19),
+                    y + rng.UniformDouble(0.01, 0.19)};
+    const RectRegion region(rect);
+    // The two paths use different dead-space arithmetic (world area vs
+    // grid cells) but identical splitting structure; with the same
+    // budget they must produce identical element sets for rectangles
+    // aligned to the same grid footprint.
+    const auto generic =
+        DecomposeRegion(region, mapper, DecomposeOptions::SizeBound(8));
+    const auto integer = Decompose(mapper.ToGrid(rect), mapper.bits(),
+                                   DecomposeOptions::SizeBound(8));
+    ASSERT_EQ(generic.elements, integer.elements) << rect.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,250 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "rtree/split.h"
+#include "storage/pager.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+struct RTreeFixture {
+  explicit RTreeFixture(RTreeOptions opt = {}, uint32_t page_size = 512)
+      : pager(Pager::OpenInMemory(page_size)), pool(pager.get(), 64) {
+    tree = RTree::Create(&pool, opt).value();
+  }
+  std::unique_ptr<Pager> pager;
+  BufferPool pool;
+  std::unique_ptr<RTree> tree;
+};
+
+TEST(RTree, RejectsBadOptions) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 8);
+  RTreeOptions opt;
+  opt.min_fill = 0.0;
+  EXPECT_FALSE(RTree::Create(&pool, opt).ok());
+  opt.min_fill = 0.7;
+  EXPECT_FALSE(RTree::Create(&pool, opt).ok());
+}
+
+TEST(RTree, EmptyTree) {
+  RTreeFixture f;
+  EXPECT_EQ(f.tree->size(), 0u);
+  EXPECT_TRUE(f.tree->WindowQuery(Rect{0, 0, 1, 1}).value().empty());
+  EXPECT_TRUE(f.tree->Delete(Rect{0, 0, 1, 1}, 0).IsNotFound());
+  EXPECT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(RTree, GrowsAndStaysValid) {
+  RTreeFixture f;
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformSmall;
+  const auto data = GenerateData(3000, dg);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(f.tree->Insert(data[i], static_cast<ObjectId>(i)).ok());
+    if (i % 500 == 499) {
+      ASSERT_TRUE(f.tree->CheckInvariants().ok());
+    }
+  }
+  EXPECT_GT(f.tree->height(), 2u);
+  EXPECT_EQ(f.tree->size(), data.size());
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(RTree, DeleteWithCondensationMatchesModel) {
+  RTreeFixture f;
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  const auto data = GenerateData(1500, dg);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(f.tree->Insert(data[i], static_cast<ObjectId>(i)).ok());
+  }
+  std::vector<bool> alive(data.size(), true);
+  Random rng(1);
+  for (int i = 0; i < 1200; ++i) {
+    const size_t victim = rng.Uniform(data.size());
+    Status s = f.tree->Delete(data[victim], static_cast<ObjectId>(victim));
+    if (alive[victim]) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      alive[victim] = false;
+    } else {
+      ASSERT_TRUE(s.IsNotFound());
+    }
+    if (i % 200 == 199) {
+      ASSERT_TRUE(f.tree->CheckInvariants().ok());
+    }
+  }
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+
+  auto got = f.tree->WindowQuery(Rect{0, 0, 1, 1}).value();
+  std::sort(got.begin(), got.end());
+  std::vector<ObjectId> expect;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (alive[i]) expect.push_back(static_cast<ObjectId>(i));
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(RTree, DeleteToEmptyShrinks) {
+  RTreeFixture f;
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformSmall;
+  const auto data = GenerateData(800, dg);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(f.tree->Insert(data[i], static_cast<ObjectId>(i)).ok());
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(
+        f.tree->Delete(data[i], static_cast<ObjectId>(i)).ok());
+  }
+  EXPECT_EQ(f.tree->size(), 0u);
+  EXPECT_EQ(f.tree->height(), 1u);
+  EXPECT_TRUE(f.tree->WindowQuery(Rect{0, 0, 1, 1}).value().empty());
+}
+
+class RTreeQueryTest
+    : public ::testing::TestWithParam<RTreeOptions::Split> {};
+
+TEST_P(RTreeQueryTest, AllQueryTypesMatchBruteForce) {
+  RTreeOptions opt;
+  opt.split = GetParam();
+  RTreeFixture f(opt);
+  DataGenOptions dg;
+  dg.distribution = Distribution::kSkewedSizes;
+  const auto data = GenerateData(1000, dg);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(f.tree->Insert(data[i], static_cast<ObjectId>(i)).ok());
+  }
+
+  for (const Rect& w : GenerateWindows(15, 0.01, QueryGenOptions{})) {
+    auto got = f.tree->WindowQuery(w).value();
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> expect;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Intersects(w)) expect.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got, expect);
+
+    auto got_c = f.tree->ContainmentQuery(w).value();
+    std::sort(got_c.begin(), got_c.end());
+    std::vector<ObjectId> expect_c;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (w.Contains(data[i])) expect_c.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got_c, expect_c);
+
+    auto got_e = f.tree->EnclosureQuery(w).value();
+    std::sort(got_e.begin(), got_e.end());
+    std::vector<ObjectId> expect_e;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Contains(w)) expect_e.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got_e, expect_e);
+  }
+
+  for (const Point& p : GeneratePoints(30, 9)) {
+    auto got = f.tree->PointQuery(p).value();
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> expect;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Contains(p)) expect.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, RTreeQueryTest,
+                         ::testing::Values(RTreeOptions::Split::kQuadratic,
+                                           RTreeOptions::Split::kLinear,
+                                           RTreeOptions::Split::kRStar),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case RTreeOptions::Split::kQuadratic:
+                               return "quadratic";
+                             case RTreeOptions::Split::kLinear:
+                               return "linear";
+                             case RTreeOptions::Split::kRStar:
+                               return "rstar";
+                           }
+                           return "?";
+                         });
+
+// -------------------------------------------------------- split algorithms
+
+std::vector<REntry> RandomEntries(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<REntry> out;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    out.push_back(REntry{Rect{x, y, x + rng.NextDouble() * 0.1,
+                              y + rng.NextDouble() * 0.1},
+                         static_cast<uint32_t>(i)});
+  }
+  return out;
+}
+
+TEST(Split, AllAlgorithmsPartitionCompletely) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const auto entries = RandomEntries(13, seed);
+    for (int alg = 0; alg < 3; ++alg) {
+      std::vector<REntry> a, b;
+      if (alg == 0) {
+        QuadraticSplit(entries, 4, &a, &b);
+      } else if (alg == 1) {
+        LinearSplit(entries, 4, &a, &b);
+      } else {
+        RStarSplit(entries, 4, &a, &b);
+      }
+      EXPECT_EQ(a.size() + b.size(), entries.size());
+      EXPECT_GE(a.size(), 4u);
+      EXPECT_GE(b.size(), 4u);
+      // Every input entry appears exactly once.
+      std::vector<uint32_t> refs;
+      for (const auto& e : a) refs.push_back(e.ref);
+      for (const auto& e : b) refs.push_back(e.ref);
+      std::sort(refs.begin(), refs.end());
+      for (size_t i = 0; i < refs.size(); ++i) EXPECT_EQ(refs[i], i);
+    }
+  }
+}
+
+TEST(Split, RStarPrefersZeroOverlapDistributions) {
+  // Entries sorted along x with a clean gap: the R* split must cut at
+  // the gap, producing non-overlapping groups.
+  std::vector<REntry> entries;
+  for (uint32_t i = 0; i < 6; ++i) {
+    entries.push_back(
+        REntry{Rect{0.01 * i, 0.0, 0.01 * i + 0.005, 0.5}, i});
+    entries.push_back(
+        REntry{Rect{0.7 + 0.01 * i, 0.5, 0.705 + 0.01 * i, 1.0}, 100 + i});
+  }
+  std::vector<REntry> a, b;
+  RStarSplit(entries, 3, &a, &b);
+  EXPECT_DOUBLE_EQ(GroupBounds(a).IntersectionArea(GroupBounds(b)), 0.0);
+}
+
+TEST(Split, QuadraticSeparatesDisjointClusters) {
+  // Two tight clusters far apart must be split cleanly.
+  std::vector<REntry> entries;
+  for (uint32_t i = 0; i < 6; ++i) {
+    const double o = i * 0.001;
+    entries.push_back(REntry{Rect{0.1 + o, 0.1, 0.11 + o, 0.11}, i});
+    entries.push_back(REntry{Rect{0.8 + o, 0.8, 0.81 + o, 0.81}, 100 + i});
+  }
+  std::vector<REntry> a, b;
+  QuadraticSplit(entries, 2, &a, &b);
+  const Rect ba = GroupBounds(a);
+  const Rect bb = GroupBounds(b);
+  EXPECT_FALSE(ba.Intersects(bb));
+}
+
+}  // namespace
+}  // namespace zdb

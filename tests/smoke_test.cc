@@ -1,0 +1,84 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Early smoke test for the storage + B+-tree substrate; the full suites
+// live in the per-module *_test.cc files.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/cursor.h"
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace zdb {
+namespace {
+
+TEST(Smoke, BTreeRandomOpsMatchStdMap) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  auto tree_r = BTree::Create(&pool);
+  ASSERT_TRUE(tree_r.ok()) << tree_r.status().ToString();
+  auto& tree = *tree_r.value();
+
+  std::map<std::string, std::string> model;
+  Random rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const int op = static_cast<int>(rng.Uniform(10));
+    std::string key = "k" + std::to_string(rng.Uniform(2000));
+    if (op < 6) {
+      std::string val = "v" + std::to_string(rng.Next() % 100000);
+      Status s = tree.Insert(Slice(key), Slice(val));
+      if (model.count(key)) {
+        EXPECT_TRUE(s.IsAlreadyExists());
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        model[key] = val;
+      }
+    } else if (op < 8) {
+      Status s = tree.Delete(Slice(key));
+      if (model.count(key)) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        model.erase(key);
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else {
+      auto got = tree.Get(Slice(key));
+      if (model.count(key)) {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(got.value(), model[key]);
+      } else {
+        EXPECT_TRUE(got.status().IsNotFound());
+      }
+    }
+    if (i % 500 == 0) {
+      Status s = tree.CheckInvariants();
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), model.size());
+
+  // Full ordered scan matches the model.
+  auto cur_r = tree.SeekFirst();
+  ASSERT_TRUE(cur_r.ok());
+  auto cur = std::move(cur_r).value();
+  auto it = model.begin();
+  while (cur.Valid()) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(cur.key().ToString(), it->first);
+    EXPECT_EQ(cur.value().ToString(), it->second);
+    ASSERT_TRUE(cur.Next().ok());
+    ++it;
+  }
+  EXPECT_EQ(it, model.end());
+}
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,233 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// SpatialIndex behaviours beyond the brute-force equivalence sweeps in
+// property_test.cc: statistics accounting, erase cycles, edge-case
+// geometry, and option validation.
+
+#include "core/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/pager.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+struct IndexFixture {
+  explicit IndexFixture(SpatialIndexOptions opt = {}, uint32_t page = 512,
+                        size_t pool_pages = 64)
+      : pager(Pager::OpenInMemory(page)), pool(pager.get(), pool_pages) {
+    index = SpatialIndex::Create(&pool, opt).value();
+  }
+  std::unique_ptr<Pager> pager;
+  BufferPool pool;
+  std::unique_ptr<SpatialIndex> index;
+};
+
+TEST(SpatialIndex, RejectsBadOptions) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 8);
+  SpatialIndexOptions opt;
+  opt.grid_bits = 0;
+  EXPECT_FALSE(SpatialIndex::Create(&pool, opt).ok());
+  opt.grid_bits = 40;
+  EXPECT_FALSE(SpatialIndex::Create(&pool, opt).ok());
+}
+
+TEST(SpatialIndex, RejectsInvalidMbr) {
+  IndexFixture f;
+  EXPECT_TRUE(
+      f.index->Insert(Rect{0.5, 0.5, 0.4, 0.6}).status().IsInvalidArgument());
+}
+
+TEST(SpatialIndex, EmptyIndexQueries) {
+  IndexFixture f;
+  EXPECT_TRUE(f.index->WindowQuery(Rect{0, 0, 1, 1}).value().empty());
+  EXPECT_TRUE(f.index->PointQuery(Point{0.5, 0.5}).value().empty());
+  EXPECT_TRUE(f.index->Erase(0).IsNotFound());
+}
+
+TEST(SpatialIndex, StatsAccounting) {
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  IndexFixture f(opt);
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformLarge;
+  const auto data = GenerateData(500, dg);
+  for (const Rect& r : data) ASSERT_TRUE(f.index->Insert(r).ok());
+
+  EXPECT_EQ(f.index->build_stats().objects, 500u);
+  EXPECT_GE(f.index->build_stats().redundancy(), 1.0);
+  EXPECT_LE(f.index->build_stats().redundancy(), 4.0);
+  EXPECT_EQ(f.index->btree()->size(),
+            f.index->build_stats().index_entries);
+
+  QueryStats qs;
+  const Rect w{0.2, 0.2, 0.5, 0.5};
+  auto hits = f.index->WindowQuery(w, &qs).value();
+  // Counter identities.
+  EXPECT_GE(qs.candidates, qs.unique_candidates);
+  EXPECT_EQ(qs.results, hits.size());
+  EXPECT_EQ(qs.unique_candidates, qs.results + qs.false_hits);
+  EXPECT_GE(qs.index_entries, qs.candidates);
+  EXPECT_GT(qs.query_elements, 0u);
+}
+
+TEST(SpatialIndex, LevelMaskTracksInsertedLevels) {
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(1);
+  IndexFixture f(opt);
+  EXPECT_EQ(f.index->level_mask(), 0u);
+  // A full-space object lands at level 0.
+  ASSERT_TRUE(f.index->Insert(Rect{0.0, 0.0, 0.999, 0.999}).ok());
+  EXPECT_TRUE(f.index->level_mask() & 1ULL);
+  // A tiny object lands deep.
+  ASSERT_TRUE(f.index->Insert(Rect{0.25, 0.25, 0.2500001, 0.2500001}).ok());
+  EXPECT_GT(f.index->level_mask(), 1ULL);
+}
+
+TEST(SpatialIndex, LevelHistogramMatchesMaskAndCount) {
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(8);
+  IndexFixture f(opt);
+  DataGenOptions dg;
+  dg.distribution = Distribution::kSkewedSizes;
+  const auto data = GenerateData(400, dg);
+  for (const Rect& r : data) ASSERT_TRUE(f.index->Insert(r).ok());
+
+  const auto hist = f.index->LevelHistogram().value();
+  ASSERT_EQ(hist.size(), 2u * f.index->options().grid_bits + 1);
+  uint64_t total = 0;
+  for (size_t lvl = 0; lvl < hist.size(); ++lvl) {
+    total += hist[lvl];
+    if (hist[lvl] > 0) {
+      EXPECT_TRUE(f.index->level_mask() & (1ULL << lvl)) << lvl;
+    }
+  }
+  EXPECT_EQ(total, f.index->btree()->size());
+}
+
+TEST(SpatialIndex, InsertEraseCyclesStayConsistent) {
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  IndexFixture f(opt);
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  const auto data = GenerateData(300, dg);
+
+  std::vector<ObjectId> live;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    live.clear();
+    for (const Rect& r : data) live.push_back(f.index->Insert(r).value());
+    ASSERT_TRUE(f.index->btree()->CheckInvariants().ok());
+    for (ObjectId oid : live) ASSERT_TRUE(f.index->Erase(oid).ok());
+    ASSERT_TRUE(f.index->btree()->CheckInvariants().ok());
+    EXPECT_EQ(f.index->object_count(), 0u);
+    EXPECT_EQ(f.index->btree()->size(), 0u);
+    EXPECT_TRUE(f.index->WindowQuery(Rect{0, 0, 1, 1}).value().empty());
+  }
+}
+
+TEST(SpatialIndex, DuplicateGeometryGetsDistinctIds) {
+  IndexFixture f;
+  const Rect r{0.3, 0.3, 0.4, 0.4};
+  const ObjectId a = f.index->Insert(r).value();
+  const ObjectId b = f.index->Insert(r).value();
+  EXPECT_NE(a, b);
+  auto hits = f.index->WindowQuery(r).value();
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<ObjectId>{a, b}));
+  ASSERT_TRUE(f.index->Erase(a).ok());
+  EXPECT_EQ(f.index->WindowQuery(r).value(), std::vector<ObjectId>{b});
+}
+
+TEST(SpatialIndex, PointLikeObjects) {
+  IndexFixture f;
+  const Rect point_obj{0.5, 0.5, 0.5, 0.5};
+  const ObjectId oid = f.index->Insert(point_obj).value();
+  EXPECT_EQ(f.index->PointQuery(Point{0.5, 0.5}).value(),
+            std::vector<ObjectId>{oid});
+  EXPECT_EQ(f.index->WindowQuery(Rect{0.4, 0.4, 0.6, 0.6}).value(),
+            std::vector<ObjectId>{oid});
+  EXPECT_TRUE(f.index->PointQuery(Point{0.51, 0.5}).value().empty());
+}
+
+TEST(SpatialIndex, ObjectsStraddlingTheCenter) {
+  // The classic k=1 pathology: an object crossing the midline has the
+  // whole space as its single element; redundancy fixes the false hits.
+  SpatialIndexOptions opt1;
+  opt1.data = DecomposeOptions::SizeBound(1);
+  IndexFixture f1(opt1);
+  SpatialIndexOptions opt8;
+  opt8.data = DecomposeOptions::SizeBound(8);
+  IndexFixture f8(opt8);
+
+  const Rect straddler{0.49, 0.49, 0.51, 0.51};
+  for (auto* f : {&f1, &f8}) {
+    ASSERT_TRUE(f->index->Insert(straddler).ok());
+  }
+  // A faraway query: k=1 must still consider the straddler (false hit),
+  // k=8 must not.
+  const Rect far{0.9, 0.9, 0.95, 0.95};
+  QueryStats qs1, qs8;
+  EXPECT_TRUE(f1.index->WindowQuery(far, &qs1).value().empty());
+  EXPECT_TRUE(f8.index->WindowQuery(far, &qs8).value().empty());
+  EXPECT_EQ(qs1.false_hits, 1u);
+  EXPECT_EQ(qs8.false_hits, 0u);
+}
+
+TEST(SpatialIndex, ContainmentAndEnclosureQueries) {
+  IndexFixture f;
+  const ObjectId small = f.index->Insert(Rect{0.4, 0.4, 0.45, 0.45}).value();
+  const ObjectId big = f.index->Insert(Rect{0.1, 0.1, 0.9, 0.9}).value();
+  const ObjectId out = f.index->Insert(Rect{0.05, 0.7, 0.5, 0.8}).value();
+  (void)out;
+
+  const Rect w{0.3, 0.3, 0.6, 0.6};
+  EXPECT_EQ(f.index->ContainmentQuery(w).value(),
+            std::vector<ObjectId>{small});
+  EXPECT_EQ(f.index->EnclosureQuery(w).value(), std::vector<ObjectId>{big});
+}
+
+TEST(SpatialIndex, WorksAtCoarseGridResolutions) {
+  for (uint32_t bits : {4u, 8u, 12u}) {
+    SpatialIndexOptions opt;
+    opt.grid_bits = bits;
+    opt.data = DecomposeOptions::SizeBound(4);
+    IndexFixture f(opt);
+    DataGenOptions dg;
+    dg.distribution = Distribution::kUniformLarge;
+    const auto data = GenerateData(200, dg);
+    for (const Rect& r : data) ASSERT_TRUE(f.index->Insert(r).ok());
+
+    const auto windows = GenerateWindows(10, 0.01, QueryGenOptions{});
+    for (const Rect& w : windows) {
+      auto got = f.index->WindowQuery(w).value();
+      std::sort(got.begin(), got.end());
+      std::vector<ObjectId> expect;
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (data[i].Intersects(w)) expect.push_back(static_cast<ObjectId>(i));
+      }
+      ASSERT_EQ(got, expect) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(SpatialIndex, CustomWorldBounds) {
+  SpatialIndexOptions opt;
+  opt.world = Rect{-1000, -1000, 1000, 1000};
+  IndexFixture f(opt);
+  const ObjectId a = f.index->Insert(Rect{-500, -500, -400, -400}).value();
+  const ObjectId b = f.index->Insert(Rect{300, 700, 350, 750}).value();
+  EXPECT_EQ(f.index->WindowQuery(Rect{-600, -600, -450, -450}).value(),
+            std::vector<ObjectId>{a});
+  EXPECT_EQ(f.index->PointQuery(Point{320, 720}).value(),
+            std::vector<ObjectId>{b});
+}
+
+}  // namespace
+}  // namespace zdb

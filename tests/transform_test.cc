@@ -1,0 +1,178 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Transformation technique: 4-D Morton codes, element algebra, box
+// decomposition, and query equivalence of the TransformIndex against
+// brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "storage/pager.h"
+#include "transform/transform_index.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+TEST(Morton4, RoundTripProperty) {
+  Random rng(71);
+  for (int i = 0; i < 5000; ++i) {
+    uint16_t c[4], back[4];
+    for (auto& v : c) v = static_cast<uint16_t>(rng.Next());
+    const uint64_t z = Morton4Encode(c[0], c[1], c[2], c[3]);
+    Morton4Decode(z, back);
+    for (int d = 0; d < 4; ++d) ASSERT_EQ(back[d], c[d]);
+  }
+}
+
+TEST(Morton4, SpreadCollectInverse) {
+  Random rng(72);
+  for (int i = 0; i < 2000; ++i) {
+    const uint16_t v = static_cast<uint16_t>(rng.Next());
+    ASSERT_EQ(CollectBits4(SpreadBits4(v)), v);
+  }
+}
+
+TEST(Element4, RootAndChildren) {
+  const ZElement4 root = ZElement4::Root();
+  EXPECT_EQ(root.zmax(), ~0ULL);
+  const Box4 all = root.ToBox();
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_EQ(all.lo[d], 0);
+    EXPECT_EQ(all.hi[d], 0xffff);
+  }
+  // The first split halves dimension 3 (the top code bit).
+  const Box4 c0 = root.Child(0).ToBox();
+  const Box4 c1 = root.Child(1).ToBox();
+  EXPECT_EQ(c0.hi[3], 0x7fff);
+  EXPECT_EQ(c1.lo[3], 0x8000);
+  EXPECT_EQ(c0.hi[0], 0xffff);  // other dims untouched
+}
+
+TEST(Element4, BoxMatchesIntervalProperty) {
+  // Walk random paths; at each step the element's box volume must equal
+  // its z-interval size, and children must partition the parent.
+  Random rng(73);
+  for (int trial = 0; trial < 500; ++trial) {
+    ZElement4 e = ZElement4::Root();
+    while (!e.is_full_resolution() && rng.Bernoulli(0.9)) {
+      const ZElement4 child = e.Child(static_cast<int>(rng.Uniform(2)));
+      ASSERT_EQ(child.ToBox().Volume(), child.interval_size());
+      ASSERT_TRUE(e.ToBox().Contains(child.ToBox()));
+      ASSERT_EQ(e.Child(0).zmax() + 1, e.Child(1).zmin);
+      e = child;
+    }
+  }
+}
+
+TEST(Decompose4, CoversBoxDisjointly) {
+  Random rng(74);
+  for (int trial = 0; trial < 100; ++trial) {
+    Box4 box;
+    for (int d = 0; d < 4; ++d) {
+      uint16_t a = static_cast<uint16_t>(rng.Next());
+      uint16_t b = static_cast<uint16_t>(rng.Next());
+      box.lo[d] = std::min(a, b);
+      box.hi[d] = std::max(a, b);
+    }
+    const auto elements = DecomposeBox4(box, 32);
+    ASSERT_LE(elements.size(), 32u);
+    ASSERT_FALSE(elements.empty());
+    unsigned __int128 covered = 0;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      if (i > 0) {
+        ASSERT_GT(elements[i].zmin, elements[i - 1].zmax());
+      }
+      covered += elements[i].ToBox().IntersectionVolume(box);
+    }
+    // Disjoint elements covering the whole box: intersection volumes sum
+    // to exactly the box volume.
+    ASSERT_EQ(covered, box.Volume());
+  }
+}
+
+TEST(TransformIndex, WindowAndPointMatchBruteForce) {
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformLarge;
+  const auto data = GenerateData(600, dg);
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  auto index = TransformIndex::Create(&pool, TransformIndexOptions{}).value();
+  for (const Rect& r : data) ASSERT_TRUE(index->Insert(r).ok());
+
+  for (const Rect& w : GenerateWindows(25, 0.01, QueryGenOptions{})) {
+    auto got = index->WindowQuery(w).value();
+    std::vector<ObjectId> expect;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Intersects(w)) expect.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got, expect) << w.ToString();
+
+    auto got_c = index->ContainmentQuery(w).value();
+    std::vector<ObjectId> expect_c;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (w.Contains(data[i])) expect_c.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got_c, expect_c);
+  }
+
+  for (const Point& p : GeneratePoints(40, 75)) {
+    auto got = index->PointQuery(p).value();
+    std::vector<ObjectId> expect;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i].Contains(p)) expect.push_back(static_cast<ObjectId>(i));
+    }
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(TransformIndex, OneEntryPerObjectAndErase) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  auto index = TransformIndex::Create(&pool, TransformIndexOptions{}).value();
+
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  const auto data = GenerateData(300, dg);
+  for (const Rect& r : data) ASSERT_TRUE(index->Insert(r).ok());
+  // The transformation's structural property: exactly one entry each.
+  EXPECT_EQ(index->btree()->size(), data.size());
+
+  for (ObjectId oid = 0; oid < 150; ++oid) {
+    ASSERT_TRUE(index->Erase(oid).ok());
+  }
+  EXPECT_TRUE(index->Erase(0).IsNotFound());
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+
+  auto got = index->WindowQuery(Rect{0, 0, 1, 1}).value();
+  std::vector<ObjectId> expect;
+  for (ObjectId oid = 150; oid < 300; ++oid) expect.push_back(oid);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(TransformIndex, QueryStatsAreCoherent) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  TransformIndexOptions opt;
+  opt.query_elements = 16;
+  auto index = TransformIndex::Create(&pool, opt).value();
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformSmall;
+  for (const Rect& r : GenerateData(500, dg)) {
+    ASSERT_TRUE(index->Insert(r).ok());
+  }
+  QueryStats qs;
+  auto hits = index->WindowQuery(Rect{0.3, 0.3, 0.5, 0.5}, &qs).value();
+  EXPECT_LE(qs.query_elements, 16u);
+  EXPECT_GE(qs.index_entries, qs.candidates);
+  EXPECT_EQ(qs.unique_candidates, qs.candidates);  // no duplicates ever
+  EXPECT_EQ(qs.results, hits.size());
+  EXPECT_EQ(qs.unique_candidates, qs.results + qs.false_hits);
+}
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,123 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+TEST(DataGen, AllDistributionsProduceValidUnitSquareRects) {
+  for (Distribution d : kAllDistributions) {
+    DataGenOptions opt;
+    opt.distribution = d;
+    const auto data = GenerateData(2000, opt);
+    ASSERT_EQ(data.size(), 2000u) << DistributionName(d);
+    for (const Rect& r : data) {
+      ASSERT_TRUE(r.valid()) << DistributionName(d);
+      ASSERT_GE(r.xlo, 0.0);
+      ASSERT_GE(r.ylo, 0.0);
+      ASSERT_LT(r.xhi, 1.0);
+      ASSERT_LT(r.yhi, 1.0);
+    }
+  }
+}
+
+TEST(DataGen, DeterministicInSeed) {
+  DataGenOptions a, b;
+  a.distribution = b.distribution = Distribution::kClusters;
+  a.seed = b.seed = 99;
+  EXPECT_EQ(GenerateData(500, a), GenerateData(500, b));
+  b.seed = 100;
+  EXPECT_NE(GenerateData(500, a), GenerateData(500, b));
+}
+
+TEST(DataGen, DistributionShapes) {
+  // Diagonal: centers near the main diagonal.
+  DataGenOptions dg;
+  dg.distribution = Distribution::kDiagonal;
+  for (const Rect& r : GenerateData(1000, dg)) {
+    const Point c = r.center();
+    ASSERT_NEAR(c.x, c.y, 0.12);
+  }
+  // Uniform-small objects are small.
+  dg.distribution = Distribution::kUniformSmall;
+  for (const Rect& r : GenerateData(1000, dg)) {
+    ASSERT_LE(r.width(), 0.011);
+    ASSERT_LE(r.height(), 0.011);
+  }
+  // Skewed sizes: some objects are much larger than the median.
+  dg.distribution = Distribution::kSkewedSizes;
+  const auto skewed = GenerateData(5000, dg);
+  double max_w = 0;
+  size_t tiny = 0;
+  for (const Rect& r : skewed) {
+    max_w = std::max(max_w, r.width());
+    if (r.width() < 0.002) ++tiny;
+  }
+  EXPECT_GT(max_w, 0.02);
+  EXPECT_GT(tiny, skewed.size() / 2);
+}
+
+TEST(DataGen, DistributionNamesAreUnique) {
+  std::set<std::string> names;
+  for (Distribution d : kAllDistributions) {
+    EXPECT_TRUE(names.insert(DistributionName(d)).second);
+  }
+}
+
+TEST(QueryGen, WindowSelectivity) {
+  const auto windows = GenerateWindows(200, 0.01, QueryGenOptions{});
+  ASSERT_EQ(windows.size(), 200u);
+  for (const Rect& w : windows) {
+    ASSERT_TRUE(w.valid());
+    ASSERT_GE(w.xlo, 0.0);
+    ASSERT_LT(w.yhi, 1.0);
+    // Area is the target selectivity, up to boundary clipping.
+    ASSERT_LE(w.area(), 0.0101);
+  }
+  // Interior windows hit the target area exactly.
+  size_t interior_exact = 0;
+  for (const Rect& w : windows) {
+    if (w.xlo > 0 && w.ylo > 0 && w.xhi < 0.99 && w.yhi < 0.99 &&
+        std::abs(w.area() - 0.01) < 1e-9) {
+      ++interior_exact;
+    }
+  }
+  EXPECT_GT(interior_exact, 100u);
+}
+
+TEST(QueryGen, AspectJitterPreservesArea) {
+  QueryGenOptions opt;
+  opt.aspect_jitter = 0.5;
+  const auto windows = GenerateWindows(100, 0.01, opt);
+  bool varied = false;
+  for (const Rect& w : windows) {
+    if (w.xlo > 0 && w.ylo > 0 && w.xhi < 0.99 && w.yhi < 0.99) {
+      ASSERT_NEAR(w.area(), 0.01, 1e-9);
+      if (std::abs(w.width() - w.height()) > 1e-6) varied = true;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(QueryGen, PointsInUnitSquare) {
+  const auto points = GeneratePoints(500, 1);
+  ASSERT_EQ(points.size(), 500u);
+  for (const Point& p : points) {
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LT(p.x, 1.0);
+    ASSERT_GE(p.y, 0.0);
+    ASSERT_LT(p.y, 1.0);
+  }
+  EXPECT_EQ(GeneratePoints(10, 5), GeneratePoints(10, 5));
+}
+
+}  // namespace
+}  // namespace zdb

@@ -1,0 +1,260 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Z-order layer: Morton codes, element algebra, key codec, BIGMIN — with
+// brute-force property checks on small grids.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "zorder/bigmin.h"
+#include "zorder/morton.h"
+#include "zorder/zkey.h"
+
+namespace zdb {
+namespace {
+
+TEST(Morton, KnownValues) {
+  // x on even bits, y on odd bits.
+  EXPECT_EQ(MortonEncode(0, 0, 4), 0u);
+  EXPECT_EQ(MortonEncode(1, 0, 4), 1u);
+  EXPECT_EQ(MortonEncode(0, 1, 4), 2u);
+  EXPECT_EQ(MortonEncode(1, 1, 4), 3u);
+  EXPECT_EQ(MortonEncode(2, 0, 4), 4u);
+  EXPECT_EQ(MortonEncode(0, 2, 4), 8u);
+  EXPECT_EQ(MortonEncode(15, 15, 4), 255u);
+}
+
+TEST(Morton, RoundTripProperty) {
+  Random rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t bits = 1 + static_cast<uint32_t>(rng.Uniform(31));
+    const GridCoord x = static_cast<GridCoord>(rng.Next() & ((1ULL << bits) - 1));
+    const GridCoord y = static_cast<GridCoord>(rng.Next() & ((1ULL << bits) - 1));
+    const uint64_t z = MortonEncode(x, y, bits);
+    GridCoord rx, ry;
+    MortonDecode(z, bits, &rx, &ry);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+  }
+}
+
+TEST(Morton, SpreadCollectInverse) {
+  Random rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Next());
+    ASSERT_EQ(CollectBits(SpreadBits(v)), v);
+  }
+}
+
+TEST(ZElement, RootAndCells) {
+  const ZElement root = ZElement::Root(4);
+  EXPECT_EQ(root.level, 0);
+  EXPECT_EQ(root.zmin, 0u);
+  EXPECT_EQ(root.zmax(), 255u);
+  EXPECT_EQ(root.CellCount(), 256u);
+  EXPECT_EQ(root.ToGridRect(), (GridRect{0, 0, 15, 15}));
+
+  const ZElement cell = ZElement::Cell(5, 9, 4);
+  EXPECT_EQ(cell.level, 8);
+  EXPECT_TRUE(cell.is_full_resolution());
+  EXPECT_EQ(cell.CellCount(), 1u);
+  EXPECT_EQ(cell.ToGridRect(), (GridRect{5, 9, 5, 9}));
+  EXPECT_TRUE(root.Contains(cell));
+  EXPECT_FALSE(cell.Contains(root));
+}
+
+TEST(ZElement, ChildParentRoundTrip) {
+  Random rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t gbits = 2 + static_cast<uint32_t>(rng.Uniform(14));
+    ZElement e = ZElement::Root(gbits);
+    // Walk down a random path, then back up.
+    std::vector<int> path;
+    while (!e.is_full_resolution() && rng.Bernoulli(0.8)) {
+      const int c = static_cast<int>(rng.Uniform(2));
+      path.push_back(c);
+      const ZElement child = e.Child(c);
+      ASSERT_TRUE(e.Contains(child));
+      ASSERT_EQ(child.Parent(), e);
+      ASSERT_EQ(child.level, e.level + 1);
+      ASSERT_EQ(child.CellCount() * 2, e.CellCount());
+      e = child;
+    }
+    // Siblings partition the parent's interval.
+    if (e.level > 0) {
+      const ZElement p = e.Parent();
+      const ZElement c0 = p.Child(0);
+      const ZElement c1 = p.Child(1);
+      ASSERT_EQ(c0.zmin, p.zmin);
+      ASSERT_EQ(c0.zmax() + 1, c1.zmin);
+      ASSERT_EQ(c1.zmax(), p.zmax());
+      ASSERT_FALSE(c0.Intersects(c1));
+    }
+  }
+}
+
+TEST(ZElement, GridRectMatchesBruteForce) {
+  // On a tiny grid, an element's rect must equal the bounding box of the
+  // cells whose z-codes fall in its interval.
+  const uint32_t gbits = 4;
+  Random rng(14);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint32_t level = static_cast<uint32_t>(rng.Uniform(2 * gbits + 1));
+    const uint64_t z = rng.Next() & 0xff;
+    const uint64_t zmin = (level == 0) ? 0 : (z & (~0ULL << (8 - level)));
+    const ZElement e(zmin, static_cast<uint8_t>(level), gbits);
+
+    GridRect expect{16, 16, 0, 0};
+    for (uint64_t code = e.zmin; code <= e.zmax(); ++code) {
+      GridCoord x, y;
+      MortonDecode(code, gbits, &x, &y);
+      expect.xlo = std::min(expect.xlo, x);
+      expect.ylo = std::min(expect.ylo, y);
+      expect.xhi = std::max(expect.xhi, x);
+      expect.yhi = std::max(expect.yhi, y);
+    }
+    ASSERT_EQ(e.ToGridRect(), expect) << e.ToString();
+    // The element's interval is exactly its rect's cells (dyadic rects
+    // are z-contiguous).
+    ASSERT_EQ(e.ToGridRect().CellCount(), e.CellCount());
+  }
+}
+
+TEST(ZElement, EnclosingIsMinimal) {
+  const uint32_t gbits = 5;
+  Random rng(15);
+  for (int trial = 0; trial < 500; ++trial) {
+    GridCoord x1 = static_cast<GridCoord>(rng.Uniform(32));
+    GridCoord x2 = static_cast<GridCoord>(rng.Uniform(32));
+    GridCoord y1 = static_cast<GridCoord>(rng.Uniform(32));
+    GridCoord y2 = static_cast<GridCoord>(rng.Uniform(32));
+    const GridRect r{std::min(x1, x2), std::min(y1, y2), std::max(x1, x2),
+                     std::max(y1, y2)};
+    const ZElement e = ZElement::Enclosing(r, gbits);
+    // Covers the rect...
+    ASSERT_TRUE(e.ToGridRect().Contains(r)) << r.ToString();
+    // ...and no child of it does.
+    if (!e.is_full_resolution()) {
+      ASSERT_FALSE(e.Child(0).ToGridRect().Contains(r) ||
+                   e.Child(1).ToGridRect().Contains(r))
+          << r.ToString() << " " << e.ToString();
+    }
+  }
+}
+
+TEST(ZKey, RoundTrip) {
+  Random rng(16);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t gbits = 16;
+    const uint32_t level = static_cast<uint32_t>(rng.Uniform(33));
+    const uint64_t z = rng.Next() & 0xffffffffULL;
+    const uint64_t zmin =
+        (level == 0) ? 0 : (z & (~0ULL << (32 - level)));
+    const ZElement e(zmin, static_cast<uint8_t>(level),
+                     static_cast<uint8_t>(gbits));
+    const ObjectId oid = static_cast<ObjectId>(rng.Next());
+    const std::string key = EncodeZKey(e, oid);
+    ASSERT_EQ(key.size(), kZKeySize);
+    ZElement back;
+    ObjectId boid;
+    ASSERT_TRUE(DecodeZKey(Slice(key), gbits, &back, &boid));
+    ASSERT_EQ(back, e);
+    ASSERT_EQ(boid, oid);
+  }
+}
+
+TEST(ZKey, RejectsMalformed) {
+  ZElement e;
+  ObjectId oid;
+  EXPECT_FALSE(DecodeZKey(Slice("short"), 16, &e, &oid));
+  std::string bad = EncodeZKey(ZElement::Root(16), 1);
+  bad[8] = 60;  // level > 2 * gbits
+  EXPECT_FALSE(DecodeZKey(Slice(bad), 16, &e, &oid));
+}
+
+TEST(ZKey, ByteOrderMatchesCanonicalOrder) {
+  Random rng(17);
+  std::vector<ZElement> elems;
+  for (int i = 0; i < 300; ++i) {
+    const uint32_t level = static_cast<uint32_t>(rng.Uniform(33));
+    const uint64_t z = rng.Next() & 0xffffffffULL;
+    elems.emplace_back((level == 0) ? 0 : (z & (~0ULL << (32 - level))),
+                       static_cast<uint8_t>(level), 16);
+  }
+  for (size_t i = 0; i < elems.size(); ++i) {
+    for (size_t j = 0; j < elems.size(); ++j) {
+      const std::string ka = EncodeZKey(elems[i], 5);
+      const std::string kb = EncodeZKey(elems[j], 5);
+      const bool canonical = elems[i] < elems[j];
+      const bool bytes = Slice(ka).compare(Slice(kb)) < 0;
+      ASSERT_EQ(canonical, bytes);
+    }
+  }
+}
+
+TEST(ZKey, ScanAndProbeBrackets) {
+  const ZElement e(0x40, 2, 4);  // quarter of an 8-bit z space
+  const std::string lo = ZScanStartKey(e);
+  const std::string hi = ZScanEndKey(e);
+  // Every element with zmin inside [0x40, 0x7f] encodes between them.
+  for (uint64_t z = 0x40; z <= 0x7f; ++z) {
+    const std::string k = EncodeZKey(ZElement(z, 8, 4), 77);
+    ASSERT_LE(Slice(lo).compare(Slice(k)), 0);
+    ASSERT_GE(Slice(hi).compare(Slice(k)), 0);
+  }
+  // Elements outside do not.
+  EXPECT_GT(Slice(lo).compare(Slice(EncodeZKey(ZElement(0x3f, 8, 4), 0))),
+            0);
+  EXPECT_LT(Slice(hi).compare(Slice(EncodeZKey(ZElement(0x80, 8, 4), 0))),
+            0);
+  // Probe keys bracket exactly one element's oid range.
+  const std::string plo = ZProbeStartKey(e);
+  const std::string phi = ZProbeEndKey(e);
+  ASSERT_LT(Slice(plo).compare(Slice(EncodeZKey(e, 123))), 0);
+  ASSERT_GT(Slice(phi).compare(Slice(EncodeZKey(e, 123))), 0);
+  // A deeper element at the same zmin is outside the probe bracket.
+  EXPECT_LT(Slice(phi).compare(Slice(EncodeZKey(ZElement(0x40, 3, 4), 0))),
+            0);
+}
+
+TEST(BigMin, MatchesBruteForce) {
+  const uint32_t gbits = 4;  // 16x16 grid, 256 codes
+  Random rng(18);
+  for (int trial = 0; trial < 1000; ++trial) {
+    GridCoord x1 = static_cast<GridCoord>(rng.Uniform(16));
+    GridCoord x2 = static_cast<GridCoord>(rng.Uniform(16));
+    GridCoord y1 = static_cast<GridCoord>(rng.Uniform(16));
+    GridCoord y2 = static_cast<GridCoord>(rng.Uniform(16));
+    const GridRect rect{std::min(x1, x2), std::min(y1, y2),
+                        std::max(x1, x2), std::max(y1, y2)};
+    const uint64_t z = rng.Uniform(256);
+
+    std::optional<uint64_t> expect;
+    for (uint64_t c = z + 1; c < 256; ++c) {
+      if (ZCodeInRect(c, rect, gbits)) {
+        expect = c;
+        break;
+      }
+    }
+    const auto got = BigMin(z, rect, gbits);
+    ASSERT_EQ(got, expect) << "z=" << z << " rect=" << rect.ToString();
+  }
+}
+
+TEST(BigMin, FullAndSingleCellRects) {
+  const GridRect all{0, 0, 15, 15};
+  EXPECT_EQ(BigMin(0, all, 4), 1u);
+  EXPECT_EQ(BigMin(254, all, 4), 255u);
+  EXPECT_EQ(BigMin(255, all, 4), std::nullopt);
+
+  const GridRect cell{7, 3, 7, 3};
+  const uint64_t cz = MortonEncode(7, 3, 4);
+  EXPECT_EQ(BigMin(0, cell, 4), (cz > 0 ? std::optional<uint64_t>(cz)
+                                        : std::nullopt));
+  EXPECT_EQ(BigMin(cz, cell, 4), std::nullopt);
+}
+
+}  // namespace
+}  // namespace zdb
