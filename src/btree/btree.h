@@ -6,8 +6,11 @@
 // ordered scans via Cursor, deletion with rebalancing (borrow/merge), and
 // bottom-up bulk loading from a sorted stream.
 //
-// Concurrency: single-threaded by design; the reproduction measures
-// logical page I/O, not parallel throughput.
+// Concurrency: safe for any number of concurrent readers (Get/Seek/
+// cursor scans) as long as no thread mutates the tree — the read path
+// only pins pages through the thread-safe BufferPool and reads immutable
+// in-memory metadata. Mutations (Insert/Put/Delete/BulkLoad) require
+// exclusive access; there is no latch-crabbing.
 
 #ifndef ZDB_BTREE_BTREE_H_
 #define ZDB_BTREE_BTREE_H_

@@ -1,0 +1,15 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "common/metrics.h"
+
+namespace zdb {
+
+namespace {
+thread_local ThreadIoStats* tls_io_stats = nullptr;
+}  // namespace
+
+void SetThreadIoStats(ThreadIoStats* stats) { tls_io_stats = stats; }
+
+ThreadIoStats* GetThreadIoStats() { return tls_io_stats; }
+
+}  // namespace zdb

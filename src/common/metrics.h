@@ -3,10 +3,19 @@
 // Logical I/O accounting. All experiment results in this repository are
 // reported in page accesses (the 1989 literature's unit), so the counters
 // here are the measurement substrate for every bench.
+//
+// Concurrency: the shared IoStats counters are lock-free atomics so the
+// storage layer can be exercised from many threads without racing the
+// accounting. Copies/snapshots (Since, assignment) are relaxed loads —
+// they are statistically consistent, which is all the benches need.
+// ThreadIoStats is a per-thread shadow registered via SetThreadIoStats();
+// each worker owns its own instance, so those counters are plain integers
+// aggregated racelessly after the worker quiesces.
 
 #ifndef ZDB_COMMON_METRICS_H_
 #define ZDB_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace zdb {
@@ -14,28 +23,82 @@ namespace zdb {
 /// Counters for page-level I/O. Pager increments reads/writes; BufferPool
 /// increments hits/misses/evictions. "Accesses" in benches means
 /// reads + writes (i.e. buffer-pool misses that reached the pager).
+/// Increments are relaxed atomics: safe under concurrent queries.
 struct IoStats {
-  uint64_t page_reads = 0;     ///< pages fetched from the file
-  uint64_t page_writes = 0;    ///< pages written back to the file
-  uint64_t pool_hits = 0;      ///< buffer-pool hits (no file access)
-  uint64_t pool_misses = 0;    ///< buffer-pool misses
-  uint64_t pool_evictions = 0; ///< pages evicted to make room
+  std::atomic<uint64_t> page_reads{0};     ///< pages fetched from the file
+  std::atomic<uint64_t> page_writes{0};    ///< pages written back to the file
+  std::atomic<uint64_t> pool_hits{0};      ///< buffer-pool hits (no file access)
+  std::atomic<uint64_t> pool_misses{0};    ///< buffer-pool misses
+  std::atomic<uint64_t> pool_evictions{0}; ///< pages evicted to make room
 
-  uint64_t accesses() const { return page_reads + page_writes; }
+  IoStats() = default;
+  IoStats(const IoStats& o) { *this = o; }
+  IoStats& operator=(const IoStats& o) {
+    page_reads.store(o.page_reads.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    page_writes.store(o.page_writes.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    pool_hits.store(o.pool_hits.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    pool_misses.store(o.pool_misses.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    pool_evictions.store(o.pool_evictions.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t accesses() const {
+    return page_reads.load(std::memory_order_relaxed) +
+           page_writes.load(std::memory_order_relaxed);
+  }
 
   void Reset() { *this = IoStats{}; }
 
   /// Difference since a snapshot; used to attribute I/O to one operation.
   IoStats Since(const IoStats& snap) const {
     IoStats d;
-    d.page_reads = page_reads - snap.page_reads;
-    d.page_writes = page_writes - snap.page_writes;
-    d.pool_hits = pool_hits - snap.pool_hits;
-    d.pool_misses = pool_misses - snap.pool_misses;
-    d.pool_evictions = pool_evictions - snap.pool_evictions;
+    d.page_reads = page_reads.load(std::memory_order_relaxed) -
+                   snap.page_reads.load(std::memory_order_relaxed);
+    d.page_writes = page_writes.load(std::memory_order_relaxed) -
+                    snap.page_writes.load(std::memory_order_relaxed);
+    d.pool_hits = pool_hits.load(std::memory_order_relaxed) -
+                  snap.pool_hits.load(std::memory_order_relaxed);
+    d.pool_misses = pool_misses.load(std::memory_order_relaxed) -
+                    snap.pool_misses.load(std::memory_order_relaxed);
+    d.pool_evictions = pool_evictions.load(std::memory_order_relaxed) -
+                       snap.pool_evictions.load(std::memory_order_relaxed);
     return d;
   }
 };
+
+/// Per-thread I/O shadow counters. A query worker registers its own
+/// instance with SetThreadIoStats(); the buffer pool then additionally
+/// charges that thread's pins/hits/misses here. Plain (non-atomic)
+/// fields: only the owning thread writes them, and the aggregator reads
+/// them only after joining/quiescing the worker — raceless by ownership.
+struct ThreadIoStats {
+  uint64_t pages_pinned = 0;  ///< successful Fetch/New pins by this thread
+  uint64_t pool_hits = 0;     ///< this thread's pool hits
+  uint64_t pool_misses = 0;   ///< this thread's pool misses
+
+  double hit_rate() const {
+    const uint64_t total = pool_hits + pool_misses;
+    return total ? static_cast<double>(pool_hits) / total : 0.0;
+  }
+
+  void Add(const ThreadIoStats& o) {
+    pages_pinned += o.pages_pinned;
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+  }
+};
+
+/// Registers `stats` as the calling thread's I/O shadow (nullptr to
+/// unregister). The pointer must stay valid until unregistered.
+void SetThreadIoStats(ThreadIoStats* stats);
+
+/// The calling thread's registered shadow, or nullptr.
+ThreadIoStats* GetThreadIoStats();
 
 }  // namespace zdb
 

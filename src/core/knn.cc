@@ -16,6 +16,18 @@
 
 namespace zdb {
 
+namespace {
+
+void SortByDistance(std::vector<std::pair<ObjectId, double>>* best) {
+  std::sort(best->begin(), best->end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+}
+
+}  // namespace
+
 Result<std::vector<std::pair<ObjectId, double>>>
 SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
                                uint32_t* rounds) {
@@ -26,6 +38,26 @@ SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
   }
 
   const Rect world = options_.world;
+
+  if (k >= live_objects_) {
+    // Termination guard: the expanding-window loop exits on a proven k-th
+    // hit, which can never exist when k meets or exceeds the live object
+    // count. One whole-world sweep returns every live object directly.
+    QueryStats qs;
+    std::vector<ObjectId> hits;
+    ZDB_ASSIGN_OR_RETURN(hits, WindowQuery(world, &qs));
+    if (stats != nullptr) stats->Add(qs);
+    best.reserve(hits.size());
+    for (ObjectId oid : hits) {
+      double d;
+      ZDB_ASSIGN_OR_RETURN(d, DistanceTo(oid, p));
+      best.emplace_back(oid, d);
+    }
+    SortByDistance(&best);
+    if (best.size() > k) best.resize(k);
+    if (rounds != nullptr) *rounds = 1;
+    return best;
+  }
   const double world_span =
       std::max(world.xhi - world.xlo, world.yhi - world.ylo);
   // First radius: roughly the expected k-neighborhood under uniformity.
@@ -41,6 +73,12 @@ SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
     ++round;
     Rect window = Rect::FromCenter(p.x, p.y, radius, radius);
     window = window.Intersection(world);
+    if (!window.valid()) {
+      // The search disk does not reach the world yet (query point far
+      // outside the bounds): nothing can be found, keep expanding.
+      radius *= 2.0;
+      continue;
+    }
     const bool covers_world = window == world;
 
     QueryStats qs;
@@ -55,11 +93,7 @@ SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
       ZDB_ASSIGN_OR_RETURN(d, DistanceTo(oid, p));
       best.emplace_back(oid, d);
     }
-    std::sort(best.begin(), best.end(),
-              [](const auto& a, const auto& b) {
-                if (a.second != b.second) return a.second < b.second;
-                return a.first < b.first;
-              });
+    SortByDistance(&best);
     if (best.size() > k) best.resize(k);
 
     // Done when the k-th distance is inside the guaranteed-searched

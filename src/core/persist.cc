@@ -143,35 +143,41 @@ Result<PageId> SpatialIndex::Checkpoint() {
   ZDB_ASSIGN_OR_RETURN(obj_dir_chain_, WriteChain(pool_, store_->pages()));
   ZDB_ASSIGN_OR_RETURN(poly_dir_chain_, WriteChain(pool_, polys_->pages()));
 
-  PageRef master;
-  if (master_page_ == kInvalidPageId) {
-    ZDB_ASSIGN_OR_RETURN(master, pool_->New());
-    master_page_ = master.id();
-  } else {
-    ZDB_ASSIGN_OR_RETURN(master, pool_->Fetch(master_page_));
+  // Scoped so the master-page pin is provably released before returning:
+  // Checkpoint() leaves no internal pins behind, and a following
+  // BufferPool::FlushAll() only fails if the *caller* still holds
+  // PageRefs on dirty pages (and then with a status naming them).
+  {
+    PageRef master;
+    if (master_page_ == kInvalidPageId) {
+      ZDB_ASSIGN_OR_RETURN(master, pool_->New());
+      master_page_ = master.id();
+    } else {
+      ZDB_ASSIGN_OR_RETURN(master, pool_->Fetch(master_page_));
+    }
+    char* p = master.mutable_data();
+    std::memset(p, 0, 152);
+    EncodeFixed32(p, kMasterMagic);
+    EncodeFixed32(p + 4, kVersion);
+    std::memcpy(p + 8, &options_.world.xlo, 8);
+    std::memcpy(p + 16, &options_.world.ylo, 8);
+    std::memcpy(p + 24, &options_.world.xhi, 8);
+    std::memcpy(p + 32, &options_.world.yhi, 8);
+    EncodeFixed32(p + 40, options_.grid_bits);
+    p[44] = static_cast<char>((options_.store_mbr_in_leaf ? 1 : 0) |
+                              (options_.use_bigmin ? 2 : 0));
+    EncodePolicy(p + 48, options_.data);
+    EncodePolicy(p + 72, options_.query);
+    EncodeFixed32(p + 96, btree_->meta_page());
+    EncodeFixed64(p + 100, level_mask_);
+    EncodeFixed64(p + 108, live_objects_);
+    EncodeFixed64(p + 116, build_stats_.objects);
+    EncodeFixed64(p + 124, build_stats_.index_entries);
+    std::memcpy(p + 132, &build_stats_.total_error, 8);
+    EncodeFixed32(p + 140, store_->size());
+    EncodeFixed32(p + 144, obj_dir_chain_);
+    EncodeFixed32(p + 148, poly_dir_chain_);
   }
-  char* p = master.mutable_data();
-  std::memset(p, 0, 152);
-  EncodeFixed32(p, kMasterMagic);
-  EncodeFixed32(p + 4, kVersion);
-  std::memcpy(p + 8, &options_.world.xlo, 8);
-  std::memcpy(p + 16, &options_.world.ylo, 8);
-  std::memcpy(p + 24, &options_.world.xhi, 8);
-  std::memcpy(p + 32, &options_.world.yhi, 8);
-  EncodeFixed32(p + 40, options_.grid_bits);
-  p[44] = static_cast<char>((options_.store_mbr_in_leaf ? 1 : 0) |
-                            (options_.use_bigmin ? 2 : 0));
-  EncodePolicy(p + 48, options_.data);
-  EncodePolicy(p + 72, options_.query);
-  EncodeFixed32(p + 96, btree_->meta_page());
-  EncodeFixed64(p + 100, level_mask_);
-  EncodeFixed64(p + 108, live_objects_);
-  EncodeFixed64(p + 116, build_stats_.objects);
-  EncodeFixed64(p + 124, build_stats_.index_entries);
-  std::memcpy(p + 132, &build_stats_.total_error, 8);
-  EncodeFixed32(p + 140, store_->size());
-  EncodeFixed32(p + 144, obj_dir_chain_);
-  EncodeFixed32(p + 148, poly_dir_chain_);
   return master_page_;
 }
 

@@ -71,14 +71,39 @@ class CandidateSink {
 
 }  // namespace
 
-Result<std::vector<ObjectId>> SpatialIndex::CollectCandidates(
-    const GridRect& qgrid, QueryStats* stats) {
-  return CollectCandidatesFiltered(qgrid, nullptr, stats);
+WindowPlan SpatialIndex::BuildWindowPlan(const GridRect& qgrid) const {
+  WindowPlan plan;
+  plan.qgrid = qgrid;
+  const uint32_t gbits = options_.grid_bits;
+
+  // 1. Query-side decomposition.
+  if (options_.use_bigmin) {
+    plan.scans.push_back(ZElement::Enclosing(qgrid, gbits));
+  } else {
+    plan.scans = Decompose(qgrid, gbits, options_.query).elements;
+  }
+
+  // 2. Ancestor probes: strict enclosing elements of the query elements
+  // that the scans will not pass over. Only levels that actually occur in
+  // the index are probed.
+  for (const ZElement& e : plan.scans) {
+    ZElement anc = e;
+    while (anc.level > 0) {
+      anc = anc.Parent();
+      if ((level_mask_ & (1ULL << anc.level)) == 0) continue;
+      if (CoveredByScan(plan.scans, anc.zmin)) continue;
+      plan.probes.push_back(anc);
+    }
+  }
+  std::sort(plan.probes.begin(), plan.probes.end());
+  plan.probes.erase(std::unique(plan.probes.begin(), plan.probes.end()),
+                    plan.probes.end());
+  return plan;
 }
 
-Result<std::vector<ObjectId>> SpatialIndex::CollectCandidatesFiltered(
-    const GridRect& qgrid, const std::function<bool(const Rect&)>* leaf_pred,
-    QueryStats* stats) {
+Result<std::vector<ObjectId>> SpatialIndex::ExecutePlanSlice(
+    const WindowPlan& plan, size_t begin, size_t end,
+    const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats) {
   const uint32_t gbits = options_.grid_bits;
   const bool leaf_refine =
       options_.store_mbr_in_leaf && leaf_pred != nullptr;
@@ -86,55 +111,36 @@ Result<std::vector<ObjectId>> SpatialIndex::CollectCandidatesFiltered(
       [](const Rect&) { return true; };
   CandidateSink sink(leaf_refine, leaf_refine ? *leaf_pred : kTrue, stats);
 
-  // 1. Query-side decomposition.
-  std::vector<ZElement> qelems;
-  if (options_.use_bigmin) {
-    qelems.push_back(ZElement::Enclosing(qgrid, gbits));
-  } else {
-    qelems = Decompose(qgrid, gbits, options_.query).elements;
-  }
-  if (stats != nullptr) stats->query_elements += qelems.size();
-
-  // 2. Ancestor probes: strict enclosing elements of the query elements
-  // that the scans below will not pass over. Only levels that actually
-  // occur in the index are probed.
-  std::vector<ZElement> probes;
-  for (const ZElement& e : qelems) {
-    ZElement anc = e;
-    while (anc.level > 0) {
-      anc = anc.Parent();
-      if ((level_mask_ & (1ULL << anc.level)) == 0) continue;
-      if (CoveredByScan(qelems, anc.zmin)) continue;
-      probes.push_back(anc);
-    }
-  }
-  std::sort(probes.begin(), probes.end());
-  probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
-
-  for (const ZElement& anc : probes) {
-    if (stats != nullptr) ++stats->ancestor_probes;
-    const std::string start = ZProbeStartKey(anc);
-    const std::string end = ZProbeEndKey(anc);
-    Cursor cur(pool_, pool_->pager()->page_size());
-    ZDB_ASSIGN_OR_RETURN(cur, btree_->Seek(Slice(start)));
-    while (cur.Valid() && cur.key().compare(Slice(end)) <= 0) {
-      ZElement elem;
-      ObjectId oid;
-      if (!DecodeZKey(cur.key(), gbits, &elem, &oid)) {
-        return Status::Corruption("malformed index key");
+  end = std::min(end, plan.work_items());
+  for (size_t item = begin; item < end; ++item) {
+    if (item < plan.probes.size()) {
+      // Ancestor probe.
+      const ZElement& anc = plan.probes[item];
+      if (stats != nullptr) ++stats->ancestor_probes;
+      const std::string start = ZProbeStartKey(anc);
+      const std::string stop = ZProbeEndKey(anc);
+      Cursor cur(pool_, pool_->pager()->page_size());
+      ZDB_ASSIGN_OR_RETURN(cur, btree_->Seek(Slice(start)));
+      while (cur.Valid() && cur.key().compare(Slice(stop)) <= 0) {
+        ZElement elem;
+        ObjectId oid;
+        if (!DecodeZKey(cur.key(), gbits, &elem, &oid)) {
+          return Status::Corruption("malformed index key");
+        }
+        if (stats != nullptr) ++stats->index_entries;
+        sink.Accept(oid, cur.value());
+        ZDB_RETURN_IF_ERROR(cur.Next());
       }
-      if (stats != nullptr) ++stats->index_entries;
-      sink.Accept(oid, cur.value());
-      ZDB_RETURN_IF_ERROR(cur.Next());
+      continue;
     }
-  }
 
-  // 3. Interval scans over each query element.
-  for (const ZElement& qe : qelems) {
-    const std::string end = ZScanEndKey(qe);
+    // Interval scan over one query element.
+    const ZElement& qe = plan.scans[item - plan.probes.size()];
+    if (stats != nullptr) ++stats->query_elements;
+    const std::string stop = ZScanEndKey(qe);
     Cursor cur(pool_, pool_->pager()->page_size());
     ZDB_ASSIGN_OR_RETURN(cur, btree_->Seek(Slice(ZScanStartKey(qe))));
-    while (cur.Valid() && cur.key().compare(Slice(end)) <= 0) {
+    while (cur.Valid() && cur.key().compare(Slice(stop)) <= 0) {
       ZElement elem;
       ObjectId oid;
       if (!DecodeZKey(cur.key(), gbits, &elem, &oid)) {
@@ -143,12 +149,12 @@ Result<std::vector<ObjectId>> SpatialIndex::CollectCandidatesFiltered(
       if (stats != nullptr) ++stats->index_entries;
 
       if (options_.use_bigmin &&
-          !elem.ToGridRect().Intersects(qgrid)) {
+          !elem.ToGridRect().Intersects(plan.qgrid)) {
         // Dead space: jump to the first z-code inside the query after
         // this element, then rewind to the lowest enclosing element that
         // the scan has not passed yet (elements containing the jump-in
         // point can start before it).
-        auto bm = BigMin(elem.zmax(), qgrid, gbits);
+        auto bm = BigMin(elem.zmax(), plan.qgrid, gbits);
         if (!bm.has_value()) break;
         uint64_t seek_zmin = *bm;
         const uint32_t zbits = 2 * gbits;
@@ -172,6 +178,35 @@ Result<std::vector<ObjectId>> SpatialIndex::CollectCandidatesFiltered(
   }
 
   return sink.Finish();
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::CollectCandidates(
+    const GridRect& qgrid, QueryStats* stats) {
+  return CollectCandidatesFiltered(qgrid, nullptr, stats);
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::CollectCandidatesFiltered(
+    const GridRect& qgrid, const std::function<bool(const Rect&)>* leaf_pred,
+    QueryStats* stats) {
+  const WindowPlan plan = BuildWindowPlan(qgrid);
+  return ExecutePlanSlice(plan, 0, plan.work_items(), leaf_pred, stats);
+}
+
+Result<WindowPlan> SpatialIndex::PlanWindow(const Rect& window) {
+  if (!window.valid()) {
+    return Status::InvalidArgument("invalid query window");
+  }
+  WindowPlan plan = BuildWindowPlan(mapper_.ToGrid(window));
+  plan.window = window;
+  return plan;
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::ExecuteWindowPlanSlice(
+    const WindowPlan& plan, size_t begin, size_t end, QueryStats* stats) {
+  const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
+    return mbr.Intersects(plan.window);
+  };
+  return ExecutePlanSlice(plan, begin, end, &leaf_pred, stats);
 }
 
 Result<std::vector<ObjectId>> SpatialIndex::CollectPointCandidates(

@@ -151,10 +151,26 @@ Result<std::vector<ObjectId>> SpatialIndex::Refine(
   return results;
 }
 
+Result<std::vector<ObjectId>> SpatialIndex::RefineWindowCandidates(
+    const Rect& window, std::vector<ObjectId> candidates, QueryStats* stats) {
+  if (options_.store_mbr_in_leaf) {
+    // The filter already tested the replicated MBR against the window.
+    if (stats != nullptr) stats->results = candidates.size();
+    return candidates;
+  }
+  return Refine(
+      std::move(candidates),
+      [&](const ObjectRecord& rec) { return RecordIntersects(rec, window); },
+      stats);
+}
+
 // ---------------------------------------------------------------- queries
 
 Result<std::vector<ObjectId>> SpatialIndex::WindowQuery(const Rect& window,
                                                         QueryStats* stats) {
+  if (!window.valid()) {
+    return Status::InvalidArgument("invalid query window");
+  }
   const GridRect qgrid = mapper_.ToGrid(window);
   const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
     return mbr.Intersects(window);
@@ -201,6 +217,9 @@ Result<std::vector<ObjectId>> SpatialIndex::PointQuery(const Point& p,
 
 Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
     const Rect& window, QueryStats* stats) {
+  if (!window.valid()) {
+    return Status::InvalidArgument("invalid query window");
+  }
   const GridRect qgrid = mapper_.ToGrid(window);
   const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
     return window.Contains(mbr);
@@ -224,6 +243,9 @@ Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
 
 Result<std::vector<ObjectId>> SpatialIndex::EnclosureQuery(
     const Rect& window, QueryStats* stats) {
+  if (!window.valid()) {
+    return Status::InvalidArgument("invalid query window");
+  }
   const GridRect qgrid = mapper_.ToGrid(window);
   const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
     return mbr.Contains(window);

@@ -16,6 +16,13 @@
 //   auto index = SpatialIndex::Create(&pool, opt).value();
 //   ObjectId id = index->Insert(Rect{.2, .2, .3, .25}).value();
 //   auto hits = index->WindowQuery(Rect{.1, .1, .4, .4}).value();
+//
+// Concurrency: all queries (WindowQuery/PointQuery/ContainmentQuery/
+// EnclosureQuery/NearestNeighbors/SpatialJoin and the parallel plan
+// hooks) are safe to run from any number of threads concurrently, as
+// long as no thread is mutating the index (Insert/InsertPolygon/Erase/
+// BulkLoad/Checkpoint). Use exec/executor.h to drive query batches over
+// a worker pool.
 
 #ifndef ZDB_CORE_SPATIAL_INDEX_H_
 #define ZDB_CORE_SPATIAL_INDEX_H_
@@ -32,8 +39,23 @@
 #include "core/stats.h"
 #include "geom/point.h"
 #include "geom/polygon.h"
+#include "zorder/zelement.h"
 
 namespace zdb {
+
+/// Filter-stage plan of one window query: the ancestor probes and
+/// z-interval scans the filter will run. Work items are indexed
+/// [0, probes.size()) for probes, then [probes.size(), work_items()) for
+/// scans; any partition of that index range over threads executes the
+/// same entry set (see QueryExecutor::ParallelWindowQuery).
+struct WindowPlan {
+  Rect window;                   ///< original world-space query window
+  GridRect qgrid;                ///< window mapped onto the grid
+  std::vector<ZElement> probes;  ///< strict enclosing-element probes
+  std::vector<ZElement> scans;   ///< query elements (interval scans)
+
+  size_t work_items() const { return probes.size() + scans.size(); }
+};
 
 class SpatialIndex {
  public:
@@ -103,6 +125,33 @@ class SpatialIndex {
       const Point& p, size_t k, QueryStats* stats = nullptr,
       uint32_t* rounds = nullptr);
 
+  // ------------------------------------------------- parallel query hooks
+  //
+  // The filter stage of WindowQuery, exposed in three steps so a parallel
+  // executor can split one query's z-interval set across workers: plan
+  // once, execute disjoint work-item slices concurrently (each slice
+  // deduplicates locally; the caller merges and deduplicates globally),
+  // then refine candidate chunks concurrently. All three are safe to call
+  // from multiple threads as long as the index is not being mutated.
+
+  /// Builds the probe/scan plan for a window query.
+  Result<WindowPlan> PlanWindow(const Rect& window);
+
+  /// Executes plan work items [begin, end) and returns the candidate
+  /// object ids (locally deduplicated, sorted). In store_mbr_in_leaf mode
+  /// the replicated MBRs are tested against the plan's window.
+  Result<std::vector<ObjectId>> ExecuteWindowPlanSlice(const WindowPlan& plan,
+                                                       size_t begin,
+                                                       size_t end,
+                                                       QueryStats* stats);
+
+  /// Refines window-query candidates against exact geometry (a no-op
+  /// pass-through in store_mbr_in_leaf mode, where the filter already
+  /// tested the replicated MBR). Preserves candidate order.
+  Result<std::vector<ObjectId>> RefineWindowCandidates(
+      const Rect& window, std::vector<ObjectId> candidates,
+      QueryStats* stats);
+
   // ------------------------------------------------------------ plumbing
 
   const SpatialIndexOptions& options() const { return options_; }
@@ -137,6 +186,16 @@ class SpatialIndex {
       : pool_(pool),
         options_(options),
         mapper_(options.world, options.grid_bits) {}
+
+  /// Builds the probe/scan work list for a grid query rect (the shared
+  /// planning step of the filter stage). Defined in query.cc.
+  WindowPlan BuildWindowPlan(const GridRect& qgrid) const;
+
+  /// Executes plan work items [begin, end) through a fresh CandidateSink,
+  /// optionally leaf-filtering with `leaf_pred`. Defined in query.cc.
+  Result<std::vector<ObjectId>> ExecutePlanSlice(
+      const WindowPlan& plan, size_t begin, size_t end,
+      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats);
 
   /// Shared filter stage: every unique candidate whose element
   /// approximation touches the query grid rect. Defined in query.cc.

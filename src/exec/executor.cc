@@ -1,0 +1,214 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace zdb {
+
+QueryExecutor::QueryExecutor(SpatialIndex* index, size_t threads)
+    : index_(index) {
+  assert(threads >= 1);
+  if (threads < 1) threads = 1;
+  stats_.workers.resize(threads);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void QueryExecutor::ResetStats() {
+  for (auto& w : stats_.workers) w = WorkerStats{};
+}
+
+void QueryExecutor::WorkerLoop(size_t worker_idx) {
+  // The worker's I/O shadow: the buffer pool charges this thread's pins,
+  // hits and misses here without any shared-counter races.
+  SetThreadIoStats(&stats_.workers[worker_idx].io);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+    if (jobs_.empty()) {
+      if (stop_) break;
+      continue;
+    }
+    std::shared_ptr<Job> job = jobs_.front();
+    lock.unlock();
+    ProcessJob(job.get(), worker_idx);
+    lock.lock();
+    // Whichever worker drains the job retires it; the shared_ptr identity
+    // check makes the pop idempotent across workers.
+    if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
+  }
+  SetThreadIoStats(nullptr);
+}
+
+void QueryExecutor::ProcessJob(Job* job, size_t worker_idx) {
+  for (;;) {
+    const size_t item = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (item >= job->count) return;
+    bool skip;
+    {
+      std::lock_guard<std::mutex> jl(job->mu);
+      skip = job->failed;
+    }
+    if (!skip) {
+      Status s = job->fn(item, worker_idx);
+      ++stats_.workers[worker_idx].tasks;
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> jl(job->mu);
+        if (!job->failed) {
+          job->failed = true;
+          job->first_error = std::move(s);
+        }
+      }
+    }
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->count) {
+      std::lock_guard<std::mutex> jl(job->mu);
+      job->cv.notify_all();
+    }
+  }
+}
+
+Status QueryExecutor::RunJob(
+    size_t count, std::function<Status(size_t item, size_t worker)> fn) {
+  if (count == 0) return Status::OK();
+  auto job = std::make_shared<Job>();
+  job->fn = std::move(fn);
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> jl(job->mu);
+  job->cv.wait(jl, [&] {
+    return job->done.load(std::memory_order_acquire) == job->count;
+  });
+  return job->failed ? job->first_error : Status::OK();
+}
+
+Result<std::vector<std::vector<ObjectId>>> QueryExecutor::WindowBatch(
+    const std::vector<Rect>& windows) {
+  std::vector<std::vector<ObjectId>> out(windows.size());
+  ZDB_RETURN_IF_ERROR(
+      RunJob(windows.size(), [&](size_t i, size_t w) -> Status {
+        QueryStats qs;
+        auto r = index_->WindowQuery(windows[i], &qs);
+        if (!r.ok()) return r.status();
+        out[i] = std::move(r).value();
+        stats_.workers[w].query.Add(qs);
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<std::vector<std::vector<ObjectId>>> QueryExecutor::PointBatch(
+    const std::vector<Point>& points) {
+  std::vector<std::vector<ObjectId>> out(points.size());
+  ZDB_RETURN_IF_ERROR(
+      RunJob(points.size(), [&](size_t i, size_t w) -> Status {
+        QueryStats qs;
+        auto r = index_->PointQuery(points[i], &qs);
+        if (!r.ok()) return r.status();
+        out[i] = std::move(r).value();
+        stats_.workers[w].query.Add(qs);
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<std::vector<std::vector<std::pair<ObjectId, double>>>>
+QueryExecutor::NearestBatch(const std::vector<Point>& points, size_t k) {
+  std::vector<std::vector<std::pair<ObjectId, double>>> out(points.size());
+  ZDB_RETURN_IF_ERROR(
+      RunJob(points.size(), [&](size_t i, size_t w) -> Status {
+        QueryStats qs;
+        auto r = index_->NearestNeighbors(points[i], k, &qs);
+        if (!r.ok()) return r.status();
+        out[i] = std::move(r).value();
+        stats_.workers[w].query.Add(qs);
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowQuery(
+    const Rect& window, QueryStats* stats) {
+  WindowPlan plan;
+  ZDB_ASSIGN_OR_RETURN(plan, index_->PlanWindow(window));
+  const size_t items = plan.work_items();
+
+  // Slice the work list: a few slices per worker for load balance, but
+  // never more slices than items (each slice pays one CandidateSink).
+  const size_t slices =
+      std::max<size_t>(1, std::min(items, threads() * 4));
+  std::vector<std::vector<ObjectId>> parts(slices);
+  std::vector<QueryStats> part_stats(slices);
+  ZDB_RETURN_IF_ERROR(RunJob(slices, [&](size_t i, size_t w) -> Status {
+    const size_t lo = items * i / slices;
+    const size_t hi = items * (i + 1) / slices;
+    auto r = index_->ExecuteWindowPlanSlice(plan, lo, hi, &part_stats[i]);
+    if (!r.ok()) return r.status();
+    parts[i] = std::move(r).value();
+    stats_.workers[w].query.Add(part_stats[i]);
+    return Status::OK();
+  }));
+
+  // Merge with global dedup: each slice deduplicated locally, but an
+  // object's redundant entries can land in different slices.
+  std::unordered_set<ObjectId> seen;
+  std::vector<ObjectId> candidates;
+  for (const auto& part : parts) {
+    for (ObjectId oid : part) {
+      if (seen.insert(oid).second) candidates.push_back(oid);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // Parallel refinement over contiguous chunks; candidates are sorted, so
+  // concatenating the chunk results in order keeps the output sorted.
+  const size_t chunks =
+      std::max<size_t>(1, std::min(candidates.size(), threads()));
+  std::vector<std::vector<ObjectId>> refined(chunks);
+  std::vector<QueryStats> refine_stats(chunks);
+  ZDB_RETURN_IF_ERROR(RunJob(chunks, [&](size_t i, size_t w) -> Status {
+    const size_t lo = candidates.size() * i / chunks;
+    const size_t hi = candidates.size() * (i + 1) / chunks;
+    std::vector<ObjectId> chunk(candidates.begin() + lo,
+                                candidates.begin() + hi);
+    stats_.workers[w].refinements += chunk.size();
+    auto r = index_->RefineWindowCandidates(window, std::move(chunk),
+                                            &refine_stats[i]);
+    if (!r.ok()) return r.status();
+    refined[i] = std::move(r).value();
+    stats_.workers[w].query.Add(refine_stats[i]);
+    return Status::OK();
+  }));
+
+  std::vector<ObjectId> results;
+  for (auto& chunk : refined) {
+    results.insert(results.end(), chunk.begin(), chunk.end());
+  }
+  if (stats != nullptr) {
+    for (const auto& qs : part_stats) stats->Add(qs);
+    for (const auto& qs : refine_stats) stats->Add(qs);
+    stats->unique_candidates = candidates.size();
+    stats->results = results.size();
+  }
+  return results;
+}
+
+}  // namespace zdb

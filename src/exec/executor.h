@@ -1,0 +1,152 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Parallel query execution over a SpatialIndex. A QueryExecutor owns a
+// fixed pool of worker threads and offers two modes:
+//
+//   * batch execution — a vector of independent window/point/kNN queries
+//     is spread over the workers, results in input order;
+//   * intra-query parallelism — ParallelWindowQuery() splits one large
+//     window query's z-interval work list (ancestor probes + interval
+//     scans) across the workers, each worker deduplicating its own
+//     candidate slice, then merges, globally deduplicates, and refines
+//     the candidate chunks in parallel.
+//
+// The read path (BufferPool, B+-tree cursors, object/polygon stores) is
+// safe for concurrent readers; the executor must not run concurrently
+// with index mutations (Insert/Erase/BulkLoad/Checkpoint) — the classic
+// read-only-after-load regime of Orenstein's filter-and-refine design.
+//
+// Per-worker counters (pages pinned, pool hit rate, candidates,
+// refinements) are collected racelessly: each worker owns its WorkerStats
+// slot and registers its ThreadIoStats shadow with the buffer pool; the
+// aggregate is read only after the batch completes (completion is a
+// synchronizing event, so no locks are needed on the counters).
+//
+// Example:
+//   QueryExecutor exec(index.get(), 4);
+//   auto results = exec.WindowBatch(windows).value();   // one per window
+//   auto hits = exec.ParallelWindowQuery(big_window).value();
+//   ExecStats stats = exec.stats();  // per-worker + aggregate counters
+
+#ifndef ZDB_EXEC_EXECUTOR_H_
+#define ZDB_EXEC_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/spatial_index.h"
+
+namespace zdb {
+
+/// Counters owned by one worker thread. `io` is the worker's buffer-pool
+/// shadow (pages pinned, hits, misses); `query` sums the QueryStats of
+/// every query/slice the worker executed.
+struct WorkerStats {
+  uint64_t tasks = 0;          ///< work items executed by this worker
+  uint64_t refinements = 0;    ///< candidates this worker refined
+  ThreadIoStats io;            ///< pages pinned / pool hits / pool misses
+  QueryStats query;            ///< summed filter-and-refine counters
+
+  void Add(const WorkerStats& o) {
+    tasks += o.tasks;
+    refinements += o.refinements;
+    io.Add(o.io);
+    query.Add(o.query);
+  }
+};
+
+/// Per-worker counters plus their aggregate.
+struct ExecStats {
+  std::vector<WorkerStats> workers;  ///< one slot per worker thread
+
+  WorkerStats Totals() const {
+    WorkerStats t;
+    for (const auto& w : workers) t.Add(w);
+    return t;
+  }
+};
+
+/// Fixed worker pool running queries against one SpatialIndex.
+/// Thread-compatible: one thread drives the executor; the workers run the
+/// queries. Do not mutate the index while a batch is in flight.
+class QueryExecutor {
+ public:
+  /// `threads` >= 1 worker threads are started immediately.
+  QueryExecutor(SpatialIndex* index, size_t threads);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  size_t threads() const { return workers_.size(); }
+  SpatialIndex* index() const { return index_; }
+
+  /// Runs every window query concurrently; results in input order.
+  Result<std::vector<std::vector<ObjectId>>> WindowBatch(
+      const std::vector<Rect>& windows);
+
+  /// Runs every point query concurrently; results in input order.
+  Result<std::vector<std::vector<ObjectId>>> PointBatch(
+      const std::vector<Point>& points);
+
+  /// Runs every k-NN query concurrently; results in input order.
+  Result<std::vector<std::vector<std::pair<ObjectId, double>>>> NearestBatch(
+      const std::vector<Point>& points, size_t k);
+
+  /// One window query parallelized internally: the plan's probe/scan work
+  /// items are split across the workers (per-worker dedup), candidates
+  /// are merged and globally deduplicated, and refinement runs in
+  /// parallel over candidate chunks. Returns exactly what
+  /// SpatialIndex::WindowQuery would (sorted by object id).
+  Result<std::vector<ObjectId>> ParallelWindowQuery(const Rect& window,
+                                                    QueryStats* stats =
+                                                        nullptr);
+
+  /// Per-worker counters. Only meaningful while no batch is in flight.
+  ExecStats stats() const { return stats_; }
+
+  /// Zeroes all per-worker counters. Only call while no batch is in
+  /// flight.
+  void ResetStats();
+
+ private:
+  /// One parallel region: items [0, count) are claimed dynamically by the
+  /// workers via an atomic cursor and run through `fn(item, worker)`.
+  /// Blocks until all items completed; returns the first item error.
+  struct Job {
+    std::function<Status(size_t item, size_t worker)> fn;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool failed = false;    // guarded by mu
+    Status first_error;     // guarded by mu
+  };
+
+  Status RunJob(size_t count,
+                std::function<Status(size_t item, size_t worker)> fn);
+  void WorkerLoop(size_t worker_idx);
+  void ProcessJob(Job* job, size_t worker_idx);
+
+  SpatialIndex* index_;
+  ExecStats stats_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_EXEC_EXECUTOR_H_

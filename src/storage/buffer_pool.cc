@@ -4,13 +4,33 @@
 
 #include <cassert>
 #include <cstring>
+#include <string>
 
 namespace zdb {
+
+namespace {
+
+/// Shards are only worth their capacity fragmentation for pools large
+/// enough that per-shard LRU behaves like global LRU. Below 2 * 16 frames
+/// a single shard keeps the exact historical semantics.
+constexpr size_t kMinFramesPerShard = 16;
+constexpr size_t kMaxShards = 16;
+
+size_t PickShardCount(size_t capacity) {
+  size_t n = 1;
+  while (n * 2 <= kMaxShards && capacity / (n * 2) >= kMinFramesPerShard) {
+    n *= 2;
+  }
+  return n;
+}
+
+}  // namespace
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
+    shard_ = other.shard_;
     frame_ = other.frame_;
     other.pool_ = nullptr;
   }
@@ -19,33 +39,47 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
 
 PageId PageRef::id() const {
   assert(valid());
-  return pool_->frames_[frame_].id;
+  return pool_->shards_[shard_].frames[frame_].id;
 }
 
 const char* PageRef::data() const {
   assert(valid());
-  return pool_->frames_[frame_].data.data();
+  return pool_->shards_[shard_].frames[frame_].data.data();
 }
 
 char* PageRef::mutable_data() {
   assert(valid());
-  pool_->frames_[frame_].dirty = true;
-  return pool_->frames_[frame_].data.data();
+  BufferPool::Frame& f = pool_->shards_[shard_].frames[frame_];
+  f.dirty.store(true, std::memory_order_relaxed);
+  return f.data.data();
 }
 
 void PageRef::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(shard_, frame_);
     pool_ = nullptr;
   }
 }
 
-BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager),
+      capacity_(capacity),
+      shards_(PickShardCount(capacity)) {
   assert(capacity >= 1);
-  frames_.resize(capacity);
-  for (auto& f : frames_) f.data.resize(pager_->page_size());
-  free_frames_.reserve(capacity);
-  for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);
+  shard_mask_ = shards_.size() - 1;
+  // Distribute frames round-robin so every shard gets within one frame of
+  // capacity / shards.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const size_t n =
+        capacity / shards_.size() + (s < capacity % shards_.size() ? 1 : 0);
+    Shard& sh = shards_[s];
+    sh.frames = std::vector<Frame>(n);
+    for (auto& f : sh.frames) f.data.resize(pager_->page_size());
+    sh.free_frames.reserve(n);
+    for (size_t i = n; i > 0; --i) {
+      sh.free_frames.push_back(static_cast<uint32_t>(i - 1));
+    }
+  }
 }
 
 BufferPool::~BufferPool() {
@@ -53,126 +87,205 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
-void BufferPool::Unpin(size_t frame) {
-  Frame& f = frames_[frame];
-  assert(f.pins > 0);
-  --f.pins;
+void BufferPool::Unpin(uint32_t shard, uint32_t frame) {
+  Frame& f = shards_[shard].frames[frame];
+  // Release order: pairs with the acquire load in AcquireFrame so an
+  // evictor that observes pins == 0 also observes this pin's page writes.
+  const uint32_t prev = f.pins.fetch_sub(1, std::memory_order_release);
+  assert(prev > 0);
+  (void)prev;
 }
 
 Status BufferPool::WriteBack(Frame* f) {
-  if (!f->dirty) return Status::OK();
+  if (!f->dirty.load(std::memory_order_relaxed)) return Status::OK();
   ZDB_RETURN_IF_ERROR(pager_->WritePage(f->id, f->data.data()));
-  f->dirty = false;
+  f->dirty.store(false, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<size_t> BufferPool::AcquireFrame() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+Result<uint32_t> BufferPool::AcquireFrame(Shard* s) {
+  if (!s->free_frames.empty()) {
+    uint32_t idx = s->free_frames.back();
+    s->free_frames.pop_back();
     return idx;
   }
-  // Evict the least-recently-used unpinned frame.
-  size_t victim = frames_.size();
+  // Evict the least-recently-used unpinned frame of this shard.
+  uint32_t victim = static_cast<uint32_t>(s->frames.size());
   uint64_t best = UINT64_MAX;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    const Frame& f = frames_[i];
-    if (f.pins == 0 && f.last_used < best) {
+  for (uint32_t i = 0; i < s->frames.size(); ++i) {
+    const Frame& f = s->frames[i];
+    if (f.pins.load(std::memory_order_acquire) == 0 && f.last_used < best) {
       best = f.last_used;
       victim = i;
     }
   }
-  if (victim == frames_.size()) {
+  if (victim == s->frames.size()) {
     return Status::NoSpace("buffer pool exhausted: all pages pinned");
   }
-  Frame& f = frames_[victim];
+  Frame& f = s->frames[victim];
   ZDB_RETURN_IF_ERROR(WriteBack(&f));
   ++pager_->mutable_io_stats()->pool_evictions;
-  table_.erase(f.id);
+  s->table.erase(f.id);
   f.id = kInvalidPageId;
   return victim;
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
+  const uint32_t sidx = static_cast<uint32_t>(id) & shard_mask_;
+  Shard& s = shards_[sidx];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ThreadIoStats* tls = GetThreadIoStats();
+  auto it = s.table.find(id);
+  if (it != s.table.end()) {
     ++pager_->mutable_io_stats()->pool_hits;
-    Frame& f = frames_[it->second];
-    ++f.pins;
-    Touch(it->second);
-    return PageRef(this, it->second);
+    if (tls != nullptr) {
+      ++tls->pool_hits;
+      ++tls->pages_pinned;
+    }
+    Frame& f = s.frames[it->second];
+    f.pins.fetch_add(1, std::memory_order_relaxed);
+    Touch(&s, it->second);
+    return PageRef(this, sidx, it->second);
   }
   ++pager_->mutable_io_stats()->pool_misses;
-  size_t idx;
-  ZDB_ASSIGN_OR_RETURN(idx, AcquireFrame());
-  Frame& f = frames_[idx];
-  Status s = pager_->ReadPage(id, f.data.data());
-  if (!s.ok()) {
-    free_frames_.push_back(idx);
-    return s;
+  if (tls != nullptr) ++tls->pool_misses;
+  uint32_t idx;
+  ZDB_ASSIGN_OR_RETURN(idx, AcquireFrame(&s));
+  Frame& f = s.frames[idx];
+  Status st = pager_->ReadPage(id, f.data.data());
+  if (!st.ok()) {
+    s.free_frames.push_back(idx);
+    return st;
   }
   f.id = id;
-  f.pins = 1;
-  f.dirty = false;
-  table_[id] = idx;
-  Touch(idx);
-  return PageRef(this, idx);
+  f.pins.store(1, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  s.table[id] = idx;
+  Touch(&s, idx);
+  if (tls != nullptr) ++tls->pages_pinned;
+  return PageRef(this, sidx, idx);
 }
 
 Result<PageRef> BufferPool::New() {
   PageId id;
   ZDB_ASSIGN_OR_RETURN(id, pager_->Allocate());
-  size_t idx;
-  ZDB_ASSIGN_OR_RETURN(idx, AcquireFrame());
-  Frame& f = frames_[idx];
+  const uint32_t sidx = static_cast<uint32_t>(id) & shard_mask_;
+  Shard& s = shards_[sidx];
+  std::lock_guard<std::mutex> lock(s.mu);
+  uint32_t idx;
+  {
+    auto r = AcquireFrame(&s);
+    if (!r.ok()) {
+      // Undo the allocation so the pager does not leak the page.
+      (void)pager_->Free(id);
+      return r.status();
+    }
+    idx = r.value();
+  }
+  Frame& f = s.frames[idx];
   std::memset(f.data.data(), 0, f.data.size());
   f.id = id;
-  f.pins = 1;
-  f.dirty = true;
-  table_[id] = idx;
-  Touch(idx);
-  return PageRef(this, idx);
+  f.pins.store(1, std::memory_order_relaxed);
+  f.dirty.store(true, std::memory_order_relaxed);
+  s.table[id] = idx;
+  Touch(&s, idx);
+  ThreadIoStats* tls = GetThreadIoStats();
+  if (tls != nullptr) ++tls->pages_pinned;
+  return PageRef(this, sidx, idx);
 }
 
 Status BufferPool::Delete(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pins > 0) {
-      return Status::InvalidArgument("deleting a pinned page");
+  Shard& s = shard_for(id);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.table.find(id);
+    if (it != s.table.end()) {
+      Frame& f = s.frames[it->second];
+      if (f.pins.load(std::memory_order_acquire) > 0) {
+        return Status::InvalidArgument("deleting a pinned page");
+      }
+      // Contents are garbage now; never write back.
+      f.dirty.store(false, std::memory_order_relaxed);
+      f.id = kInvalidPageId;
+      s.free_frames.push_back(it->second);
+      s.table.erase(it);
     }
-    f.dirty = false;  // contents are garbage now; never write back
-    f.id = kInvalidPageId;
-    free_frames_.push_back(it->second);
-    table_.erase(it);
   }
   return pager_->Free(id);
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& f : frames_) {
-    if (f.id != kInvalidPageId && f.dirty) {
-      if (f.pins > 0) {
-        return Status::InvalidArgument("flushing with pinned dirty page");
+  // First pass: write back everything writable. Collect what is blocked
+  // instead of failing midway, so the caller never gets a silent partial
+  // flush — all flushable pages are durable and the error says exactly
+  // what remains.
+  size_t blocked = 0;
+  PageId first_blocked = kInvalidPageId;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& f : s.frames) {
+      if (f.id == kInvalidPageId ||
+          !f.dirty.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (f.pins.load(std::memory_order_acquire) > 0) {
+        ++blocked;
+        if (first_blocked == kInvalidPageId) first_blocked = f.id;
+        continue;
       }
       ZDB_RETURN_IF_ERROR(WriteBack(&f));
     }
+  }
+  if (blocked > 0) {
+    return Status::InvalidArgument(
+        "cannot flush " + std::to_string(blocked) +
+        " dirty page(s) still pinned (e.g. page " +
+        std::to_string(first_blocked) +
+        "); release all PageRefs/cursors and retry");
   }
   return Status::OK();
 }
 
 Status BufferPool::Clear() {
   ZDB_RETURN_IF_ERROR(FlushAll());
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = frames_[i];
-    if (f.id != kInvalidPageId) {
-      if (f.pins > 0) return Status::InvalidArgument("clearing pinned page");
-      f.id = kInvalidPageId;
-      free_frames_.push_back(i);
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (uint32_t i = 0; i < s.frames.size(); ++i) {
+      Frame& f = s.frames[i];
+      if (f.id != kInvalidPageId) {
+        if (f.pins.load(std::memory_order_acquire) > 0) {
+          return Status::InvalidArgument("clearing pinned page");
+        }
+        f.id = kInvalidPageId;
+        s.free_frames.push_back(i);
+      }
+    }
+    s.table.clear();
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::cached_pages() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.table.size();
+  }
+  return n;
+}
+
+size_t BufferPool::pinned_pages() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& f : s.frames) {
+      if (f.id != kInvalidPageId &&
+          f.pins.load(std::memory_order_acquire) > 0) {
+        ++n;
+      }
     }
   }
-  table_.clear();
-  return Status::OK();
+  return n;
 }
 
 }  // namespace zdb

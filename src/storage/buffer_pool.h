@@ -5,11 +5,24 @@
 // write-backs reach the pager's I/O counters. Benches control the cache
 // regime by sizing the pool (e.g. "root page only" to mirror the 1989
 // experimental setups).
+//
+// Concurrency: the pool is safe for concurrent Fetch/New/Delete and for
+// concurrent PageRef release. The page table is sharded by page id; each
+// shard has its own mutex, frames, free list and LRU clock, so readers on
+// different shards never contend. Pin counts are atomics released without
+// a lock; eviction only considers frames whose pin count is zero *while
+// holding the shard lock*, and new pins are only created under that same
+// lock, so eviction can never race a pin. Small pools (< 32 frames) use a
+// single shard, preserving the exact global-LRU semantics the cold-cache
+// experiments rely on. FlushAll/Clear lock all shards and are intended to
+// be called from one thread with no concurrent mutators.
 
 #ifndef ZDB_STORAGE_BUFFER_POOL_H_
 #define ZDB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -21,7 +34,8 @@ namespace zdb {
 class BufferPool;
 
 /// RAII pin on a cached page. While a PageRef is alive the frame cannot be
-/// evicted and its data pointer stays valid. Move-only.
+/// evicted and its data pointer stays valid. Move-only. A PageRef may be
+/// released from any thread.
 class PageRef {
  public:
   PageRef() = default;
@@ -46,43 +60,56 @@ class PageRef {
 
  private:
   friend class BufferPool;
-  PageRef(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+  PageRef(BufferPool* pool, uint32_t shard, uint32_t frame)
+      : pool_(pool), shard_(shard), frame_(frame) {}
 
   BufferPool* pool_ = nullptr;
-  size_t frame_ = 0;
+  uint32_t shard_ = 0;
+  uint32_t frame_ = 0;
 };
 
-/// Fixed-capacity page cache with LRU replacement and pin counts.
+/// Fixed-capacity page cache with sharded LRU replacement and pin counts.
 class BufferPool {
  public:
-  /// `capacity` is the number of page frames (>= 1).
+  /// `capacity` is the total number of page frames (>= 1).
   BufferPool(Pager* pager, size_t capacity);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from the pager on a miss.
+  /// Pins page `id`, reading it from the pager on a miss. Thread-safe.
   Result<PageRef> Fetch(PageId id);
 
   /// Allocates a fresh page, pinned and zero-filled (and dirty).
+  /// Thread-safe.
   Result<PageRef> New();
 
   /// Removes page `id` from the pool (must be unpinned) and frees it in
   /// the pager.
   Status Delete(PageId id);
 
-  /// Writes back all dirty unpinned pages. Pinned dirty pages are an error.
+  /// Writes back every dirty unpinned page. If dirty pages remain pinned
+  /// after that, returns InvalidArgument naming how many pins block the
+  /// flush and which page — everything flushable has still been written,
+  /// so retrying after releasing the pins completes the flush.
   Status FlushAll();
 
   /// Writes back everything and drops the cache (keeps capacity).
   Status Clear();
 
   Pager* pager() const { return pager_; }
-  size_t capacity() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
 
-  /// Pages currently cached.
-  size_t cached_pages() const { return table_.size(); }
+  /// Number of table shards (1 for small pools).
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Pages currently cached. Takes every shard lock; diagnostics use.
+  size_t cached_pages() const;
+
+  /// Frames currently pinned by live PageRefs. Takes every shard lock;
+  /// diagnostics use (e.g. verifying no pins remain before Checkpoint).
+  size_t pinned_pages() const;
 
  private:
   friend class PageRef;
@@ -90,24 +117,39 @@ class BufferPool {
   struct Frame {
     PageId id = kInvalidPageId;
     std::vector<char> data;
-    uint32_t pins = 0;
-    bool dirty = false;
+    std::atomic<uint32_t> pins{0};
+    std::atomic<bool> dirty{false};
     uint64_t last_used = 0;
   };
 
-  void Unpin(size_t frame);
-  void Touch(size_t frame) { frames_[frame].last_used = ++tick_; }
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::vector<uint32_t> free_frames;
+    std::unordered_map<PageId, uint32_t> table;
+    uint64_t tick = 0;
+  };
 
-  /// Finds a frame to (re)use, evicting the LRU unpinned page if needed.
-  Result<size_t> AcquireFrame();
+  Shard& shard_for(PageId id) {
+    return shards_[static_cast<size_t>(id) & shard_mask_];
+  }
 
+  void Unpin(uint32_t shard, uint32_t frame);
+  static void Touch(Shard* s, uint32_t frame) {
+    s->frames[frame].last_used = ++s->tick;
+  }
+
+  /// Finds a frame to (re)use within the shard, evicting the LRU unpinned
+  /// page if needed. Caller holds the shard lock.
+  Result<uint32_t> AcquireFrame(Shard* s);
+
+  /// Caller holds the shard lock of the frame's shard.
   Status WriteBack(Frame* f);
 
   Pager* pager_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> table_;
-  uint64_t tick_ = 0;
+  size_t capacity_;
+  size_t shard_mask_;            ///< shard count - 1 (power of two)
+  std::vector<Shard> shards_;
 };
 
 }  // namespace zdb

@@ -2,7 +2,9 @@
 
 #include "storage/pager.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "common/coding.h"
@@ -95,6 +97,7 @@ Status Pager::Rollback() {
 }
 
 Status Pager::BeginBatch() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (journal_ == nullptr) {
     return Status::InvalidArgument("pager opened without a journal");
   }
@@ -138,6 +141,7 @@ Status Pager::JournalBeforeImage(PageId id) {
 }
 
 Status Pager::CommitBatch() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!in_batch_) return Status::InvalidArgument("no active batch");
   ZDB_RETURN_IF_ERROR(StoreHeader());
   ZDB_RETURN_IF_ERROR(file_->Sync());
@@ -186,11 +190,12 @@ Status Pager::StoreHeader() {
 }
 
 Result<PageId> Pager::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (freelist_head_ != kInvalidPageId) {
     const PageId id = freelist_head_;
     std::vector<char> buf(page_size_);
     // Free-list maintenance is charged as a read: the link lives on disk.
-    ZDB_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    ZDB_RETURN_IF_ERROR(ReadPageInternal(id, buf.data()));
     freelist_head_ = DecodeFixed32(buf.data());
     ++live_pages_;
     return id;
@@ -202,19 +207,30 @@ Result<PageId> Pager::Allocate() {
 }
 
 Status Pager::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id == kInvalidPageId || id >= page_count_) {
     return Status::InvalidArgument("free of invalid page " +
                                    std::to_string(id));
   }
   std::vector<char> buf(page_size_, 0);
   EncodeFixed32(buf.data(), freelist_head_);
-  ZDB_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  ZDB_RETURN_IF_ERROR(WritePageInternal(id, buf.data()));
   freelist_head_ = id;
   --live_pages_;
   return Status::OK();
 }
 
 Status Pager::ReadPage(PageId id, char* buf) {
+  const uint32_t latency = sim_read_latency_us_.load(std::memory_order_relaxed);
+  if (latency != 0) {
+    // Outside mu_: concurrent misses overlap their device stalls.
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadPageInternal(id, buf);
+}
+
+Status Pager::ReadPageInternal(PageId id, char* buf) {
   if (id == kInvalidPageId || id >= page_count_) {
     return Status::InvalidArgument("read of invalid page " +
                                    std::to_string(id));
@@ -224,6 +240,11 @@ Status Pager::ReadPage(PageId id, char* buf) {
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WritePageInternal(id, buf);
+}
+
+Status Pager::WritePageInternal(PageId id, const char* buf) {
   if (id == kInvalidPageId || id >= page_count_) {
     return Status::InvalidArgument("write of invalid page " +
                                    std::to_string(id));
@@ -237,6 +258,7 @@ Status Pager::WritePage(PageId id, const char* buf) {
 }
 
 Status Pager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   ZDB_RETURN_IF_ERROR(StoreHeader());
   return file_->Sync();
 }

@@ -12,8 +12,10 @@
 #ifndef ZDB_STORAGE_PAGER_H_
 #define ZDB_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 
 #include "common/metrics.h"
@@ -24,8 +26,10 @@
 namespace zdb {
 
 /// Allocates, reads and writes fixed-size pages within a File.
-/// Single-threaded by design (the reproduction measures logical I/O, not
-/// concurrency).
+/// Thread-safe: page transfers, allocation and the free list are guarded
+/// by one internal mutex (misses are rare once the buffer pool is warm,
+/// so the serialization is off the hot path). The I/O counters are
+/// relaxed atomics and may be read concurrently.
 class Pager {
  public:
   /// Opens a pager over `file`. If the file is empty it is formatted with
@@ -88,9 +92,26 @@ class Pager {
   const IoStats& io_stats() const { return io_; }
   IoStats* mutable_io_stats() { return &io_; }
 
+  /// Simulated device latency added to every ReadPage, in microseconds.
+  /// The stall is taken *before* the internal mutex, so concurrent
+  /// readers overlap their waits exactly as they would against a real
+  /// device queue. Benchmarking aid for in-memory pagers (deterministic
+  /// SSD/HDD emulation); 0 (the default) disables it.
+  void set_simulated_read_latency_us(uint32_t us) {
+    sim_read_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  uint32_t simulated_read_latency_us() const {
+    return sim_read_latency_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   Pager(std::unique_ptr<File> file, uint32_t page_size)
       : file_(std::move(file)), page_size_(page_size) {}
+
+  /// Unlocked bodies shared by the public entry points (which hold mu_)
+  /// and by internal callers that already do.
+  Status ReadPageInternal(PageId id, char* buf);
+  Status WritePageInternal(PageId id, const char* buf);
 
   Status LoadHeader();
   Status StoreHeader();
@@ -103,6 +124,7 @@ class Pager {
   /// database back to its pre-batch size.
   Status Rollback();
 
+  mutable std::mutex mu_;
   std::unique_ptr<File> file_;
   std::unique_ptr<File> journal_;
   uint32_t page_size_;
@@ -110,6 +132,7 @@ class Pager {
   uint32_t live_pages_ = 0;
   PageId freelist_head_ = kInvalidPageId;
   IoStats io_;
+  std::atomic<uint32_t> sim_read_latency_us_{0};
 
   bool in_batch_ = false;
   uint32_t batch_page_count_ = 0;  ///< page_count_ at BeginBatch

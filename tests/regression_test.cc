@@ -1,0 +1,327 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Regression tests for the hot-path bugfix sweep:
+//   * KnnTermination      — NearestNeighbors must terminate for k = 0,
+//                           empty index, k >= object_count, and query
+//                           points far outside the world;
+//   * CheckpointPins      — Checkpoint() leaves no internal pins and
+//                           FlushAll() reports pinned dirty pages with a
+//                           clear status instead of a silent partial
+//                           flush;
+//   * EraseDedup          — redundant z-entries of a tombstoned object
+//                           never resurface in any query or join;
+//   * DegenerateGeometry  — zero-area, world-boundary and out-of-world
+//                           rectangles clamp identically on the insert
+//                           and query paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "btree/cursor.h"
+#include "core/spatial_index.h"
+#include "geom/grid.h"
+#include "storage/pager.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+
+namespace zdb {
+namespace {
+
+struct Fixture {
+  explicit Fixture(SpatialIndexOptions opt = MakeOptions(),
+                   size_t pool_pages = 128)
+      : pager(Pager::OpenInMemory(512)), pool(pager.get(), pool_pages) {
+    index = SpatialIndex::Create(&pool, opt).value();
+  }
+
+  static SpatialIndexOptions MakeOptions() {
+    SpatialIndexOptions opt;
+    opt.data = DecomposeOptions::SizeBound(4);
+    return opt;
+  }
+
+  std::unique_ptr<Pager> pager;
+  BufferPool pool;
+  std::unique_ptr<SpatialIndex> index;
+};
+
+// --------------------------------------------------------- KnnTermination
+
+TEST(KnnTermination, EmptyIndexAndKZero) {
+  Fixture f;
+  uint32_t rounds = 99;
+  EXPECT_TRUE(
+      f.index->NearestNeighbors(Point{0.5, 0.5}, 5, nullptr, &rounds)
+          .value()
+          .empty());
+  EXPECT_EQ(rounds, 0u);
+
+  ASSERT_TRUE(f.index->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  EXPECT_TRUE(f.index->NearestNeighbors(Point{0.5, 0.5}, 0).value().empty());
+}
+
+TEST(KnnTermination, KMeetsOrExceedsObjectCount) {
+  Fixture f;
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 7; ++i) {
+    const double x = 0.1 + 0.1 * i;
+    ids.push_back(f.index->Insert(Rect{x, 0.4, x + 0.05, 0.45}).value());
+  }
+  for (size_t k : {7u, 8u, 100u}) {
+    uint32_t rounds = 0;
+    auto got =
+        f.index->NearestNeighbors(Point{0.12, 0.42}, k, nullptr, &rounds)
+            .value();
+    ASSERT_EQ(got.size(), 7u) << "k=" << k;
+    EXPECT_EQ(rounds, 1u) << "k=" << k;
+    // Every live object is returned, closest first.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LE(got[i - 1].second, got[i].second);
+    }
+    std::vector<ObjectId> returned;
+    for (const auto& [oid, dist] : got) returned.push_back(oid);
+    std::sort(returned.begin(), returned.end());
+    EXPECT_EQ(returned, ids);
+  }
+}
+
+TEST(KnnTermination, SparseIndexFindsTheLonelyObject) {
+  Fixture f;
+  const ObjectId oid = f.index->Insert(Rect{0.9, 0.9, 0.95, 0.95}).value();
+  auto got = f.index->NearestNeighbors(Point{0.05, 0.05}, 3).value();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, oid);
+  EXPECT_GT(got[0].second, 1.0);
+}
+
+TEST(KnnTermination, QueryPointFarOutsideWorld) {
+  Fixture f;
+  ASSERT_TRUE(f.index->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  ASSERT_TRUE(f.index->Insert(Rect{0.7, 0.7, 0.8, 0.8}).ok());
+  ASSERT_TRUE(f.index->Insert(Rect{0.4, 0.4, 0.5, 0.5}).ok());
+  // The first expanding windows do not even reach the world; the search
+  // must keep growing instead of looping or erroring.
+  uint32_t rounds = 0;
+  auto got =
+      f.index->NearestNeighbors(Point{50.0, 50.0}, 2, nullptr, &rounds)
+          .value();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_GE(rounds, 1u);
+  // Nearest to (50, 50) is the upper-right object.
+  EXPECT_LE(got[0].second, got[1].second);
+}
+
+// --------------------------------------------------------- CheckpointPins
+
+TEST(CheckpointPins, CheckpointReleasesItsInternalPins) {
+  Fixture f;
+  for (const Rect& r : GenerateData(300, DataGenOptions{})) {
+    ASSERT_TRUE(f.index->Insert(r).ok());
+  }
+  ASSERT_TRUE(f.index->Checkpoint().ok());
+  // No pin survives Checkpoint, so a full flush succeeds immediately.
+  EXPECT_EQ(f.pool.pinned_pages(), 0u);
+  EXPECT_TRUE(f.pool.FlushAll().ok());
+  EXPECT_TRUE(f.pager->Sync().ok());
+}
+
+TEST(CheckpointPins, FlushAllReportsPinnedDirtyPages) {
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 16);
+
+  auto clean = pool.New().value();
+  const PageId clean_id = clean.id();
+  clean.mutable_data()[0] = 'a';
+  clean.Release();
+
+  auto pinned = pool.New().value();
+  pinned.mutable_data()[0] = 'b';
+  const PageId pinned_id = pinned.id();
+
+  // The unpinned dirty page must be flushed even though the call fails.
+  const Status st = pool.FlushAll();
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("pinned"), std::string::npos);
+  EXPECT_NE(st.message().find(std::to_string(pinned_id)), std::string::npos);
+  {
+    std::vector<char> buf(512);
+    ASSERT_TRUE(pager->ReadPage(clean_id, buf.data()).ok());
+    EXPECT_EQ(buf[0], 'a');  // no silent partial flush the other way
+  }
+
+  // Releasing the pin unblocks the retry.
+  pinned.Release();
+  EXPECT_TRUE(pool.FlushAll().ok());
+  std::vector<char> buf(512);
+  ASSERT_TRUE(pager->ReadPage(pinned_id, buf.data()).ok());
+  EXPECT_EQ(buf[0], 'b');
+}
+
+TEST(CheckpointPins, CheckpointWithLiveReadCursorSucceeds) {
+  Fixture f;
+  for (const Rect& r : GenerateData(200, DataGenOptions{})) {
+    ASSERT_TRUE(f.index->Insert(r).ok());
+  }
+  // Settle the insert dirt so the cursor pins a *clean* leaf page.
+  ASSERT_TRUE(f.pool.FlushAll().ok());
+  auto cursor = f.index->btree()->SeekFirst().value();
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_GE(f.pool.pinned_pages(), 1u);
+
+  auto master = f.index->Checkpoint();
+  ASSERT_TRUE(master.ok());
+  // The cursor's page is clean, so even a full flush goes through.
+  EXPECT_TRUE(f.pool.FlushAll().ok());
+}
+
+// ------------------------------------------------------------- EraseDedup
+
+TEST(EraseDedup, ErasedObjectsNeverResurface) {
+  Fixture f;
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformLarge;  // high redundancy
+  const auto data = GenerateData(400, dg);
+  std::vector<ObjectId> ids;
+  for (const Rect& r : data) ids.push_back(f.index->Insert(r).value());
+
+  // Erase every third object.
+  std::set<ObjectId> erased;
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(f.index->Erase(ids[i]).ok());
+    erased.insert(ids[i]);
+  }
+
+  for (const auto& w : GenerateWindows(30, 0.05, QueryGenOptions{})) {
+    const auto hits = f.index->WindowQuery(w).value();
+    for (ObjectId oid : hits) {
+      EXPECT_FALSE(erased.count(oid)) << "erased object " << oid
+                                      << " resurfaced";
+    }
+  }
+  for (const auto& p : GeneratePoints(50, 9)) {
+    const auto point_hits = f.index->PointQuery(p).value();
+    for (ObjectId oid : point_hits) {
+      EXPECT_FALSE(erased.count(oid));
+    }
+    const auto knn_hits = f.index->NearestNeighbors(p, 5).value();
+    for (const auto& [oid, dist] : knn_hits) {
+      EXPECT_FALSE(erased.count(oid));
+    }
+  }
+}
+
+TEST(EraseDedup, EraseThenReinsertGetsFreshId) {
+  Fixture f;
+  const Rect r{0.3, 0.3, 0.35, 0.34};
+  const ObjectId first = f.index->Insert(r).value();
+  ASSERT_TRUE(f.index->Erase(first).ok());
+  EXPECT_TRUE(f.index->Erase(first).IsNotFound());  // double erase
+
+  const ObjectId second = f.index->Insert(r).value();
+  EXPECT_NE(first, second);  // ids are never recycled
+
+  auto hits = f.index->WindowQuery(Rect{0.25, 0.25, 0.4, 0.4}).value();
+  EXPECT_EQ(hits, std::vector<ObjectId>{second});
+  EXPECT_EQ(f.index->object_count(), 1u);
+}
+
+TEST(EraseDedup, SpatialJoinSkipsTombstones) {
+  Fixture fa, fb;
+  const auto data = GenerateData(120, DataGenOptions{});
+  std::vector<ObjectId> a_ids, b_ids;
+  for (const Rect& r : data) a_ids.push_back(fa.index->Insert(r).value());
+  for (const Rect& r : data) b_ids.push_back(fb.index->Insert(r).value());
+  for (size_t i = 0; i < a_ids.size(); i += 2) {
+    ASSERT_TRUE(fa.index->Erase(a_ids[i]).ok());
+  }
+  auto pairs = SpatialJoin(fa.index.get(), fb.index.get()).value();
+  EXPECT_FALSE(pairs.empty());
+  for (const auto& [a, b] : pairs) {
+    EXPECT_EQ(a % 2, 1u) << "tombstoned object " << a << " joined";
+  }
+}
+
+// ---------------------------------------------------- DegenerateGeometry
+
+TEST(DegenerateGeometry, ZeroAreaRects) {
+  Fixture f;
+  const ObjectId pt = f.index->Insert(Rect{0.3, 0.4, 0.3, 0.4}).value();
+  const ObjectId seg = f.index->Insert(Rect{0.6, 0.2, 0.6, 0.5}).value();
+
+  // Found by overlapping windows…
+  EXPECT_EQ(f.index->WindowQuery(Rect{0.25, 0.35, 0.35, 0.45}).value(),
+            std::vector<ObjectId>{pt});
+  EXPECT_EQ(f.index->WindowQuery(Rect{0.55, 0.3, 0.65, 0.4}).value(),
+            std::vector<ObjectId>{seg});
+  // …by a zero-area query window exactly on them…
+  EXPECT_EQ(f.index->WindowQuery(Rect{0.3, 0.4, 0.3, 0.4}).value(),
+            std::vector<ObjectId>{pt});
+  // …and by point queries at their location.
+  EXPECT_EQ(f.index->PointQuery(Point{0.3, 0.4}).value(),
+            std::vector<ObjectId>{pt});
+  EXPECT_EQ(f.index->PointQuery(Point{0.6, 0.35}).value(),
+            std::vector<ObjectId>{seg});
+}
+
+TEST(DegenerateGeometry, WorldBoundaryObjects) {
+  Fixture f;
+  // Touching the world's upper-right corner and sitting exactly on the
+  // x = 1 border line (zero width at the far edge).
+  const ObjectId corner = f.index->Insert(Rect{0.9, 0.95, 1.0, 1.0}).value();
+  const ObjectId edge = f.index->Insert(Rect{1.0, 0.5, 1.0, 0.6}).value();
+  const ObjectId origin = f.index->Insert(Rect{0.0, 0.0, 0.05, 0.05}).value();
+
+  EXPECT_EQ(f.index->WindowQuery(Rect{0.95, 0.97, 1.0, 1.0}).value(),
+            std::vector<ObjectId>{corner});
+  EXPECT_EQ(f.index->WindowQuery(Rect{0.98, 0.52, 1.0, 0.55}).value(),
+            std::vector<ObjectId>{edge});
+  EXPECT_EQ(f.index->WindowQuery(Rect{0.0, 0.0, 0.01, 0.01}).value(),
+            std::vector<ObjectId>{origin});
+  // The whole world returns everything exactly once.
+  EXPECT_EQ(f.index->WindowQuery(Rect{0, 0, 1, 1}).value().size(), 3u);
+}
+
+TEST(DegenerateGeometry, OutOfWorldClampsConsistently) {
+  Fixture f;
+  // Straddles the world's upper-right corner; grid-clamps to the border
+  // cells on insert.
+  const ObjectId big = f.index->Insert(Rect{0.9, 0.9, 1.5, 1.5}).value();
+
+  // In-world window over the clamped region finds it.
+  EXPECT_EQ(f.index->WindowQuery(Rect{0.95, 0.95, 1.0, 1.0}).value(),
+            std::vector<ObjectId>{big});
+  // An out-of-world window that intersects it in world space clamps to
+  // the same border cells and still finds it.
+  EXPECT_EQ(f.index->WindowQuery(Rect{1.1, 1.1, 1.4, 1.4}).value(),
+            std::vector<ObjectId>{big});
+  // An out-of-world window beyond its extent clamps to the same cells
+  // but is rejected by exact refinement.
+  EXPECT_TRUE(f.index->WindowQuery(Rect{1.6, 1.6, 2.0, 2.0}).value().empty());
+  // Inverted windows are rejected, not clamped into validity.
+  EXPECT_TRUE(
+      f.index->WindowQuery(Rect{0.5, 0.5, 0.4, 0.6}).status()
+          .IsInvalidArgument());
+}
+
+TEST(DegenerateGeometry, MapperClampsInsertAndQueryIdentically) {
+  const SpaceMapper mapper(Rect{0.0, 0.0, 1.0, 1.0}, 8);
+  // Any point at or beyond a world edge lands in the border cell.
+  EXPECT_EQ(mapper.ToGridX(1.0), mapper.max_coord());
+  EXPECT_EQ(mapper.ToGridX(7.5), mapper.max_coord());
+  EXPECT_EQ(mapper.ToGridX(-3.0), 0u);
+  // A zero-area rect maps to a single cell, identical for both paths.
+  const GridRect g = mapper.ToGrid(Rect{0.3, 0.4, 0.3, 0.4});
+  EXPECT_EQ(g.CellCount(), 1u);
+  EXPECT_EQ(g, mapper.ToGrid(Rect{0.3, 0.4, 0.3, 0.4}));
+  // Out-of-world rects clamp to the same border cells as their in-world
+  // intersection.
+  const GridRect clamped = mapper.ToGrid(Rect{0.9, 0.9, 1.5, 1.5});
+  EXPECT_EQ(clamped.xhi, mapper.max_coord());
+  EXPECT_EQ(clamped.yhi, mapper.max_coord());
+}
+
+}  // namespace
+}  // namespace zdb
