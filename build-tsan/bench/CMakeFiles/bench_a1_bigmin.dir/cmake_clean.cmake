@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_bigmin.dir/bench_a1_bigmin.cc.o"
+  "CMakeFiles/bench_a1_bigmin.dir/bench_a1_bigmin.cc.o.d"
+  "bench_a1_bigmin"
+  "bench_a1_bigmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_bigmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

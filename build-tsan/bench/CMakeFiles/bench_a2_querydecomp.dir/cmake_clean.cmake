@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_querydecomp.dir/bench_a2_querydecomp.cc.o"
+  "CMakeFiles/bench_a2_querydecomp.dir/bench_a2_querydecomp.cc.o.d"
+  "bench_a2_querydecomp"
+  "bench_a2_querydecomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_querydecomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_polygon.dir/bench_a3_polygon.cc.o"
+  "CMakeFiles/bench_a3_polygon.dir/bench_a3_polygon.cc.o.d"
+  "bench_a3_polygon"
+  "bench_a3_polygon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_polygon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_knn.dir/bench_a4_knn.cc.o"
+  "CMakeFiles/bench_a4_knn.dir/bench_a4_knn.cc.o.d"
+  "bench_a4_knn"
+  "bench_a4_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

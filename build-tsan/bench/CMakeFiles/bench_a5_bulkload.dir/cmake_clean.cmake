@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_bulkload.dir/bench_a5_bulkload.cc.o"
+  "CMakeFiles/bench_a5_bulkload.dir/bench_a5_bulkload.cc.o.d"
+  "bench_a5_bulkload"
+  "bench_a5_bulkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_bulkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_cache.dir/bench_a6_cache.cc.o"
+  "CMakeFiles/bench_a6_cache.dir/bench_a6_cache.cc.o.d"
+  "bench_a6_cache"
+  "bench_a6_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_gridres.dir/bench_a7_gridres.cc.o"
+  "CMakeFiles/bench_a7_gridres.dir/bench_a7_gridres.cc.o.d"
+  "bench_a7_gridres"
+  "bench_a7_gridres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_gridres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

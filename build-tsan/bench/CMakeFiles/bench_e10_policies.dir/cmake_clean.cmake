@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_policies.dir/bench_e10_policies.cc.o"
+  "CMakeFiles/bench_e10_policies.dir/bench_e10_policies.cc.o.d"
+  "bench_e10_policies"
+  "bench_e10_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_transform.dir/bench_e11_transform.cc.o"
+  "CMakeFiles/bench_e11_transform.dir/bench_e11_transform.cc.o.d"
+  "bench_e11_transform"
+  "bench_e11_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_parallel.dir/bench_e12_parallel.cc.o"
+  "CMakeFiles/bench_e12_parallel.dir/bench_e12_parallel.cc.o.d"
+  "bench_e12_parallel"
+  "bench_e12_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

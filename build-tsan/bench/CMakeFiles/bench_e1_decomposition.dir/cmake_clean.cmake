@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_decomposition.dir/bench_e1_decomposition.cc.o"
+  "CMakeFiles/bench_e1_decomposition.dir/bench_e1_decomposition.cc.o.d"
+  "bench_e1_decomposition"
+  "bench_e1_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_window_io.dir/bench_e2_window_io.cc.o"
+  "CMakeFiles/bench_e2_window_io.dir/bench_e2_window_io.cc.o.d"
+  "bench_e2_window_io"
+  "bench_e2_window_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_window_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

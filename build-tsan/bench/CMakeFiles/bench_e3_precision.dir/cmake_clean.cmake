@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_precision.dir/bench_e3_precision.cc.o"
+  "CMakeFiles/bench_e3_precision.dir/bench_e3_precision.cc.o.d"
+  "bench_e3_precision"
+  "bench_e3_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_crossover.dir/bench_e4_crossover.cc.o"
+  "CMakeFiles/bench_e4_crossover.dir/bench_e4_crossover.cc.o.d"
+  "bench_e4_crossover"
+  "bench_e4_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

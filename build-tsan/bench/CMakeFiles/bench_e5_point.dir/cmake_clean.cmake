@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_point.dir/bench_e5_point.cc.o"
+  "CMakeFiles/bench_e5_point.dir/bench_e5_point.cc.o.d"
+  "bench_e5_point"
+  "bench_e5_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

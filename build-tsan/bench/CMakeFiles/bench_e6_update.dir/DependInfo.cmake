@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e6_update.cc" "bench/CMakeFiles/bench_e6_update.dir/bench_e6_update.cc.o" "gcc" "bench/CMakeFiles/bench_e6_update.dir/bench_e6_update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_rtree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_transform.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_decompose.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_zorder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

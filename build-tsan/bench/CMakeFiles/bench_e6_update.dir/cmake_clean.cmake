@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_update.dir/bench_e6_update.cc.o"
+  "CMakeFiles/bench_e6_update.dir/bench_e6_update.cc.o.d"
+  "bench_e6_update"
+  "bench_e6_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

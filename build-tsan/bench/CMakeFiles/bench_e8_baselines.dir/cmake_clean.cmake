@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_baselines.dir/bench_e8_baselines.cc.o"
+  "CMakeFiles/bench_e8_baselines.dir/bench_e8_baselines.cc.o.d"
+  "bench_e8_baselines"
+  "bench_e8_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_objsize.dir/bench_e9_objsize.cc.o"
+  "CMakeFiles/bench_e9_objsize.dir/bench_e9_objsize.cc.o.d"
+  "bench_e9_objsize"
+  "bench_e9_objsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_objsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_window.dir/cad_window.cpp.o"
+  "CMakeFiles/cad_window.dir/cad_window.cpp.o.d"
+  "cad_window"
+  "cad_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

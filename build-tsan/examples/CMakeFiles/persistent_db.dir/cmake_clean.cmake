@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_db.dir/persistent_db.cpp.o"
+  "CMakeFiles/persistent_db.dir/persistent_db.cpp.o.d"
+  "persistent_db"
+  "persistent_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

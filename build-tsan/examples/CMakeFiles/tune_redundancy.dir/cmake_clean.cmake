@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_redundancy.dir/tune_redundancy.cpp.o"
+  "CMakeFiles/tune_redundancy.dir/tune_redundancy.cpp.o.d"
+  "tune_redundancy"
+  "tune_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

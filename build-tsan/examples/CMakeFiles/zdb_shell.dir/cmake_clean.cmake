@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_shell.dir/zdb_shell.cpp.o"
+  "CMakeFiles/zdb_shell.dir/zdb_shell.cpp.o.d"
+  "zdb_shell"
+  "zdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_bench_util.dir/bench_util/runner.cc.o"
+  "CMakeFiles/zdb_bench_util.dir/bench_util/runner.cc.o.d"
+  "CMakeFiles/zdb_bench_util.dir/bench_util/table.cc.o"
+  "CMakeFiles/zdb_bench_util.dir/bench_util/table.cc.o.d"
+  "libzdb_bench_util.a"
+  "libzdb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

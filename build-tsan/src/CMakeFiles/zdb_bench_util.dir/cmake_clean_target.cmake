@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzdb_bench_util.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_btree.dir/btree/btree.cc.o"
+  "CMakeFiles/zdb_btree.dir/btree/btree.cc.o.d"
+  "CMakeFiles/zdb_btree.dir/btree/cursor.cc.o"
+  "CMakeFiles/zdb_btree.dir/btree/cursor.cc.o.d"
+  "CMakeFiles/zdb_btree.dir/btree/node.cc.o"
+  "CMakeFiles/zdb_btree.dir/btree/node.cc.o.d"
+  "libzdb_btree.a"
+  "libzdb_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

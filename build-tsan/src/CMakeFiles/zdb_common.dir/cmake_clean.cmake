@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_common.dir/common/coding.cc.o"
+  "CMakeFiles/zdb_common.dir/common/coding.cc.o.d"
+  "CMakeFiles/zdb_common.dir/common/metrics.cc.o"
+  "CMakeFiles/zdb_common.dir/common/metrics.cc.o.d"
+  "libzdb_common.a"
+  "libzdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bulk.cc" "src/CMakeFiles/zdb_core.dir/core/bulk.cc.o" "gcc" "src/CMakeFiles/zdb_core.dir/core/bulk.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/CMakeFiles/zdb_core.dir/core/join.cc.o" "gcc" "src/CMakeFiles/zdb_core.dir/core/join.cc.o.d"
+  "/root/repo/src/core/knn.cc" "src/CMakeFiles/zdb_core.dir/core/knn.cc.o" "gcc" "src/CMakeFiles/zdb_core.dir/core/knn.cc.o.d"
+  "/root/repo/src/core/object_store.cc" "src/CMakeFiles/zdb_core.dir/core/object_store.cc.o" "gcc" "src/CMakeFiles/zdb_core.dir/core/object_store.cc.o.d"
+  "/root/repo/src/core/persist.cc" "src/CMakeFiles/zdb_core.dir/core/persist.cc.o" "gcc" "src/CMakeFiles/zdb_core.dir/core/persist.cc.o.d"
+  "/root/repo/src/core/polygon_store.cc" "src/CMakeFiles/zdb_core.dir/core/polygon_store.cc.o" "gcc" "src/CMakeFiles/zdb_core.dir/core/polygon_store.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/zdb_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/zdb_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/spatial_index.cc" "src/CMakeFiles/zdb_core.dir/core/spatial_index.cc.o" "gcc" "src/CMakeFiles/zdb_core.dir/core/spatial_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_decompose.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_zorder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

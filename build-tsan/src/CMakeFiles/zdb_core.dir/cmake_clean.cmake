@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_core.dir/core/bulk.cc.o"
+  "CMakeFiles/zdb_core.dir/core/bulk.cc.o.d"
+  "CMakeFiles/zdb_core.dir/core/join.cc.o"
+  "CMakeFiles/zdb_core.dir/core/join.cc.o.d"
+  "CMakeFiles/zdb_core.dir/core/knn.cc.o"
+  "CMakeFiles/zdb_core.dir/core/knn.cc.o.d"
+  "CMakeFiles/zdb_core.dir/core/object_store.cc.o"
+  "CMakeFiles/zdb_core.dir/core/object_store.cc.o.d"
+  "CMakeFiles/zdb_core.dir/core/persist.cc.o"
+  "CMakeFiles/zdb_core.dir/core/persist.cc.o.d"
+  "CMakeFiles/zdb_core.dir/core/polygon_store.cc.o"
+  "CMakeFiles/zdb_core.dir/core/polygon_store.cc.o.d"
+  "CMakeFiles/zdb_core.dir/core/query.cc.o"
+  "CMakeFiles/zdb_core.dir/core/query.cc.o.d"
+  "CMakeFiles/zdb_core.dir/core/spatial_index.cc.o"
+  "CMakeFiles/zdb_core.dir/core/spatial_index.cc.o.d"
+  "libzdb_core.a"
+  "libzdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_decompose.dir/decompose/decompose.cc.o"
+  "CMakeFiles/zdb_decompose.dir/decompose/decompose.cc.o.d"
+  "CMakeFiles/zdb_decompose.dir/decompose/region.cc.o"
+  "CMakeFiles/zdb_decompose.dir/decompose/region.cc.o.d"
+  "libzdb_decompose.a"
+  "libzdb_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

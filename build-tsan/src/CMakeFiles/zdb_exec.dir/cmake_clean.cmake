@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/zdb_exec.dir/exec/executor.cc.o.d"
+  "libzdb_exec.a"
+  "libzdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/clip.cc" "src/CMakeFiles/zdb_geom.dir/geom/clip.cc.o" "gcc" "src/CMakeFiles/zdb_geom.dir/geom/clip.cc.o.d"
+  "/root/repo/src/geom/grid.cc" "src/CMakeFiles/zdb_geom.dir/geom/grid.cc.o" "gcc" "src/CMakeFiles/zdb_geom.dir/geom/grid.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/CMakeFiles/zdb_geom.dir/geom/polygon.cc.o" "gcc" "src/CMakeFiles/zdb_geom.dir/geom/polygon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

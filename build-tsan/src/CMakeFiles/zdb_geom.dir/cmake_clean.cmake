@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_geom.dir/geom/clip.cc.o"
+  "CMakeFiles/zdb_geom.dir/geom/clip.cc.o.d"
+  "CMakeFiles/zdb_geom.dir/geom/grid.cc.o"
+  "CMakeFiles/zdb_geom.dir/geom/grid.cc.o.d"
+  "CMakeFiles/zdb_geom.dir/geom/polygon.cc.o"
+  "CMakeFiles/zdb_geom.dir/geom/polygon.cc.o.d"
+  "libzdb_geom.a"
+  "libzdb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

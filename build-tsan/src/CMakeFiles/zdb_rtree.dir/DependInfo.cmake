@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/zdb_rtree.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/zdb_rtree.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/rtree/split.cc" "src/CMakeFiles/zdb_rtree.dir/rtree/split.cc.o" "gcc" "src/CMakeFiles/zdb_rtree.dir/rtree/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_zorder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_rtree.dir/rtree/rtree.cc.o"
+  "CMakeFiles/zdb_rtree.dir/rtree/rtree.cc.o.d"
+  "CMakeFiles/zdb_rtree.dir/rtree/split.cc.o"
+  "CMakeFiles/zdb_rtree.dir/rtree/split.cc.o.d"
+  "libzdb_rtree.a"
+  "libzdb_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

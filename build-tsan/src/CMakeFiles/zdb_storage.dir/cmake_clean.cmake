@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/zdb_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/zdb_storage.dir/storage/file.cc.o"
+  "CMakeFiles/zdb_storage.dir/storage/file.cc.o.d"
+  "CMakeFiles/zdb_storage.dir/storage/pager.cc.o"
+  "CMakeFiles/zdb_storage.dir/storage/pager.cc.o.d"
+  "libzdb_storage.a"
+  "libzdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

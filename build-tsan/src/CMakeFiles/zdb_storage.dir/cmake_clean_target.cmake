@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzdb_storage.a"
+)

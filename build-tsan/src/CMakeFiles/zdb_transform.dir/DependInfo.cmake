@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/decompose4.cc" "src/CMakeFiles/zdb_transform.dir/transform/decompose4.cc.o" "gcc" "src/CMakeFiles/zdb_transform.dir/transform/decompose4.cc.o.d"
+  "/root/repo/src/transform/element4.cc" "src/CMakeFiles/zdb_transform.dir/transform/element4.cc.o" "gcc" "src/CMakeFiles/zdb_transform.dir/transform/element4.cc.o.d"
+  "/root/repo/src/transform/morton4.cc" "src/CMakeFiles/zdb_transform.dir/transform/morton4.cc.o" "gcc" "src/CMakeFiles/zdb_transform.dir/transform/morton4.cc.o.d"
+  "/root/repo/src/transform/transform_index.cc" "src/CMakeFiles/zdb_transform.dir/transform/transform_index.cc.o" "gcc" "src/CMakeFiles/zdb_transform.dir/transform/transform_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_decompose.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_zorder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/zdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_transform.dir/transform/decompose4.cc.o"
+  "CMakeFiles/zdb_transform.dir/transform/decompose4.cc.o.d"
+  "CMakeFiles/zdb_transform.dir/transform/element4.cc.o"
+  "CMakeFiles/zdb_transform.dir/transform/element4.cc.o.d"
+  "CMakeFiles/zdb_transform.dir/transform/morton4.cc.o"
+  "CMakeFiles/zdb_transform.dir/transform/morton4.cc.o.d"
+  "CMakeFiles/zdb_transform.dir/transform/transform_index.cc.o"
+  "CMakeFiles/zdb_transform.dir/transform/transform_index.cc.o.d"
+  "libzdb_transform.a"
+  "libzdb_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_workload.dir/workload/datagen.cc.o"
+  "CMakeFiles/zdb_workload.dir/workload/datagen.cc.o.d"
+  "CMakeFiles/zdb_workload.dir/workload/querygen.cc.o"
+  "CMakeFiles/zdb_workload.dir/workload/querygen.cc.o.d"
+  "libzdb_workload.a"
+  "libzdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdb_zorder.dir/zorder/bigmin.cc.o"
+  "CMakeFiles/zdb_zorder.dir/zorder/bigmin.cc.o.d"
+  "CMakeFiles/zdb_zorder.dir/zorder/morton.cc.o"
+  "CMakeFiles/zdb_zorder.dir/zorder/morton.cc.o.d"
+  "CMakeFiles/zdb_zorder.dir/zorder/zelement.cc.o"
+  "CMakeFiles/zdb_zorder.dir/zorder/zelement.cc.o.d"
+  "CMakeFiles/zdb_zorder.dir/zorder/zkey.cc.o"
+  "CMakeFiles/zdb_zorder.dir/zorder/zkey.cc.o.d"
+  "libzdb_zorder.a"
+  "libzdb_zorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdb_zorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

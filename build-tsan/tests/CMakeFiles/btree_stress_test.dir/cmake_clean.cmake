@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_stress_test.dir/btree_stress_test.cc.o"
+  "CMakeFiles/btree_stress_test.dir/btree_stress_test.cc.o.d"
+  "btree_stress_test"
+  "btree_stress_test.pdb"
+  "btree_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_test.dir/bulk_test.cc.o"
+  "CMakeFiles/bulk_test.dir/bulk_test.cc.o.d"
+  "bulk_test"
+  "bulk_test.pdb"
+  "bulk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_smoke_test.dir/core_smoke_test.cc.o"
+  "CMakeFiles/core_smoke_test.dir/core_smoke_test.cc.o.d"
+  "core_smoke_test"
+  "core_smoke_test.pdb"
+  "core_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[thread.Smoke.BTreeRandomOpsMatchStdMap]=]  /root/repo/build-tsan/tests/smoke_test [==[--gtest_filter=Smoke.BTreeRandomOpsMatchStdMap]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[thread.Smoke.BTreeRandomOpsMatchStdMap]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-tsan/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  smoke_test_TESTS thread.Smoke.BTreeRandomOpsMatchStdMap)
