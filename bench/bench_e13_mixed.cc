@@ -1,0 +1,171 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// E13: mixed read/write throughput. A single writer applies batched
+// inserts + erases through SpatialIndex::ApplyBatch while the executor's
+// worker pool answers window, point and kNN queries — the
+// QueryExecutor::MixedWorkload mode. Because mutations take the index
+// latch exclusively, writer sections serialize with readers; the
+// question this experiment answers is how much read throughput survives
+// a concurrent write stream, in the two usual regimes:
+//
+//   * warm — pool holds the whole index; queries are pure CPU, so the
+//     writer steals latch time but no I/O bandwidth.
+//   * I/O-bound — small pool plus simulated per-read device latency;
+//     reader threads overlap their stalls, and writer sections inject
+//     latch pauses into that overlap.
+//
+// Read-only throughput at the same thread count is reported as the
+// baseline, so the last column is the fraction of read throughput
+// retained when the write stream is switched on.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+#include "exec/executor.h"
+
+namespace zdb {
+namespace {
+
+constexpr size_t kRounds = 16;
+constexpr size_t kInsertsPerRound = 48;
+constexpr size_t kErasesPerRound = 48;
+constexpr size_t kWindowsPerRound = 24;
+constexpr size_t kPointsPerRound = 16;
+constexpr size_t kKnnPerRound = 4;
+constexpr size_t kKnnK = 8;
+constexpr double kSelectivity = 0.01;
+constexpr uint32_t kReadLatencyUs = 100;  ///< simulated device read
+constexpr size_t kIoPoolPages = 256;
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+constexpr size_t kQueriesPerRound =
+    kWindowsPerRound + kPointsPerRound + kKnnPerRound;
+
+double SecondsOf(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// The per-round write batch erases round r's slice of the base data and
+/// inserts the matching slice of `extra`, so the live count stays flat
+/// across the run. Each thread count gets a fresh index, so the
+/// deterministic oid sequence (dense, no recycling) makes the erase
+/// targets valid by construction.
+std::vector<MixedRound> MakeRounds(const std::vector<Rect>& extra) {
+  std::vector<MixedRound> rounds(kRounds);
+  for (size_t r = 0; r < kRounds; ++r) {
+    MixedRound& round = rounds[r];
+    for (size_t e = 0; e < kErasesPerRound; ++e) {
+      round.writes.Erase(static_cast<ObjectId>(r * kErasesPerRound + e));
+    }
+    for (size_t i = 0; i < kInsertsPerRound; ++i) {
+      round.writes.Insert(extra[r * kInsertsPerRound + i]);
+    }
+    QueryGenOptions qopt;
+    qopt.seed = 300 + static_cast<uint64_t>(r);
+    round.windows = GenerateWindows(kWindowsPerRound, kSelectivity, qopt);
+    round.points = GeneratePoints(kPointsPerRound, 400 + r);
+    round.knn_points = GeneratePoints(kKnnPerRound, 500 + r);
+    round.knn_k = kKnnK;
+  }
+  return rounds;
+}
+
+/// Read-only copy of the mixed rounds (same queries, empty batches).
+std::vector<MixedRound> ReadOnly(const std::vector<MixedRound>& rounds) {
+  std::vector<MixedRound> out = rounds;
+  for (MixedRound& r : out) r.writes = WriteBatch{};
+  return out;
+}
+
+struct Regime {
+  double read_qps = 0.0;   ///< read-only baseline
+  double mixed_qps = 0.0;  ///< with the write stream on
+  double write_ops = 0.0;  ///< write ops/s during the mixed run
+};
+
+Regime RunRegime(const std::vector<Rect>& data,
+                 const std::vector<MixedRound>& rounds, size_t threads,
+                 bool io_bound) {
+  const SpatialIndexOptions opt{.data = DecomposeOptions::SizeBound(4)};
+  const size_t pool_pages = io_bound ? kIoPoolPages : 8192;
+  constexpr size_t kWriteOps =
+      kRounds * (kInsertsPerRound + kErasesPerRound);
+
+  Regime out;
+  {
+    Env env = MakeEnv(kBenchPageSize, pool_pages);
+    auto index = BuildZIndex(&env, data, opt).value();
+    if (io_bound) env.pager->set_simulated_read_latency_us(kReadLatencyUs);
+    QueryExecutor exec(index.get(), threads);
+    const auto ro = ReadOnly(rounds);
+    const double s = SecondsOf([&] { (void)exec.MixedWorkload(ro).value(); });
+    out.read_qps = kRounds * kQueriesPerRound / s;
+  }
+  {
+    Env env = MakeEnv(kBenchPageSize, pool_pages);
+    auto index = BuildZIndex(&env, data, opt).value();
+    if (io_bound) env.pager->set_simulated_read_latency_us(kReadLatencyUs);
+    QueryExecutor exec(index.get(), threads);
+    const double s =
+        SecondsOf([&] { (void)exec.MixedWorkload(rounds).value(); });
+    out.mixed_qps = kRounds * kQueriesPerRound / s;
+    out.write_ops = kWriteOps / s;
+  }
+  return out;
+}
+
+void RunDistribution(Distribution dist, size_t n) {
+  DataGenOptions dg;
+  dg.distribution = dist;
+  const auto data = GenerateData(n, dg);
+  DataGenOptions dg2;
+  dg2.distribution = dist;
+  dg2.seed = dg.seed + 1;
+  const auto extra = GenerateData(kRounds * kInsertsPerRound, dg2);
+  const auto rounds = MakeRounds(extra);
+
+  Table table(
+      "E13 mixed read/write throughput — " + DistributionName(dist) + " (" +
+          std::to_string(n) + " objects; " + std::to_string(kRounds) +
+          " rounds x " + std::to_string(kInsertsPerRound + kErasesPerRound) +
+          " write ops; I/O regime: " + std::to_string(kIoPoolPages) +
+          "-page pool, " + std::to_string(kReadLatencyUs) +
+          "us/read; host cores: " +
+          std::to_string(std::thread::hardware_concurrency()) + ")",
+      {"threads", "warm read q/s", "warm mixed q/s", "retained",
+       "io read q/s", "io mixed q/s", "retained", "io write op/s"});
+
+  for (size_t threads : kThreadCounts) {
+    const Regime warm = RunRegime(data, rounds, threads, /*io_bound=*/false);
+    const Regime io = RunRegime(data, rounds, threads, /*io_bound=*/true);
+    table.AddRow({std::to_string(threads), Fmt(warm.read_qps, 0),
+                  Fmt(warm.mixed_qps, 0),
+                  Fmt(warm.mixed_qps / warm.read_qps, 2),
+                  Fmt(io.read_qps, 0), Fmt(io.mixed_qps, 0),
+                  Fmt(io.mixed_qps / io.read_qps, 2),
+                  Fmt(io.write_ops, 0)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace zdb
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  for (zdb::Distribution d :
+       {zdb::Distribution::kUniformLarge, zdb::Distribution::kClusters}) {
+    zdb::RunDistribution(d, n);
+  }
+  return 0;
+}

@@ -10,7 +10,11 @@
 // cursor scans) as long as no thread mutates the tree — the read path
 // only pins pages through the thread-safe BufferPool and reads immutable
 // in-memory metadata. Mutations (Insert/Put/Delete/BulkLoad) require
-// exclusive access; there is no latch-crabbing.
+// external exclusive access; there is no latch-crabbing. SpatialIndex
+// provides that exclusion: its reader/writer latch maps queries to
+// shared sections and mutations to exclusive ones (see
+// core/spatial_index.h), so a BTree owned by a SpatialIndex needs no
+// extra locking by the caller.
 
 #ifndef ZDB_BTREE_BTREE_H_
 #define ZDB_BTREE_BTREE_H_

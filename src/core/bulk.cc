@@ -13,6 +13,7 @@
 namespace zdb {
 
 Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
+  auto lock = AcquireExclusive();
   if (btree_->size() != 0 || store_->size() != 0) {
     return Status::InvalidArgument("bulk load into non-empty index");
   }
@@ -48,7 +49,7 @@ Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
             [](const Entry& a, const Entry& b) { return a.key < b.key; });
 
   size_t i = 0;
-  return btree_->BulkLoad(
+  Status st = btree_->BulkLoad(
       [&](std::string* key, std::string* val) {
         if (i >= entries.size()) return false;
         *key = entries[i].key;
@@ -57,6 +58,8 @@ Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
         return true;
       },
       fill);
+  if (st.ok()) PublishWrite();
+  return st;
 }
 
 }  // namespace zdb

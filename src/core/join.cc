@@ -35,6 +35,15 @@ void PopNonEnclosing(std::vector<StackEntry>* stack, const ZElement& e) {
 
 Result<std::vector<std::pair<ObjectId, ObjectId>>> SpatialJoin(
     SpatialIndex* a, SpatialIndex* b, JoinStats* stats) {
+  // Reader sections on both indexes for the whole merge, acquired in
+  // address order so two joins over the same pair cannot deadlock
+  // against waiting writers. Self-joins take a single section.
+  SpatialIndex* first = a < b ? a : b;
+  SpatialIndex* second = a < b ? b : a;
+  auto lock_first = first->ReaderSection();
+  auto lock_second =
+      first == second ? std::shared_lock<std::shared_mutex>()
+                      : second->ReaderSection();
   if (a->options().grid_bits != b->options().grid_bits ||
       !(a->options().world == b->options().world)) {
     return Status::InvalidArgument(

@@ -31,6 +31,10 @@ void SortByDistance(std::vector<std::pair<ObjectId, double>>* best) {
 Result<std::vector<std::pair<ObjectId, double>>>
 SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
                                uint32_t* rounds) {
+  // One reader section for ALL expanding rounds: a writer can never
+  // interleave between rounds, so the returned neighbor set reflects a
+  // single index state.
+  auto lock = AcquireShared();
   std::vector<std::pair<ObjectId, double>> best;
   if (k == 0 || live_objects_ == 0) {
     if (rounds != nullptr) *rounds = 0;
@@ -45,12 +49,12 @@ SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
     // count. One whole-world sweep returns every live object directly.
     QueryStats qs;
     std::vector<ObjectId> hits;
-    ZDB_ASSIGN_OR_RETURN(hits, WindowQuery(world, &qs));
+    ZDB_ASSIGN_OR_RETURN(hits, WindowQueryLocked(world, &qs));
     if (stats != nullptr) stats->Add(qs);
     best.reserve(hits.size());
     for (ObjectId oid : hits) {
       double d;
-      ZDB_ASSIGN_OR_RETURN(d, DistanceTo(oid, p));
+      ZDB_ASSIGN_OR_RETURN(d, DistanceToLocked(oid, p));
       best.emplace_back(oid, d);
     }
     SortByDistance(&best);
@@ -83,14 +87,14 @@ SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
 
     QueryStats qs;
     std::vector<ObjectId> hits;
-    ZDB_ASSIGN_OR_RETURN(hits, WindowQuery(window, &qs));
+    ZDB_ASSIGN_OR_RETURN(hits, WindowQueryLocked(window, &qs));
     if (stats != nullptr) stats->Add(qs);
 
     best.clear();
     best.reserve(hits.size());
     for (ObjectId oid : hits) {
       double d;
-      ZDB_ASSIGN_OR_RETURN(d, DistanceTo(oid, p));
+      ZDB_ASSIGN_OR_RETURN(d, DistanceToLocked(oid, p));
       best.emplace_back(oid, d);
     }
     SortByDistance(&best);

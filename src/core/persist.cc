@@ -131,6 +131,13 @@ Status FreeChain(BufferPool* pool, PageId head) {
 }  // namespace
 
 Result<PageId> SpatialIndex::Checkpoint() {
+  // A checkpoint rewrites directory chains and the master page; it is a
+  // writer section even though the logical contents do not change.
+  auto lock = AcquireExclusive();
+  return CheckpointLocked();
+}
+
+Result<PageId> SpatialIndex::CheckpointLocked() {
   ZDB_RETURN_IF_ERROR(btree_->Flush());
 
   // Rewrite the directory chains (free previous versions first).

@@ -2,11 +2,38 @@
 
 #include "core/spatial_index.h"
 
+#include <thread>
+
 #include "decompose/region.h"
 #include "geom/clip.h"
 #include "zorder/zkey.h"
 
 namespace zdb {
+
+// ----------------------------------------------------- latch acquisition
+//
+// std::shared_mutex fairness is implementation-defined, and the common
+// pthread rwlock prefers readers: with reader threads issuing queries
+// back to back, the shared side never drains and a unique_lock waits
+// forever. The writers_waiting_ gate restores progress — writers
+// announce themselves before blocking, and new readers yield until no
+// writer is announced. A reader that raced past the gate holds the
+// latch for at most one query, so the writer's wait is bounded by one
+// in-flight query per reader thread.
+
+std::shared_lock<std::shared_mutex> SpatialIndex::AcquireShared() const {
+  while (writers_waiting_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+  return std::shared_lock<std::shared_mutex>(latch_);
+}
+
+std::unique_lock<std::shared_mutex> SpatialIndex::AcquireExclusive() {
+  writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  writers_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  return lock;
+}
 
 Result<std::unique_ptr<SpatialIndex>> SpatialIndex::Create(
     BufferPool* pool, const SpatialIndexOptions& options) {
@@ -20,7 +47,72 @@ Result<std::unique_ptr<SpatialIndex>> SpatialIndex::Create(
   return index;
 }
 
+// ------------------------------------------------------------- mutations
+//
+// Public mutations are batch-granular writer sections: the exclusive
+// latch is held for the whole multi-key operation, so an object's
+// z-element set is published to readers all-or-nothing.
+
 Result<ObjectId> SpatialIndex::Insert(const Rect& mbr, uint32_t payload) {
+  auto lock = AcquireExclusive();
+  auto r = InsertLocked(mbr, payload);
+  if (r.ok()) PublishWrite();
+  return r;
+}
+
+Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly) {
+  auto lock = AcquireExclusive();
+  auto r = InsertPolygonLocked(poly);
+  if (r.ok()) PublishWrite();
+  return r;
+}
+
+Status SpatialIndex::Erase(ObjectId oid) {
+  auto lock = AcquireExclusive();
+  Status s = EraseLocked(oid);
+  if (s.ok()) PublishWrite();
+  return s;
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
+    const WriteBatch& batch) {
+  auto lock = AcquireExclusive();
+  Pager* pager = pool_->pager();
+  // Journal-back the batch when possible. If the caller already manages
+  // an outer pager batch, compose with it instead of nesting.
+  const bool journal = pager->journaled() && !pager->in_batch();
+  if (journal) ZDB_RETURN_IF_ERROR(pager->BeginBatch());
+
+  std::vector<ObjectId> inserted;
+  Status st = Status::OK();
+  for (const WriteOp& op : batch.ops) {
+    if (op.kind == WriteOp::Kind::kInsert) {
+      auto r = InsertLocked(op.mbr, op.payload);
+      if (!r.ok()) {
+        st = r.status();
+        break;
+      }
+      inserted.push_back(r.value());
+    } else {
+      st = EraseLocked(op.oid);
+      if (!st.ok()) break;
+    }
+  }
+  if (st.ok() && journal) {
+    // Make the batch durable before it commits: meta + dirty pages to
+    // disk, then the journal reset. A crash anywhere before CommitBatch
+    // rolls the whole batch back on reopen.
+    st = CheckpointLocked().status();
+    if (st.ok()) st = pool_->FlushAll();
+    if (st.ok()) st = pager->CommitBatch();
+  }
+  if (!st.ok()) return st;
+  PublishWrite();
+  return inserted;
+}
+
+Result<ObjectId> SpatialIndex::InsertLocked(const Rect& mbr,
+                                            uint32_t payload) {
   if (!mbr.valid()) return Status::InvalidArgument("invalid MBR");
   ObjectId oid;
   ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr, payload));
@@ -48,7 +140,7 @@ Result<ObjectId> SpatialIndex::Insert(const Rect& mbr, uint32_t payload) {
   return oid;
 }
 
-Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly) {
+Result<ObjectId> SpatialIndex::InsertPolygonLocked(const Polygon& poly) {
   if (poly.size() < 3) {
     return Status::InvalidArgument("polygon needs at least 3 vertices");
   }
@@ -84,7 +176,7 @@ Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly) {
   return oid;
 }
 
-Status SpatialIndex::Erase(ObjectId oid) {
+Status SpatialIndex::EraseLocked(ObjectId oid) {
   ObjectRecord rec;
   ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(oid));
   if (!rec.live) return Status::NotFound("object already erased");
@@ -121,6 +213,11 @@ Result<bool> SpatialIndex::RecordIntersects(const ObjectRecord& rec,
 }
 
 Result<double> SpatialIndex::DistanceTo(ObjectId oid, const Point& p) {
+  auto lock = AcquireShared();
+  return DistanceToLocked(oid, p);
+}
+
+Result<double> SpatialIndex::DistanceToLocked(ObjectId oid, const Point& p) {
   ObjectRecord rec;
   ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(oid));
   if (rec.kind == ObjectKind::kRect) return rec.mbr.DistanceTo(p);
@@ -168,6 +265,12 @@ Result<std::vector<ObjectId>> SpatialIndex::RefineWindowCandidates(
 
 Result<std::vector<ObjectId>> SpatialIndex::WindowQuery(const Rect& window,
                                                         QueryStats* stats) {
+  auto lock = AcquireShared();
+  return WindowQueryLocked(window, stats);
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::WindowQueryLocked(
+    const Rect& window, QueryStats* stats) {
   if (!window.valid()) {
     return Status::InvalidArgument("invalid query window");
   }
@@ -190,6 +293,7 @@ Result<std::vector<ObjectId>> SpatialIndex::WindowQuery(const Rect& window,
 
 Result<std::vector<ObjectId>> SpatialIndex::PointQuery(const Point& p,
                                                        QueryStats* stats) {
+  auto lock = AcquireShared();
   const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
     return mbr.Contains(p);
   };
@@ -217,6 +321,7 @@ Result<std::vector<ObjectId>> SpatialIndex::PointQuery(const Point& p,
 
 Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
     const Rect& window, QueryStats* stats) {
+  auto lock = AcquireShared();
   if (!window.valid()) {
     return Status::InvalidArgument("invalid query window");
   }
@@ -243,6 +348,7 @@ Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
 
 Result<std::vector<ObjectId>> SpatialIndex::EnclosureQuery(
     const Rect& window, QueryStats* stats) {
+  auto lock = AcquireShared();
   if (!window.valid()) {
     return Status::InvalidArgument("invalid query window");
   }

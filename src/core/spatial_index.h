@@ -17,18 +17,28 @@
 //   ObjectId id = index->Insert(Rect{.2, .2, .3, .25}).value();
 //   auto hits = index->WindowQuery(Rect{.1, .1, .4, .4}).value();
 //
-// Concurrency: all queries (WindowQuery/PointQuery/ContainmentQuery/
-// EnclosureQuery/NearestNeighbors/SpatialJoin and the parallel plan
-// hooks) are safe to run from any number of threads concurrently, as
-// long as no thread is mutating the index (Insert/InsertPolygon/Erase/
-// BulkLoad/Checkpoint). Use exec/executor.h to drive query batches over
-// a worker pool.
+// Concurrency: the index is safe for any mix of concurrent readers and
+// writers. Queries (WindowQuery/PointQuery/ContainmentQuery/
+// EnclosureQuery/NearestNeighbors/SpatialJoin) take an internal shared
+// latch; mutations (Insert/InsertPolygon/Erase/BulkLoad/ApplyBatch/
+// Checkpoint) take it exclusively, so every mutation — in particular the
+// multi-key publication of one object's whole z-element set — becomes
+// visible to readers all-or-nothing. ApplyBatch() extends that guarantee
+// to a whole batch of mutations (and makes the batch crash-atomic when
+// the pager has a rollback journal). The parallel plan hooks
+// (PlanWindow/ExecuteWindowPlanSlice/RefineWindowCandidates) do NOT
+// latch internally: a caller splitting one query across threads must
+// hold one ReaderSection() across all hook calls (exec/executor.h does).
+// Use exec/executor.h to drive query and mixed read/write batches over a
+// worker pool.
 
 #ifndef ZDB_CORE_SPATIAL_INDEX_H_
 #define ZDB_CORE_SPATIAL_INDEX_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -55,6 +65,32 @@ struct WindowPlan {
   std::vector<ZElement> scans;   ///< query elements (interval scans)
 
   size_t work_items() const { return probes.size() + scans.size(); }
+};
+
+/// One mutation of a write batch (see WriteBatch / ApplyBatch).
+struct WriteOp {
+  enum class Kind : uint8_t { kInsert, kErase };
+  Kind kind = Kind::kInsert;
+  Rect mbr;              ///< kInsert: the object's MBR
+  uint32_t payload = 0;  ///< kInsert: opaque application reference
+  ObjectId oid = 0;      ///< kErase: the object to remove
+};
+
+/// An ordered batch of inserts and erases applied atomically by
+/// SpatialIndex::ApplyBatch(): concurrent readers observe either none or
+/// all of its effects, and with a journaled pager a crash mid-batch rolls
+/// the whole batch back on reopen.
+struct WriteBatch {
+  std::vector<WriteOp> ops;
+
+  void Insert(const Rect& mbr, uint32_t payload = 0) {
+    ops.push_back({WriteOp::Kind::kInsert, mbr, payload, 0});
+  }
+  void Erase(ObjectId oid) {
+    ops.push_back({WriteOp::Kind::kErase, Rect{}, 0, oid});
+  }
+  size_t size() const { return ops.size(); }
+  bool empty() const { return ops.empty(); }
 };
 
 class SpatialIndex {
@@ -98,6 +134,40 @@ class SpatialIndex {
   /// occupancy. Far cheaper than n inserts and yields a denser tree.
   Status BulkLoad(const std::vector<Rect>& data, double fill = 0.9);
 
+  /// Applies `batch` as one writer section: concurrent readers see either
+  /// the full pre-batch or the full post-batch state, never a partially
+  /// applied batch (and never a partial z-element set of any object).
+  /// When the pager has a rollback journal and no batch is already
+  /// active, the batch is additionally made crash-atomic: it runs inside
+  /// BeginBatch/CommitBatch with a checkpoint + flush before the commit,
+  /// so a crash mid-batch rolls back to the pre-batch index on reopen.
+  /// Returns the ids of the inserted objects, in op order.
+  Result<std::vector<ObjectId>> ApplyBatch(const WriteBatch& batch);
+
+  // ------------------------------------------------------- concurrency
+
+  /// A shared (reader) latch section. Every public query takes one
+  /// internally; take one explicitly to make several calls — e.g. the
+  /// parallel plan hooks below, or a read-check-read sequence — atomic
+  /// with respect to writers. Never acquire a section inside another one
+  /// on the same thread (a waiting writer would deadlock the nesting).
+  /// Acquisition is writer-preferring: new reader sections stand aside
+  /// while a writer is waiting, so a continuous query stream cannot
+  /// starve the write path (see AcquireShared()).
+  std::shared_lock<std::shared_mutex> ReaderSection() const {
+    return AcquireShared();
+  }
+
+  /// Number of committed writer sections (single mutations count one,
+  /// ApplyBatch counts one per batch). Monotonic; published with release
+  /// order inside the writer section, so a reader that loads epoch e
+  /// before a query and e' after it observed the index at some single
+  /// epoch in [e, e'] — the hook the stress harness uses to cross-check
+  /// concurrent answers against per-epoch oracles.
+  uint64_t write_epoch() const {
+    return write_epoch_.load(std::memory_order_acquire);
+  }
+
   // ------------------------------------------------------------- queries
 
   /// All live objects whose MBR intersects `window`.
@@ -131,8 +201,10 @@ class SpatialIndex {
   // executor can split one query's z-interval set across workers: plan
   // once, execute disjoint work-item slices concurrently (each slice
   // deduplicates locally; the caller merges and deduplicates globally),
-  // then refine candidate chunks concurrently. All three are safe to call
-  // from multiple threads as long as the index is not being mutated.
+  // then refine candidate chunks concurrently. The hooks do not latch
+  // internally (per-call latching could interleave a writer between the
+  // plan and its slices); when writers may be active, hold one
+  // ReaderSection() across the whole plan/execute/refine sequence.
 
   /// Builds the probe/scan plan for a window query.
   Result<WindowPlan> PlanWindow(const Rect& window);
@@ -175,8 +247,12 @@ class SpatialIndex {
   /// 2 * grid_bits). Scans the whole index; diagnostics/analysis use.
   Result<std::vector<uint64_t>> LevelHistogram();
 
-  /// Live objects (inserted minus erased).
-  uint64_t object_count() const { return live_objects_; }
+  /// Live objects (inserted minus erased). Safe to read from any thread
+  /// without a latch (relaxed; a concurrent writer's batch may or may
+  /// not be counted yet).
+  uint64_t object_count() const {
+    return live_objects_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend Result<std::vector<std::pair<ObjectId, ObjectId>>> SpatialJoin(
@@ -186,6 +262,37 @@ class SpatialIndex {
       : pool_(pool),
         options_(options),
         mapper_(options.world, options.grid_bits) {}
+
+  // Unlatched bodies of the public entry points (suffix "Locked" =
+  // caller holds latch_, shared for reads / exclusive for writes). The
+  // public wrappers acquire the latch and, for mutations, publish the
+  // write epoch; internal callers (kNN's expanding windows, ApplyBatch,
+  // SpatialJoin) compose these without re-acquiring.
+  Result<ObjectId> InsertLocked(const Rect& mbr, uint32_t payload);
+  Result<ObjectId> InsertPolygonLocked(const Polygon& poly);
+  Status EraseLocked(ObjectId oid);
+  Result<PageId> CheckpointLocked();
+  Result<std::vector<ObjectId>> WindowQueryLocked(const Rect& window,
+                                                  QueryStats* stats);
+  Result<double> DistanceToLocked(ObjectId oid, const Point& p);
+
+  /// Bumps the published write epoch; call at the end of a successful
+  /// writer section, while still holding the exclusive latch.
+  void PublishWrite() {
+    write_epoch_.fetch_add(1, std::memory_order_release);
+  }
+
+  // Latch acquisition with writer preference. The portable
+  // std::shared_mutex makes no fairness promise, and the common pthread
+  // implementation prefers readers — under a continuous query stream the
+  // shared side never drains and a writer waits forever. Writers
+  // announce themselves in writers_waiting_ before blocking on the
+  // exclusive latch; AcquireShared() spins (yielding) while any writer
+  // is announced, so the shared side drains within one in-flight query
+  // per reader thread and the writer gets through. Defined in
+  // spatial_index.cc.
+  std::shared_lock<std::shared_mutex> AcquireShared() const;
+  std::unique_lock<std::shared_mutex> AcquireExclusive();
 
   /// Builds the probe/scan work list for a grid query rect (the shared
   /// planning step of the filter stage). Defined in query.cc.
@@ -234,7 +341,20 @@ class SpatialIndex {
   std::unique_ptr<PolygonStore> polys_;
   IndexBuildStats build_stats_;
   uint64_t level_mask_ = 0;
-  uint64_t live_objects_ = 0;
+  /// Relaxed atomic so object_count() stays readable from monitor
+  /// threads without a latch; writers mutate it under the exclusive
+  /// latch.
+  std::atomic<uint64_t> live_objects_{0};
+
+  /// Reader/writer latch: queries hold it shared for their whole
+  /// duration (kNN across all its expanding rounds), mutations hold it
+  /// exclusive — batch-granular writer sections over the B+-tree, the
+  /// stores and the index metadata.
+  mutable std::shared_mutex latch_;
+  /// Writers blocked on (or about to block on) latch_; the reader-side
+  /// gate of the writer-preference protocol (see AcquireShared()).
+  mutable std::atomic<uint32_t> writers_waiting_{0};
+  std::atomic<uint64_t> write_epoch_{0};
 
   // Persistence bookkeeping (see core/persist.cc).
   PageId master_page_ = kInvalidPageId;

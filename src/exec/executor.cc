@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 #include <unordered_set>
 
 namespace zdb {
@@ -30,6 +31,7 @@ QueryExecutor::~QueryExecutor() {
 
 void QueryExecutor::ResetStats() {
   for (auto& w : stats_.workers) w = WorkerStats{};
+  stats_.writer = WorkerStats{};
 }
 
 void QueryExecutor::WorkerLoop(size_t worker_idx) {
@@ -147,6 +149,13 @@ QueryExecutor::NearestBatch(const std::vector<Point>& points, size_t k) {
 
 Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowQuery(
     const Rect& window, QueryStats* stats) {
+  // One reader section spanning plan, slices and refinement: the hooks
+  // themselves do not latch (a per-call latch could admit a writer
+  // between the plan and its slices), so the driver pins the index state
+  // here. The workers only run the unlatched hooks — they never acquire
+  // the latch themselves, which keeps a waiting writer from wedging the
+  // job between the driver's shared hold and a worker's fresh acquire.
+  auto section = index_->ReaderSection();
   WindowPlan plan;
   ZDB_ASSIGN_OR_RETURN(plan, index_->PlanWindow(window));
   const size_t items = plan.work_items();
@@ -209,6 +218,95 @@ Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowQuery(
     stats->results = results.size();
   }
   return results;
+}
+
+Result<std::vector<MixedRoundResult>> QueryExecutor::MixedWorkload(
+    const std::vector<MixedRound>& rounds) {
+  std::vector<MixedRoundResult> out(rounds.size());
+  for (size_t r = 0; r < rounds.size(); ++r) {
+    out[r].window_results.resize(rounds[r].windows.size());
+    out[r].window_epochs.resize(rounds[r].windows.size());
+    out[r].point_results.resize(rounds[r].points.size());
+    out[r].point_epochs.resize(rounds[r].points.size());
+    const size_t nk =
+        rounds[r].knn_k > 0 ? rounds[r].knn_points.size() : 0;
+    out[r].knn_results.resize(nk);
+    out[r].knn_epochs.resize(nk);
+  }
+
+  // Dedicated writer: applies the rounds' batches in order, each one an
+  // atomic writer section. `writer_status` is only read after join().
+  Status writer_status;
+  std::thread writer([&] {
+    SetThreadIoStats(&stats_.writer.io);
+    for (size_t r = 0; r < rounds.size(); ++r) {
+      if (rounds[r].writes.empty()) continue;
+      auto res = index_->ApplyBatch(rounds[r].writes);
+      if (!res.ok()) {
+        writer_status = res.status();
+        break;
+      }
+      out[r].inserted = std::move(res).value();
+      ++stats_.writer.tasks;
+    }
+    SetThreadIoStats(nullptr);
+  });
+
+  // The query side: per round, one pool job per query type. The writer
+  // drifts ahead or behind freely; the epochs bracketing each query tell
+  // the caller which oracle states the answer may legally match.
+  Status query_status = Status::OK();
+  for (size_t r = 0; r < rounds.size() && query_status.ok(); ++r) {
+    const MixedRound& round = rounds[r];
+    MixedRoundResult& res = out[r];
+    if (!round.windows.empty()) {
+      query_status =
+          RunJob(round.windows.size(), [&](size_t i, size_t w) -> Status {
+            QueryStats qs;
+            res.window_epochs[i].first = index_->write_epoch();
+            auto q = index_->WindowQuery(round.windows[i], &qs);
+            res.window_epochs[i].second = index_->write_epoch();
+            if (!q.ok()) return q.status();
+            res.window_results[i] = std::move(q).value();
+            stats_.workers[w].query.Add(qs);
+            return Status::OK();
+          });
+      if (!query_status.ok()) break;
+    }
+    if (!round.points.empty()) {
+      query_status =
+          RunJob(round.points.size(), [&](size_t i, size_t w) -> Status {
+            QueryStats qs;
+            res.point_epochs[i].first = index_->write_epoch();
+            auto q = index_->PointQuery(round.points[i], &qs);
+            res.point_epochs[i].second = index_->write_epoch();
+            if (!q.ok()) return q.status();
+            res.point_results[i] = std::move(q).value();
+            stats_.workers[w].query.Add(qs);
+            return Status::OK();
+          });
+      if (!query_status.ok()) break;
+    }
+    if (round.knn_k > 0 && !round.knn_points.empty()) {
+      query_status = RunJob(
+          round.knn_points.size(), [&](size_t i, size_t w) -> Status {
+            QueryStats qs;
+            res.knn_epochs[i].first = index_->write_epoch();
+            auto q = index_->NearestNeighbors(round.knn_points[i],
+                                              round.knn_k, &qs);
+            res.knn_epochs[i].second = index_->write_epoch();
+            if (!q.ok()) return q.status();
+            res.knn_results[i] = std::move(q).value();
+            stats_.workers[w].query.Add(qs);
+            return Status::OK();
+          });
+    }
+  }
+
+  writer.join();
+  ZDB_RETURN_IF_ERROR(writer_status);
+  ZDB_RETURN_IF_ERROR(query_status);
+  return out;
 }
 
 }  // namespace zdb

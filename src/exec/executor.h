@@ -11,14 +11,22 @@
 //     candidate slice, then merges, globally deduplicates, and refines
 //     the candidate chunks in parallel.
 //
-// The read path (BufferPool, B+-tree cursors, object/polygon stores) is
-// safe for concurrent readers; the executor must not run concurrently
-// with index mutations (Insert/Erase/BulkLoad/Checkpoint) — the classic
-// read-only-after-load regime of Orenstein's filter-and-refine design.
+//   * mixed workload — MixedWorkload() runs rounds of write batches on a
+//     dedicated writer thread (each batch applied atomically through
+//     SpatialIndex::ApplyBatch) while the rounds' window/point/kNN query
+//     batches run on the worker pool. Every query's result is recorded
+//     together with the index write epoch observed before and after it,
+//     so a harness can cross-check each concurrent answer against a
+//     brute-force oracle at some single write-batch boundary.
+//
+// Queries and mutations synchronize through the index's internal
+// reader/writer latch, so batches may run while a writer is active; a
+// query observes either all or none of any write batch.
 //
 // Per-worker counters (pages pinned, pool hit rate, candidates,
 // refinements) are collected racelessly: each worker owns its WorkerStats
-// slot and registers its ThreadIoStats shadow with the buffer pool; the
+// slot and registers its ThreadIoStats shadow with the buffer pool (the
+// mixed-mode writer thread owns the separate `writer` slot); the
 // aggregate is read only after the batch completes (completion is a
 // synchronizing event, so no locks are needed on the counters).
 //
@@ -66,17 +74,48 @@ struct WorkerStats {
 /// Per-worker counters plus their aggregate.
 struct ExecStats {
   std::vector<WorkerStats> workers;  ///< one slot per worker thread
+  WorkerStats writer;  ///< mixed-workload writer thread (tasks = batches)
 
   WorkerStats Totals() const {
     WorkerStats t;
     for (const auto& w : workers) t.Add(w);
+    t.Add(writer);
     return t;
   }
 };
 
+/// One round of a mixed read/write workload: `writes` is applied as one
+/// atomic batch on the writer thread while the query batches of the same
+/// round run on the worker pool. Rounds are issued in order but writer
+/// and readers deliberately drift — queries of round r may observe the
+/// index anywhere between the already-applied batches.
+struct MixedRound {
+  WriteBatch writes;
+  std::vector<Rect> windows;
+  std::vector<Point> points;
+  std::vector<Point> knn_points;
+  size_t knn_k = 0;  ///< k for the kNN queries (0 = none even if points)
+};
+
+/// Results of one mixed round. Each query's result comes with the write
+/// epochs loaded immediately before and after it ran: the answer is
+/// guaranteed to equal the single-state answer at exactly one epoch in
+/// that window (atomic batch visibility).
+struct MixedRoundResult {
+  std::vector<ObjectId> inserted;  ///< oids of the round's inserts
+  std::vector<std::vector<ObjectId>> window_results;
+  std::vector<std::pair<uint64_t, uint64_t>> window_epochs;
+  std::vector<std::vector<ObjectId>> point_results;
+  std::vector<std::pair<uint64_t, uint64_t>> point_epochs;
+  std::vector<std::vector<std::pair<ObjectId, double>>> knn_results;
+  std::vector<std::pair<uint64_t, uint64_t>> knn_epochs;
+};
+
 /// Fixed worker pool running queries against one SpatialIndex.
-/// Thread-compatible: one thread drives the executor; the workers run the
-/// queries. Do not mutate the index while a batch is in flight.
+/// Thread-compatible: one thread drives the executor; the workers run
+/// the queries. Mutating the index while a batch is in flight is safe —
+/// the index latch serializes writers against in-flight queries — but
+/// stats()/ResetStats() must only be called while no batch is running.
 class QueryExecutor {
  public:
   /// `threads` >= 1 worker threads are started immediately.
@@ -109,6 +148,14 @@ class QueryExecutor {
   Result<std::vector<ObjectId>> ParallelWindowQuery(const Rect& window,
                                                     QueryStats* stats =
                                                         nullptr);
+
+  /// Mixed read/write mode: applies each round's write batch atomically
+  /// on a dedicated writer thread while the rounds' query batches run on
+  /// the worker pool. Results are per round, each query annotated with
+  /// its pre/post write epochs (see MixedRoundResult). Returns the first
+  /// writer or query error, after all threads quiesce.
+  Result<std::vector<MixedRoundResult>> MixedWorkload(
+      const std::vector<MixedRound>& rounds);
 
   /// Per-worker counters. Only meaningful while no batch is in flight.
   ExecStats stats() const { return stats_; }

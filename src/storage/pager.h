@@ -63,7 +63,13 @@ class Pager {
   /// Durably ends the batch: header + file sync, then journal reset.
   Status CommitBatch();
 
-  bool in_batch() const { return in_batch_; }
+  bool in_batch() const {
+    return in_batch_.load(std::memory_order_acquire);
+  }
+
+  /// True if the pager was opened with a rollback journal (i.e. atomic
+  /// batches are available).
+  bool journaled() const { return journal_ != nullptr; }
 
   uint32_t page_size() const { return page_size_; }
 
@@ -134,7 +140,10 @@ class Pager {
   IoStats io_;
   std::atomic<uint32_t> sim_read_latency_us_{0};
 
-  bool in_batch_ = false;
+  /// Atomic so in_batch() may be polled without the pager mutex (e.g.
+  /// by SpatialIndex::ApplyBatch deciding whether to journal); mutated
+  /// only inside Begin/CommitBatch under mu_.
+  std::atomic<bool> in_batch_{false};
   uint32_t batch_page_count_ = 0;  ///< page_count_ at BeginBatch
   uint32_t journal_entries_ = 0;
   std::unordered_set<PageId> journaled_;

@@ -1,0 +1,23 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "workload/seed.h"
+
+#include <cstdlib>
+
+namespace zdb {
+
+uint64_t SeedFromEnv(const char* env_name, uint64_t fallback) {
+  const char* value = std::getenv(env_name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const uint64_t parsed = std::strtoull(value, &end, 0);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::string SeedReplayHint(const char* env_name, uint64_t seed) {
+  const std::string s = std::to_string(seed);
+  return "workload seed " + s + " — replay with " + env_name + "=" + s;
+}
+
+}  // namespace zdb

@@ -1,0 +1,36 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Seed-replay plumbing for the stress harnesses. Every randomized
+// stress test derives its whole workload from one root seed; these
+// helpers let a failing run print that seed and a later run replay it
+// exactly via an environment variable:
+//
+//   const uint64_t seed = SeedFromEnv("ZDB_STRESS_SEED", 0xC0FFEE);
+//   SCOPED_TRACE(SeedReplayHint("ZDB_STRESS_SEED", seed));
+//
+// A failure then reports the exact `ZDB_STRESS_SEED=<seed>` line that
+// reproduces the workload deterministically (the data, batches and
+// queries are pure functions of the seed; only thread interleavings
+// vary between runs).
+
+#ifndef ZDB_WORKLOAD_SEED_H_
+#define ZDB_WORKLOAD_SEED_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zdb {
+
+/// The value of environment variable `env_name` parsed as a seed
+/// (decimal, or hex with a 0x prefix), or `fallback` when the variable
+/// is unset or unparsable.
+uint64_t SeedFromEnv(const char* env_name, uint64_t fallback);
+
+/// One-line replay instruction naming the seed and the variable to set,
+/// e.g. "workload seed 12648430 — replay with ZDB_STRESS_SEED=12648430".
+/// Attach it to failures (SCOPED_TRACE) so any red run is reproducible.
+std::string SeedReplayHint(const char* env_name, uint64_t seed);
+
+}  // namespace zdb
+
+#endif  // ZDB_WORKLOAD_SEED_H_

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <map>
+#include <thread>
 
 #include "btree/btree.h"
 #include "btree/cursor.h"
@@ -226,6 +229,153 @@ TEST(Journal, SpatialIndexBatchSurvivesCrash) {
   auto hits = index->WindowQuery(Rect{0, 0, 1, 1}).value();
   EXPECT_EQ(hits.size(), 200u);
   EXPECT_TRUE(index->WindowQuery(Rect{0.89, 0.89, 0.96, 0.96})
+                  .value()
+                  .empty());
+}
+
+TEST(Journal, CrashMidBatchWithParallelReadersRollsBack) {
+  // Crash recovery under concurrent load: a doomed update batch churns
+  // the index while parallel reader threads run queries against it (a
+  // tiny pool forces reader- and writer-driven evictions, so dirty
+  // pages — and their journal before-images — hit the disk mid-batch).
+  // After the crash, reopen must roll back to the pre-batch tree.
+  CrashRig rig;
+  PageId master;
+  const Rect world{0, 0, 1, 1};
+  {
+    SpatialIndexOptions opt;
+    opt.data = DecomposeOptions::SizeBound(4);
+    auto index = SpatialIndex::Create(rig.pool.get(), opt).value();
+    ASSERT_TRUE(rig.pager->BeginBatch().ok());
+    for (int i = 0; i < 150; ++i) {
+      const double x = 0.006 * i + 0.01;
+      ASSERT_TRUE(index->Insert(Rect{x, x, x + 0.004, x + 0.004}).ok());
+    }
+    master = index->Checkpoint().value();
+    ASSERT_TRUE(rig.pool->FlushAll().ok());
+    ASSERT_TRUE(rig.pager->CommitBatch().ok());
+  }
+
+  {
+    // Doomed batch with readers in flight. The index latch serializes
+    // each mutation against the queries; the pager batch makes the whole
+    // churn roll back on reopen.
+    auto index = SpatialIndex::Open(rig.pool.get(), master).value();
+    ASSERT_TRUE(rig.pager->BeginBatch().ok());
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> reader_failures{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+      readers.emplace_back([&, t] {
+        uint64_t hits = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          const double lo = 0.1 + 0.2 * t;
+          auto r = index->WindowQuery(Rect{lo, lo, lo + 0.3, lo + 0.3});
+          if (!r.ok()) {
+            ++reader_failures;
+            break;
+          }
+          hits += r.value().size();
+          auto n = index->NearestNeighbors(Point{lo, lo}, 3);
+          if (!n.ok()) {
+            ++reader_failures;
+            break;
+          }
+        }
+        (void)hits;
+      });
+    }
+
+    for (ObjectId oid = 0; oid < 75; ++oid) {
+      ASSERT_TRUE(index->Erase(oid).ok());
+    }
+    for (int i = 0; i < 120; ++i) {
+      const double x = 0.002 * i + 0.3;
+      ASSERT_TRUE(index->Insert(Rect{x, x, x + 0.1, x + 0.1}).ok());
+    }
+    (void)index->Checkpoint();
+    (void)rig.pool->FlushAll();  // may legally skip reader-pinned pages
+
+    stop.store(true, std::memory_order_release);
+    for (auto& r : readers) r.join();
+    EXPECT_EQ(reader_failures.load(), 0);
+    // Power goes out before CommitBatch.
+  }
+  rig.CrashAndReopen();
+
+  auto index = SpatialIndex::Open(rig.pool.get(), master).value();
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+  EXPECT_EQ(index->object_count(), 150u);
+  auto hits = index->WindowQuery(world).value();
+  EXPECT_EQ(hits.size(), 150u);
+  for (ObjectId oid = 0; oid < 150; ++oid) {
+    EXPECT_TRUE(std::find(hits.begin(), hits.end(), oid) != hits.end())
+        << oid;
+  }
+}
+
+TEST(Journal, ApplyBatchIsCrashAtomic) {
+  // The promoted batch API: ApplyBatch commits its own journal batch, so
+  // a committed batch survives a crash and an uncommitted manual batch
+  // around further churn rolls back to the last ApplyBatch state.
+  CrashRig rig;
+  PageId master;
+  {
+    SpatialIndexOptions opt;
+    opt.data = DecomposeOptions::SizeBound(4);
+    auto index = SpatialIndex::Create(rig.pool.get(), opt).value();
+    // An initial checkpointed, committed batch so Open() works later.
+    ASSERT_TRUE(rig.pager->BeginBatch().ok());
+    for (int i = 0; i < 50; ++i) {
+      const double x = 0.01 * i + 0.01;
+      ASSERT_TRUE(index->Insert(Rect{x, x, x + 0.005, x + 0.005}).ok());
+    }
+    master = index->Checkpoint().value();
+    ASSERT_TRUE(rig.pool->FlushAll().ok());
+    ASSERT_TRUE(rig.pager->CommitBatch().ok());
+
+    // ApplyBatch journals, checkpoints, flushes and commits on its own.
+    WriteBatch batch;
+    for (ObjectId oid = 0; oid < 10; ++oid) batch.Erase(oid);
+    batch.Insert(Rect{0.8, 0.8, 0.85, 0.85});
+    auto inserted = index->ApplyBatch(batch).value();
+    ASSERT_EQ(inserted.size(), 1u);
+    EXPECT_EQ(inserted[0], 50u);
+  }
+  rig.CrashAndReopen();
+  {
+    auto index = SpatialIndex::Open(rig.pool.get(), master).value();
+    EXPECT_EQ(index->object_count(), 41u);  // 50 - 10 + 1
+    EXPECT_EQ(index->WindowQuery(Rect{0.79, 0.79, 0.86, 0.86})
+                  .value()
+                  .size(),
+              1u);
+
+    // A doomed batch AFTER a committed ApplyBatch: ApplyBatch composes
+    // with a caller-managed pager batch (it must not commit it), so the
+    // crash rolls back to the state of the last committed batch.
+    ASSERT_TRUE(rig.pager->BeginBatch().ok());
+    WriteBatch doomed;
+    doomed.Erase(50);
+    // Off the baseline diagonal, so the emptiness check below cannot be
+    // satisfied by surviving baseline objects.
+    for (int i = 0; i < 30; ++i) {
+      doomed.Insert(Rect{0.6, 0.6, 0.65, 0.65});
+    }
+    ASSERT_TRUE(index->ApplyBatch(doomed).ok());
+    (void)index->Checkpoint();
+    (void)rig.pool->FlushAll();
+    // No CommitBatch: crash.
+  }
+  rig.CrashAndReopen();
+  auto index = SpatialIndex::Open(rig.pool.get(), master).value();
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+  EXPECT_EQ(index->object_count(), 41u);
+  EXPECT_EQ(
+      index->WindowQuery(Rect{0.79, 0.79, 0.86, 0.86}).value().size(),
+      1u);
+  EXPECT_TRUE(index->WindowQuery(Rect{0.58, 0.58, 0.67, 0.67})
                   .value()
                   .empty());
 }

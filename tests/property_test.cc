@@ -201,5 +201,103 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ------------------------------------------------- batch-boundary sweep
+
+using BatchParam = std::tuple<Distribution, Policy>;
+
+class BatchEquivalence : public ::testing::TestWithParam<BatchParam> {};
+
+// ApplyBatch must be answer-equivalent to the same ops applied one by
+// one: at every write-batch boundary, all query types agree exactly
+// with brute force over the live set. This is the single-threaded
+// anchor of the concurrent stress harness (stress_mixed_test.cc): the
+// same per-boundary oracle, minus the thread interleaving.
+TEST_P(BatchEquivalence, QueriesMatchBruteForceAtEveryBatchBoundary) {
+  const auto [dist, policy] = GetParam();
+  DataGenOptions dg;
+  dg.distribution = dist;
+  dg.seed = 9;
+  const auto data = GenerateData(240, dg);
+  DataGenOptions dg2;
+  dg2.distribution = dist;
+  dg2.seed = 10;
+  const auto extra = GenerateData(120, dg2);
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  SpatialIndexOptions opt;
+  opt.data = MakePolicy(policy);
+  auto index = SpatialIndex::Create(&pool, opt).value();
+  for (const Rect& r : data) ASSERT_TRUE(index->Insert(r).ok());
+
+  std::vector<Rect> live_rect(data);
+  std::vector<bool> alive(data.size(), true);
+  const uint64_t epoch0 = index->write_epoch();
+
+  Random rng(11);
+  for (int b = 0; b < 6; ++b) {
+    WriteBatch batch;
+    std::vector<ObjectId> expect_oids;
+    for (int e = 0; e < 20; ++e) {
+      const size_t i = rng.Uniform(alive.size());
+      if (alive[i]) {
+        batch.Erase(static_cast<ObjectId>(i));
+        alive[i] = false;
+      }
+    }
+    for (int i = 0; i < 20; ++i) {
+      const Rect& r = extra[b * 20 + i];
+      batch.Insert(r);
+      expect_oids.push_back(static_cast<ObjectId>(live_rect.size()));
+      live_rect.push_back(r);
+      alive.push_back(true);
+    }
+    auto inserted = index->ApplyBatch(batch).value();
+    EXPECT_EQ(inserted, expect_oids) << "batch " << b;
+    // One epoch per batch, not one per op: atomic publication.
+    EXPECT_EQ(index->write_epoch() - epoch0,
+              static_cast<uint64_t>(b) + 1);
+    ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+
+    for (const Rect& w : GenerateWindows(5, 0.02, QueryGenOptions{})) {
+      auto got = index->WindowQuery(w).value();
+      std::sort(got.begin(), got.end());
+      std::vector<ObjectId> expect;
+      for (size_t i = 0; i < live_rect.size(); ++i) {
+        if (alive[i] && live_rect[i].Intersects(w)) {
+          expect.push_back(static_cast<ObjectId>(i));
+        }
+      }
+      ASSERT_EQ(got, expect) << "batch " << b << " window "
+                             << w.ToString();
+    }
+    for (const Point& p : GeneratePoints(8, 13 + b)) {
+      auto got = index->PointQuery(p).value();
+      std::sort(got.begin(), got.end());
+      std::vector<ObjectId> expect;
+      for (size_t i = 0; i < live_rect.size(); ++i) {
+        if (alive[i] && live_rect[i].Contains(p)) {
+          expect.push_back(static_cast<ObjectId>(i));
+        }
+      }
+      ASSERT_EQ(got, expect) << "batch " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchEquivalence,
+    ::testing::Combine(::testing::Values(Distribution::kUniformLarge,
+                                         Distribution::kClusters,
+                                         Distribution::kSkewedSizes),
+                       ::testing::Values(Policy::kSize1, Policy::kSize4,
+                                         Policy::kError05)),
+    [](const ::testing::TestParamInfo<BatchParam>& pinfo) {
+      std::string name = DistributionName(std::get<0>(pinfo.param)) + "_" +
+                         PolicyName(std::get<1>(pinfo.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
 }  // namespace
 }  // namespace zdb
