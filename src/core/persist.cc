@@ -188,6 +188,52 @@ Result<PageId> SpatialIndex::CheckpointLocked() {
   return master_page_;
 }
 
+Status SpatialIndex::ReloadLocked() {
+  if (master_page_ == kInvalidPageId) {
+    return Status::InvalidArgument("reload without a prior checkpoint");
+  }
+  // Drop the B+-tree/store handles first (they keep no pins, but their
+  // in-memory state is stale), then the cache, then re-read everything
+  // from the master page — Open()'s restore logic applied in place. The
+  // options are immutable, so only the dynamic state is re-decoded.
+  btree_.reset();
+  store_.reset();
+  polys_.reset();
+  ZDB_RETURN_IF_ERROR(pool_->Discard());
+
+  PageId btree_meta, obj_chain, poly_chain;
+  uint32_t next_oid;
+  {
+    PageRef master;
+    ZDB_ASSIGN_OR_RETURN(master, pool_->Fetch(master_page_));
+    const char* p = master.data();
+    if (DecodeFixed32(p) != kMasterMagic) {
+      return Status::Corruption("bad spatial-index master page");
+    }
+    btree_meta = DecodeFixed32(p + 96);
+    level_mask_ = DecodeFixed64(p + 100);
+    live_objects_.store(DecodeFixed64(p + 108),
+                        std::memory_order_relaxed);
+    build_stats_.objects = DecodeFixed64(p + 116);
+    build_stats_.index_entries = DecodeFixed64(p + 124);
+    std::memcpy(&build_stats_.total_error, p + 132, 8);
+    next_oid = DecodeFixed32(p + 140);
+    obj_chain = DecodeFixed32(p + 144);
+    poly_chain = DecodeFixed32(p + 148);
+  }
+  ZDB_ASSIGN_OR_RETURN(btree_, BTree::Open(pool_, btree_meta));
+  store_ = std::make_unique<ObjectStore>(pool_);
+  polys_ = std::make_unique<PolygonStore>(pool_);
+  std::vector<PageId> obj_pages, poly_pages;
+  ZDB_ASSIGN_OR_RETURN(obj_pages, ReadChain(pool_, obj_chain));
+  ZDB_ASSIGN_OR_RETURN(poly_pages, ReadChain(pool_, poly_chain));
+  store_->Restore(std::move(obj_pages), next_oid);
+  polys_->RestorePages(std::move(poly_pages));
+  obj_dir_chain_ = obj_chain;
+  poly_dir_chain_ = poly_chain;
+  return Status::OK();
+}
+
 Result<std::unique_ptr<SpatialIndex>> SpatialIndex::Open(BufferPool* pool,
                                                          PageId master_page) {
   SpatialIndexOptions options;

@@ -2,7 +2,7 @@
 
 #include "core/spatial_index.h"
 
-#include <thread>
+#include <unordered_set>
 
 #include "decompose/region.h"
 #include "geom/clip.h"
@@ -16,22 +16,31 @@ namespace zdb {
 // pthread rwlock prefers readers: with reader threads issuing queries
 // back to back, the shared side never drains and a unique_lock waits
 // forever. The writers_waiting_ gate restores progress — writers
-// announce themselves before blocking, and new readers yield until no
-// writer is announced. A reader that raced past the gate holds the
-// latch for at most one query, so the writer's wait is bounded by one
-// in-flight query per reader thread.
+// announce themselves before blocking, and new readers sleep on the
+// gate's condition variable until no writer is announced (so reader
+// threads burn no CPU across the writer's whole queueing + exclusive
+// section). A reader that raced past the gate holds the latch for at
+// most one query, so the writer's wait is bounded by one in-flight
+// query per reader thread.
 
 std::shared_lock<std::shared_mutex> SpatialIndex::AcquireShared() const {
-  while (writers_waiting_.load(std::memory_order_acquire) > 0) {
-    std::this_thread::yield();
+  {
+    std::unique_lock<std::mutex> gate(gate_mu_);
+    gate_cv_.wait(gate, [&] { return writers_waiting_ == 0; });
   }
   return std::shared_lock<std::shared_mutex>(latch_);
 }
 
 std::unique_lock<std::shared_mutex> SpatialIndex::AcquireExclusive() {
-  writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> gate(gate_mu_);
+    ++writers_waiting_;
+  }
   std::unique_lock<std::shared_mutex> lock(latch_);
-  writers_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> gate(gate_mu_);
+    if (--writers_waiting_ == 0) gate_cv_.notify_all();
+  }
   return lock;
 }
 
@@ -77,38 +86,105 @@ Status SpatialIndex::Erase(ObjectId oid) {
 Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
     const WriteBatch& batch) {
   auto lock = AcquireExclusive();
-  Pager* pager = pool_->pager();
-  // Journal-back the batch when possible. If the caller already manages
-  // an outer pager batch, compose with it instead of nesting.
-  const bool journal = pager->journaled() && !pager->in_batch();
-  if (journal) ZDB_RETURN_IF_ERROR(pager->BeginBatch());
+  // Predictable failures (invalid MBRs, unknown/dead/duplicate erases)
+  // reject the whole batch before any op is applied, so they can never
+  // leave a partial application — with or without a journal.
+  ZDB_RETURN_IF_ERROR(ValidateBatchLocked(batch));
 
   std::vector<ObjectId> inserted;
-  Status st = Status::OK();
-  for (const WriteOp& op : batch.ops) {
-    if (op.kind == WriteOp::Kind::kInsert) {
-      auto r = InsertLocked(op.mbr, op.payload);
-      if (!r.ok()) {
-        st = r.status();
-        break;
+  auto apply_ops = [&]() -> Status {
+    for (const WriteOp& op : batch.ops) {
+      if (op.kind == WriteOp::Kind::kInsert) {
+        auto r = InsertLocked(op.mbr, op.payload);
+        if (!r.ok()) return r.status();
+        inserted.push_back(r.value());
+      } else {
+        ZDB_RETURN_IF_ERROR(EraseLocked(op.oid));
       }
-      inserted.push_back(r.value());
-    } else {
-      st = EraseLocked(op.oid);
-      if (!st.ok()) break;
     }
+    return Status::OK();
+  };
+
+  Pager* pager = pool_->pager();
+  // Journal-back the batch when possible. If the caller already manages
+  // an outer pager batch, compose with it instead of nesting: validation
+  // caught the predictable failures, and a residual I/O failure is left
+  // to the caller's outer rollback (see header).
+  const bool journal = pager->journaled() && !pager->in_batch();
+  if (!journal) {
+    ZDB_RETURN_IF_ERROR(apply_ops());
+    PublishWrite();
+    return inserted;
   }
-  if (st.ok() && journal) {
-    // Make the batch durable before it commits: meta + dirty pages to
-    // disk, then the journal reset. A crash anywhere before CommitBatch
-    // rolls the whole batch back on reopen.
-    st = CheckpointLocked().status();
+
+  // Phase 1: make the pre-batch state durable, as its own journaled
+  // batch so a crash inside this checkpoint stays atomic. Phase 2's
+  // journal then snapshots exactly the logical pre-batch pages — the
+  // property that lets the failure path below restore the in-memory
+  // index precisely via AbortBatch + ReloadLocked.
+  const PageId master_before = master_page_;
+  ZDB_RETURN_IF_ERROR(pager->BeginBatch());
+  Status st = CheckpointLocked().status();
+  if (st.ok()) st = pool_->FlushAll();
+  if (st.ok()) st = pager->CommitBatch();
+  const bool checkpointed = st.ok();
+
+  // Phase 2: apply the ops and make the batch durable before it
+  // commits — meta + dirty pages to disk, then the journal reset. A
+  // crash anywhere before CommitBatch rolls the whole batch back on
+  // reopen.
+  if (st.ok()) st = pager->BeginBatch();
+  if (st.ok()) {
+    st = apply_ops();
+    if (st.ok()) st = CheckpointLocked().status();
     if (st.ok()) st = pool_->FlushAll();
     if (st.ok()) st = pager->CommitBatch();
   }
-  if (!st.ok()) return st;
+
+  if (!st.ok()) {
+    // Roll disk AND memory back: restore the journaled before-images,
+    // drop the (partially mutated) cache and re-read the index state
+    // from the last durable checkpoint, so the failed batch leaves no
+    // trace and the next batch journals normally. If phase 1 itself
+    // failed, that checkpoint is the previous one — mutations that were
+    // never made durable are rolled back with the batch. If even the
+    // rollback fails, the batch stays open and the intact journal
+    // recovers the file on the next reopen.
+    const bool suspect = pager->in_batch() || !checkpointed;
+    if (suspect) {
+      Status undo =
+          pager->in_batch() ? pager->AbortBatch() : Status::OK();
+      if (undo.ok()) {
+        master_page_ = master_before;
+        undo = ReloadLocked();
+      }
+      if (!undo.ok()) {
+        return Status::Corruption("batch failed (" + st.ToString() +
+                                  ") and rollback failed too: " +
+                                  undo.ToString());
+      }
+    }
+    return st;
+  }
   PublishWrite();
   return inserted;
+}
+
+Status SpatialIndex::ValidateBatchLocked(const WriteBatch& batch) {
+  std::unordered_set<ObjectId> erased;
+  for (const WriteOp& op : batch.ops) {
+    if (op.kind == WriteOp::Kind::kInsert) {
+      if (!op.mbr.valid()) return Status::InvalidArgument("invalid MBR");
+    } else {
+      ObjectRecord rec;
+      ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(op.oid));
+      if (!rec.live) return Status::NotFound("object already erased");
+      if (!erased.insert(op.oid).second) {
+        return Status::NotFound("object erased twice in batch");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Result<ObjectId> SpatialIndex::InsertLocked(const Rect& mbr,

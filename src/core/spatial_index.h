@@ -36,8 +36,10 @@
 #define ZDB_CORE_SPATIAL_INDEX_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <utility>
 #include <vector>
@@ -142,6 +144,21 @@ class SpatialIndex {
   /// BeginBatch/CommitBatch with a checkpoint + flush before the commit,
   /// so a crash mid-batch rolls back to the pre-batch index on reopen.
   /// Returns the ids of the inserted objects, in op order.
+  ///
+  /// Failure semantics: the batch is validated up front (invalid MBRs,
+  /// erases of unknown, dead or batch-duplicated oids), so predictable
+  /// errors reject the whole batch with nothing applied — note this
+  /// means an erase must reference an object that existed before the
+  /// batch. A residual mid-batch failure (I/O error) on the journaled
+  /// path aborts the pager batch and reloads the index from the
+  /// pre-batch checkpoint ApplyBatch takes on entry, so memory and disk
+  /// both return to the pre-batch state (if that entry checkpoint
+  /// itself failed, the rollback target is the previous durable
+  /// checkpoint, and earlier never-durable mutations roll back with the
+  /// batch). Without a journal (none configured, or composing with a
+  /// caller-managed batch) such a failure can leave a partially applied
+  /// batch in memory — the caller's outer rollback (crash or reopen) is
+  /// then the recovery path.
   Result<std::vector<ObjectId>> ApplyBatch(const WriteBatch& batch);
 
   // ------------------------------------------------------- concurrency
@@ -150,7 +167,10 @@ class SpatialIndex {
   /// internally; take one explicitly to make several calls — e.g. the
   /// parallel plan hooks below, or a read-check-read sequence — atomic
   /// with respect to writers. Never acquire a section inside another one
-  /// on the same thread (a waiting writer would deadlock the nesting).
+  /// on the same thread — in particular, never call a public query
+  /// (WindowQuery/DistanceTo/...) while holding a ReaderSection, since
+  /// it re-acquires internally and a waiting writer deadlocks the
+  /// nesting; use the unlatched plan hooks below instead.
   /// Acquisition is writer-preferring: new reader sections stand aside
   /// while a writer is waiting, so a continuous query stream cannot
   /// starve the write path (see AcquireShared()).
@@ -272,6 +292,17 @@ class SpatialIndex {
   Result<ObjectId> InsertPolygonLocked(const Polygon& poly);
   Status EraseLocked(ObjectId oid);
   Result<PageId> CheckpointLocked();
+
+  /// Rejects a batch whose ops would fail mid-application: invalid
+  /// insert MBRs, erases of unknown/dead oids, duplicate erases. Reads
+  /// only; nothing is applied.
+  Status ValidateBatchLocked(const WriteBatch& batch);
+
+  /// Re-reads the dynamic index state (B+-tree meta, store directories,
+  /// counters) from the master page after Pager::AbortBatch rolled the
+  /// file back to the pre-batch checkpoint, discarding the buffer-pool
+  /// cache first. Defined in core/persist.cc.
+  Status ReloadLocked();
   Result<std::vector<ObjectId>> WindowQueryLocked(const Rect& window,
                                                   QueryStats* stats);
   Result<double> DistanceToLocked(ObjectId oid, const Point& p);
@@ -287,10 +318,10 @@ class SpatialIndex {
   // implementation prefers readers — under a continuous query stream the
   // shared side never drains and a writer waits forever. Writers
   // announce themselves in writers_waiting_ before blocking on the
-  // exclusive latch; AcquireShared() spins (yielding) while any writer
-  // is announced, so the shared side drains within one in-flight query
-  // per reader thread and the writer gets through. Defined in
-  // spatial_index.cc.
+  // exclusive latch; AcquireShared() sleeps on gate_cv_ while any
+  // writer is announced (no CPU burned during the writer's turn), so
+  // the shared side drains within one in-flight query per reader thread
+  // and the writer gets through. Defined in spatial_index.cc.
   std::shared_lock<std::shared_mutex> AcquireShared() const;
   std::unique_lock<std::shared_mutex> AcquireExclusive();
 
@@ -351,9 +382,12 @@ class SpatialIndex {
   /// exclusive — batch-granular writer sections over the B+-tree, the
   /// stores and the index metadata.
   mutable std::shared_mutex latch_;
-  /// Writers blocked on (or about to block on) latch_; the reader-side
-  /// gate of the writer-preference protocol (see AcquireShared()).
-  mutable std::atomic<uint32_t> writers_waiting_{0};
+  /// Writer-preference gate (see AcquireShared()): writers_waiting_
+  /// counts writers blocked on (or about to block on) latch_; readers
+  /// wait on gate_cv_ until it drops to zero. Both guarded by gate_mu_.
+  mutable std::mutex gate_mu_;
+  mutable std::condition_variable gate_cv_;
+  mutable uint32_t writers_waiting_ = 0;
   std::atomic<uint64_t> write_epoch_{0};
 
   // Persistence bookkeeping (see core/persist.cc).

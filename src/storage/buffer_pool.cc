@@ -265,6 +265,35 @@ Status BufferPool::Clear() {
   return Status::OK();
 }
 
+Status BufferPool::Discard() {
+  // Two passes so a pinned frame fails the whole call before anything
+  // is dropped (a half-discarded cache would be worse than either
+  // outcome).
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& f : s.frames) {
+      if (f.id != kInvalidPageId &&
+          f.pins.load(std::memory_order_acquire) > 0) {
+        return Status::InvalidArgument("discarding pinned page " +
+                                       std::to_string(f.id));
+      }
+    }
+  }
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (uint32_t i = 0; i < s.frames.size(); ++i) {
+      Frame& f = s.frames[i];
+      if (f.id != kInvalidPageId) {
+        f.dirty.store(false, std::memory_order_relaxed);
+        f.id = kInvalidPageId;
+        s.free_frames.push_back(i);
+      }
+    }
+    s.table.clear();
+  }
+  return Status::OK();
+}
+
 size_t BufferPool::cached_pages() const {
   size_t n = 0;
   for (const auto& s : shards_) {

@@ -98,6 +98,15 @@ class BufferPool {
   /// Writes back everything and drops the cache (keeps capacity).
   Status Clear();
 
+  /// Drops every cached page WITHOUT writing dirty frames back, so the
+  /// cache afterwards reflects exactly what is on disk. Fails (dropping
+  /// nothing) if any frame is pinned. Pairs with Pager::AbortBatch():
+  /// once the file is rolled back, discarding the partially mutated
+  /// cache makes subsequent fetches reload the restored images. Like
+  /// FlushAll/Clear, intended for one thread with no concurrent
+  /// mutators.
+  Status Discard();
+
   Pager* pager() const { return pager_; }
   size_t capacity() const { return capacity_; }
 

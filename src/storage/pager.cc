@@ -68,6 +68,12 @@ Status Pager::Rollback() {
   if (journal_ == nullptr || journal_->Size() < kJournalHeaderSize) {
     return Status::OK();  // no batch in flight
   }
+  ZDB_RETURN_IF_ERROR(ReplayJournal());
+  ZDB_RETURN_IF_ERROR(journal_->Truncate(0));
+  return journal_->Sync();
+}
+
+Status Pager::ReplayJournal() {
   char header[kJournalHeaderSize];
   ZDB_RETURN_IF_ERROR(journal_->Read(0, kJournalHeaderSize, header));
   if (DecodeFixed32(header + kJournalMagicOff) != kJournalMagic) {
@@ -91,9 +97,31 @@ Status Pager::Rollback() {
   // Drop pages allocated inside the aborted batch.
   ZDB_RETURN_IF_ERROR(
       file_->Truncate(static_cast<uint64_t>(old_pages) * page_size_));
+  return file_->Sync();
+}
+
+Status Pager::AbortBatch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!in_batch_) return Status::InvalidArgument("no active batch");
+  // Until every step below succeeds the batch stays active and the
+  // journal stays intact, so a failed abort still recovers on reopen.
+  ZDB_RETURN_IF_ERROR(ReplayJournal());
+  // Restore the allocation state snapshotted at BeginBatch and persist
+  // it: the replayed page-0 image may predate header changes that were
+  // never synced, so the snapshot is authoritative.
+  page_count_ = batch_page_count_;
+  freelist_head_ = batch_freelist_head_;
+  live_pages_ = batch_live_pages_;
+  ZDB_RETURN_IF_ERROR(StoreHeader());
   ZDB_RETURN_IF_ERROR(file_->Sync());
+  // The database is back to its pre-batch state; retiring the journal
+  // completes the abort.
   ZDB_RETURN_IF_ERROR(journal_->Truncate(0));
-  return journal_->Sync();
+  ZDB_RETURN_IF_ERROR(journal_->Sync());
+  in_batch_ = false;
+  journaled_.clear();
+  journal_entries_ = 0;
+  return Status::OK();
 }
 
 Status Pager::BeginBatch() {
@@ -111,6 +139,8 @@ Status Pager::BeginBatch() {
   ZDB_RETURN_IF_ERROR(journal_->Sync());
   in_batch_ = true;
   batch_page_count_ = page_count_;
+  batch_freelist_head_ = freelist_head_;
+  batch_live_pages_ = live_pages_;
   journal_entries_ = 0;
   journaled_.clear();
   // Page 0 (the header) changes through StoreHeader, not WritePage:

@@ -63,6 +63,20 @@ class Pager {
   /// Durably ends the batch: header + file sync, then journal reset.
   Status CommitBatch();
 
+  /// Aborts the active batch at runtime: restores every journaled
+  /// before-image, truncates pages allocated inside the batch, resets
+  /// the allocation state (page count, free list) to its BeginBatch
+  /// snapshot, and retires the journal — after which the pager is
+  /// immediately usable and the next BeginBatch journals normally.
+  /// Note the restored *file* content is the on-disk image at
+  /// BeginBatch; callers that cache pages above the pager (BufferPool)
+  /// must drop that cache, and callers whose cache was ahead of the
+  /// disk must have flushed it before BeginBatch for the abort to
+  /// restore their logical state exactly. If the abort itself fails
+  /// (I/O error), the batch stays active and the intact journal still
+  /// rolls everything back on the next Open().
+  Status AbortBatch();
+
   bool in_batch() const {
     return in_batch_.load(std::memory_order_acquire);
   }
@@ -130,6 +144,11 @@ class Pager {
   /// database back to its pre-batch size.
   Status Rollback();
 
+  /// The replay half of Rollback()/AbortBatch(): writes every journaled
+  /// before-image back into the database file, truncates pages born in
+  /// the batch and syncs the file. Does not reset the journal.
+  Status ReplayJournal();
+
   mutable std::mutex mu_;
   std::unique_ptr<File> file_;
   std::unique_ptr<File> journal_;
@@ -144,7 +163,12 @@ class Pager {
   /// by SpatialIndex::ApplyBatch deciding whether to journal); mutated
   /// only inside Begin/CommitBatch under mu_.
   std::atomic<bool> in_batch_{false};
-  uint32_t batch_page_count_ = 0;  ///< page_count_ at BeginBatch
+  // Allocation state snapshotted at BeginBatch, restored by AbortBatch
+  // (the journaled page-0 image may predate un-synced header changes,
+  // so the in-memory counters are the authoritative pre-batch state).
+  uint32_t batch_page_count_ = 0;
+  PageId batch_freelist_head_ = kInvalidPageId;
+  uint32_t batch_live_pages_ = 0;
   uint32_t journal_entries_ = 0;
   std::unordered_set<PageId> journaled_;
 };
