@@ -1,0 +1,425 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// E14: network service under closed-loop load. A zdb server runs
+// in-process on loopback while client threads — one writer applying
+// deterministic batches, the rest readers issuing window/point/kNN
+// queries — each drive one synchronous connection as fast as replies
+// come back. Two questions:
+//
+//   * served correctness: every reader reply is cross-checked against a
+//     brute-force oracle at the write epochs the server reported around
+//     execution (the wire twin of E13's in-process oracle). The run
+//     fails loudly on any mismatch.
+//   * service quality: per-opcode p50/p99 latency and aggregate qps at
+//     client counts up to well past the worker pool size, plus a
+//     saturation phase (one slow worker, tiny admission queue) showing
+//     BUSY backpressure shedding load instead of queueing unboundedly.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+#include "client/client.h"
+#include "server/server.h"
+
+namespace zdb {
+namespace {
+
+using net::Client;
+using net::Server;
+using net::ServerOptions;
+
+constexpr uint64_t kSeed = 0xE14;
+constexpr size_t kInitialObjects = 2000;
+constexpr size_t kBatches = 24;
+constexpr size_t kInsertsPerBatch = 32;
+constexpr size_t kErasesPerBatch = 24;
+constexpr size_t kWindows = 12;
+constexpr size_t kPoints = 8;
+constexpr size_t kKnnPoints = 4;
+constexpr size_t kKnnK = 8;
+constexpr double kSelectivity = 0.01;
+
+using OracleState = std::map<ObjectId, Rect>;
+
+struct Workload {
+  std::vector<Rect> initial;
+  std::vector<WriteBatch> batches;
+  std::vector<OracleState> states;
+  std::vector<Rect> windows;
+  std::vector<Point> points;
+  std::vector<Point> knn_points;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  dg.seed = kSeed;
+  w.initial = GenerateData(kInitialObjects, dg);
+
+  OracleState state;
+  for (size_t i = 0; i < w.initial.size(); ++i) {
+    state[static_cast<ObjectId>(i)] = w.initial[i];
+  }
+  w.states.push_back(state);
+
+  DataGenOptions dg2;
+  dg2.distribution = Distribution::kUniformLarge;
+  dg2.seed = kSeed ^ 0x9e3779b97f4a7c15ULL;
+  const auto extra = GenerateData(kBatches * kInsertsPerBatch, dg2);
+
+  Random rng(kSeed + 1);
+  ObjectId next_oid = static_cast<ObjectId>(w.initial.size());
+  for (size_t b = 0; b < kBatches; ++b) {
+    WriteBatch batch;
+    std::vector<ObjectId> live;
+    for (const auto& [oid, rect] : state) live.push_back(oid);
+    for (size_t e = 0; e < kErasesPerBatch && !live.empty(); ++e) {
+      const size_t pick = rng.Uniform(live.size());
+      batch.Erase(live[pick]);
+      state.erase(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    for (size_t i = 0; i < kInsertsPerBatch; ++i) {
+      const Rect& r = extra[b * kInsertsPerBatch + i];
+      batch.Insert(r);
+      state[next_oid] = r;
+      ++next_oid;
+    }
+    w.batches.push_back(std::move(batch));
+    w.states.push_back(state);
+  }
+
+  QueryGenOptions qopt;
+  qopt.seed = kSeed + 2;
+  w.windows = GenerateWindows(kWindows, kSelectivity, qopt);
+  const auto big =
+      GenerateWindows(2, 0.08, QueryGenOptions{.seed = kSeed + 3});
+  w.windows.insert(w.windows.end(), big.begin(), big.end());
+  w.points = GeneratePoints(kPoints, kSeed + 4);
+  w.knn_points = GeneratePoints(kKnnPoints, kSeed + 5);
+  return w;
+}
+
+std::vector<ObjectId> ExpectedWindow(const OracleState& st, const Rect& w) {
+  std::vector<ObjectId> out;
+  for (const auto& [oid, rect] : st) {
+    if (rect.Intersects(w)) out.push_back(oid);
+  }
+  return out;
+}
+
+std::vector<ObjectId> ExpectedPoint(const OracleState& st, const Point& p) {
+  std::vector<ObjectId> out;
+  for (const auto& [oid, rect] : st) {
+    if (rect.Contains(p)) out.push_back(oid);
+  }
+  return out;
+}
+
+bool MatchesWindow(const Workload& w, size_t q,
+                   const std::vector<ObjectId>& got, uint64_t e0,
+                   uint64_t e1) {
+  for (uint64_t k = e0; k <= e1 && k < w.states.size(); ++k) {
+    if (got == ExpectedWindow(w.states[k], w.windows[q])) return true;
+  }
+  return false;
+}
+
+bool MatchesPoint(const Workload& w, size_t q,
+                  const std::vector<ObjectId>& got, uint64_t e0,
+                  uint64_t e1) {
+  for (uint64_t k = e0; k <= e1 && k < w.states.size(); ++k) {
+    if (got == ExpectedPoint(w.states[k], w.points[q])) return true;
+  }
+  return false;
+}
+
+/// kNN correctness: every returned id live with its exact distance,
+/// ascending, nothing closer skipped — at one epoch in [e0, e1].
+bool MatchesKnn(const Workload& w, size_t q,
+                const std::vector<std::pair<ObjectId, double>>& got,
+                uint64_t e0, uint64_t e1) {
+  constexpr double kEps = 1e-9;
+  const Point& p = w.knn_points[q];
+  for (uint64_t s = e0; s <= e1 && s < w.states.size(); ++s) {
+    const OracleState& st = w.states[s];
+    if (got.size() != std::min(kKnnK, st.size())) continue;
+    bool ok = true;
+    double prev = -1.0;
+    for (const auto& [oid, dist] : got) {
+      auto it = st.find(oid);
+      if (it == st.end() ||
+          std::abs(it->second.DistanceTo(p) - dist) > kEps ||
+          dist + kEps < prev) {
+        ok = false;
+        break;
+      }
+      prev = dist;
+    }
+    if (ok && !got.empty()) {
+      const double worst = got.back().second;
+      std::vector<ObjectId> returned;
+      for (const auto& [oid, dist] : got) returned.push_back(oid);
+      std::sort(returned.begin(), returned.end());
+      for (const auto& [oid, rect] : st) {
+        if (!std::binary_search(returned.begin(), returned.end(), oid) &&
+            rect.DistanceTo(p) + kEps < worst) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double Percentile(std::vector<uint64_t>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * (v.size() - 1) + 0.5);
+  return static_cast<double>(v[idx]);
+}
+
+struct ReaderResult {
+  std::vector<uint64_t> window_us, point_us, knn_us;
+  uint64_t queries = 0;
+  uint64_t mismatches = 0;
+};
+
+/// One closed-loop phase at `readers` reader connections (+1 writer).
+/// Returns total reader qps; fills the latency table row.
+void RunPhase(const Workload& w, size_t readers, Table* table,
+              uint64_t* total_mismatches) {
+  Env env = MakeEnv(kBenchPageSize, 8192);
+  const SpatialIndexOptions opt{.data = DecomposeOptions::SizeBound(8)};
+  auto index = BuildZIndex(&env, w.initial, opt).value();
+  const uint64_t base = index->write_epoch();
+
+  ServerOptions sopt;
+  sopt.workers = 6;
+  sopt.queue_capacity = 256;
+  sopt.idle_timeout_ms = 0;
+  Server server(index.get(), sopt);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::exit(1);
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    auto c = Client::ConnectTcp("127.0.0.1", server.port());
+    if (!c.ok()) return;
+    Client client = std::move(c).value();
+    for (const WriteBatch& batch : w.batches) {
+      auto reply = client.Apply(batch);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "apply failed: %s\n",
+                     reply.status().ToString().c_str());
+        std::exit(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<ReaderResult> results(readers);
+  std::vector<std::thread> threads;
+  const uint64_t t0 = NowMicros();
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      auto c = Client::ConnectTcp("127.0.0.1", server.port());
+      if (!c.ok()) return;
+      Client client = std::move(c).value();
+      ReaderResult& res = results[r];
+      size_t round = 0;
+      while (!writer_done.load() || round == 0) {
+        for (size_t q = 0; q < w.windows.size(); ++q) {
+          const uint64_t s = NowMicros();
+          auto reply = client.Window(w.windows[q]);
+          if (!reply.ok()) { ++res.mismatches; continue; }
+          res.window_us.push_back(NowMicros() - s);
+          ++res.queries;
+          if (!MatchesWindow(w, q, reply->ids,
+                             reply->epoch_before - base,
+                             reply->epoch_after - base)) {
+            ++res.mismatches;
+          }
+        }
+        for (size_t q = 0; q < w.points.size(); ++q) {
+          const uint64_t s = NowMicros();
+          auto reply = client.Point(w.points[q]);
+          if (!reply.ok()) { ++res.mismatches; continue; }
+          res.point_us.push_back(NowMicros() - s);
+          ++res.queries;
+          if (!MatchesPoint(w, q, reply->ids,
+                            reply->epoch_before - base,
+                            reply->epoch_after - base)) {
+            ++res.mismatches;
+          }
+        }
+        for (size_t q = 0; q < w.knn_points.size(); ++q) {
+          const uint64_t s = NowMicros();
+          auto reply = client.Nearest(w.knn_points[q], kKnnK);
+          if (!reply.ok()) { ++res.mismatches; continue; }
+          res.knn_us.push_back(NowMicros() - s);
+          ++res.queries;
+          if (!MatchesKnn(w, q, reply->hits, reply->epoch_before - base,
+                          reply->epoch_after - base)) {
+            ++res.mismatches;
+          }
+        }
+        ++round;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : threads) t.join();
+  const double secs = (NowMicros() - t0) / 1e6;
+  server.Stop();
+
+  std::vector<uint64_t> window_us, point_us, knn_us;
+  uint64_t queries = 0, mismatches = 0;
+  for (ReaderResult& r : results) {
+    window_us.insert(window_us.end(), r.window_us.begin(), r.window_us.end());
+    point_us.insert(point_us.end(), r.point_us.begin(), r.point_us.end());
+    knn_us.insert(knn_us.end(), r.knn_us.begin(), r.knn_us.end());
+    queries += r.queries;
+    mismatches += r.mismatches;
+  }
+  *total_mismatches += mismatches;
+
+  table->AddRow({std::to_string(readers) + "+1",
+                 Fmt(queries / secs, 0),
+                 Fmt(Percentile(window_us, 0.50), 0),
+                 Fmt(Percentile(window_us, 0.99), 0),
+                 Fmt(Percentile(point_us, 0.50), 0),
+                 Fmt(Percentile(point_us, 0.99), 0),
+                 Fmt(Percentile(knn_us, 0.50), 0),
+                 Fmt(Percentile(knn_us, 0.99), 0),
+                 std::to_string(mismatches)});
+}
+
+/// Saturation phase: one slow worker, two-slot queue, `clients` pushing
+/// full-square windows. The admission queue must shed with BUSY, every
+/// shed request must still get its typed reply, and retried requests
+/// must eventually succeed.
+void RunSaturation(size_t clients) {
+  Env env = MakeEnv(kBenchPageSize, 16);
+  const SpatialIndexOptions opt{.data = DecomposeOptions::SizeBound(8)};
+  DataGenOptions dg;
+  dg.seed = kSeed + 9;
+  auto index = BuildZIndex(&env, GenerateData(400, dg), opt).value();
+  env.pager->set_simulated_read_latency_us(200);
+
+  ServerOptions sopt;
+  sopt.workers = 1;
+  sopt.queue_capacity = 2;
+  sopt.idle_timeout_ms = 0;
+  sopt.exec_threads = 0;  // keep the one worker honestly slow
+  Server server(index.get(), sopt);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::exit(1);
+  }
+
+  constexpr int kPerClient = 30;
+  std::atomic<uint64_t> ok{0}, busy{0};
+  std::vector<std::thread> threads;
+  const uint64_t t0 = NowMicros();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      auto conn = Client::ConnectTcp("127.0.0.1", server.port());
+      if (!conn.ok()) return;
+      Client client = std::move(conn).value();
+      int done = 0;
+      while (done < kPerClient) {
+        auto reply = client.Window(Rect{0.0, 0.0, 1.0, 1.0});
+        if (reply.ok()) {
+          ++ok;
+          ++done;
+        } else if (reply.status().IsBusy()) {
+          ++busy;  // shed at the door; back off briefly, then retry
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        } else {
+          std::fprintf(stderr, "unexpected: %s\n",
+                       reply.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = (NowMicros() - t0) / 1e6;
+  server.Stop();
+
+  std::printf(
+      "saturation: %zu clients vs 1 worker / 2-slot queue — %llu served "
+      "(%.0f q/s), %llu BUSY rejections (%.1f%% of attempts), "
+      "busy_rejected counter %llu\n\n",
+      clients, static_cast<unsigned long long>(ok.load()), ok.load() / secs,
+      static_cast<unsigned long long>(busy.load()),
+      100.0 * busy.load() / (ok.load() + busy.load()),
+      static_cast<unsigned long long>(
+          server.counters().busy_rejected.load()));
+  if (busy.load() == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no BUSY replies observed under saturation\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace zdb
+
+int main(int argc, char** argv) {
+  const size_t max_readers =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+
+  const zdb::Workload w = zdb::MakeWorkload();
+  zdb::Table table(
+      "E14 network service, closed loop — " +
+          std::to_string(zdb::kInitialObjects) + " objects, " +
+          std::to_string(zdb::kBatches) + " write batches, 6 workers; "
+          "latencies in us over loopback (readers+writer clients; host "
+          "cores: " +
+          std::to_string(std::thread::hardware_concurrency()) + ")",
+      {"clients", "read q/s", "win p50", "win p99", "pt p50", "pt p99",
+       "knn p50", "knn p99", "mismatch"});
+
+  uint64_t mismatches = 0;
+  for (size_t readers = 2; readers <= max_readers; readers *= 2) {
+    zdb::RunPhase(w, readers, &table, &mismatches);
+  }
+  table.Print();
+  std::printf("\n");
+
+  zdb::RunSaturation(max_readers);
+
+  if (mismatches != 0) {
+    std::fprintf(stderr, "FAIL: %llu oracle mismatches\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  std::printf("oracle: every reply matched at an observed epoch — 0 "
+              "mismatches\n");
+  return 0;
+}

@@ -9,6 +9,12 @@
 //   zdb> window 0.0 0.0 0.5 0.5
 //   hits: 0    (candidates 3, false hits 0, 7 page accesses)
 //   zdb> help
+//
+// Remote mode talks to a running zdb_server instead of an in-process
+// index (see examples/zdb_server.cpp):
+//
+//   $ ./build/examples/zdb_shell --connect 127.0.0.1:4490
+//   $ ./build/examples/zdb_shell --connect unix:/tmp/zdb.sock
 
 #include <cstdio>
 #include <iostream>
@@ -16,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "client/client.h"
 #include "core/spatial_index.h"
 #include "storage/pager.h"
 
@@ -38,9 +45,156 @@ void PrintHelp() {
       "  help | quit\n");
 }
 
+void PrintRemoteHelp() {
+  std::printf(
+      "remote commands:\n"
+      "  insert X1 Y1 X2 Y2     add a rectangle (unit-square coords)\n"
+      "  window X1 Y1 X2 Y2     objects intersecting the window\n"
+      "  point X Y              objects containing the point\n"
+      "  knn X Y K              K nearest objects\n"
+      "  erase ID               remove an object\n"
+      "  stats                  server + engine counters (JSON)\n"
+      "  ping                   round-trip check\n"
+      "  shutdown               ask the server to drain and exit\n"
+      "  help | quit\n");
+}
+
+int RunRemote(const std::string& target) {
+  Result<net::Client> conn =
+      target.rfind("unix:", 0) == 0
+          ? net::Client::ConnectUnix(target.substr(5))
+          : [&]() -> Result<net::Client> {
+              const auto colon = target.rfind(':');
+              if (colon == std::string::npos) {
+                return Status::InvalidArgument(
+                    "--connect wants HOST:PORT or unix:PATH");
+              }
+              return net::Client::ConnectTcp(
+                  target.substr(0, colon),
+                  static_cast<uint16_t>(std::strtoul(
+                      target.c_str() + colon + 1, nullptr, 10)));
+            }();
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect: %s\n", conn.status().ToString().c_str());
+    return 1;
+  }
+  net::Client client = std::move(conn).value();
+  std::printf("zdb shell — remote (%s). Type 'help'.\n", target.c_str());
+
+  std::string line;
+  while (std::printf("zdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintRemoteHelp();
+      continue;
+    }
+    if (cmd == "insert") {
+      Rect r;
+      if (!(in >> r.xlo >> r.ylo >> r.xhi >> r.yhi)) {
+        std::printf("usage: insert X1 Y1 X2 Y2\n");
+        continue;
+      }
+      WriteBatch batch;
+      batch.Insert(r);
+      auto reply = client.Apply(batch);
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.status().ToString().c_str());
+        continue;
+      }
+      std::printf("id %u (epoch %llu)\n", reply->inserted[0],
+                  static_cast<unsigned long long>(reply->epoch_after));
+    } else if (cmd == "window") {
+      Rect w;
+      if (!(in >> w.xlo >> w.ylo >> w.xhi >> w.yhi)) {
+        std::printf("usage: window X1 Y1 X2 Y2\n");
+        continue;
+      }
+      auto reply = client.Window(w);
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.status().ToString().c_str());
+        continue;
+      }
+      std::printf("hits:");
+      for (ObjectId oid : reply->ids) std::printf(" %u", oid);
+      std::printf("   (epochs %llu..%llu)\n",
+                  static_cast<unsigned long long>(reply->epoch_before),
+                  static_cast<unsigned long long>(reply->epoch_after));
+    } else if (cmd == "point") {
+      Point p;
+      if (!(in >> p.x >> p.y)) {
+        std::printf("usage: point X Y\n");
+        continue;
+      }
+      auto reply = client.Point(p);
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.status().ToString().c_str());
+        continue;
+      }
+      std::printf("hits:");
+      for (ObjectId oid : reply->ids) std::printf(" %u", oid);
+      std::printf("\n");
+    } else if (cmd == "knn") {
+      Point p;
+      uint32_t kk;
+      if (!(in >> p.x >> p.y >> kk)) {
+        std::printf("usage: knn X Y K\n");
+        continue;
+      }
+      auto reply = client.Nearest(p, kk);
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& [oid, dist] : reply->hits) {
+        std::printf("  id %u at %.5f\n", oid, dist);
+      }
+    } else if (cmd == "erase") {
+      ObjectId oid;
+      if (!(in >> oid)) {
+        std::printf("usage: erase ID\n");
+        continue;
+      }
+      WriteBatch batch;
+      batch.Erase(oid);
+      auto reply = client.Apply(batch);
+      std::printf("%s\n",
+                  reply.ok() ? "ok" : reply.status().ToString().c_str());
+    } else if (cmd == "stats") {
+      auto reply = client.Stats();
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n", reply.value().c_str());
+    } else if (cmd == "ping") {
+      Status s = client.Ping();
+      std::printf("%s\n", s.ok() ? "pong" : s.ToString().c_str());
+    } else if (cmd == "shutdown") {
+      Status s = client.Shutdown();
+      std::printf("%s\n",
+                  s.ok() ? "server draining" : s.ToString().c_str());
+      break;
+    } else {
+      std::printf("unknown remote command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--connect") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: zdb_shell --connect HOST:PORT|unix:PATH\n");
+      return 2;
+    }
+    return RunRemote(argv[2]);
+  }
   const uint32_t k = argc > 1
                          ? static_cast<uint32_t>(std::strtoul(
                                argv[1], nullptr, 10))

@@ -1,0 +1,142 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "client/client.h"
+
+namespace zdb {
+namespace net {
+
+Result<Client> Client::ConnectTcp(const std::string& host, uint16_t port) {
+  Socket s;
+  ZDB_ASSIGN_OR_RETURN(s, TcpConnect(host, port));
+  return Client(std::move(s));
+}
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  Socket s;
+  ZDB_ASSIGN_OR_RETURN(s, UnixConnect(path));
+  return Client(std::move(s));
+}
+
+Result<std::string> Client::RoundTrip(Opcode op, std::string_view payload) {
+  if (!sock_.valid()) {
+    return Status::Unavailable("client connection is closed");
+  }
+  const uint64_t id = next_request_id_++;
+  const std::string frame = BuildFrame(op, 0, id, payload);
+  ZDB_RETURN_IF_ERROR(WriteFully(sock_, frame.data(), frame.size()));
+
+  char buf[16 * 1024];
+  for (;;) {
+    Frame reply;
+    WireError err;
+    FrameHeader err_header;
+    const auto next = assembler_.Poll(&reply, &err, &err_header);
+    if (next == FrameAssembler::Next::kError) {
+      sock_.Close();
+      return Status::IOError(std::string("reply framing error: ") +
+                             WireErrorName(err));
+    }
+    if (next == FrameAssembler::Next::kNeedMore) {
+      size_t n = 0;
+      ZDB_ASSIGN_OR_RETURN(n, ReadSome(sock_, buf, sizeof(buf)));
+      if (n == 0) {
+        sock_.Close();
+        return Status::Unavailable("server closed the connection");
+      }
+      assembler_.Feed(buf, n);
+      continue;
+    }
+    if ((reply.header.flags & kFlagReply) == 0 ||
+        reply.header.request_id != id ||
+        reply.header.opcode != static_cast<uint8_t>(op)) {
+      // Single in-flight request per connection: anything else is a
+      // protocol violation, and the stream can't be trusted after it.
+      sock_.Close();
+      return Status::IOError("reply does not match the request");
+    }
+
+    std::string_view body;
+    std::string message;
+    const WireError status = ParseReplyStatus(reply.payload, &body, &message);
+    switch (status) {
+      case WireError::kOk:
+        return std::string(body);
+      case WireError::kBusy:
+        return Status::Busy(message);
+      case WireError::kShuttingDown:
+        return Status::Unavailable(message);
+      case WireError::kServerError:
+        return Status::Internal(message);
+      default:
+        return Status::IOError(std::string("server rejected request: ") +
+                               WireErrorName(status) +
+                               (message.empty() ? "" : ": " + message));
+    }
+  }
+}
+
+Result<QueryReply> Client::Window(const Rect& w) {
+  std::string body;
+  ZDB_ASSIGN_OR_RETURN(body,
+                       RoundTrip(Opcode::kWindow, EncodeWindowRequest(w)));
+  QueryReply out;
+  if (!DecodeIdListReplyBody(body, &out.epoch_before, &out.epoch_after,
+                             &out.ids)) {
+    return Status::IOError("malformed WINDOW reply body");
+  }
+  return out;
+}
+
+Result<QueryReply> Client::Point(const zdb::Point& p) {
+  std::string body;
+  ZDB_ASSIGN_OR_RETURN(body,
+                       RoundTrip(Opcode::kPoint, EncodePointRequest(p)));
+  QueryReply out;
+  if (!DecodeIdListReplyBody(body, &out.epoch_before, &out.epoch_after,
+                             &out.ids)) {
+    return Status::IOError("malformed POINT reply body");
+  }
+  return out;
+}
+
+Result<KnnReplyData> Client::Nearest(const zdb::Point& p, uint32_t k) {
+  std::string body;
+  ZDB_ASSIGN_OR_RETURN(body,
+                       RoundTrip(Opcode::kKnn, EncodeKnnRequest(p, k)));
+  KnnReplyData out;
+  if (!DecodeKnnReplyBody(body, &out.epoch_before, &out.epoch_after,
+                          &out.hits)) {
+    return Status::IOError("malformed KNN reply body");
+  }
+  return out;
+}
+
+Result<ApplyReplyData> Client::Apply(const WriteBatch& batch) {
+  std::string body;
+  ZDB_ASSIGN_OR_RETURN(body,
+                       RoundTrip(Opcode::kApply, EncodeApplyRequest(batch)));
+  ApplyReplyData out;
+  if (!DecodeApplyReplyBody(body, &out.epoch_after, &out.inserted)) {
+    return Status::IOError("malformed APPLY reply body");
+  }
+  return out;
+}
+
+Result<std::string> Client::Stats() {
+  std::string body;
+  ZDB_ASSIGN_OR_RETURN(body, RoundTrip(Opcode::kStats, {}));
+  std::string json;
+  if (!DecodeStatsReplyBody(body, &json)) {
+    return Status::IOError("malformed STATS reply body");
+  }
+  return json;
+}
+
+Status Client::Ping() { return RoundTrip(Opcode::kPing, {}).status(); }
+
+Status Client::Shutdown() {
+  return RoundTrip(Opcode::kShutdown, {}).status();
+}
+
+}  // namespace net
+}  // namespace zdb

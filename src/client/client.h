@@ -1,0 +1,92 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Synchronous client for the zdb wire protocol (net/wire.h): one
+// blocking request/reply exchange per call over a single connection.
+// Not thread-safe — use one Client per thread (the server multiplexes
+// connections cheaply).
+//
+// Server-side typed errors map onto Status codes:
+//
+//   BUSY          -> Status::Busy        (admission queue full; retry)
+//   SHUTTING_DOWN -> Status::Unavailable (server draining)
+//   SERVER_ERROR  -> Status::Internal    (engine failure, message attached)
+//   anything else -> Status::IOError     (protocol violation)
+//
+// Query replies carry the server's write epoch just before and just
+// after execution, so callers can cross-check results against per-epoch
+// oracles exactly as the in-process stress tests do.
+
+#ifndef ZDB_CLIENT_CLIENT_H_
+#define ZDB_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/spatial_index.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace zdb {
+namespace net {
+
+/// Window / point / kNN reply: the ids (or scored hits) plus the epoch
+/// bracket the server observed around execution.
+struct QueryReply {
+  uint64_t epoch_before = 0;
+  uint64_t epoch_after = 0;
+  std::vector<ObjectId> ids;
+};
+
+struct KnnReplyData {
+  uint64_t epoch_before = 0;
+  uint64_t epoch_after = 0;
+  std::vector<std::pair<ObjectId, double>> hits;
+};
+
+struct ApplyReplyData {
+  uint64_t epoch_after = 0;
+  std::vector<ObjectId> inserted;  ///< oids assigned, in op order
+};
+
+class Client {
+ public:
+  static Result<Client> ConnectTcp(const std::string& host, uint16_t port);
+  static Result<Client> ConnectUnix(const std::string& path);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  Result<QueryReply> Window(const Rect& w);
+  Result<QueryReply> Point(const zdb::Point& p);
+  Result<KnnReplyData> Nearest(const zdb::Point& p, uint32_t k);
+  Result<ApplyReplyData> Apply(const WriteBatch& batch);
+  Result<std::string> Stats();
+  Status Ping();
+  /// Asks the daemon to shut down (the reply arrives before the server
+  /// starts draining).
+  Status Shutdown();
+
+  /// Closes the connection; further calls fail.
+  void Close() { sock_.Close(); }
+  bool connected() const { return sock_.valid(); }
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Sends one request frame and blocks for the matching reply payload
+  /// (validating magic/version/request id, surfacing typed errors as the
+  /// Status codes documented above).
+  Result<std::string> RoundTrip(Opcode op, std::string_view payload);
+
+  Socket sock_;
+  uint64_t next_request_id_ = 1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace net
+}  // namespace zdb
+
+#endif  // ZDB_CLIENT_CLIENT_H_

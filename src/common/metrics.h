@@ -17,6 +17,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 namespace zdb {
 
@@ -99,6 +101,64 @@ void SetThreadIoStats(ThreadIoStats* stats);
 
 /// The calling thread's registered shadow, or nullptr.
 ThreadIoStats* GetThreadIoStats();
+
+// ----------------------------- structured counter dumps (JSON) ---------
+//
+// Counters cross process boundaries in two places — the server's STATS
+// opcode and the benches' machine-readable output — so the dump format is
+// centralized here instead of hand-formatted at every call site.
+
+/// Minimal streaming JSON writer: objects, arrays, string escaping,
+/// integer/double/bool values. Keys and values are emitted in call
+/// order; the caller is responsible for well-formed nesting (an
+/// unbalanced Begin/End pair produces invalid JSON, not UB).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits `"key":` — must be followed by a value or Begin*().
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(double v);  ///< non-finite values are emitted as null
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(std::string_view v);
+  // Disambiguating forwards (int literals would otherwise be ambiguous,
+  // and a const char* would standard-convert to bool before string_view).
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<uint64_t>(v)); }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+
+  /// Key + value in one call.
+  template <typename T>
+  JsonWriter& Field(std::string_view key, T v) {
+    Key(key);
+    return Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Appends `stats` as a JSON object under `key` to an already-open
+/// object: {"page_reads":N,...,"accesses":N}.
+void AppendJson(JsonWriter* w, std::string_view key, const IoStats& stats);
+void AppendJson(JsonWriter* w, std::string_view key,
+                const ThreadIoStats& stats);
+
+/// One-shot structured dump: the whole IoStats as a standalone JSON
+/// object string.
+std::string SnapshotJson(const IoStats& stats);
 
 }  // namespace zdb
 

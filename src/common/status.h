@@ -24,6 +24,8 @@ class Status {
     kNoSpace,
     kAlreadyExists,
     kInternal,
+    kBusy,         ///< server admission queue full; retry later
+    kUnavailable,  ///< server shutting down / endpoint unreachable
   };
 
   /// Constructs an OK status.
@@ -51,6 +53,12 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -59,6 +67,8 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsNoSpace() const { return code_ == Code::kNoSpace; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -76,6 +86,8 @@ class Status {
       case Code::kNoSpace: name = "NoSpace"; break;
       case Code::kAlreadyExists: name = "AlreadyExists"; break;
       case Code::kInternal: name = "Internal"; break;
+      case Code::kBusy: name = "Busy"; break;
+      case Code::kUnavailable: name = "Unavailable"; break;
     }
     if (msg_.empty()) return name;
     return name + ": " + msg_;

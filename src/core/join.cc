@@ -41,9 +41,7 @@ Result<std::vector<std::pair<ObjectId, ObjectId>>> SpatialJoin(
   SpatialIndex* first = a < b ? a : b;
   SpatialIndex* second = a < b ? b : a;
   auto lock_first = first->ReaderSection();
-  auto lock_second =
-      first == second ? std::shared_lock<std::shared_mutex>()
-                      : second->ReaderSection();
+  auto lock_second = first == second ? ReaderLatch() : second->ReaderSection();
   if (a->options().grid_bits != b->options().grid_bits ||
       !(a->options().world == b->options().world)) {
     return Status::InvalidArgument(

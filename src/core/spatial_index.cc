@@ -2,13 +2,42 @@
 
 #include "core/spatial_index.h"
 
+#include <algorithm>
+#include <cassert>
 #include <unordered_set>
+#include <vector>
 
 #include "decompose/region.h"
 #include "geom/clip.h"
 #include "zorder/zkey.h"
 
 namespace zdb {
+
+#ifndef NDEBUG
+namespace internal {
+namespace {
+// Stack (not set): SpatialJoin legitimately holds sections on two
+// different indexes at once, so membership must be per-index.
+thread_local std::vector<const void*> t_shared_held;
+}  // namespace
+
+void NoteSharedAcquired(const void* index) {
+  t_shared_held.push_back(index);
+}
+
+void NoteSharedReleased(const void* index) {
+  auto it = std::find(t_shared_held.rbegin(), t_shared_held.rend(), index);
+  if (it != t_shared_held.rend()) {
+    t_shared_held.erase(std::next(it).base());
+  }
+}
+
+bool SharedHeldByThisThread(const void* index) {
+  return std::find(t_shared_held.begin(), t_shared_held.end(), index) !=
+         t_shared_held.end();
+}
+}  // namespace internal
+#endif  // NDEBUG
 
 // ----------------------------------------------------- latch acquisition
 //
@@ -23,12 +52,25 @@ namespace zdb {
 // most one query, so the writer's wait is bounded by one in-flight
 // query per reader thread.
 
-std::shared_lock<std::shared_mutex> SpatialIndex::AcquireShared() const {
+ReaderLatch SpatialIndex::AcquireShared() const {
+#ifndef NDEBUG
+  // The re-entrancy hazard documented at ReaderSection(): a nested
+  // shared acquisition on the same index deadlocks as soon as a writer
+  // is waiting between the two. Catch it at the call site.
+  assert(!internal::SharedHeldByThisThread(this) &&
+         "nested ReaderSection() on the same SpatialIndex from one "
+         "thread: deadlocks against a waiting writer; use the unlatched "
+         "*Locked/plan hooks inside a held section instead");
+#endif
   {
     std::unique_lock<std::mutex> gate(gate_mu_);
     gate_cv_.wait(gate, [&] { return writers_waiting_ == 0; });
   }
-  return std::shared_lock<std::shared_mutex>(latch_);
+  std::shared_lock<std::shared_mutex> lock(latch_);
+#ifndef NDEBUG
+  internal::NoteSharedAcquired(this);
+#endif
+  return ReaderLatch(std::move(lock), this);
 }
 
 std::unique_lock<std::shared_mutex> SpatialIndex::AcquireExclusive() {

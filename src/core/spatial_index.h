@@ -95,6 +95,60 @@ struct WriteBatch {
   bool empty() const { return ops.empty(); }
 };
 
+namespace internal {
+#ifndef NDEBUG
+// Debug-build bookkeeping behind the nested-ReaderSection assertion: a
+// per-thread stack of the indexes the thread currently holds shared.
+void NoteSharedAcquired(const void* index);
+void NoteSharedReleased(const void* index);
+bool SharedHeldByThisThread(const void* index);
+#endif
+}  // namespace internal
+
+/// Movable RAII shared-latch section returned by
+/// SpatialIndex::ReaderSection(). Behaves like the
+/// std::shared_lock it wraps; in debug builds it additionally maintains
+/// the per-thread held-set that lets AcquireShared() assert on nested
+/// acquisition of the same index (the writer-gate deadlock documented at
+/// ReaderSection()) at the call site instead of hanging. Must be
+/// released on the thread that acquired it.
+class ReaderLatch {
+ public:
+  ReaderLatch() = default;
+  ReaderLatch(std::shared_lock<std::shared_mutex> lock, const void* owner)
+      : lock_(std::move(lock)), owner_(owner) {}
+  ReaderLatch(ReaderLatch&& o) noexcept
+      : lock_(std::move(o.lock_)), owner_(o.owner_) {
+    o.owner_ = nullptr;
+  }
+  ReaderLatch& operator=(ReaderLatch&& o) noexcept {
+    if (this != &o) {
+      Release();
+      lock_ = std::move(o.lock_);
+      owner_ = o.owner_;
+      o.owner_ = nullptr;
+    }
+    return *this;
+  }
+  ReaderLatch(const ReaderLatch&) = delete;
+  ReaderLatch& operator=(const ReaderLatch&) = delete;
+  ~ReaderLatch() { Release(); }
+
+  bool owns_lock() const { return lock_.owns_lock(); }
+
+ private:
+  void Release() {
+#ifndef NDEBUG
+    if (owner_ != nullptr) internal::NoteSharedReleased(owner_);
+#endif
+    owner_ = nullptr;
+    if (lock_.owns_lock()) lock_.unlock();
+  }
+
+  std::shared_lock<std::shared_mutex> lock_;
+  const void* owner_ = nullptr;
+};
+
 class SpatialIndex {
  public:
   /// Creates an empty index whose pages come from `pool`.
@@ -170,13 +224,13 @@ class SpatialIndex {
   /// on the same thread — in particular, never call a public query
   /// (WindowQuery/DistanceTo/...) while holding a ReaderSection, since
   /// it re-acquires internally and a waiting writer deadlocks the
-  /// nesting; use the unlatched plan hooks below instead.
+  /// nesting; use the unlatched plan hooks below instead. Debug builds
+  /// assert at the nested acquisition site (see ReaderLatch), so the
+  /// hazard is a crash with a message instead of a hang.
   /// Acquisition is writer-preferring: new reader sections stand aside
   /// while a writer is waiting, so a continuous query stream cannot
   /// starve the write path (see AcquireShared()).
-  std::shared_lock<std::shared_mutex> ReaderSection() const {
-    return AcquireShared();
-  }
+  ReaderLatch ReaderSection() const { return AcquireShared(); }
 
   /// Number of committed writer sections (single mutations count one,
   /// ApplyBatch counts one per batch). Monotonic; published with release
@@ -322,7 +376,7 @@ class SpatialIndex {
   // writer is announced (no CPU burned during the writer's turn), so
   // the shared side drains within one in-flight query per reader thread
   // and the writer gets through. Defined in spatial_index.cc.
-  std::shared_lock<std::shared_mutex> AcquireShared() const;
+  ReaderLatch AcquireShared() const;
   std::unique_lock<std::shared_mutex> AcquireExclusive();
 
   /// Builds the probe/scan work list for a grid query rect (the shared

@@ -1,0 +1,204 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace zdb {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<Socket> TcpListen(const std::string& host, uint16_t port,
+                         int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + host);
+  }
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(s.fd(), backlog) != 0) return Errno("listen");
+  return s;
+}
+
+Result<uint16_t> LocalPort(const Socket& s) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Fall back to resolution for non-numeric hosts.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      return Status::Unavailable("cannot resolve host: " + host);
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  return s;
+}
+
+Result<Socket> UnixListen(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + path);
+  }
+  if (::listen(s.fd(), backlog) != 0) return Errno("listen " + path);
+  return s;
+}
+
+Result<Socket> UnixConnect(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::Unavailable("connect " + path + ": " +
+                               std::strerror(errno));
+  }
+  return s;
+}
+
+Result<Socket> Accept(Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("accept: ") +
+                               std::strerror(errno));
+  }
+}
+
+Status WriteFully(const Socket& s, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        ::send(s.fd(), data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadSome(const Socket& s, char* buf, size_t n) {
+  for (;;) {
+    const ssize_t rc = ::recv(s.fd(), buf, n, 0);
+    if (rc >= 0) return static_cast<size_t>(rc);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<bool> WaitReadable(const Socket& s, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = s.fd();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) return false;  // timeout
+    // POLLHUP/POLLERR surface as readable: the next recv reports the
+    // close/err, keeping the error path single.
+    return true;
+  }
+}
+
+}  // namespace net
+}  // namespace zdb

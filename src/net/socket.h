@@ -1,0 +1,81 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Thin POSIX socket layer shared by the server and the client: an RAII
+// fd wrapper plus TCP / unix-domain listen, accept and connect helpers
+// and full-buffer read/write loops. Everything reports failures as
+// Status; EINTR is retried; SIGPIPE is avoided via MSG_NOSIGNAL.
+
+#ifndef ZDB_NET_SOCKET_H_
+#define ZDB_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace zdb {
+namespace net {
+
+/// Owning socket file descriptor. Movable, not copyable; closes on
+/// destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { Close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor (idempotent).
+  void Close();
+
+  /// shutdown(2) both directions — unblocks a peer or a reader thread
+  /// without racing the fd number (the fd stays allocated until Close).
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to host:port (SO_REUSEADDR; port 0 picks
+/// an ephemeral port — read it back with LocalPort).
+Result<Socket> TcpListen(const std::string& host, uint16_t port,
+                         int backlog = 64);
+
+/// The locally bound port of a TCP socket (after TcpListen with port 0).
+Result<uint16_t> LocalPort(const Socket& s);
+
+/// Blocking TCP connect to host:port (numeric or resolvable host).
+Result<Socket> TcpConnect(const std::string& host, uint16_t port);
+
+/// Listening unix-domain socket at `path` (an existing stale socket file
+/// is unlinked first).
+Result<Socket> UnixListen(const std::string& path, int backlog = 64);
+
+/// Blocking unix-domain connect.
+Result<Socket> UnixConnect(const std::string& path);
+
+/// Accepts one connection. Blocks; fails with kUnavailable once the
+/// listening socket is shut down.
+Result<Socket> Accept(Socket& listener);
+
+/// Writes the whole buffer (retrying short writes / EINTR).
+Status WriteFully(const Socket& s, const char* data, size_t n);
+
+/// One read(2) of up to `n` bytes. Returns 0 on orderly peer close.
+Result<size_t> ReadSome(const Socket& s, char* buf, size_t n);
+
+/// Waits until the socket is readable. Returns false on timeout
+/// (timeout_ms >= 0) and an error Status on poll failure or hangup
+/// without data. timeout_ms < 0 waits forever.
+Result<bool> WaitReadable(const Socket& s, int timeout_ms);
+
+}  // namespace net
+}  // namespace zdb
+
+#endif  // ZDB_NET_SOCKET_H_

@@ -1,0 +1,223 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// The zdb binary wire protocol: length-prefixed frames with a versioned
+// fixed-size header, carried over TCP or a unix-domain socket.
+//
+// Frame layout (all integers little-endian, via common/coding.h):
+//
+//   offset  size  field
+//        0     4  magic        kMagic — rejects non-zdb peers
+//        4     4  payload_len  bytes following the header (<= kMaxPayload)
+//        8     2  version      kWireVersion
+//       10     1  opcode       Opcode
+//       11     1  flags        bit 0 = reply
+//       12     8  request_id   echoed verbatim in the reply
+//       20        payload
+//
+// Every reply payload begins with one status byte (WireError): 0 means
+// success and the opcode-specific body follows; anything else is a typed
+// error whose body is a length-prefixed message. Parsing is strictly
+// bounds-checked: truncated, oversized or malformed input yields a typed
+// decode failure (never a crash or over-read), which the server turns
+// into an error reply instead of dying.
+//
+// Framing errors (bad magic, wrong version, oversized length) poison the
+// byte stream — the receiver cannot know where the next frame starts —
+// so after reporting one the connection must be closed. Payload-level
+// errors (unknown opcode, malformed body) leave the stream framed and
+// the connection usable.
+
+#ifndef ZDB_NET_WIRE_H_
+#define ZDB_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/spatial_index.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace zdb {
+namespace net {
+
+constexpr uint32_t kMagic = 0x315A4442u;  // "BDZ1" on the wire
+constexpr uint16_t kWireVersion = 1;
+/// Upper bound on payload_len; larger headers are rejected with
+/// kFrameTooLarge before any allocation happens.
+constexpr uint32_t kMaxPayload = 16u << 20;
+constexpr size_t kHeaderSize = 20;
+constexpr uint8_t kFlagReply = 0x1;
+
+/// Request opcodes. Values are wire contract — append only.
+enum class Opcode : uint8_t {
+  kPing = 1,      ///< liveness probe; empty payload both ways
+  kWindow = 2,    ///< window (intersection) query
+  kPoint = 3,     ///< point containment query
+  kKnn = 4,       ///< k nearest neighbors
+  kApply = 5,     ///< atomic insert/erase batch (ApplyBatch)
+  kStats = 6,     ///< server + engine counters as JSON
+  kShutdown = 7,  ///< request graceful server shutdown
+};
+
+/// One past the largest opcode value; sizes per-opcode counter arrays.
+constexpr size_t kOpcodeLimit = 8;
+
+bool KnownOpcode(uint8_t op);
+const char* OpcodeName(Opcode op);
+
+/// Typed wire-level error codes carried in the reply status byte.
+enum class WireError : uint8_t {
+  kOk = 0,
+  kMalformed = 1,      ///< payload failed bounds-checked decoding
+  kUnknownOpcode = 2,  ///< opcode outside the known set
+  kBadVersion = 3,     ///< header version != kWireVersion
+  kFrameTooLarge = 4,  ///< payload_len > kMaxPayload
+  kBadMagic = 5,       ///< header magic mismatch (not a zdb peer)
+  kBusy = 6,           ///< admission queue full — backpressure, retry
+  kShuttingDown = 7,   ///< server draining; no new work accepted
+  kServerError = 8,    ///< engine-side failure; message carries detail
+};
+
+const char* WireErrorName(WireError e);
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  uint8_t opcode = 0;
+  uint8_t flags = 0;
+  uint64_t request_id = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+/// Writes the 20-byte header for a frame with `header`'s fields.
+void EncodeFrameHeader(char* dst, const FrameHeader& header);
+
+/// Strict header decode from kHeaderSize bytes. On kOk, *out is filled.
+/// On kBadMagic/kBadVersion/kFrameTooLarge, *out still carries whatever
+/// fields were readable (opcode, request_id) so an error reply can echo
+/// them.
+WireError DecodeFrameHeader(const char* src, FrameHeader* out);
+
+/// A complete frame: header + payload, ready to write to a socket.
+std::string BuildFrame(Opcode op, uint8_t flags, uint64_t request_id,
+                       std::string_view payload);
+
+/// Incremental frame reassembly over an arbitrary chunking of the byte
+/// stream (a frame may arrive split across many reads, or many frames in
+/// one read). Feed() appends bytes; Poll() extracts the next complete
+/// frame. A framing error (bad magic/version/length) poisons the
+/// assembler: Poll() keeps returning kError and the connection must be
+/// closed after sending the error reply.
+class FrameAssembler {
+ public:
+  enum class Next : uint8_t {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< *out holds the next frame
+    kError,     ///< framing error; *err/*err_header describe it
+  };
+
+  void Feed(const char* data, size_t n);
+
+  /// Extracts the next complete frame into *out, or reports a framing
+  /// error (err_header carries the offending header's opcode/request_id
+  /// as far as they were parseable).
+  Next Poll(Frame* out, WireError* err, FrameHeader* err_header);
+
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool poisoned_ = false;
+  WireError poison_code_ = WireError::kOk;
+  FrameHeader poison_header_;
+};
+
+/// Bounds-checked cursor over a payload. Every Get* returns false (and
+/// consumes nothing) when fewer bytes remain than requested.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view buf)
+      : p_(buf.data()), end_(buf.data() + buf.size()) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetDouble(double* v);
+  /// u32 length prefix + that many bytes.
+  bool GetLengthPrefixedString(std::string* v);
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+// ------------------------------------------------------ request payloads
+
+std::string EncodeWindowRequest(const Rect& w);
+bool DecodeWindowRequest(std::string_view payload, Rect* w);
+
+std::string EncodePointRequest(const Point& p);
+bool DecodePointRequest(std::string_view payload, Point* p);
+
+std::string EncodeKnnRequest(const Point& p, uint32_t k);
+bool DecodeKnnRequest(std::string_view payload, Point* p, uint32_t* k);
+
+/// Batch of inserts (kind 0: mbr + payload word) and erases (kind 1:
+/// oid), applied atomically server-side via SpatialIndex::ApplyBatch.
+std::string EncodeApplyRequest(const WriteBatch& batch);
+bool DecodeApplyRequest(std::string_view payload, WriteBatch* batch);
+
+// -------------------------------------------------------- reply payloads
+//
+// Query replies carry the index write epochs loaded immediately before
+// and after execution — the hook remote callers use to cross-check a
+// concurrent answer against per-epoch oracles (see stress_mixed_test).
+
+std::string EncodeErrorReply(WireError code, std::string_view message);
+
+/// Window/point replies: epochs + sorted object ids.
+std::string EncodeIdListReply(uint64_t epoch_before, uint64_t epoch_after,
+                              const std::vector<ObjectId>& ids);
+/// kNN replies: epochs + (oid, distance) pairs, closest first.
+std::string EncodeKnnReply(
+    uint64_t epoch_before, uint64_t epoch_after,
+    const std::vector<std::pair<ObjectId, double>>& hits);
+/// Apply replies: the write epoch after the batch committed + the
+/// inserted oids in op order.
+std::string EncodeApplyReply(uint64_t epoch_after,
+                             const std::vector<ObjectId>& inserted);
+std::string EncodeStatsReply(std::string_view json);
+/// Success reply with no body (PING, SHUTDOWN).
+std::string EncodeEmptyReply();
+
+/// Splits a reply payload into its status and body: on kOk, *body is the
+/// opcode-specific remainder; on error, *error_message is filled from the
+/// length-prefixed message. A reply too short to carry a status byte (or
+/// an error reply with a malformed message) reports kMalformed.
+WireError ParseReplyStatus(std::string_view payload, std::string_view* body,
+                           std::string* error_message);
+
+bool DecodeIdListReplyBody(std::string_view body, uint64_t* epoch_before,
+                           uint64_t* epoch_after, std::vector<ObjectId>* ids);
+bool DecodeKnnReplyBody(std::string_view body, uint64_t* epoch_before,
+                        uint64_t* epoch_after,
+                        std::vector<std::pair<ObjectId, double>>* hits);
+bool DecodeApplyReplyBody(std::string_view body, uint64_t* epoch_after,
+                          std::vector<ObjectId>* inserted);
+bool DecodeStatsReplyBody(std::string_view body, std::string* json);
+
+}  // namespace net
+}  // namespace zdb
+
+#endif  // ZDB_NET_WIRE_H_

@@ -1,0 +1,448 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unistd.h>
+
+namespace zdb {
+namespace net {
+
+namespace {
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void BumpMax(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Server::Server(SpatialIndex* index, ServerOptions options)
+    : index_(index), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::AlreadyExists("server already started");
+  }
+  if (!options_.tcp && options_.unix_path.empty()) {
+    return Status::InvalidArgument("no listener configured");
+  }
+  if (options_.workers == 0) {
+    return Status::InvalidArgument("server needs at least one worker");
+  }
+
+  if (options_.tcp) {
+    ZDB_ASSIGN_OR_RETURN(tcp_listener_,
+                         TcpListen(options_.host, options_.port));
+    ZDB_ASSIGN_OR_RETURN(port_, LocalPort(tcp_listener_));
+  }
+  if (!options_.unix_path.empty()) {
+    ZDB_ASSIGN_OR_RETURN(unix_listener_, UnixListen(options_.unix_path));
+  }
+  if (options_.exec_threads > 0 && options_.parallel_window_area >= 0) {
+    exec_ = std::make_unique<QueryExecutor>(index_, options_.exec_threads);
+  }
+
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (tcp_listener_.valid()) {
+    accept_threads_.emplace_back([this] { AcceptLoop(&tcp_listener_); });
+  }
+  if (unix_listener_.valid()) {
+    accept_threads_.emplace_back([this] { AcceptLoop(&unix_listener_); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+
+  // 1. Refuse new connections: shutting the listeners down unblocks the
+  //    accept threads; once they exit, connect() gets ECONNREFUSED.
+  tcp_listener_.ShutdownBoth();
+  unix_listener_.ShutdownBoth();
+  for (auto& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  tcp_listener_.Close();
+  unix_listener_.Close();
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+
+  // 2. Drain: frames arriving from here on are answered SHUTTING_DOWN by
+  //    the reader threads; requests already admitted keep executing.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    draining_ = true;
+    drain_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+    // 3. Quiesced — stop the worker pool.
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+
+  // 4. Tear down the connections (readers wake via the socket shutdown).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [conn, thread] : conns_) {
+      conn->closed.store(true, std::memory_order_release);
+      conn->sock.ShutdownBoth();
+    }
+    for (auto& [conn, thread] : conns_) thread.join();
+    conns_.clear();
+  }
+  exec_.reset();
+}
+
+bool Server::WaitForShutdownRequest(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  if (timeout_ms < 0) {
+    shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+    return true;
+  }
+  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [&] { return shutdown_requested_; });
+}
+
+// ------------------------------------------------------------- accepting
+
+void Server::AcceptLoop(Socket* listener) {
+  for (;;) {
+    auto conn_sock = Accept(*listener);
+    if (!conn_sock.ok()) return;  // listener shut down (Stop) or fatal
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(conn_sock).value();
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapConnectionsLocked();
+    std::thread reader([this, conn] { ConnectionLoop(conn); });
+    conns_.emplace_back(conn, std::move(reader));
+  }
+}
+
+void Server::ReapConnectionsLocked() {
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if (it->first->done.load(std::memory_order_acquire)) {
+      it->second.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ----------------------------------------------------- connection reader
+
+void Server::ConnectionLoop(ConnPtr conn) {
+  FrameAssembler assembler;
+  std::vector<char> buf(64 * 1024);
+  bool close = false;
+  while (!close && !conn->closed.load(std::memory_order_acquire)) {
+    const bool has_pending =
+        conn->pending.load(std::memory_order_acquire) > 0;
+    // The idle clock only ticks while nothing is in flight: a client
+    // quietly waiting for a slow reply is not idle.
+    const int timeout =
+        (options_.idle_timeout_ms > 0 && !has_pending)
+            ? options_.idle_timeout_ms
+            : (has_pending ? 100 : -1);
+    auto readable = WaitReadable(conn->sock, timeout);
+    if (!readable.ok()) break;
+    if (!readable.value()) {
+      if (has_pending ||
+          conn->pending.load(std::memory_order_acquire) > 0) {
+        continue;  // reply still being computed; not idle
+      }
+      counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    auto n = ReadSome(conn->sock, buf.data(), buf.size());
+    if (!n.ok() || n.value() == 0) break;  // peer closed or error
+    assembler.Feed(buf.data(), n.value());
+
+    for (;;) {
+      Frame frame;
+      WireError err;
+      FrameHeader err_header;
+      const auto next = assembler.Poll(&frame, &err, &err_header);
+      if (next == FrameAssembler::Next::kNeedMore) break;
+      if (next == FrameAssembler::Next::kError) {
+        // Framing is lost: reply with the typed error, then close.
+        counters_.framing_errors.fetch_add(1, std::memory_order_relaxed);
+        SendReply(conn, err_header.opcode, err_header.request_id,
+                  EncodeErrorReply(err, WireErrorName(err)));
+        close = true;
+        break;
+      }
+      counters_.frames.fetch_add(1, std::memory_order_relaxed);
+      DispatchFrame(conn, std::move(frame));
+    }
+  }
+  conn->closed.store(true, std::memory_order_release);
+  conn->sock.ShutdownBoth();
+  counters_.closed.fetch_add(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
+  const uint8_t op = frame.header.opcode;
+  const uint64_t id = frame.header.request_id;
+  if ((frame.header.flags & kFlagReply) != 0 || !KnownOpcode(op)) {
+    // Typed rejection; the stream is still framed, so the connection
+    // stays usable.
+    const WireError code = (frame.header.flags & kFlagReply)
+                               ? WireError::kMalformed
+                               : WireError::kUnknownOpcode;
+    if (op < kOpcodeLimit) {
+      counters_.ops[op].errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    SendReply(conn, op, id, EncodeErrorReply(code, WireErrorName(code)));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_ || stop_workers_) {
+      counters_.shutdown_rejected.fetch_add(1, std::memory_order_relaxed);
+      // Reply outside the queue lock (below).
+    } else if (queue_.size() >= options_.queue_capacity) {
+      counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      // BUSY reply below, outside the lock.
+    } else {
+      conn->pending.fetch_add(1, std::memory_order_acq_rel);
+      queue_.push_back(Request{conn, std::move(frame)});
+      queue_cv_.notify_one();
+      return;
+    }
+    // fallthrough target recorded in counters; compute code from them
+  }
+  // Rejected: emit the backpressure / drain reply from the reader thread
+  // so a saturated worker pool can't delay the rejection.
+  const bool draining = [&] {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    return draining_ || stop_workers_;
+  }();
+  const WireError code =
+      draining ? WireError::kShuttingDown : WireError::kBusy;
+  SendReply(conn, op, id, EncodeErrorReply(code, WireErrorName(code)));
+}
+
+// --------------------------------------------------------------- workers
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    HandleRequest(req);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void Server::HandleRequest(const Request& req) {
+  const uint8_t op = req.frame.header.opcode;
+  const auto t0 = std::chrono::steady_clock::now();
+  bool is_error = false;
+  const std::string payload = ExecuteRequest(req.frame, &is_error);
+  const uint64_t us = MicrosSince(t0);
+
+  OpcodeCounters& oc = counters_.ops[op];
+  oc.count.fetch_add(1, std::memory_order_relaxed);
+  if (is_error) oc.errors.fetch_add(1, std::memory_order_relaxed);
+  oc.total_micros.fetch_add(us, std::memory_order_relaxed);
+  BumpMax(&oc.max_micros, us);
+
+  SendReply(req.conn, op, req.frame.header.request_id, payload);
+  req.conn->pending.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
+  *is_error = false;
+  const auto opcode = static_cast<Opcode>(frame.header.opcode);
+  auto malformed = [&] {
+    *is_error = true;
+    return EncodeErrorReply(WireError::kMalformed,
+                            "bounds-checked payload decode failed");
+  };
+  auto engine_error = [&](const Status& s) {
+    *is_error = true;
+    return EncodeErrorReply(WireError::kServerError, s.ToString());
+  };
+
+  switch (opcode) {
+    case Opcode::kPing:
+      return EncodeEmptyReply();
+
+    case Opcode::kWindow: {
+      Rect w;
+      if (!DecodeWindowRequest(frame.payload, &w)) return malformed();
+      const uint64_t e0 = index_->write_epoch();
+      Result<std::vector<ObjectId>> r =
+          (exec_ != nullptr && w.valid() &&
+           w.area() >= options_.parallel_window_area)
+              ? exec_->ParallelWindowQuery(w)
+              : index_->WindowQuery(w);
+      const uint64_t e1 = index_->write_epoch();
+      if (!r.ok()) return engine_error(r.status());
+      return EncodeIdListReply(e0, e1, r.value());
+    }
+
+    case Opcode::kPoint: {
+      Point p;
+      if (!DecodePointRequest(frame.payload, &p)) return malformed();
+      const uint64_t e0 = index_->write_epoch();
+      auto r = index_->PointQuery(p);
+      const uint64_t e1 = index_->write_epoch();
+      if (!r.ok()) return engine_error(r.status());
+      return EncodeIdListReply(e0, e1, r.value());
+    }
+
+    case Opcode::kKnn: {
+      Point p;
+      uint32_t k;
+      if (!DecodeKnnRequest(frame.payload, &p, &k)) return malformed();
+      const uint64_t e0 = index_->write_epoch();
+      auto r = index_->NearestNeighbors(p, k);
+      const uint64_t e1 = index_->write_epoch();
+      if (!r.ok()) return engine_error(r.status());
+      return EncodeKnnReply(e0, e1, r.value());
+    }
+
+    case Opcode::kApply: {
+      WriteBatch batch;
+      if (!DecodeApplyRequest(frame.payload, &batch)) return malformed();
+      auto r = index_->ApplyBatch(batch);
+      if (!r.ok()) return engine_error(r.status());
+      return EncodeApplyReply(index_->write_epoch(), r.value());
+    }
+
+    case Opcode::kStats:
+      return EncodeStatsReply(StatsJson());
+
+    case Opcode::kShutdown: {
+      {
+        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return EncodeEmptyReply();
+    }
+  }
+  *is_error = true;
+  return EncodeErrorReply(WireError::kUnknownOpcode,
+                          WireErrorName(WireError::kUnknownOpcode));
+}
+
+void Server::SendReply(const ConnPtr& conn, uint8_t opcode,
+                       uint64_t request_id, std::string_view payload) {
+  const std::string frame =
+      BuildFrame(static_cast<Opcode>(opcode), kFlagReply, request_id,
+                 payload);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  Status s = WriteFully(conn->sock, frame.data(), frame.size());
+  if (!s.ok()) {
+    // Peer is gone; the reader thread notices via recv and cleans up.
+    conn->closed.store(true, std::memory_order_release);
+    conn->sock.ShutdownBoth();
+  }
+}
+
+// ----------------------------------------------------------------- stats
+
+std::string Server::StatsJson() const {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("server").BeginObject();
+  w.Key("connections").BeginObject();
+  w.Field("accepted", counters_.accepted.load(std::memory_order_relaxed));
+  w.Field("closed", counters_.closed.load(std::memory_order_relaxed));
+  w.Field("idle_closed",
+          counters_.idle_closed.load(std::memory_order_relaxed));
+  w.EndObject();
+
+  {
+    size_t depth, in_flight;
+    {
+      std::lock_guard<std::mutex> lock(
+          const_cast<std::mutex&>(queue_mu_));
+      depth = queue_.size();
+      in_flight = in_flight_;
+    }
+    w.Key("admission").BeginObject();
+    w.Field("queue_depth", static_cast<uint64_t>(depth));
+    w.Field("queue_capacity",
+            static_cast<uint64_t>(options_.queue_capacity));
+    w.Field("in_flight", static_cast<uint64_t>(in_flight));
+    w.Field("busy_rejected",
+            counters_.busy_rejected.load(std::memory_order_relaxed));
+    w.Field("shutdown_rejected",
+            counters_.shutdown_rejected.load(std::memory_order_relaxed));
+    w.EndObject();
+  }
+
+  w.Key("frames").BeginObject();
+  w.Field("received", counters_.frames.load(std::memory_order_relaxed));
+  w.Field("framing_errors",
+          counters_.framing_errors.load(std::memory_order_relaxed));
+  w.EndObject();
+
+  w.Key("ops").BeginObject();
+  for (uint8_t op = 1; op < kOpcodeLimit; ++op) {
+    const OpcodeCounters& oc = counters_.ops[op];
+    const uint64_t count = oc.count.load(std::memory_order_relaxed);
+    w.Key(OpcodeName(static_cast<Opcode>(op))).BeginObject();
+    w.Field("count", count);
+    w.Field("errors", oc.errors.load(std::memory_order_relaxed));
+    const uint64_t total =
+        oc.total_micros.load(std::memory_order_relaxed);
+    w.Field("avg_us",
+            count ? static_cast<double>(total) / count : 0.0);
+    w.Field("max_us", oc.max_micros.load(std::memory_order_relaxed));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();  // server
+
+  w.Key("engine").BeginObject();
+  w.Field("objects", index_->object_count());
+  w.Field("write_epoch", index_->write_epoch());
+  AppendJson(&w, "io", index_->pool()->pager()->io_stats());
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace net
+}  // namespace zdb

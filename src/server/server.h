@@ -1,0 +1,196 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Multi-threaded network server exposing one SpatialIndex over the zdb
+// wire protocol (net/wire.h), on TCP and/or a unix-domain socket.
+//
+// Threading model:
+//
+//   * one accept thread per listener;
+//   * one reader thread per connection: frames the byte stream
+//     (FrameAssembler), replies to framing errors, and pushes decoded
+//     frames into the bounded admission queue;
+//   * a fixed worker pool pops requests from the queue and executes them
+//     against the engine — queries through the SpatialIndex's latched
+//     read path (large windows through the QueryExecutor's intra-query
+//     parallel mode), mutations through ApplyBatch — then writes the
+//     reply under the connection's write mutex.
+//
+// Backpressure: the admission queue is bounded. A frame arriving while
+// the queue is full is answered immediately with a typed BUSY error —
+// the request is never queued, so a saturated server sheds load at the
+// door instead of queueing unboundedly. Clients treat BUSY as "retry
+// later" (Status::Busy).
+//
+// Graceful shutdown (Stop()): listeners close first (new connections are
+// refused), then the server drains — requests already admitted keep
+// executing and their replies are delivered, while frames arriving
+// during the drain get a typed SHUTTING_DOWN reply — and only then are
+// the worker pool and the connections torn down. A client's SHUTDOWN
+// request sets a flag the daemon observes via WaitForShutdownRequest();
+// the daemon then calls Stop().
+//
+// Deadlock note: the executor's worker pool only ever runs the unlatched
+// plan hooks (via ParallelWindowQuery); latched queries execute on the
+// server workers' own threads. Queueing latched work behind a pool job
+// whose driver holds a reader section would deadlock against a waiting
+// writer — don't.
+
+#ifndef ZDB_SERVER_SERVER_H_
+#define ZDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/spatial_index.h"
+#include "exec/executor.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace zdb {
+namespace net {
+
+struct ServerOptions {
+  bool tcp = true;               ///< listen on host:port
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;             ///< 0 = ephemeral; Server::port() tells
+  std::string unix_path;         ///< empty = no unix-domain listener
+  size_t workers = 4;            ///< request execution threads
+  size_t queue_capacity = 64;    ///< admission queue bound (BUSY beyond)
+  int idle_timeout_ms = 30000;   ///< close idle connections; <= 0 = never
+  size_t exec_threads = 2;       ///< intra-query pool; 0 = no executor
+  /// Windows at least this large (fraction of the unit square) run
+  /// through QueryExecutor::ParallelWindowQuery instead of the scalar
+  /// path. Negative disables intra-query parallelism.
+  double parallel_window_area = 0.02;
+};
+
+/// Per-opcode latency/throughput counters. Relaxed atomics: written by
+/// the workers, read by STATS.
+struct OpcodeCounters {
+  std::atomic<uint64_t> count{0};        ///< completed requests
+  std::atomic<uint64_t> errors{0};       ///< typed error replies
+  std::atomic<uint64_t> total_micros{0}; ///< summed execution time
+  std::atomic<uint64_t> max_micros{0};   ///< worst single execution
+};
+
+struct ServerCounters {
+  OpcodeCounters ops[kOpcodeLimit];
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> idle_closed{0};
+  std::atomic<uint64_t> frames{0};
+  std::atomic<uint64_t> framing_errors{0};
+  std::atomic<uint64_t> busy_rejected{0};
+  std::atomic<uint64_t> shutdown_rejected{0};
+};
+
+class Server {
+ public:
+  /// The index must outlive the server. Call Start() to begin serving.
+  Server(SpatialIndex* index, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts the accept/worker threads.
+  Status Start();
+
+  /// The bound TCP port (after Start(); useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: refuse new connections, drain admitted requests,
+  /// reply SHUTTING_DOWN to late frames, then stop workers and close
+  /// connections. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Blocks until a client's SHUTDOWN request arrives (or the timeout,
+  /// if >= 0, elapses). Returns whether shutdown was requested.
+  bool WaitForShutdownRequest(int timeout_ms = -1);
+
+  /// Machine-readable snapshot of the server + engine counters (the
+  /// STATS opcode's payload).
+  std::string StatsJson() const;
+
+  const ServerCounters& counters() const { return counters_; }
+
+ private:
+  struct Connection {
+    Socket sock;
+    std::mutex write_mu;              ///< serializes reply frames
+    std::atomic<bool> closed{false};
+    std::atomic<uint32_t> pending{0}; ///< admitted, reply not yet sent
+    std::atomic<bool> done{false};    ///< reader thread exited (reap)
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  struct Request {
+    ConnPtr conn;
+    Frame frame;
+  };
+
+  void AcceptLoop(Socket* listener);
+  void ConnectionLoop(ConnPtr conn);
+  void WorkerLoop();
+
+  /// Routes one framed request: typed rejections (unknown opcode, BUSY,
+  /// SHUTTING_DOWN) reply inline from the reader thread; everything else
+  /// is admitted to the queue.
+  void DispatchFrame(const ConnPtr& conn, Frame frame);
+
+  /// Executes an admitted request on a worker and writes its reply.
+  void HandleRequest(const Request& req);
+
+  /// Opcode-specific execution; returns the reply payload.
+  std::string ExecuteRequest(const Frame& frame, bool* is_error);
+
+  void SendReply(const ConnPtr& conn, uint8_t opcode, uint64_t request_id,
+                 std::string_view payload);
+
+  /// Joins reader threads whose connections have finished.
+  void ReapConnectionsLocked();
+
+  SpatialIndex* index_;
+  ServerOptions options_;
+  std::unique_ptr<QueryExecutor> exec_;
+  uint16_t port_ = 0;
+
+  Socket tcp_listener_;
+  Socket unix_listener_;
+  std::vector<std::thread> accept_threads_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Admission queue + drain accounting (all guarded by queue_mu_).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  ///< workers wait for requests
+  std::condition_variable drain_cv_;  ///< Stop() waits for quiescence
+  std::deque<Request> queue_;
+  size_t in_flight_ = 0;     ///< popped but reply not yet written
+  bool draining_ = false;    ///< reject new admissions (SHUTTING_DOWN)
+  bool stop_workers_ = false;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::vector<std::pair<ConnPtr, std::thread>> conns_;
+
+  mutable std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  ServerCounters counters_;
+};
+
+}  // namespace net
+}  // namespace zdb
+
+#endif  // ZDB_SERVER_SERVER_H_

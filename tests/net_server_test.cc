@@ -1,0 +1,606 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Server integration tests over real loopback sockets: request/reply
+// basics, concurrent mixed traffic cross-checked against a brute-force
+// oracle at write-epoch granularity (the remote twin of
+// stress_mixed_test), graceful shutdown, BUSY backpressure, idle
+// timeouts, and hostile bytes arriving over the wire.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "client/client.h"
+#include "core/spatial_index.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "server/server.h"
+#include "storage/pager.h"
+#include "workload/datagen.h"
+#include "workload/querygen.h"
+#include "workload/seed.h"
+
+namespace zdb {
+namespace net {
+namespace {
+
+constexpr const char* kSeedEnv = "ZDB_STRESS_SEED";
+constexpr uint64_t kDefaultSeed = 0xFACADE;
+
+using OracleState = std::map<ObjectId, Rect>;
+
+std::vector<ObjectId> ExpectedWindow(const OracleState& st, const Rect& w) {
+  std::vector<ObjectId> out;
+  for (const auto& [oid, rect] : st) {
+    if (rect.Intersects(w)) out.push_back(oid);
+  }
+  return out;
+}
+
+std::vector<ObjectId> ExpectedPoint(const OracleState& st, const Point& p) {
+  std::vector<ObjectId> out;
+  for (const auto& [oid, rect] : st) {
+    if (rect.Contains(p)) out.push_back(oid);
+  }
+  return out;
+}
+
+bool MatchesWindowInRange(const std::vector<OracleState>& states,
+                          const Rect& w, const std::vector<ObjectId>& got,
+                          uint64_t e0, uint64_t e1) {
+  for (uint64_t k = e0; k <= e1 && k < states.size(); ++k) {
+    if (got == ExpectedWindow(states[k], w)) return true;
+  }
+  return false;
+}
+
+bool MatchesPointInRange(const std::vector<OracleState>& states,
+                         const Point& p, const std::vector<ObjectId>& got,
+                         uint64_t e0, uint64_t e1) {
+  for (uint64_t k = e0; k <= e1 && k < states.size(); ++k) {
+    if (got == ExpectedPoint(states[k], p)) return true;
+  }
+  return false;
+}
+
+bool KnnMatchesState(const OracleState& st, const Point& p, size_t k,
+                     const std::vector<std::pair<ObjectId, double>>& got) {
+  constexpr double kEps = 1e-9;
+  if (got.size() != std::min(k, st.size())) return false;
+  double prev = -1.0;
+  for (const auto& [oid, dist] : got) {
+    auto it = st.find(oid);
+    if (it == st.end()) return false;
+    if (std::abs(it->second.DistanceTo(p) - dist) > kEps) return false;
+    if (dist + kEps < prev) return false;
+    prev = dist;
+  }
+  if (!got.empty()) {
+    const double worst = got.back().second;
+    std::vector<ObjectId> returned;
+    for (const auto& [oid, dist] : got) returned.push_back(oid);
+    std::sort(returned.begin(), returned.end());
+    for (const auto& [oid, rect] : st) {
+      if (std::binary_search(returned.begin(), returned.end(), oid)) {
+        continue;
+      }
+      if (rect.DistanceTo(p) + kEps < worst) return false;
+    }
+  }
+  return true;
+}
+
+bool MatchesKnnInRange(const std::vector<OracleState>& states,
+                       const Point& p, size_t k,
+                       const std::vector<std::pair<ObjectId, double>>& got,
+                       uint64_t e0, uint64_t e1) {
+  for (uint64_t s = e0; s <= e1 && s < states.size(); ++s) {
+    if (KnnMatchesState(states[s], p, k, got)) return true;
+  }
+  return false;
+}
+
+/// In-memory index + server with test-friendly defaults.
+struct TestServer {
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<SpatialIndex> index;
+  std::unique_ptr<Server> server;
+
+  explicit TestServer(ServerOptions opt = {}, size_t pool_pages = 256) {
+    pager = Pager::OpenInMemory(512);
+    pool = std::make_unique<BufferPool>(pager.get(), pool_pages);
+    SpatialIndexOptions iopt;
+    iopt.data = DecomposeOptions::SizeBound(8);
+    index = SpatialIndex::Create(pool.get(), iopt).value();
+    opt.idle_timeout_ms = opt.idle_timeout_ms == 30000 ? 0 : opt.idle_timeout_ms;
+    server = std::make_unique<Server>(index.get(), opt);
+    const Status s = server->Start();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  Client Connect() {
+    auto c = Client::ConnectTcp("127.0.0.1", server->port());
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  }
+};
+
+TEST(NetServer, BasicRequestReplyCycle) {
+  TestServer ts;
+  Client client = ts.Connect();
+
+  EXPECT_TRUE(client.Ping().ok());
+
+  WriteBatch batch;
+  batch.Insert(Rect{0.1, 0.1, 0.3, 0.3});
+  batch.Insert(Rect{0.6, 0.6, 0.8, 0.8});
+  auto applied = client.Apply(batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->inserted, (std::vector<ObjectId>{0, 1}));
+  EXPECT_EQ(applied->epoch_after, 1u);
+
+  auto window = client.Window(Rect{0.0, 0.0, 0.5, 0.5});
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->ids, (std::vector<ObjectId>{0}));
+  EXPECT_EQ(window->epoch_before, 1u);
+  EXPECT_EQ(window->epoch_after, 1u);
+
+  auto point = client.Point(Point{0.7, 0.7});
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->ids, (std::vector<ObjectId>{1}));
+
+  auto nn = client.Nearest(Point{0.2, 0.2}, 2);
+  ASSERT_TRUE(nn.ok());
+  ASSERT_EQ(nn->hits.size(), 2u);
+  EXPECT_EQ(nn->hits[0].first, 0u);
+
+  WriteBatch erase;
+  erase.Erase(0);
+  ASSERT_TRUE(client.Apply(erase).ok());
+  auto after = client.Window(Rect{0.0, 0.0, 0.5, 0.5});
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->ids.empty());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  // Sanity, not schema: the snapshot mentions the op we just ran.
+  EXPECT_NE(stats.value().find("\"window\""), std::string::npos);
+  EXPECT_NE(stats.value().find("\"write_epoch\":2"), std::string::npos);
+}
+
+TEST(NetServer, UnixSocketRoundTrip) {
+  const std::string path =
+      "/tmp/zdb_net_test_" + std::to_string(::getpid()) + ".sock";
+  ServerOptions opt;
+  opt.tcp = false;
+  opt.unix_path = path;
+  TestServer ts(opt);
+
+  auto c = Client::ConnectUnix(path);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  Client client = std::move(c).value();
+  EXPECT_TRUE(client.Ping().ok());
+  WriteBatch batch;
+  batch.Insert(Rect{0.4, 0.4, 0.6, 0.6});
+  ASSERT_TRUE(client.Apply(batch).ok());
+  auto hits = client.Point(Point{0.5, 0.5});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->ids, (std::vector<ObjectId>{0}));
+
+  ts.server->Stop();
+  ::unlink(path.c_str());
+}
+
+// The remote twin of stress_mixed_test: one writer client steps the
+// index through deterministic batches while reader clients hammer
+// window/point/kNN queries over their own connections. Every reply's
+// epoch bracket [e0, e1] must contain one batch boundary whose
+// brute-force oracle answer matches exactly — a partially visible batch
+// matches none and fails.
+TEST(NetServer, ConcurrentMixedTrafficMatchesOracle) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed);
+  SCOPED_TRACE(SeedReplayHint(kSeedEnv, seed));
+
+  constexpr size_t kInitial = 200;
+  constexpr size_t kBatches = 10;
+  constexpr size_t kInserts = 16;
+  constexpr size_t kErases = 10;
+  constexpr size_t kKnnK = 4;
+
+  // Deterministic workload + per-epoch oracle states.
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  dg.seed = seed;
+  const auto initial = GenerateData(kInitial, dg);
+
+  std::vector<OracleState> states;
+  OracleState state;
+  for (size_t i = 0; i < initial.size(); ++i) {
+    state[static_cast<ObjectId>(i)] = initial[i];
+  }
+  states.push_back(state);
+
+  DataGenOptions dg2;
+  dg2.distribution = Distribution::kUniformLarge;
+  dg2.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  const auto extra = GenerateData(kBatches * kInserts, dg2);
+
+  Random rng(seed + 1);
+  std::vector<WriteBatch> batches;
+  std::vector<std::vector<ObjectId>> expected_oids;
+  ObjectId next_oid = static_cast<ObjectId>(initial.size());
+  for (size_t b = 0; b < kBatches; ++b) {
+    WriteBatch batch;
+    std::vector<ObjectId> oids;
+    std::vector<ObjectId> live;
+    for (const auto& [oid, rect] : state) live.push_back(oid);
+    for (size_t e = 0; e < kErases && !live.empty(); ++e) {
+      const size_t pick = rng.Uniform(live.size());
+      batch.Erase(live[pick]);
+      state.erase(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    for (size_t i = 0; i < kInserts; ++i) {
+      const Rect& r = extra[b * kInserts + i];
+      batch.Insert(r);
+      state[next_oid] = r;
+      oids.push_back(next_oid);
+      ++next_oid;
+    }
+    batches.push_back(std::move(batch));
+    expected_oids.push_back(std::move(oids));
+    states.push_back(state);
+  }
+
+  QueryGenOptions qopt;
+  qopt.seed = seed + 2;
+  auto windows = GenerateWindows(10, 0.01, qopt);
+  // Big windows cross the parallel_window_area threshold, so the
+  // executor's intra-query path is exercised over the wire too.
+  const auto big =
+      GenerateWindows(3, 0.08, QueryGenOptions{.seed = seed + 3});
+  windows.insert(windows.end(), big.begin(), big.end());
+  const auto points = GeneratePoints(8, seed + 4);
+  const auto knn_points = GeneratePoints(4, seed + 5);
+
+  ServerOptions opt;
+  opt.workers = 6;
+  opt.queue_capacity = 256;  // roomy: this test measures correctness
+  TestServer ts(opt);
+  for (size_t i = 0; i < initial.size(); ++i) {
+    ASSERT_EQ(ts.index->Insert(initial[i]).value(),
+              static_cast<ObjectId>(i));
+  }
+  const uint64_t base = ts.index->write_epoch();
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> reads_done{0};
+
+  auto check = [&](bool ok, const char* what, size_t q) {
+    if (!ok) {
+      ++failures;
+      ADD_FAILURE() << what << " " << q
+                    << ": reply matches no epoch state";
+    }
+  };
+
+  std::thread writer([&] {
+    Client client = ts.Connect();
+    for (size_t b = 0; b < batches.size(); ++b) {
+      auto reply = client.Apply(batches[b]);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_EQ(reply->inserted, expected_oids[b]) << "batch " << b;
+      EXPECT_EQ(reply->epoch_after, base + b + 1);
+      // A short stagger so readers sample several epochs per batch.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Client client = ts.Connect();
+      size_t round = 0;
+      while (!writer_done.load() || round == 0) {
+        for (size_t q = 0; q < windows.size(); ++q) {
+          auto reply = client.Window(windows[q]);
+          ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+          check(MatchesWindowInRange(states, windows[q], reply->ids,
+                                     reply->epoch_before - base,
+                                     reply->epoch_after - base),
+                "window", q);
+          ++reads_done;
+        }
+        if (r % 2 == 0) {
+          for (size_t q = 0; q < points.size(); ++q) {
+            auto reply = client.Point(points[q]);
+            ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+            check(MatchesPointInRange(states, points[q], reply->ids,
+                                      reply->epoch_before - base,
+                                      reply->epoch_after - base),
+                  "point", q);
+            ++reads_done;
+          }
+        } else {
+          for (size_t q = 0; q < knn_points.size(); ++q) {
+            auto reply = client.Nearest(knn_points[q], kKnnK);
+            ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+            check(MatchesKnnInRange(states, knn_points[q], kKnnK,
+                                    reply->hits,
+                                    reply->epoch_before - base,
+                                    reply->epoch_after - base),
+                  "knn", q);
+            ++reads_done;
+          }
+        }
+        ++round;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(reads_done.load(), 4u * (windows.size() + 1));
+
+  // The final index state must match the last oracle state exactly.
+  Client client = ts.Connect();
+  auto all = client.Window(Rect{0.0, 0.0, 1.0, 1.0});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->ids, ExpectedWindow(states.back(), Rect{0, 0, 1, 1}));
+}
+
+// Graceful shutdown: a request in flight when Stop() begins completes
+// and its reply is delivered; frames arriving mid-drain get a typed
+// SHUTTING_DOWN; connects after Stop() are refused.
+TEST(NetServer, GracefulShutdownDrainsInFlight) {
+  ServerOptions opt;
+  opt.workers = 2;
+  TestServer ts(opt, /*pool_pages=*/16);
+  {
+    WriteBatch batch;
+    DataGenOptions dg;
+    dg.seed = 7;
+    for (const Rect& r : GenerateData(500, dg)) batch.Insert(r);
+    ASSERT_TRUE(ts.index->ApplyBatch(batch).ok());
+  }
+  // Cache misses now stall: a full-square window takes long enough for
+  // Stop() to land while it is executing.
+  ts.pager->set_simulated_read_latency_us(2000);
+
+  Client slow = ts.Connect();
+  Client late = ts.Connect();
+  const uint16_t port = ts.server->port();
+
+  std::atomic<bool> got_reply{false};
+  std::thread query([&] {
+    auto reply = slow.Window(Rect{0.0, 0.0, 1.0, 1.0});
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    if (reply.ok()) {
+      EXPECT_EQ(reply->ids.size(), 500u);
+      got_reply.store(true);
+    }
+  });
+
+  // Let the slow query get admitted, then start the drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread stopper([&] { ts.server->Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // A frame arriving while draining is answered, with SHUTTING_DOWN.
+  Status s = late.Ping();
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+
+  query.join();
+  stopper.join();
+  EXPECT_TRUE(got_reply.load());
+  EXPECT_GE(ts.server->counters().shutdown_rejected.load(), 1u);
+
+  // New connections are refused once the listener is down. (Connect may
+  // also succeed-then-EOF on some kernels; accept no served requests.)
+  auto refused = Client::ConnectTcp("127.0.0.1", port);
+  if (refused.ok()) {
+    EXPECT_FALSE(refused.value().Ping().ok());
+  }
+}
+
+// Backpressure: with one worker, a one-slot queue and slow page reads,
+// a burst of pipelined frames must shed load with typed BUSY replies —
+// and every frame still gets exactly one reply.
+TEST(NetServer, BusyBackpressureUnderSaturation) {
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 1;
+  TestServer ts(opt, /*pool_pages=*/16);
+  {
+    WriteBatch batch;
+    DataGenOptions dg;
+    dg.seed = 11;
+    for (const Rect& r : GenerateData(400, dg)) batch.Insert(r);
+    ASSERT_TRUE(ts.index->ApplyBatch(batch).ok());
+  }
+  ts.pager->set_simulated_read_latency_us(1000);
+
+  auto sock = TcpConnect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(sock.ok());
+
+  constexpr int kBurst = 24;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    burst += BuildFrame(Opcode::kWindow, 0, 1000 + i,
+                        EncodeWindowRequest(Rect{0.0, 0.0, 1.0, 1.0}));
+  }
+  ASSERT_TRUE(WriteFully(sock.value(), burst.data(), burst.size()).ok());
+
+  FrameAssembler assembler;
+  char buf[16 * 1024];
+  int ok_replies = 0, busy_replies = 0, replies = 0;
+  while (replies < kBurst) {
+    Frame f;
+    WireError err;
+    FrameHeader eh;
+    const auto next = assembler.Poll(&f, &err, &eh);
+    if (next == FrameAssembler::Next::kNeedMore) {
+      auto n = ReadSome(sock.value(), buf, sizeof(buf));
+      ASSERT_TRUE(n.ok());
+      ASSERT_GT(n.value(), 0u) << "server closed before all replies";
+      assembler.Feed(buf, n.value());
+      continue;
+    }
+    ASSERT_EQ(next, FrameAssembler::Next::kFrame);
+    std::string_view body;
+    std::string message;
+    const WireError status = ParseReplyStatus(f.payload, &body, &message);
+    if (status == WireError::kOk) {
+      ++ok_replies;
+    } else {
+      ASSERT_EQ(status, WireError::kBusy) << WireErrorName(status);
+      ++busy_replies;
+    }
+    ++replies;
+  }
+
+  // The first frame always finds an empty queue, so at least one
+  // succeeds; the burst outran a 1-deep queue, so most were shed.
+  EXPECT_GE(ok_replies, 1);
+  EXPECT_GT(busy_replies, 0);
+  EXPECT_EQ(ok_replies + busy_replies, kBurst);
+  EXPECT_EQ(ts.server->counters().busy_rejected.load(),
+            static_cast<uint64_t>(busy_replies));
+}
+
+// Payload-level garbage (malformed body, unknown opcode) draws a typed
+// error but keeps the connection usable; stream-level garbage (bad
+// magic) draws one error and then the connection closes.
+TEST(NetServer, MalformedPayloadKeepsConnectionUsable) {
+  TestServer ts;
+  auto sock = TcpConnect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(sock.ok());
+
+  FrameAssembler assembler;
+  char buf[4096];
+  auto round_trip = [&](const std::string& frame) -> std::pair<WireError, uint64_t> {
+    EXPECT_TRUE(WriteFully(sock.value(), frame.data(), frame.size()).ok());
+    for (;;) {
+      Frame f;
+      WireError err;
+      FrameHeader eh;
+      const auto next = assembler.Poll(&f, &err, &eh);
+      if (next == FrameAssembler::Next::kNeedMore) {
+        auto n = ReadSome(sock.value(), buf, sizeof(buf));
+        EXPECT_TRUE(n.ok());
+        if (!n.ok() || n.value() == 0) return {WireError::kOk, 0};
+        assembler.Feed(buf, n.value());
+        continue;
+      }
+      EXPECT_EQ(next, FrameAssembler::Next::kFrame);
+      std::string_view body;
+      std::string message;
+      return {ParseReplyStatus(f.payload, &body, &message),
+              f.header.request_id};
+    }
+  };
+
+  // Truncated WINDOW payload: three doubles instead of four.
+  std::string short_payload = EncodeWindowRequest(Rect{0, 0, 1, 1});
+  short_payload.resize(24);
+  auto [err1, id1] =
+      round_trip(BuildFrame(Opcode::kWindow, 0, 42, short_payload));
+  EXPECT_EQ(err1, WireError::kMalformed);
+  EXPECT_EQ(id1, 42u);
+
+  // Unknown opcode 99: typed reply echoing the request id.
+  auto [err2, id2] =
+      round_trip(BuildFrame(static_cast<Opcode>(99), 0, 43, {}));
+  EXPECT_EQ(err2, WireError::kUnknownOpcode);
+  EXPECT_EQ(id2, 43u);
+
+  // A frame with the reply flag set is not a request.
+  auto [err3, id3] = round_trip(BuildFrame(Opcode::kPing, kFlagReply, 44, {}));
+  EXPECT_EQ(err3, WireError::kMalformed);
+
+  // The connection survived all three: a valid request still works.
+  auto [err4, id4] = round_trip(BuildFrame(Opcode::kPing, 0, 45, {}));
+  EXPECT_EQ(err4, WireError::kOk);
+  EXPECT_EQ(id4, 45u);
+}
+
+TEST(NetServer, BadMagicClosesConnection) {
+  TestServer ts;
+  auto sock = TcpConnect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(sock.ok());
+
+  const std::string garbage(64, 'x');
+  ASSERT_TRUE(WriteFully(sock.value(), garbage.data(), garbage.size()).ok());
+
+  // One typed BAD_MAGIC error reply, then EOF.
+  FrameAssembler assembler;
+  char buf[4096];
+  bool saw_error_reply = false;
+  for (;;) {
+    auto n = ReadSome(sock.value(), buf, sizeof(buf));
+    ASSERT_TRUE(n.ok());
+    if (n.value() == 0) break;  // closed
+    assembler.Feed(buf, n.value());
+    Frame f;
+    WireError err;
+    FrameHeader eh;
+    if (assembler.Poll(&f, &err, &eh) == FrameAssembler::Next::kFrame) {
+      std::string_view body;
+      std::string message;
+      EXPECT_EQ(ParseReplyStatus(f.payload, &body, &message),
+                WireError::kBadMagic);
+      saw_error_reply = true;
+    }
+  }
+  EXPECT_TRUE(saw_error_reply);
+  EXPECT_GE(ts.server->counters().framing_errors.load(), 1u);
+}
+
+TEST(NetServer, IdleConnectionsAreClosed) {
+  ServerOptions opt;
+  opt.idle_timeout_ms = 100;
+  TestServer ts(opt);
+
+  auto sock = TcpConnect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(sock.ok());
+
+  // Say nothing; the server hangs up on us.
+  char buf[64];
+  auto n = ReadSome(sock.value(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+  EXPECT_GE(ts.server->counters().idle_closed.load(), 1u);
+
+  // An active client with the same timeout is not disturbed.
+  Client client = ts.Connect();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(client.Ping().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+}
+
+TEST(NetServer, ShutdownOpcodeSignalsDaemon) {
+  TestServer ts;
+  EXPECT_FALSE(ts.server->WaitForShutdownRequest(0));
+  Client client = ts.Connect();
+  ASSERT_TRUE(client.Shutdown().ok());
+  EXPECT_TRUE(ts.server->WaitForShutdownRequest(5000));
+  ts.server->Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace zdb
