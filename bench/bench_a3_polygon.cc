@@ -60,7 +60,7 @@ void Run(size_t n) {
       Env env = MakeEnv(kBenchPageSize, 32);
       SpatialIndexOptions opt;
       opt.data = DecomposeOptions::SizeBound(k);
-      auto index = SpatialIndex::Create(env.pool.get(), opt).value();
+      auto index = MakeZIndex(&env, opt).value();
       for (const Polygon& p : roads) {
         if (exact) {
           if (!index->InsertPolygon(p).ok()) std::exit(1);

@@ -39,7 +39,7 @@ void RunDistribution(Distribution dist, size_t n) {
       const IoStats snap = env.pager->io_stats();
       std::unique_ptr<SpatialIndex> index;
       if (bulk) {
-        index = SpatialIndex::Create(env.pool.get(), opt).value();
+        index = MakeZIndex(&env, opt).value();
         if (!index->BulkLoad(data).ok()) std::exit(1);
         if (!env.pool->FlushAll().ok()) std::exit(1);
       } else {

@@ -65,10 +65,8 @@ void RunDistribution(Distribution dist, size_t n) {
 
     for (int i = 0; i < 2; ++i) {
       // Swap in a pool of the target size over the already-built file.
-      z[i].env.pool =
-          std::make_unique<BufferPool>(z[i].env.pager.get(), pool_pages);
-      auto index =
-          SpatialIndex::Open(z[i].env.pool.get(), z[i].master).value();
+      ResizePool(&z[i].env, pool_pages);
+      auto index = OpenZIndex(&z[i].env, z[i].master).value();
       const IoStats snap = z[i].env.pager->io_stats();
       for (const Rect& w : queries) {
         if (!index->WindowQuery(w).ok()) std::exit(1);
@@ -78,7 +76,7 @@ void RunDistribution(Distribution dist, size_t n) {
           1));
     }
     {
-      renv.pool = std::make_unique<BufferPool>(renv.pager.get(), pool_pages);
+      ResizePool(&renv, pool_pages);
       auto tree = RTree::Attach(renv.pool.get(), RTreeOptions{}, rtree_root,
                                 rtree_height, rtree_count)
                       .value();

@@ -9,13 +9,12 @@
 
 #include <cmath>
 
+#include "bench_util/runner.h"
 #include "btree/btree.h"
 #include "common/random.h"
 #include "decompose/decompose.h"
 #include "decompose/region.h"
 #include "geom/clip.h"
-#include "storage/buffer_pool.h"
-#include "storage/pager.h"
 #include "transform/morton4.h"
 #include "zorder/bigmin.h"
 #include "zorder/morton.h"
@@ -123,9 +122,8 @@ void BM_DecomposeRegionPolygon(benchmark::State& state) {
 BENCHMARK(BM_DecomposeRegionPolygon)->Arg(4)->Arg(16);
 
 void BM_BTreeInsert(benchmark::State& state) {
-  auto pager = Pager::OpenInMemory(4096);
-  BufferPool pool(pager.get(), 256);
-  auto tree = BTree::Create(&pool).value();
+  Env env = MakeEnv(4096, 256);
+  auto tree = BTree::Create(env.pool.get()).value();
   Random rng(3);
   uint64_t i = 0;
   for (auto _ : state) {
@@ -137,9 +135,8 @@ void BM_BTreeInsert(benchmark::State& state) {
 BENCHMARK(BM_BTreeInsert);
 
 void BM_BTreeGet(benchmark::State& state) {
-  auto pager = Pager::OpenInMemory(4096);
-  BufferPool pool(pager.get(), 256);
-  auto tree = BTree::Create(&pool).value();
+  Env env = MakeEnv(4096, 256);
+  auto tree = BTree::Create(env.pool.get()).value();
   Random rng(4);
   std::vector<std::string> keys;
   for (int i = 0; i < 50000; ++i) {

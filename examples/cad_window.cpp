@@ -11,9 +11,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/spatial_index.h"
-#include "storage/pager.h"
 #include "workload/datagen.h"
+#include "zdb/db.h"
 
 using namespace zdb;
 
@@ -37,19 +36,18 @@ struct SessionCost {
   uint64_t results = 0;
 };
 
-SessionCost RunSession(SpatialIndex* index, Pager* pager, BufferPool* pool,
-                       const std::vector<Rect>& path) {
+SessionCost RunSession(DB* db, const std::vector<Rect>& path) {
   SessionCost cost;
-  (void)pool->Clear();
-  const IoStats snap = pager->io_stats();
+  (void)db->ClearCache();  // start the session cold
+  const IoStats snap = db->io_stats();
   for (const Rect& viewport : path) {
     QueryStats qs;
-    auto hits = index->WindowQuery(viewport, &qs);
+    auto hits = db->Window(viewport, &qs);
     if (!hits.ok()) std::exit(1);
     cost.false_hits += qs.false_hits;
     cost.results += hits.value().size();
   }
-  cost.accesses = pager->io_stats().Since(snap).accesses();
+  cost.accesses = db->io_stats().Since(snap).accesses();
   return cost;
 }
 
@@ -67,29 +65,29 @@ int main(int argc, char** argv) {
 
   struct Config {
     const char* name;
-    SpatialIndexOptions options;
+    DBOptions options;
   };
   Config configs[3];
   configs[0].name = "non-redundant (k=1)";
-  configs[0].options.data = DecomposeOptions::SizeBound(1);
+  configs[0].options.index.data = DecomposeOptions::SizeBound(1);
   configs[1].name = "redundant (k=8)";
-  configs[1].options.data = DecomposeOptions::SizeBound(8);
+  configs[1].options.index.data = DecomposeOptions::SizeBound(8);
   configs[2].name = "redundant (k=8) + MBRs in leaves";
-  configs[2].options.data = DecomposeOptions::SizeBound(8);
-  configs[2].options.store_mbr_in_leaf = true;
+  configs[2].options.index.data = DecomposeOptions::SizeBound(8);
+  configs[2].options.index.store_mbr_in_leaf = true;
 
-  for (const Config& cfg : configs) {
-    auto pager = Pager::OpenInMemory(512);
+  for (Config& cfg : configs) {
+    cfg.options.page_size = 512;
     // A browsing session keeps a modest cache warm across viewports.
-    BufferPool pool(pager.get(), 32);
-    auto index = SpatialIndex::Create(&pool, cfg.options).value();
+    cfg.options.cache_pages = 32;
+    auto db = DB::Open(":memory:", cfg.options).value();
     for (const Rect& r : parts) {
-      if (!index->Insert(r).ok()) return 1;
+      if (!db->Insert(r).ok()) return 1;
     }
-    (void)pool.FlushAll();
+    // Write the built index back so the session can start cold.
+    if (!db->Checkpoint().ok()) return 1;
 
-    const SessionCost cost = RunSession(index.get(), pager.get(), &pool,
-                                        path);
+    const SessionCost cost = RunSession(db.get(), path);
     std::printf(
         "%-34s session accesses %8llu  false hits %6llu  parts drawn %llu\n",
         cfg.name, static_cast<unsigned long long>(cost.accesses),

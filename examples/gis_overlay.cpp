@@ -2,11 +2,12 @@
 //
 // GIS map overlay: the motivating workload of the spatial-join
 // experiment. Two synthetic map layers — elevation-contour segments and
-// polygonal land parcels — are indexed separately and overlaid with the
-// z-merge spatial join. Parcels are first-class polygon objects: the
-// exact ring is decomposed into z-elements (not just the MBR) and the
-// join refines against the exact geometry automatically. Finishes with a
-// nearest-neighbor lookup ("closest parcels to the survey marker").
+// polygonal land parcels — are indexed as separate in-memory databases
+// and overlaid with the z-merge spatial join. Parcels are first-class
+// polygon objects: the exact ring is decomposed into z-elements (not
+// just the MBR) and the join refines against the exact geometry
+// automatically. Finishes with a nearest-neighbor lookup ("closest
+// parcels to the survey marker").
 //
 //   $ ./build/examples/gis_overlay [n_per_layer]
 
@@ -15,9 +16,8 @@
 #include <cstdlib>
 
 #include "common/random.h"
-#include "core/spatial_index.h"
-#include "storage/pager.h"
 #include "workload/datagen.h"
+#include "zdb/db.h"
 
 using namespace zdb;
 
@@ -40,22 +40,21 @@ Polygon MakeParcel(Random* rng, double cx, double cy, double radius) {
 int main(int argc, char** argv) {
   const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
 
-  auto pager = Pager::OpenInMemory(1024);
-  BufferPool pool(pager.get(), 32);
-
-  SpatialIndexOptions opt;
-  opt.data = DecomposeOptions::SizeBound(4);
+  DBOptions opt;
+  opt.index.data = DecomposeOptions::SizeBound(4);
+  opt.page_size = 1024;
+  opt.cache_pages = 32;
 
   // Layer 1: contour-line segments of the synthetic height field.
   DataGenOptions dg;
   dg.distribution = Distribution::kContours;
   const auto contours = GenerateData(n, dg);
-  auto contour_idx = SpatialIndex::Create(&pool, opt).value();
-  for (const Rect& r : contours) (void)contour_idx->Insert(r);
+  auto contour_db = DB::Open(":memory:", opt).value();
+  for (const Rect& r : contours) (void)contour_db->Insert(r);
 
   // Layer 2: polygonal land parcels, indexed by their exact geometry.
   Random rng(2024);
-  auto parcel_idx = SpatialIndex::Create(&pool, opt).value();
+  auto parcel_db = DB::Open(":memory:", opt).value();
   size_t parcels = 0;
   while (parcels < n / 5) {
     Polygon poly = MakeParcel(&rng, rng.NextDouble(), rng.NextDouble(),
@@ -64,21 +63,23 @@ int main(int argc, char** argv) {
     if (!(mbr.xlo >= 0 && mbr.yhi < 1.0 && mbr.ylo >= 0 && mbr.xhi < 1.0)) {
       continue;  // keep parcels inside the map sheet
     }
-    if (!parcel_idx->InsertPolygon(poly).ok()) return 1;
+    if (!parcel_db->InsertPolygon(poly).ok()) return 1;
     ++parcels;
   }
   std::printf(
       "layers: %llu contour segments, %llu parcels "
       "(parcel redundancy %.2f, approximation error %.2f)\n",
-      static_cast<unsigned long long>(contour_idx->object_count()),
-      static_cast<unsigned long long>(parcel_idx->object_count()),
-      parcel_idx->build_stats().redundancy(),
-      parcel_idx->build_stats().avg_error());
+      static_cast<unsigned long long>(contour_db->object_count()),
+      static_cast<unsigned long long>(parcel_db->object_count()),
+      parcel_db->build_stats().redundancy(),
+      parcel_db->build_stats().avg_error());
 
-  // Overlay: which contour segments cross which parcels? The join
-  // refines polygon participants against their exact rings.
+  // Overlay: which contour segments cross which parcels? The join is
+  // engine-level wiring between two indexes, so it runs through the
+  // facade's index() escape hatch. It refines polygon participants
+  // against their exact rings.
   JoinStats js;
-  auto pairs = SpatialJoin(contour_idx.get(), parcel_idx.get(), &js);
+  auto pairs = SpatialJoin(contour_db->index(), parcel_db->index(), &js);
   if (!pairs.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
                  pairs.status().ToString().c_str());
@@ -95,7 +96,7 @@ int main(int argc, char** argv) {
 
   // Site analysis: the three parcels nearest the survey marker.
   const Point marker{0.5, 0.5};
-  auto nearest = parcel_idx->NearestNeighbors(marker, 3);
+  auto nearest = parcel_db->Nearest(marker, 3);
   if (!nearest.ok()) return 1;
   std::printf("parcels nearest the survey marker (0.5, 0.5):\n");
   for (const auto& [oid, dist] : nearest.value()) {
@@ -103,6 +104,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("page accesses so far: %llu\n",
-              static_cast<unsigned long long>(pager->io_stats().accesses()));
+              static_cast<unsigned long long>(
+                  contour_db->io_stats().accesses() +
+                  parcel_db->io_stats().accesses()));
   return 0;
 }

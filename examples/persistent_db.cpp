@@ -5,103 +5,68 @@
 // the whole engine (pager, B+-tree, object/polygon stores, index state)
 // round-trips through disk.
 //
+// DB::Open owns the file, the rollback journal (`path + "-journal"`),
+// the catalog page, and crash recovery: an interrupted build or an
+// unfinished durability group rolls back atomically on the next open.
+//
 //   $ ./build/examples/persistent_db /tmp/city.zdb        # creates
 //   $ ./build/examples/persistent_db /tmp/city.zdb        # reopens
 
 #include <cstdio>
-#include <cstring>
 #include <cstdlib>
 #include <sys/stat.h>
 
-#include "core/spatial_index.h"
-#include "storage/pager.h"
 #include "workload/datagen.h"
+#include "zdb/db.h"
 
 using namespace zdb;
 
 namespace {
 
-// The master page is stored at a well-known location by this example: we
-// simply remember it as the first page allocated after formatting. A real
-// application would keep it in its own catalog; here page 1 is reserved
-// by allocating it before anything else.
-constexpr PageId kCatalogPage = 1;
-
 int Build(const std::string& path) {
-  auto file = PosixFile::Open(path).value();
-  // A rollback journal makes the whole build atomic: a crash before
-  // CommitBatch leaves an empty database, never a half-built one.
-  auto journal = PosixFile::Open(path + "-journal").value();
-  auto pager =
-      Pager::Open(std::move(file), std::move(journal), 4096).value();
-  BufferPool pool(pager.get(), 128);
-  if (!pager->BeginBatch().ok()) return 1;
-
-  // Reserve the catalog page first so it lands at a known id.
-  {
-    auto catalog = pool.New().value();
-    if (catalog.id() != kCatalogPage) {
-      std::fprintf(stderr, "unexpected catalog page %u\n", catalog.id());
-      return 1;
-    }
+  DBOptions opt;
+  opt.index.data = DecomposeOptions::SizeBound(8);
+  opt.cache_pages = 128;
+  auto db_r = DB::Open(path, opt);
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 db_r.status().ToString().c_str());
+    return 1;
   }
-
-  SpatialIndexOptions opt;
-  opt.data = DecomposeOptions::SizeBound(8);
-  auto index = SpatialIndex::Create(&pool, opt).value();
+  auto db = std::move(db_r).value();
 
   DataGenOptions dg;
   dg.distribution = Distribution::kClusters;
   const auto city_blocks = GenerateData(20000, dg);
-  if (!index->BulkLoad(city_blocks).ok()) return 1;
+  if (!db->BulkLoad(city_blocks).ok()) return 1;
+  // The group-commit pipeline makes the load durable in the background;
+  // Checkpoint() waits until everything written is on disk.
+  if (!db->Checkpoint().ok()) return 1;
 
-  const PageId master = index->Checkpoint().value();
-  {
-    auto catalog = pool.Fetch(kCatalogPage).value();
-    std::memcpy(catalog.mutable_data(), &master, sizeof(master));
-  }
-  if (!pool.FlushAll().ok() || !pager->CommitBatch().ok()) return 1;
-
+  const DBStats s = db->Stats();
   std::printf("built %llu objects into %s (%u pages, %.1f KiB)\n",
-              static_cast<unsigned long long>(index->object_count()),
-              path.c_str(), pager->page_count(),
-              pager->page_count() * 4096 / 1024.0);
+              static_cast<unsigned long long>(s.objects), path.c_str(),
+              s.pages, s.pages * s.page_size / 1024.0);
   std::printf("run again to reopen.\n");
   return 0;
 }
 
 int Reopen(const std::string& path) {
-  auto file = PosixFile::Open(path).value();
-  auto journal = PosixFile::Open(path + "-journal").value();
   // Open runs crash recovery: an interrupted batch is rolled back here.
-  auto pager_r = Pager::Open(std::move(file), std::move(journal), 4096);
-  if (!pager_r.ok()) {
+  auto db_r = DB::Open(path);
+  if (!db_r.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
-                 pager_r.status().ToString().c_str());
+                 db_r.status().ToString().c_str());
     return 1;
   }
-  auto pager = std::move(pager_r).value();
-  BufferPool pool(pager.get(), 128);
+  auto db = std::move(db_r).value();
 
-  PageId master;
-  {
-    auto catalog = pool.Fetch(kCatalogPage).value();
-    std::memcpy(&master, catalog.data(), sizeof(master));
-  }
-  auto index_r = SpatialIndex::Open(&pool, master);
-  if (!index_r.ok()) {
-    std::fprintf(stderr, "index open failed: %s\n",
-                 index_r.status().ToString().c_str());
-    return 1;
-  }
-  auto index = std::move(index_r).value();
-
-  std::printf("reopened: %llu objects, redundancy %.2f, tree height %u\n",
-              static_cast<unsigned long long>(index->object_count()),
-              index->build_stats().redundancy(), index->btree()->height());
+  const DBStats s = db->Stats();
+  std::printf("reopened: %llu objects, redundancy %.2f\n",
+              static_cast<unsigned long long>(s.objects), s.redundancy);
 
   QueryStats qs;
-  auto hits = index->WindowQuery(Rect{0.45, 0.45, 0.55, 0.55}, &qs);
+  auto hits = db->Window(Rect{0.45, 0.45, 0.55, 0.55}, &qs);
   if (!hits.ok()) return 1;
   std::printf(
       "downtown window: %zu blocks (candidates %llu, false hits %llu, "
@@ -109,7 +74,7 @@ int Reopen(const std::string& path) {
       hits.value().size(),
       static_cast<unsigned long long>(qs.candidates),
       static_cast<unsigned long long>(qs.false_hits),
-      static_cast<unsigned long long>(pager->io_stats().page_reads));
+      static_cast<unsigned long long>(db->io_stats().page_reads));
   return 0;
 }
 

@@ -1,38 +1,33 @@
 // Copyright (c) zdb authors. Licensed under the MIT license.
 //
-// Quickstart: build a redundant z-order spatial index, run the four query
-// types, and inspect the per-query statistics.
+// Quickstart: open an in-memory zdb::DB, run the four query types, and
+// inspect the per-query statistics.
 //
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/spatial_index.h"
-#include "storage/pager.h"
+#include "zdb/db.h"
 
 using namespace zdb;
 
 int main() {
-  // 1. Storage: a pager over an in-memory file (use PosixFile for disk)
-  //    and a buffer pool of 64 frames.
-  auto pager = Pager::OpenInMemory(/*page_size=*/4096);
-  BufferPool pool(pager.get(), 64);
+  // 1. Open an in-memory database (pass a file path for a durable one).
+  //    The options configure the decomposition: every object splits into
+  //    at most 4 z-elements (redundancy <= 4). Try SizeBound(1) to see
+  //    the cost of the classic non-redundant scheme.
+  DBOptions options;
+  options.index.data = DecomposeOptions::SizeBound(4);
 
-  // 2. Index configuration: decompose every object into at most 4
-  //    z-elements (redundancy <= 4). Try SizeBound(1) to see the cost of
-  //    the classic non-redundant scheme.
-  SpatialIndexOptions options;
-  options.data = DecomposeOptions::SizeBound(4);
-
-  auto index_r = SpatialIndex::Create(&pool, options);
-  if (!index_r.ok()) {
-    std::fprintf(stderr, "create failed: %s\n",
-                 index_r.status().ToString().c_str());
+  auto db_r = DB::Open(":memory:", options);
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_r.status().ToString().c_str());
     return 1;
   }
-  auto index = std::move(index_r).value();
+  auto db = std::move(db_r).value();
 
-  // 3. Insert a few objects (coordinates live in the unit square).
+  // 2. Insert a few objects (coordinates live in the unit square).
   struct Named {
     const char* name;
     Rect mbr;
@@ -46,7 +41,7 @@ int main() {
   };
   std::vector<const char*> names;
   for (const Named& o : objects) {
-    auto oid = index->Insert(o.mbr);
+    auto oid = db->Insert(o.mbr);
     if (!oid.ok()) {
       std::fprintf(stderr, "insert failed: %s\n",
                    oid.status().ToString().c_str());
@@ -55,10 +50,10 @@ int main() {
     names.push_back(o.name);  // ids are dense: oid == insertion order
   }
 
-  // 4. Window query with statistics.
+  // 3. Window query with statistics.
   const Rect window{0.55, 0.55, 0.75, 0.75};
   QueryStats stats;
-  auto hits = index->WindowQuery(window, &stats);
+  auto hits = db->Window(window, &stats);
   std::printf("window [0.55,0.55 - 0.75,0.75] -> %zu hits:",
               hits.value().size());
   for (ObjectId oid : hits.value()) std::printf(" %s", names[oid]);
@@ -70,28 +65,32 @@ int main() {
       static_cast<unsigned long long>(stats.duplicates()),
       static_cast<unsigned long long>(stats.false_hits));
 
-  // 5. Point query: who covers the city center?
-  auto at_center = index->PointQuery(Point{0.5, 0.5});
+  // 4. Point query: who covers the city center?
+  auto at_center = db->Point(Point{0.5, 0.5});
   std::printf("point (0.5, 0.5) -> ");
   for (ObjectId oid : at_center.value()) std::printf("%s ", names[oid]);
   std::printf("\n");
 
-  // 6. Containment: everything fully inside the north-east quadrant.
-  auto contained = index->ContainmentQuery(Rect{0.5, 0.5, 1.0, 1.0});
+  // 5. Containment: everything fully inside the north-east quadrant.
+  auto contained = db->Containment(Rect{0.5, 0.5, 1.0, 1.0});
   std::printf("inside NE quadrant -> ");
   for (ObjectId oid : contained.value()) std::printf("%s ", names[oid]);
   std::printf("\n");
 
-  // 7. Erase and re-query.
-  (void)index->Erase(3);  // museum
-  auto after = index->WindowQuery(window);
-  std::printf("after erasing museum -> %zu hits\n", after.value().size());
+  // 6. Atomic batch: erase the museum and add a theater in one step.
+  WriteBatch batch;
+  batch.Erase(3);  // museum
+  batch.Insert(Rect{0.70, 0.70, 0.74, 0.73});
+  if (!db->Apply(batch).ok()) return 1;
+  names.push_back("theater");
+  auto after = db->Window(window);
+  std::printf("after the batch -> %zu hits\n", after.value().size());
 
-  // 8. Index accounting: achieved redundancy.
+  // 7. Index accounting: achieved redundancy.
+  const DBStats s = db->Stats();
   std::printf("objects %llu, index entries %llu, redundancy %.2f\n",
-              static_cast<unsigned long long>(index->build_stats().objects),
-              static_cast<unsigned long long>(
-                  index->build_stats().index_entries),
-              index->build_stats().redundancy());
+              static_cast<unsigned long long>(s.objects),
+              static_cast<unsigned long long>(s.index_entries),
+              s.redundancy);
   return 0;
 }

@@ -16,8 +16,14 @@
 //   --exec-threads N  intra-query pool size   (default 2; 0 = off)
 //   --k N             size-bound redundancy k (default 4)
 //   --pool-pages N    buffer pool pages       (default 1024)
+//   --db PATH         serve a durable database file (default: in-memory)
 //   --preload N       seed N random rectangles before serving
 //   --seed S          preload RNG seed        (default 42)
+//
+// The database runs the group-commit durability pipeline (an in-memory
+// server uses a memory-backed journal), so APPLY requests choose between
+// ack-after-fsync (kDurable, the default) and ack-on-publish
+// (kPublished) per request.
 //
 // A client STATS request returns a JSON counter snapshot; a client
 // SHUTDOWN request drains the server gracefully and exits.
@@ -28,9 +34,8 @@
 #include <random>
 #include <string>
 
-#include "core/spatial_index.h"
 #include "server/server.h"
-#include "storage/pager.h"
+#include "zdb/db.h"
 
 using namespace zdb;
 
@@ -39,6 +44,7 @@ int main(int argc, char** argv) {
   opt.port = 4490;
   uint32_t k = 4;
   size_t pool_pages = 1024;
+  std::string db_path;
   size_t preload = 0;
   uint64_t seed = 42;
 
@@ -69,6 +75,8 @@ int main(int argc, char** argv) {
       k = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--pool-pages") {
       pool_pages = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--db") {
+      db_path = next();
     } else if (arg == "--preload") {
       preload = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--seed") {
@@ -79,11 +87,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto pager = Pager::OpenInMemory(4096);
-  BufferPool pool(pager.get(), pool_pages);
-  SpatialIndexOptions options;
-  options.data = DecomposeOptions::SizeBound(k);
-  auto index = SpatialIndex::Create(&pool, options).value();
+  DBOptions options;
+  options.index.data = DecomposeOptions::SizeBound(k);
+  options.cache_pages = pool_pages;
+  // Journal even the in-memory server so the group-commit pipeline runs
+  // and clients get real per-request durability semantics.
+  options.memory_journal = true;
+  auto db_r = DB::Open(db_path, options);
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "zdb_server: open failed: %s\n",
+                 db_r.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_r).value();
 
   if (preload > 0) {
     std::mt19937_64 rng(seed);
@@ -94,7 +110,7 @@ int main(int argc, char** argv) {
       const double x = pos(rng), y = pos(rng);
       batch.Insert(Rect{x, y, x + ext(rng), y + ext(rng)});
     }
-    auto r = index->ApplyBatch(batch);
+    auto r = db->Apply(batch);
     if (!r.ok()) {
       std::fprintf(stderr, "preload failed: %s\n",
                    r.status().ToString().c_str());
@@ -104,7 +120,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(seed));
   }
 
-  net::Server server(index.get(), opt);
+  net::Server server(db->index(), opt);
   Status s = server.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "zdb_server: %s\n", s.ToString().c_str());

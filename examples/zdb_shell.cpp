@@ -23,8 +23,7 @@
 #include <string>
 
 #include "client/client.h"
-#include "core/spatial_index.h"
-#include "storage/pager.h"
+#include "zdb/db.h"
 
 using namespace zdb;
 
@@ -199,11 +198,9 @@ int main(int argc, char** argv) {
                          ? static_cast<uint32_t>(std::strtoul(
                                argv[1], nullptr, 10))
                          : 4;
-  auto pager = Pager::OpenInMemory(4096);
-  BufferPool pool(pager.get(), 256);
-  SpatialIndexOptions options;
-  options.data = DecomposeOptions::SizeBound(k);
-  auto index = SpatialIndex::Create(&pool, options).value();
+  DBOptions options;
+  options.index.data = DecomposeOptions::SizeBound(k);
+  auto db = DB::Open(":memory:", options).value();
   std::printf("zdb shell — size-bound k=%u. Type 'help'.\n", k);
 
   std::string line;
@@ -219,27 +216,27 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    const IoStats snap = pager->io_stats();
+    const IoStats snap = db->io_stats();
     if (cmd == "insert") {
       Rect r;
       if (!(in >> r.xlo >> r.ylo >> r.xhi >> r.yhi)) {
         std::printf("usage: insert X1 Y1 X2 Y2\n");
         continue;
       }
-      const uint64_t before = index->build_stats().index_entries;
-      auto oid = index->Insert(r);
+      const uint64_t before = db->build_stats().index_entries;
+      auto oid = db->Insert(r);
       if (!oid.ok()) {
         std::printf("error: %s\n", oid.status().ToString().c_str());
         continue;
       }
       std::printf("id %u (%llu elements)\n", oid.value(),
                   static_cast<unsigned long long>(
-                      index->build_stats().index_entries - before));
+                      db->build_stats().index_entries - before));
     } else if (cmd == "poly") {
       std::vector<Point> ring;
       double x, y;
       while (in >> x >> y) ring.push_back(Point{x, y});
-      auto oid = index->InsertPolygon(Polygon(std::move(ring)));
+      auto oid = db->InsertPolygon(Polygon(std::move(ring)));
       if (!oid.ok()) {
         std::printf("error: %s\n", oid.status().ToString().c_str());
         continue;
@@ -252,8 +249,8 @@ int main(int argc, char** argv) {
         continue;
       }
       QueryStats qs;
-      auto hits = cmd == "window" ? index->WindowQuery(w, &qs)
-                                  : index->ContainmentQuery(w, &qs);
+      auto hits = cmd == "window" ? db->Window(w, &qs)
+                                  : db->Containment(w, &qs);
       if (!hits.ok()) {
         std::printf("error: %s\n", hits.status().ToString().c_str());
         continue;
@@ -267,14 +264,14 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(qs.duplicates()),
           static_cast<unsigned long long>(qs.false_hits),
           static_cast<unsigned long long>(
-              pager->io_stats().Since(snap).accesses()));
+              db->io_stats().Since(snap).accesses()));
     } else if (cmd == "point") {
       Point p;
       if (!(in >> p.x >> p.y)) {
         std::printf("usage: point X Y\n");
         continue;
       }
-      auto hits = index->PointQuery(p);
+      auto hits = db->Point(p);
       if (!hits.ok()) {
         std::printf("error: %s\n", hits.status().ToString().c_str());
         continue;
@@ -289,7 +286,7 @@ int main(int argc, char** argv) {
         std::printf("usage: knn X Y K\n");
         continue;
       }
-      auto nn = index->NearestNeighbors(p, kk);
+      auto nn = db->Nearest(p, kk);
       if (!nn.ok()) {
         std::printf("error: %s\n", nn.status().ToString().c_str());
         continue;
@@ -303,24 +300,24 @@ int main(int argc, char** argv) {
         std::printf("usage: erase ID\n");
         continue;
       }
-      Status s = index->Erase(oid);
+      Status s = db->Erase(oid);
       std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
     } else if (cmd == "stats") {
-      auto tree_stats = index->btree()->ComputeStats();
+      auto tree_stats = db->index()->btree()->ComputeStats();
       if (!tree_stats.ok()) continue;
       std::printf(
           "objects %llu, index entries %llu, redundancy %.2f, avg error "
           "%.3f\nB+-tree: height %u, %u leaf + %u internal pages, "
           "%.2f leaf fill\n",
-          static_cast<unsigned long long>(index->build_stats().objects),
+          static_cast<unsigned long long>(db->build_stats().objects),
           static_cast<unsigned long long>(
-              index->build_stats().index_entries),
-          index->build_stats().redundancy(),
-          index->build_stats().avg_error(), tree_stats->height,
+              db->build_stats().index_entries),
+          db->build_stats().redundancy(),
+          db->build_stats().avg_error(), tree_stats->height,
           tree_stats->leaf_pages, tree_stats->internal_pages,
           tree_stats->avg_leaf_fill);
     } else if (cmd == "levels") {
-      auto hist = index->LevelHistogram();
+      auto hist = db->index()->LevelHistogram();
       if (!hist.ok()) continue;
       for (size_t lvl = 0; lvl < hist->size(); ++lvl) {
         if ((*hist)[lvl] > 0) {

@@ -11,6 +11,19 @@ Env MakeEnv(uint32_t page_size, size_t pool_pages) {
   return env;
 }
 
+void ResizePool(Env* env, size_t pool_pages) {
+  env->pool = std::make_unique<BufferPool>(env->pager.get(), pool_pages);
+}
+
+Result<std::unique_ptr<SpatialIndex>> MakeZIndex(
+    Env* env, const SpatialIndexOptions& options) {
+  return SpatialIndex::Create(env->pool.get(), options);
+}
+
+Result<std::unique_ptr<SpatialIndex>> OpenZIndex(Env* env, PageId master) {
+  return SpatialIndex::Open(env->pool.get(), master);
+}
+
 Result<std::unique_ptr<SpatialIndex>> BuildZIndex(
     Env* env, const std::vector<Rect>& data,
     const SpatialIndexOptions& options, BuildResult* build) {

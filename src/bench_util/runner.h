@@ -44,6 +44,10 @@ inline constexpr size_t kBenchPoolPages = 16;
 Env MakeEnv(uint32_t page_size = kBenchPageSize,
             size_t pool_pages = kBenchPoolPages);
 
+/// Replaces `env`'s pool with one of `pool_pages` frames over the same
+/// pager — cache-size ablations re-attach their index afterwards.
+void ResizePool(Env* env, size_t pool_pages);
+
 /// Build metrics common to all methods.
 struct BuildResult {
   double avg_insert_accesses = 0.0;  ///< page reads+writes per insert
@@ -52,6 +56,14 @@ struct BuildResult {
   double redundancy = 1.0;           ///< index entries per object
   double avg_error = 0.0;            ///< mean decomposition error
 };
+
+/// Creates an empty z-order index in `env`. Engine assembly lives here
+/// so the bench binaries never construct SpatialIndex directly.
+Result<std::unique_ptr<SpatialIndex>> MakeZIndex(
+    Env* env, const SpatialIndexOptions& options);
+
+/// Re-attaches a checkpointed index in `env` from its master page.
+Result<std::unique_ptr<SpatialIndex>> OpenZIndex(Env* env, PageId master);
 
 /// Builds a z-order index over `data`, measuring insertion I/O.
 Result<std::unique_ptr<SpatialIndex>> BuildZIndex(

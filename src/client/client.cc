@@ -17,12 +17,14 @@ Result<Client> Client::ConnectUnix(const std::string& path) {
   return Client(std::move(s));
 }
 
-Result<std::string> Client::RoundTrip(Opcode op, std::string_view payload) {
+Result<std::string> Client::RoundTrip(Opcode op, std::string_view payload,
+                                      uint16_t version, WireError* wire_err) {
+  if (wire_err != nullptr) *wire_err = WireError::kOk;
   if (!sock_.valid()) {
     return Status::Unavailable("client connection is closed");
   }
   const uint64_t id = next_request_id_++;
-  const std::string frame = BuildFrame(op, 0, id, payload);
+  const std::string frame = BuildFrame(op, 0, id, payload, version);
   ZDB_RETURN_IF_ERROR(WriteFully(sock_, frame.data(), frame.size()));
 
   char buf[16 * 1024];
@@ -58,19 +60,26 @@ Result<std::string> Client::RoundTrip(Opcode op, std::string_view payload) {
     std::string_view body;
     std::string message;
     const WireError status = ParseReplyStatus(reply.payload, &body, &message);
+    if (wire_err != nullptr) *wire_err = status;
+    if (status == WireError::kOk) return std::string(body);
+    // Protocol-level rejections (framing, version) poison the stream on
+    // the server side — it closes after replying, so mirror that here.
     switch (status) {
-      case WireError::kOk:
-        return std::string(body);
-      case WireError::kBusy:
-        return Status::Busy(message);
-      case WireError::kShuttingDown:
-        return Status::Unavailable(message);
-      case WireError::kServerError:
-        return Status::Internal(message);
-      default:
+      case WireError::kMalformed:
+      case WireError::kUnknownOpcode:
+      case WireError::kBadVersion:
+      case WireError::kFrameTooLarge:
+      case WireError::kBadMagic:
+        if (status != WireError::kMalformed &&
+            status != WireError::kUnknownOpcode) {
+          sock_.Close();
+        }
         return Status::IOError(std::string("server rejected request: ") +
                                WireErrorName(status) +
                                (message.empty() ? "" : ": " + message));
+      default:
+        // Engine-side Status codes cross the wire losslessly.
+        return WireErrorToStatus(status, std::move(message));
     }
   }
 }
@@ -111,12 +120,26 @@ Result<KnnReplyData> Client::Nearest(const zdb::Point& p, uint32_t k) {
   return out;
 }
 
-Result<ApplyReplyData> Client::Apply(const WriteBatch& batch) {
-  std::string body;
-  ZDB_ASSIGN_OR_RETURN(body,
-                       RoundTrip(Opcode::kApply, EncodeApplyRequest(batch)));
+Result<ApplyReplyData> Client::Apply(const WriteBatch& batch,
+                                     Durability durability) {
+  // kDurable encodes as pure wire v1; only the explicit kPublished flag
+  // needs a v2 frame (and a v2 server).
+  const bool flagged = durability != Durability::kDurable;
+  const uint16_t version = flagged ? uint16_t{2} : kMinWireVersion;
+  WireError wire_err = WireError::kOk;
+  auto r = RoundTrip(Opcode::kApply, EncodeApplyRequest(batch, durability),
+                     version, &wire_err);
+  if (!r.ok()) {
+    if (flagged && (wire_err == WireError::kBadVersion ||
+                    wire_err == WireError::kMalformed)) {
+      return Status::InvalidArgument(
+          "server does not support the APPLY durability flag (wire v1); "
+          "upgrade the server or use Durability::kDurable");
+    }
+    return r.status();
+  }
   ApplyReplyData out;
-  if (!DecodeApplyReplyBody(body, &out.epoch_after, &out.inserted)) {
+  if (!DecodeApplyReplyBody(r.value(), &out.epoch_after, &out.inserted)) {
     return Status::IOError("malformed APPLY reply body");
   }
   return out;

@@ -5,12 +5,11 @@
 // Not thread-safe — use one Client per thread (the server multiplexes
 // connections cheaply).
 //
-// Server-side typed errors map onto Status codes:
-//
-//   BUSY          -> Status::Busy        (admission queue full; retry)
-//   SHUTTING_DOWN -> Status::Unavailable (server draining)
-//   SERVER_ERROR  -> Status::Internal    (engine failure, message attached)
-//   anything else -> Status::IOError     (protocol violation)
+// Server-side typed errors are rebuilt as the Status the engine
+// produced, through the bidirectional Status <-> WireError table in
+// net/wire.h (BUSY -> Status::Busy, SHUTTING_DOWN -> Status::Unavailable,
+// TIMED_OUT -> Status::TimedOut, ...). Protocol violations — malformed
+// frames, version rejections — surface as Status::IOError.
 //
 // Query replies carry the server's write epoch just before and just
 // after execution, so callers can cross-check results against per-epoch
@@ -62,7 +61,13 @@ class Client {
   Result<QueryReply> Window(const Rect& w);
   Result<QueryReply> Point(const zdb::Point& p);
   Result<KnnReplyData> Nearest(const zdb::Point& p, uint32_t k);
-  Result<ApplyReplyData> Apply(const WriteBatch& batch);
+  /// Applies `batch` atomically on the server. kDurable (default) acks
+  /// after the batch is fsynced — encoded exactly as wire v1, so it
+  /// works against servers of any version. kPublished acks as soon as
+  /// readers can see the batch (wire v2); a pre-v2 server rejects that
+  /// flag and the call fails with a clear InvalidArgument.
+  Result<ApplyReplyData> Apply(const WriteBatch& batch,
+                               Durability durability = Durability::kDurable);
   Result<std::string> Stats();
   Status Ping();
   /// Asks the daemon to shut down (the reply arrives before the server
@@ -78,8 +83,12 @@ class Client {
 
   /// Sends one request frame and blocks for the matching reply payload
   /// (validating magic/version/request id, surfacing typed errors as the
-  /// Status codes documented above).
-  Result<std::string> RoundTrip(Opcode op, std::string_view payload);
+  /// Status codes documented above). `version` marks the request frame;
+  /// plain requests send kMinWireVersion so any server accepts them.
+  /// If `wire_err` is non-null it receives the reply's raw wire code.
+  Result<std::string> RoundTrip(Opcode op, std::string_view payload,
+                                uint16_t version = kMinWireVersion,
+                                WireError* wire_err = nullptr);
 
   Socket sock_;
   uint64_t next_request_id_ = 1;

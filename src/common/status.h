@@ -26,6 +26,7 @@ class Status {
     kInternal,
     kBusy,         ///< server admission queue full; retry later
     kUnavailable,  ///< server shutting down / endpoint unreachable
+    kTimedOut,     ///< deadline expired before the operation completed
   };
 
   /// Constructs an OK status.
@@ -59,6 +60,9 @@ class Status {
   static Status Unavailable(std::string msg = "") {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -69,6 +73,7 @@ class Status {
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -88,6 +93,7 @@ class Status {
       case Code::kInternal: name = "Internal"; break;
       case Code::kBusy: name = "Busy"; break;
       case Code::kUnavailable: name = "Unavailable"; break;
+      case Code::kTimedOut: name = "TimedOut"; break;
     }
     if (msg_.empty()) return name;
     return name + ": " + msg_;

@@ -13,11 +13,26 @@
 namespace zdb {
 
 Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
+  std::lock_guard<std::mutex> commit(commit_mu_);
   auto lock = AcquireExclusive();
   if (btree_->size() != 0 || store_->size() != 0) {
     return Status::InvalidArgument("bulk load into non-empty index");
   }
+  bool mutated = false;
+  Status st = BulkLoadLocked(data, fill, &mutated);
+  if (st.ok()) {
+    PublishWrite();
+    NotifyPublished();
+  } else if (gc_active_ && mutated) {
+    // A failure after the first store append may have left a partial
+    // load in memory; recover at the last durable group boundary.
+    return RollbackGroupLocked(st);
+  }
+  return st;
+}
 
+Status SpatialIndex::BulkLoadLocked(const std::vector<Rect>& data,
+                                    double fill, bool* mutated) {
   std::string value;
   if (options_.store_mbr_in_leaf) value.resize(kEncodedRectSize);
 
@@ -30,6 +45,7 @@ Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
 
   for (const Rect& mbr : data) {
     if (!mbr.valid()) return Status::InvalidArgument("invalid MBR");
+    *mutated = true;
     ObjectId oid;
     ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr));
     const Decomposition decomp =
@@ -49,7 +65,7 @@ Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
             [](const Entry& a, const Entry& b) { return a.key < b.key; });
 
   size_t i = 0;
-  Status st = btree_->BulkLoad(
+  return btree_->BulkLoad(
       [&](std::string* key, std::string* val) {
         if (i >= entries.size()) return false;
         *key = entries[i].key;
@@ -58,8 +74,6 @@ Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
         return true;
       },
       fill);
-  if (st.ok()) PublishWrite();
-  return st;
 }
 
 }  // namespace zdb

@@ -1,0 +1,282 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// The off-latch group-commit durability pipeline (see the "group commit"
+// section of spatial_index.h). Mutators publish in-memory state and the
+// write epoch under the exclusive latch with no I/O inside; this file
+// owns the dedicated thread that makes published state durable —
+// checkpoint, buffer-pool flush, journal commit — coalescing every batch
+// published since the last group into one fsync and completing waiters
+// in epoch order through the gc_durable_ watermark.
+//
+// Journal discipline: while the pipeline runs, the pager batch is
+// permanently armed — CommitBatch is immediately followed by BeginBatch
+// under the same commit_mu_ hold, so every page overwritten after a
+// group boundary (including buffer-pool evictions mid-apply) has its
+// before-image journaled against that boundary. A crash therefore rolls
+// back to the last durable group: published-but-not-durable batches
+// disappear as units, never partially.
+
+#include <chrono>
+
+#include "core/spatial_index.h"
+
+namespace zdb {
+
+void SpatialIndex::NotifyPublished() {
+  if (!gc_active_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> gl(gc_mu_);
+  gc_published_ = write_epoch();
+  gc_cv_.notify_one();
+}
+
+uint64_t SpatialIndex::durable_epoch() const {
+  std::lock_guard<std::mutex> gl(gc_mu_);
+  return gc_durable_;
+}
+
+void SpatialIndex::SetGroupCommitPaused(bool paused) {
+  std::lock_guard<std::mutex> gl(gc_mu_);
+  gc_paused_ = paused;
+  if (!paused) gc_cv_.notify_all();
+}
+
+Status SpatialIndex::WaitDurable(uint64_t epoch, uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> gl(gc_mu_);
+  auto settled = [&] {
+    if (gc_durable_ >= epoch) return true;
+    if (!gc_running_ || gc_dead_) return true;
+    for (const FailedEpochs& f : gc_failed_) {
+      if (epoch > f.lo && epoch <= f.hi) return true;
+    }
+    return false;
+  };
+  if (timeout_ms > 0) {
+    if (!gc_done_cv_.wait_for(gl, std::chrono::milliseconds(timeout_ms),
+                              settled)) {
+      return Status::TimedOut("epoch " + std::to_string(epoch) +
+                              " not durable within " +
+                              std::to_string(timeout_ms) + "ms");
+    }
+  } else {
+    gc_done_cv_.wait(gl, settled);
+  }
+  // A rolled-back epoch can be numerically below a later watermark, so
+  // the failure ranges are consulted before the watermark.
+  for (const FailedEpochs& f : gc_failed_) {
+    if (epoch > f.lo && epoch <= f.hi) return f.status;
+  }
+  if (gc_durable_ >= epoch) return Status::OK();
+  return Status::Unavailable(
+      "group commit stopped before epoch became durable");
+}
+
+Status SpatialIndex::StartGroupCommit() {
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  if (gc_active_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("group commit already running");
+  }
+  Pager* pager = pool_->pager();
+  if (!pager->journaled()) {
+    return Status::InvalidArgument("group commit requires a journaled pager");
+  }
+  if (pager->in_batch()) {
+    return Status::InvalidArgument(
+        "cannot start group commit inside a caller-managed pager batch");
+  }
+
+  // Make the current state durable — it becomes the initial group
+  // boundary the armed journal's before-images roll back to.
+  auto lock = AcquireExclusive();
+  const PageId master_before = master_page_;
+  ZDB_RETURN_IF_ERROR(pager->BeginBatch());
+  Status st = CheckpointLocked().status();
+  if (st.ok()) st = pool_->FlushAll();
+  if (st.ok()) st = pager->CommitBatch();
+  if (st.ok()) st = pager->BeginBatch();  // arm for the first group
+  if (!st.ok()) {
+    if (pager->in_batch()) {
+      Status undo = pager->AbortBatch();
+      if (undo.ok() && master_before != kInvalidPageId) {
+        master_page_ = master_before;
+        undo = ReloadLocked();
+      }
+      if (!undo.ok()) {
+        return Status::Corruption("group-commit bootstrap failed (" +
+                                  st.ToString() +
+                                  ") and rollback failed too: " +
+                                  undo.ToString());
+      }
+    }
+    return st;
+  }
+  gc_master_ = master_page_;
+  {
+    std::lock_guard<std::mutex> gl(gc_mu_);
+    gc_stop_ = false;
+    gc_dead_ = false;
+    gc_paused_ = false;
+    gc_published_ = gc_durable_ = write_epoch();
+    gc_failed_.clear();
+    gc_running_ = true;
+  }
+  gc_active_.store(true, std::memory_order_release);
+  gc_thread_ = std::thread(&SpatialIndex::GroupCommitLoop, this);
+  return Status::OK();
+}
+
+Status SpatialIndex::StopGroupCommit() {
+  {
+    std::lock_guard<std::mutex> gl(gc_mu_);
+    gc_stop_ = true;
+    gc_paused_ = false;
+    gc_cv_.notify_all();
+  }
+  if (gc_thread_.joinable()) gc_thread_.join();
+
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  Status st = Status::OK();
+  Pager* pager = pool_->pager();
+  if (gc_active_.load(std::memory_order_relaxed) && pager->in_batch()) {
+    // The loop drained before exiting, but a writer may have published
+    // between its last group and this point — commit synchronously so
+    // Stop() leaves everything durable, then retire the armed batch.
+    bool pending;
+    {
+      std::lock_guard<std::mutex> gl(gc_mu_);
+      pending = gc_published_ > gc_durable_;
+    }
+    if (pending) {
+      auto lock = AcquireExclusive();
+      st = CheckpointLocked().status();
+      if (st.ok()) st = pool_->FlushAll();
+    }
+    if (st.ok()) st = pager->CommitBatch();
+  }
+  gc_active_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> gl(gc_mu_);
+    gc_running_ = false;
+    if (st.ok()) gc_durable_ = gc_published_;
+    gc_done_cv_.notify_all();
+  }
+  // On failure the batch stays armed and the intact journal rolls the
+  // undurable tail back on the next open — the crash contract, applied
+  // to a failed shutdown.
+  return st;
+}
+
+void SpatialIndex::GroupCommitLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> gl(gc_mu_);
+      gc_cv_.wait(gl, [&] {
+        return gc_stop_ || gc_dead_ ||
+               (!gc_paused_ && gc_published_ > gc_durable_);
+      });
+      if (gc_dead_) return;
+      if (gc_published_ <= gc_durable_) {
+        if (gc_stop_) return;
+        continue;
+      }
+      if (gc_paused_ && !gc_stop_) continue;
+    }
+    // The cycle's own error handling (rollback, failed-epoch ranges)
+    // already informed the waiters; the loop itself keeps going unless
+    // the pipeline was marked dead.
+    (void)CommitGroup();
+  }
+}
+
+Status SpatialIndex::CommitGroup() {
+  std::unique_lock<std::mutex> commit(commit_mu_);
+  if (!gc_active_.load(std::memory_order_relaxed)) return Status::OK();
+  Pager* pager = pool_->pager();
+
+  // Checkpoint under a brief exclusive latch: it only rewrites metadata
+  // pages through the buffer pool (no fsync inside). commit_mu_ keeps
+  // write_epoch() frozen for the rest of the cycle, so `target` is
+  // exactly the set of batches this group makes durable.
+  uint64_t target = 0;
+  Status st;
+  {
+    auto lock = AcquireExclusive();
+    target = write_epoch();
+    st = CheckpointLocked().status();
+  }
+
+  // The expensive half — dirty-page write-back and the journal fsync —
+  // runs with the latch released: readers keep querying right through
+  // the durability window. Reader pins don't block the flush (readers
+  // never mutate frame bytes, and commit_mu_ excludes every mutator).
+  if (st.ok()) st = pool_->FlushForCommit();
+  if (st.ok()) st = pager->CommitBatch();
+
+  if (!st.ok()) {
+    auto lock = AcquireExclusive();
+    return RollbackGroupLocked(st);
+  }
+
+  gc_master_ = master_page_;
+  {
+    std::lock_guard<std::mutex> gl(gc_mu_);
+    gc_durable_ = target;
+    gc_done_cv_.notify_all();
+  }
+
+  // Re-arm the journal for the next group. Failing here is not a state
+  // error (everything is durable) but the pipeline cannot continue
+  // without an armed journal: disable it and fall back to the legacy
+  // synchronous path for future mutations.
+  st = pager->BeginBatch();
+  if (!st.ok()) {
+    gc_active_.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> gl(gc_mu_);
+    gc_dead_ = true;
+    gc_cv_.notify_all();
+    gc_done_cv_.notify_all();
+  }
+  return st;
+}
+
+Status SpatialIndex::RollbackGroupLocked(const Status& cause) {
+  Pager* pager = pool_->pager();
+  Status undo = pager->in_batch() ? pager->AbortBatch() : Status::OK();
+  if (undo.ok()) {
+    master_page_ = gc_master_;
+    undo = ReloadLocked();
+  }
+  if (undo.ok()) undo = pager->BeginBatch();  // re-arm for the next group
+
+  // The reload changed reader-visible state; publish a fresh epoch so
+  // epoch-bracketed readers observe the transition. The rolled-back
+  // epochs (last durable, last published] fail their waiters with the
+  // cause; the new epoch *is* the durable state re-published.
+  PublishWrite();
+  {
+    std::lock_guard<std::mutex> gl(gc_mu_);
+    if (gc_published_ > gc_durable_) {
+      gc_failed_.push_back({gc_durable_, gc_published_, cause});
+    }
+    gc_published_ = gc_durable_ = write_epoch();
+    if (!undo.ok()) gc_dead_ = true;
+    gc_cv_.notify_all();
+    gc_done_cv_.notify_all();
+  }
+  if (!undo.ok()) {
+    // Disk and memory may disagree; the armed journal (if the abort is
+    // what failed) still recovers the file on the next open.
+    gc_active_.store(false, std::memory_order_release);
+    return Status::Corruption("group rollback failed (" + cause.ToString() +
+                              "): " + undo.ToString());
+  }
+  return cause;
+}
+
+SpatialIndex::~SpatialIndex() {
+  if (gc_thread_.joinable() ||
+      gc_active_.load(std::memory_order_relaxed)) {
+    (void)StopGroupCommit();
+  }
+}
+
+}  // namespace zdb

@@ -132,7 +132,9 @@ Status FreeChain(BufferPool* pool, PageId head) {
 
 Result<PageId> SpatialIndex::Checkpoint() {
   // A checkpoint rewrites directory chains and the master page; it is a
-  // writer section even though the logical contents do not change.
+  // writer section even though the logical contents do not change (and
+  // takes commit_mu_ first to serialize with the group-commit thread).
+  std::lock_guard<std::mutex> commit(commit_mu_);
   auto lock = AcquireExclusive();
   return CheckpointLocked();
 }

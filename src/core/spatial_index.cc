@@ -102,31 +102,66 @@ Result<std::unique_ptr<SpatialIndex>> SpatialIndex::Create(
 //
 // Public mutations are batch-granular writer sections: the exclusive
 // latch is held for the whole multi-key operation, so an object's
-// z-element set is published to readers all-or-nothing.
+// z-element set is published to readers all-or-nothing. Every mutator
+// takes commit_mu_ first (lock order commit_mu_ → latch_), which is
+// what serializes the write path against the group-commit thread's
+// off-latch durability work.
+//
+// Single-op mutators in group-commit mode: a mid-operation I/O failure
+// may have partially mutated the in-memory state, so — exactly like a
+// failed ApplyBatch — the whole armed group is rolled back to the last
+// durable boundary. Predictable rejections (invalid MBR, unknown oid)
+// happen before any mutation and roll nothing back.
+
+namespace {
+/// True for failures detected before any page was mutated.
+bool PrevalidatedFailure(const Status& s) {
+  return s.IsInvalidArgument() || s.IsNotFound();
+}
+}  // namespace
 
 Result<ObjectId> SpatialIndex::Insert(const Rect& mbr, uint32_t payload) {
+  std::lock_guard<std::mutex> commit(commit_mu_);
   auto lock = AcquireExclusive();
   auto r = InsertLocked(mbr, payload);
-  if (r.ok()) PublishWrite();
+  if (r.ok()) {
+    PublishWrite();
+    NotifyPublished();
+  } else if (gc_active_ && !PrevalidatedFailure(r.status())) {
+    ZDB_RETURN_IF_ERROR(RollbackGroupLocked(r.status()));
+  }
   return r;
 }
 
 Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly) {
+  std::lock_guard<std::mutex> commit(commit_mu_);
   auto lock = AcquireExclusive();
   auto r = InsertPolygonLocked(poly);
-  if (r.ok()) PublishWrite();
+  if (r.ok()) {
+    PublishWrite();
+    NotifyPublished();
+  } else if (gc_active_ && !PrevalidatedFailure(r.status())) {
+    ZDB_RETURN_IF_ERROR(RollbackGroupLocked(r.status()));
+  }
   return r;
 }
 
 Status SpatialIndex::Erase(ObjectId oid) {
+  std::lock_guard<std::mutex> commit(commit_mu_);
   auto lock = AcquireExclusive();
   Status s = EraseLocked(oid);
-  if (s.ok()) PublishWrite();
+  if (s.ok()) {
+    PublishWrite();
+    NotifyPublished();
+  } else if (gc_active_ && !PrevalidatedFailure(s)) {
+    return RollbackGroupLocked(s);
+  }
   return s;
 }
 
 Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
-    const WriteBatch& batch) {
+    const WriteBatch& batch, Durability durability) {
+  std::unique_lock<std::mutex> commit(commit_mu_);
   auto lock = AcquireExclusive();
   // Predictable failures (invalid MBRs, unknown/dead/duplicate erases)
   // reject the whole batch before any op is applied, so they can never
@@ -134,6 +169,11 @@ Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
   ZDB_RETURN_IF_ERROR(ValidateBatchLocked(batch));
 
   std::vector<ObjectId> inserted;
+  // A batch that validates empty is a no-op: nothing to apply, publish
+  // or make durable — in particular no entry checkpoint that would
+  // commit as its own batch, and no write-epoch bump.
+  if (batch.empty()) return inserted;
+
   auto apply_ops = [&]() -> Status {
     for (const WriteOp& op : batch.ops) {
       if (op.kind == WriteOp::Kind::kInsert) {
@@ -148,6 +188,31 @@ Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
   };
 
   Pager* pager = pool_->pager();
+
+  if (gc_active_) {
+    // Group-commit path: apply + publish under the latch with no I/O
+    // (page mutations land in the buffer pool; the permanently armed
+    // pager batch journals before-images of any evicted page), then
+    // hand durability to the pipeline thread.
+    Status st = apply_ops();
+    if (!st.ok()) {
+      // Partial in-memory application: the only exact recovery point is
+      // the last durable group boundary, so the whole group rolls back
+      // (failing the waiters of any earlier published-but-not-durable
+      // batches with this cause).
+      return RollbackGroupLocked(st);
+    }
+    PublishWrite();
+    const uint64_t epoch = write_epoch();
+    NotifyPublished();
+    lock.unlock();
+    commit.unlock();
+    if (durability == Durability::kDurable) {
+      ZDB_RETURN_IF_ERROR(WaitDurable(epoch));
+    }
+    return inserted;
+  }
+
   // Journal-back the batch when possible. If the caller already manages
   // an outer pager batch, compose with it instead of nesting: validation
   // caught the predictable failures, and a residual I/O failure is left

@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -76,6 +77,18 @@ struct WriteOp {
   Rect mbr;              ///< kInsert: the object's MBR
   uint32_t payload = 0;  ///< kInsert: opaque application reference
   ObjectId oid = 0;      ///< kErase: the object to remove
+};
+
+/// When a batch is acknowledged to the caller (see
+/// SpatialIndex::ApplyBatch / zdb::DB::Apply / net::Client::Apply).
+/// kDurable waits for the group-commit pipeline to fsync the batch;
+/// kPublished returns as soon as readers can see it — the batch becomes
+/// durable asynchronously, and a crash before that rolls it back as a
+/// unit (never partially). Without group commit, kDurable is the classic
+/// synchronous journaled ApplyBatch and kPublished is identical to it.
+enum class Durability : uint8_t {
+  kDurable = 0,
+  kPublished = 1,
 };
 
 /// An ordered batch of inserts and erases applied atomically by
@@ -160,6 +173,10 @@ class SpatialIndex {
   static Result<std::unique_ptr<SpatialIndex>> Open(BufferPool* pool,
                                                     PageId master_page);
 
+  /// Stops the group-commit pipeline (draining pending durability work)
+  /// if it is running.
+  ~SpatialIndex();
+
   /// Persists the index state (options, B+-tree meta, store directories,
   /// counters) and returns the master page id to pass to Open(). The
   /// master page is allocated on the first call and reused afterwards.
@@ -193,27 +210,87 @@ class SpatialIndex {
   /// Applies `batch` as one writer section: concurrent readers see either
   /// the full pre-batch or the full post-batch state, never a partially
   /// applied batch (and never a partial z-element set of any object).
-  /// When the pager has a rollback journal and no batch is already
-  /// active, the batch is additionally made crash-atomic: it runs inside
+  /// Returns the ids of the inserted objects, in op order. A batch that
+  /// validates empty is a no-op: nothing is applied, checkpointed or
+  /// published, and the write epoch is unchanged.
+  ///
+  /// With the group-commit pipeline running (StartGroupCommit()), the
+  /// batch is applied and *published* under the exclusive latch with no
+  /// I/O inside — the durability work (checkpoint, flush, journal fsync)
+  /// runs on the dedicated group-commit thread, which coalesces
+  /// consecutively published batches into one commit and completes
+  /// waiters in epoch order. `durability` selects when the call returns:
+  /// kDurable (the default) blocks until the batch's epoch is durable;
+  /// kPublished returns at publish time. Crash contract in this mode:
+  /// published-but-not-durable batches roll back as a unit on recovery,
+  /// never partially.
+  ///
+  /// Without group commit, `durability` is ignored and the batch is made
+  /// synchronously crash-atomic when the pager has a rollback journal
+  /// and no caller-managed batch is active: it runs inside
   /// BeginBatch/CommitBatch with a checkpoint + flush before the commit,
   /// so a crash mid-batch rolls back to the pre-batch index on reopen.
-  /// Returns the ids of the inserted objects, in op order.
   ///
   /// Failure semantics: the batch is validated up front (invalid MBRs,
   /// erases of unknown, dead or batch-duplicated oids), so predictable
   /// errors reject the whole batch with nothing applied — note this
   /// means an erase must reference an object that existed before the
   /// batch. A residual mid-batch failure (I/O error) on the journaled
-  /// path aborts the pager batch and reloads the index from the
-  /// pre-batch checkpoint ApplyBatch takes on entry, so memory and disk
-  /// both return to the pre-batch state (if that entry checkpoint
-  /// itself failed, the rollback target is the previous durable
-  /// checkpoint, and earlier never-durable mutations roll back with the
-  /// batch). Without a journal (none configured, or composing with a
-  /// caller-managed batch) such a failure can leave a partially applied
-  /// batch in memory — the caller's outer rollback (crash or reopen) is
-  /// then the recovery path.
-  Result<std::vector<ObjectId>> ApplyBatch(const WriteBatch& batch);
+  /// path aborts the pager batch and reloads the index from the last
+  /// durable checkpoint, so memory and disk both return to a batch
+  /// boundary (in group mode that boundary is the last durable group,
+  /// so earlier published-but-not-durable batches roll back with the
+  /// failed one and their durability waiters get the error). Without a
+  /// journal (none configured, or composing with a caller-managed
+  /// batch) such a failure can leave a partially applied batch in
+  /// memory — the caller's outer rollback (crash or reopen) is then the
+  /// recovery path.
+  Result<std::vector<ObjectId>> ApplyBatch(
+      const WriteBatch& batch, Durability durability = Durability::kDurable);
+
+  // ------------------------------------------------------- group commit
+  //
+  // The off-latch durability pipeline: mutations publish in-memory state
+  // under the exclusive latch and hand checkpoint + flush + journal
+  // commit to a dedicated thread, so readers never wait out an fsync.
+  // The pager batch (rollback journal) is kept permanently armed; its
+  // before-images always describe the last durable group boundary, which
+  // is what makes whole published-but-not-durable batches roll back as a
+  // unit on crash.
+
+  /// Starts the group-commit pipeline. Requires a journaled pager with
+  /// no caller-managed batch active. The current state is made durable
+  /// first (it becomes the initial group boundary), then the journal is
+  /// armed and the durability thread started. While the pipeline runs,
+  /// single-op mutations (Insert/InsertPolygon/Erase/BulkLoad) are
+  /// acknowledged at publish time and made durable asynchronously; use
+  /// ApplyBatch(…, kDurable) or WaitDurable() to block on durability.
+  Status StartGroupCommit();
+
+  /// Drains pending durability work, commits the armed journal batch and
+  /// joins the durability thread. Safe to call when not running. Called
+  /// by the destructor.
+  Status StopGroupCommit();
+
+  /// True while the group-commit pipeline is running.
+  bool group_commit_active() const {
+    return gc_active_.load(std::memory_order_acquire);
+  }
+
+  /// Highest write epoch whose effects are durable on disk (only
+  /// advanced by the group-commit pipeline; 0 before StartGroupCommit).
+  uint64_t durable_epoch() const;
+
+  /// Blocks until epoch `epoch` is durable (OK), rolled back (the
+  /// rollback cause), or — with nonzero `timeout_ms` — the deadline
+  /// expires (TimedOut). Returns Unavailable if the pipeline stops
+  /// before the epoch becomes durable. Group-commit mode only.
+  Status WaitDurable(uint64_t epoch, uint64_t timeout_ms = 0);
+
+  /// Test hook: pauses/resumes the durability thread. While paused,
+  /// published batches accumulate in the armed journal batch and
+  /// coalesce into a single commit on resume.
+  void SetGroupCommitPaused(bool paused);
 
   // ------------------------------------------------------- concurrency
 
@@ -345,6 +422,9 @@ class SpatialIndex {
   Result<ObjectId> InsertLocked(const Rect& mbr, uint32_t payload);
   Result<ObjectId> InsertPolygonLocked(const Polygon& poly);
   Status EraseLocked(ObjectId oid);
+  /// Body of BulkLoad; sets *mutated once the first page is touched.
+  Status BulkLoadLocked(const std::vector<Rect>& data, double fill,
+                        bool* mutated);
   Result<PageId> CheckpointLocked();
 
   /// Rejects a batch whose ops would fail mid-application: invalid
@@ -366,6 +446,30 @@ class SpatialIndex {
   void PublishWrite() {
     write_epoch_.fetch_add(1, std::memory_order_release);
   }
+
+  // --------------------------------- group commit (core/group_commit.cc)
+
+  /// Records the current write epoch as published and wakes the
+  /// durability thread. Caller holds commit_mu_ (and has just
+  /// PublishWrite()d); no-op when the pipeline is off.
+  void NotifyPublished();
+
+  /// Durability thread body: waits for published > durable, commits one
+  /// group per wakeup.
+  void GroupCommitLoop();
+
+  /// One group commit cycle: brief exclusive-latch checkpoint, then
+  /// flush + journal commit + re-arm off the latch. Takes commit_mu_.
+  Status CommitGroup();
+
+  /// Rolls the whole armed group back (disk via AbortBatch, memory via
+  /// ReloadLocked from the last durable master), fails pending
+  /// durability waiters with `cause`, and re-arms the journal. Caller
+  /// holds commit_mu_ and the exclusive latch. Returns `cause` on a
+  /// successful rollback, Corruption if the rollback itself failed
+  /// (group mode is then disabled; the intact journal still recovers
+  /// the file on the next open).
+  Status RollbackGroupLocked(const Status& cause);
 
   // Latch acquisition with writer preference. The portable
   // std::shared_mutex makes no fairness promise, and the common pthread
@@ -443,6 +547,42 @@ class SpatialIndex {
   mutable std::condition_variable gate_cv_;
   mutable uint32_t writers_waiting_ = 0;
   std::atomic<uint64_t> write_epoch_{0};
+
+  /// Commit pipeline mutex: every mutator takes it *before* latch_
+  /// (lock order: commit_mu_ → latch_ → gc_mu_), and the durability
+  /// thread holds it — without the latch — across checkpoint, flush and
+  /// journal commit. Readers never touch it, so the fsync window cannot
+  /// stall the query path; writers queue on it instead of on the
+  /// reader-visible latch.
+  std::mutex commit_mu_;
+  /// Pipeline on/off. Written under commit_mu_; atomic so
+  /// group_commit_active() is latch-free.
+  std::atomic<bool> gc_active_{false};
+  /// Master page of the last *durable* group boundary — the rollback
+  /// target. Guarded by commit_mu_.
+  PageId gc_master_ = kInvalidPageId;
+  std::thread gc_thread_;
+
+  /// Epoch bookkeeping shared with the durability thread and waiters.
+  /// gc_mu_ is a leaf lock (acquired after commit_mu_/latch_, never
+  /// held across I/O).
+  mutable std::mutex gc_mu_;
+  std::condition_variable gc_cv_;             ///< wakes the thread
+  mutable std::condition_variable gc_done_cv_;  ///< wakes waiters
+  bool gc_stop_ = false;    ///< thread asked to drain and exit
+  bool gc_dead_ = false;    ///< pipeline broke (failed rollback/re-arm)
+  bool gc_paused_ = false;  ///< test hook
+  bool gc_running_ = false; ///< thread alive
+  uint64_t gc_published_ = 0;  ///< highest published epoch
+  uint64_t gc_durable_ = 0;    ///< highest durable epoch (watermark)
+  /// Epochs (lo, hi] rolled back by a failed group, with the cause;
+  /// append-only (failures are rare), consulted by WaitDurable.
+  struct FailedEpochs {
+    uint64_t lo;
+    uint64_t hi;
+    Status status;
+  };
+  std::vector<FailedEpochs> gc_failed_;
 
   // Persistence bookkeeping (see core/persist.cc).
   PageId master_page_ = kInvalidPageId;

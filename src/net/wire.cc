@@ -62,8 +62,80 @@ const char* WireErrorName(WireError e) {
     case WireError::kBusy: return "busy";
     case WireError::kShuttingDown: return "shutting_down";
     case WireError::kServerError: return "server_error";
+    case WireError::kNotFound: return "not_found";
+    case WireError::kCorruption: return "corruption";
+    case WireError::kInvalidArgument: return "invalid_argument";
+    case WireError::kIOError: return "io_error";
+    case WireError::kNoSpace: return "no_space";
+    case WireError::kAlreadyExists: return "already_exists";
+    case WireError::kTimedOut: return "timed_out";
   }
   return "unknown";
+}
+
+// ------------------------------------------- Status <-> WireError table
+
+WireError StatusCodeToWireError(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return WireError::kOk;
+    case Status::Code::kNotFound: return WireError::kNotFound;
+    case Status::Code::kCorruption: return WireError::kCorruption;
+    case Status::Code::kInvalidArgument: return WireError::kInvalidArgument;
+    case Status::Code::kIOError: return WireError::kIOError;
+    case Status::Code::kNoSpace: return WireError::kNoSpace;
+    case Status::Code::kAlreadyExists: return WireError::kAlreadyExists;
+    case Status::Code::kInternal: return WireError::kServerError;
+    case Status::Code::kBusy: return WireError::kBusy;
+    case Status::Code::kUnavailable: return WireError::kShuttingDown;
+    case Status::Code::kTimedOut: return WireError::kTimedOut;
+  }
+  return WireError::kServerError;
+}
+
+Status::Code WireErrorToStatusCode(WireError e) {
+  switch (e) {
+    case WireError::kOk: return Status::Code::kOk;
+    case WireError::kBusy: return Status::Code::kBusy;
+    case WireError::kShuttingDown: return Status::Code::kUnavailable;
+    case WireError::kServerError: return Status::Code::kInternal;
+    case WireError::kNotFound: return Status::Code::kNotFound;
+    case WireError::kCorruption: return Status::Code::kCorruption;
+    case WireError::kInvalidArgument: return Status::Code::kInvalidArgument;
+    case WireError::kIOError: return Status::Code::kIOError;
+    case WireError::kNoSpace: return Status::Code::kNoSpace;
+    case WireError::kAlreadyExists: return Status::Code::kAlreadyExists;
+    case WireError::kTimedOut: return Status::Code::kTimedOut;
+    // Framing/protocol violations have no engine-side Status of their
+    // own; they collapse onto the protocol catch-all.
+    case WireError::kMalformed:
+    case WireError::kUnknownOpcode:
+    case WireError::kBadVersion:
+    case WireError::kFrameTooLarge:
+    case WireError::kBadMagic:
+      return Status::Code::kIOError;
+  }
+  return Status::Code::kIOError;
+}
+
+Status WireErrorToStatus(WireError e, std::string message) {
+  switch (WireErrorToStatusCode(e)) {
+    case Status::Code::kOk: return Status::OK();
+    case Status::Code::kNotFound: return Status::NotFound(std::move(message));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(message));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case Status::Code::kIOError: return Status::IOError(std::move(message));
+    case Status::Code::kNoSpace: return Status::NoSpace(std::move(message));
+    case Status::Code::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case Status::Code::kInternal: return Status::Internal(std::move(message));
+    case Status::Code::kBusy: return Status::Busy(std::move(message));
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case Status::Code::kTimedOut: return Status::TimedOut(std::move(message));
+  }
+  return Status::IOError(std::move(message));
 }
 
 // --------------------------------------------------------------- framing
@@ -71,7 +143,7 @@ const char* WireErrorName(WireError e) {
 void EncodeFrameHeader(char* dst, const FrameHeader& header) {
   EncodeFixed32(dst, kMagic);
   EncodeFixed32(dst + 4, header.payload_len);
-  EncodeFixed16(dst + 8, kWireVersion);
+  EncodeFixed16(dst + 8, header.version);
   dst[10] = static_cast<char>(header.opcode);
   dst[11] = static_cast<char>(header.flags);
   EncodeFixed64(dst + 12, header.request_id);
@@ -80,20 +152,23 @@ void EncodeFrameHeader(char* dst, const FrameHeader& header) {
 WireError DecodeFrameHeader(const char* src, FrameHeader* out) {
   const uint32_t magic = DecodeFixed32(src);
   out->payload_len = DecodeFixed32(src + 4);
-  const uint16_t version = DecodeFixed16(src + 8);
+  out->version = DecodeFixed16(src + 8);
   out->opcode = static_cast<uint8_t>(src[10]);
   out->flags = static_cast<uint8_t>(src[11]);
   out->request_id = DecodeFixed64(src + 12);
   if (magic != kMagic) return WireError::kBadMagic;
-  if (version != kWireVersion) return WireError::kBadVersion;
+  if (out->version < kMinWireVersion || out->version > kWireVersion) {
+    return WireError::kBadVersion;
+  }
   if (out->payload_len > kMaxPayload) return WireError::kFrameTooLarge;
   return WireError::kOk;
 }
 
 std::string BuildFrame(Opcode op, uint8_t flags, uint64_t request_id,
-                       std::string_view payload) {
+                       std::string_view payload, uint16_t version) {
   FrameHeader h;
   h.payload_len = static_cast<uint32_t>(payload.size());
+  h.version = version;
   h.opcode = static_cast<uint8_t>(op);
   h.flags = flags;
   h.request_id = request_id;
@@ -225,7 +300,8 @@ bool DecodeKnnRequest(std::string_view payload, Point* p, uint32_t* k) {
          r.AtEnd();
 }
 
-std::string EncodeApplyRequest(const WriteBatch& batch) {
+std::string EncodeApplyRequest(const WriteBatch& batch,
+                               Durability durability) {
   std::string out;
   PutU32(&out, static_cast<uint32_t>(batch.ops.size()));
   for (const WriteOp& op : batch.ops) {
@@ -241,10 +317,17 @@ std::string EncodeApplyRequest(const WriteBatch& batch) {
       PutU32(&out, op.oid);
     }
   }
+  // kDurable is the implicit default — omitting the byte keeps the
+  // payload byte-identical to wire v1.
+  if (durability != Durability::kDurable) {
+    out.push_back(static_cast<char>(durability));
+  }
   return out;
 }
 
-bool DecodeApplyRequest(std::string_view payload, WriteBatch* batch) {
+bool DecodeApplyRequest(std::string_view payload, WriteBatch* batch,
+                        Durability* durability) {
+  if (durability != nullptr) *durability = Durability::kDurable;
   PayloadReader r(payload);
   uint32_t count;
   if (!r.GetU32(&count)) return false;
@@ -274,6 +357,18 @@ bool DecodeApplyRequest(std::string_view payload, WriteBatch* batch) {
     } else {
       return false;
     }
+  }
+  // Optional v2 trailing durability byte. A caller not asking for it
+  // (durability == nullptr) parses strictly — the trailing byte fails
+  // AtEnd() exactly as it does on a pre-v2 server.
+  if (durability != nullptr && r.remaining() == 1) {
+    uint8_t flag;
+    if (!r.GetU8(&flag)) return false;
+    if (flag != static_cast<uint8_t>(Durability::kDurable) &&
+        flag != static_cast<uint8_t>(Durability::kPublished)) {
+      return false;
+    }
+    *durability = static_cast<Durability>(flag);
   }
   return r.AtEnd();
 }

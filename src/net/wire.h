@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/spatial_index.h"
 #include "geom/point.h"
 #include "geom/rect.h"
@@ -44,7 +45,18 @@ namespace zdb {
 namespace net {
 
 constexpr uint32_t kMagic = 0x315A4442u;  // "BDZ1" on the wire
-constexpr uint16_t kWireVersion = 1;
+/// Current protocol version. History:
+///   1 — initial protocol.
+///   2 — APPLY payload may carry a trailing durability byte (Durability);
+///       absent means kDurable, so v2 APPLY without the byte is
+///       byte-identical to v1.
+/// Receivers accept any version in [kMinWireVersion, kWireVersion];
+/// senders mark a frame with the lowest version whose feature set it
+/// uses, so new clients interoperate with old servers until they
+/// actually exercise a new feature (which an old server then rejects
+/// with a typed kBadVersion reply).
+constexpr uint16_t kWireVersion = 2;
+constexpr uint16_t kMinWireVersion = 1;
 /// Upper bound on payload_len; larger headers are rejected with
 /// kFrameTooLarge before any allocation happens.
 constexpr uint32_t kMaxPayload = 16u << 20;
@@ -69,22 +81,47 @@ bool KnownOpcode(uint8_t op);
 const char* OpcodeName(Opcode op);
 
 /// Typed wire-level error codes carried in the reply status byte.
+/// Values are wire contract — append only. Codes 9+ mirror engine
+/// Status codes one-for-one so a server-side Status crosses the wire
+/// losslessly (see StatusCodeToWireError / WireErrorToStatus).
 enum class WireError : uint8_t {
   kOk = 0,
   kMalformed = 1,      ///< payload failed bounds-checked decoding
   kUnknownOpcode = 2,  ///< opcode outside the known set
-  kBadVersion = 3,     ///< header version != kWireVersion
+  kBadVersion = 3,     ///< header version outside [kMin, kWireVersion]
   kFrameTooLarge = 4,  ///< payload_len > kMaxPayload
   kBadMagic = 5,       ///< header magic mismatch (not a zdb peer)
   kBusy = 6,           ///< admission queue full — backpressure, retry
   kShuttingDown = 7,   ///< server draining; no new work accepted
-  kServerError = 8,    ///< engine-side failure; message carries detail
+  kServerError = 8,    ///< internal engine failure (Status::kInternal)
+  kNotFound = 9,       ///< Status::kNotFound (e.g. erase of a dead oid)
+  kCorruption = 10,    ///< Status::kCorruption
+  kInvalidArgument = 11,  ///< Status::kInvalidArgument
+  kIOError = 12,       ///< Status::kIOError
+  kNoSpace = 13,       ///< Status::kNoSpace
+  kAlreadyExists = 14, ///< Status::kAlreadyExists
+  kTimedOut = 15,      ///< Status::kTimedOut (durability wait deadline)
 };
 
 const char* WireErrorName(WireError e);
 
+// ------------------------------------------- Status <-> WireError table
+//
+// The single bidirectional mapping between engine Status codes and wire
+// error codes. Status -> wire -> Status is the identity for every
+// Status::Code, so a typed engine error reaches the remote caller with
+// its code and message intact. The wire -> Status direction is total:
+// framing/protocol codes (which no Status produces) collapse onto
+// kIOError, the catch-all for protocol violations.
+
+WireError StatusCodeToWireError(Status::Code code);
+Status::Code WireErrorToStatusCode(WireError e);
+/// Rebuilds the Status a server-side error reply encodes.
+Status WireErrorToStatus(WireError e, std::string message);
+
 struct FrameHeader {
   uint32_t payload_len = 0;
+  uint16_t version = kWireVersion;
   uint8_t opcode = 0;
   uint8_t flags = 0;
   uint64_t request_id = 0;
@@ -101,12 +138,16 @@ void EncodeFrameHeader(char* dst, const FrameHeader& header);
 /// Strict header decode from kHeaderSize bytes. On kOk, *out is filled.
 /// On kBadMagic/kBadVersion/kFrameTooLarge, *out still carries whatever
 /// fields were readable (opcode, request_id) so an error reply can echo
-/// them.
+/// them. Versions kMinWireVersion..kWireVersion are all accepted.
 WireError DecodeFrameHeader(const char* src, FrameHeader* out);
 
 /// A complete frame: header + payload, ready to write to a socket.
+/// `version` is the protocol revision the payload encoding requires;
+/// senders should pass kMinWireVersion unless the payload uses a newer
+/// feature (see kWireVersion history).
 std::string BuildFrame(Opcode op, uint8_t flags, uint64_t request_id,
-                       std::string_view payload);
+                       std::string_view payload,
+                       uint16_t version = kWireVersion);
 
 /// Incremental frame reassembly over an arbitrary chunking of the byte
 /// stream (a frame may arrive split across many reads, or many frames in
@@ -175,8 +216,20 @@ bool DecodeKnnRequest(std::string_view payload, Point* p, uint32_t* k);
 
 /// Batch of inserts (kind 0: mbr + payload word) and erases (kind 1:
 /// oid), applied atomically server-side via SpatialIndex::ApplyBatch.
-std::string EncodeApplyRequest(const WriteBatch& batch);
-bool DecodeApplyRequest(std::string_view payload, WriteBatch* batch);
+///
+/// Wire v2 appends an optional trailing durability byte: absent means
+/// Durability::kDurable (the v1 semantics — ack after fsync), so the
+/// default encoding stays byte-identical to v1 and works against old
+/// servers. kPublished adds the byte; frames carrying it must be marked
+/// version 2 (old servers reject them with kBadVersion).
+std::string EncodeApplyRequest(const WriteBatch& batch,
+                               Durability durability = Durability::kDurable);
+/// Decodes the batch and the durability flag (absent byte -> kDurable).
+/// Passing durability == nullptr restores strict v1 parsing: a trailing
+/// byte is rejected as malformed — exactly how pre-v2 servers respond
+/// to the flag.
+bool DecodeApplyRequest(std::string_view payload, WriteBatch* batch,
+                        Durability* durability = nullptr);
 
 // -------------------------------------------------------- reply payloads
 //

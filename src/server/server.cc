@@ -294,8 +294,11 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
                             "bounds-checked payload decode failed");
   };
   auto engine_error = [&](const Status& s) {
+    // The typed Status crosses the wire losslessly: its code maps
+    // through the Status <-> WireError table and the message rides in
+    // the reply body, so the client rebuilds the same Status.
     *is_error = true;
-    return EncodeErrorReply(WireError::kServerError, s.ToString());
+    return EncodeErrorReply(StatusCodeToWireError(s.code()), s.message());
   };
 
   switch (opcode) {
@@ -338,9 +341,20 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
     }
 
     case Opcode::kApply: {
+      // The trailing durability byte is a v2 feature: a v1 frame is
+      // parsed strictly (trailing byte -> malformed), matching what a
+      // pre-v2 server would do.
       WriteBatch batch;
-      if (!DecodeApplyRequest(frame.payload, &batch)) return malformed();
-      auto r = index_->ApplyBatch(batch);
+      Durability durability = Durability::kDurable;
+      const bool v2 = frame.header.version >= 2;
+      if (!DecodeApplyRequest(frame.payload, &batch,
+                              v2 ? &durability : nullptr)) {
+        return malformed();
+      }
+      // kDurable blocks this worker until the group-commit fsync (or
+      // commits synchronously off-pipeline); kPublished acks as soon as
+      // readers can see the batch.
+      auto r = index_->ApplyBatch(batch, durability);
       if (!r.ok()) return engine_error(r.status());
       return EncodeApplyReply(index_->write_epoch(), r.value());
     }
@@ -364,9 +378,12 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
 
 void Server::SendReply(const ConnPtr& conn, uint8_t opcode,
                        uint64_t request_id, std::string_view payload) {
+  // Replies are always v1-encodable, so they are marked with the lowest
+  // version — a v1 client talking to this server never sees a frame it
+  // must reject.
   const std::string frame =
       BuildFrame(static_cast<Opcode>(opcode), kFlagReply, request_id,
-                 payload);
+                 payload, kMinWireVersion);
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->closed.load(std::memory_order_acquire)) return;
   Status s = WriteFully(conn->sock, frame.data(), frame.size());

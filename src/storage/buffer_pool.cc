@@ -214,11 +214,17 @@ Status BufferPool::Delete(PageId id) {
   return pager_->Free(id);
 }
 
-Status BufferPool::FlushAll() {
+Status BufferPool::FlushAll() { return FlushInternal(false); }
+
+Status BufferPool::FlushForCommit() { return FlushInternal(true); }
+
+Status BufferPool::FlushInternal(bool include_pinned) {
   // First pass: write back everything writable. Collect what is blocked
   // instead of failing midway, so the caller never gets a silent partial
   // flush — all flushable pages are durable and the error says exactly
-  // what remains.
+  // what remains. With include_pinned (group-commit mode, writers
+  // excluded by the caller) reader pins don't block: the bytes are
+  // stable, so a pinned frame is written in place and stays cached.
   size_t blocked = 0;
   PageId first_blocked = kInvalidPageId;
   for (auto& s : shards_) {
@@ -228,7 +234,7 @@ Status BufferPool::FlushAll() {
           !f.dirty.load(std::memory_order_relaxed)) {
         continue;
       }
-      if (f.pins.load(std::memory_order_acquire) > 0) {
+      if (!include_pinned && f.pins.load(std::memory_order_acquire) > 0) {
         ++blocked;
         if (first_blocked == kInvalidPageId) first_blocked = f.id;
         continue;

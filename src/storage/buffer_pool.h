@@ -95,6 +95,14 @@ class BufferPool {
   /// so retrying after releasing the pins completes the flush.
   Status FlushAll();
 
+  /// Writes back every dirty page, *including* pinned ones. Only safe
+  /// when no mutator can race the write-back — i.e. the caller excludes
+  /// all writers (the group-commit thread holds the index commit mutex)
+  /// and remaining pins are read-only. Readers never mutate frame bytes,
+  /// so copying a reader-pinned frame to the pager is a consistent
+  /// snapshot; the frame stays cached and pinned afterwards.
+  Status FlushForCommit();
+
   /// Writes back everything and drops the cache (keeps capacity).
   Status Clear();
 
@@ -154,6 +162,9 @@ class BufferPool {
 
   /// Caller holds the shard lock of the frame's shard.
   Status WriteBack(Frame* f);
+
+  /// Shared body of FlushAll/FlushForCommit.
+  Status FlushInternal(bool include_pinned);
 
   Pager* pager_;
   size_t capacity_;

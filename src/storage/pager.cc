@@ -181,6 +181,7 @@ Status Pager::CommitBatch() {
   in_batch_ = false;
   journaled_.clear();
   journal_entries_ = 0;
+  commit_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

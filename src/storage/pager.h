@@ -85,6 +85,13 @@ class Pager {
   /// batches are available).
   bool journaled() const { return journal_ != nullptr; }
 
+  /// Number of batches durably committed (CommitBatch successes) over the
+  /// pager's lifetime. Group-commit coalescing is observable here: k
+  /// published write batches folded into one fsync bump this by one.
+  uint64_t commit_count() const {
+    return commit_count_.load(std::memory_order_relaxed);
+  }
+
   uint32_t page_size() const { return page_size_; }
 
   /// Total pages ever allocated (including freed ones and the header).
@@ -163,6 +170,7 @@ class Pager {
   /// by SpatialIndex::ApplyBatch deciding whether to journal); mutated
   /// only inside Begin/CommitBatch under mu_.
   std::atomic<bool> in_batch_{false};
+  std::atomic<uint64_t> commit_count_{0};
   // Allocation state snapshotted at BeginBatch, restored by AbortBatch
   // (the journaled page-0 image may predate un-synced header changes,
   // so the in-memory counters are the authoritative pre-batch state).

@@ -1,0 +1,222 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "zdb/db.h"
+
+#include <cstring>
+
+#include "storage/buffer_pool.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+
+namespace zdb {
+
+namespace {
+
+/// First page allocated after formatting: the DB's one-page catalog,
+/// holding the spatial index's master page id at offset 0. Reserving it
+/// up front pins it at a well-known id so Open never needs a directory.
+constexpr PageId kCatalogPage = 1;
+
+bool IsMemoryPath(const std::string& path) {
+  return path.empty() || path == ":memory:";
+}
+
+}  // namespace
+
+struct DB::Impl {
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<BufferPool> pool;
+};
+
+DB::~DB() {
+  // The index owns the group-commit thread; destroy it (draining
+  // durability) before the pool/pager it writes through.
+  index_.reset();
+  impl_.reset();
+}
+
+Result<std::unique_ptr<DB>> DB::Open(const std::string& path,
+                                     const DBOptions& options) {
+  if (options.cache_pages == 0) {
+    return Status::InvalidArgument("cache_pages must be >= 1");
+  }
+  std::unique_ptr<DB> db(new DB());
+  db->impl_ = std::make_unique<Impl>();
+
+  std::unique_ptr<File> file, journal;
+  bool fresh = true;
+  if (IsMemoryPath(path)) {
+    file = std::make_unique<MemFile>();
+    if (options.memory_journal) journal = std::make_unique<MemFile>();
+  } else {
+    ZDB_ASSIGN_OR_RETURN(file, PosixFile::Open(path));
+    ZDB_ASSIGN_OR_RETURN(journal, PosixFile::Open(path + "-journal"));
+    fresh = file->Size() == 0;
+  }
+  db->journaled_ = journal != nullptr;
+
+  // Pager::Open with a journal runs crash recovery: a batch interrupted
+  // before its commit — including a group of published-but-not-durable
+  // write batches — is rolled back here, as a unit.
+  if (journal != nullptr) {
+    ZDB_ASSIGN_OR_RETURN(
+        db->impl_->pager,
+        Pager::Open(std::move(file), std::move(journal), options.page_size));
+  } else {
+    ZDB_ASSIGN_OR_RETURN(db->impl_->pager,
+                         Pager::Open(std::move(file), options.page_size));
+  }
+  Pager* pager = db->impl_->pager.get();
+  db->impl_->pool =
+      std::make_unique<BufferPool>(pager, options.cache_pages);
+  BufferPool* pool = db->impl_->pool.get();
+
+  if (fresh) {
+    // Create: reserve the catalog page, build an empty index, and make
+    // the formatted state durable as one atomic batch (journaled DBs).
+    const bool batch = db->journaled_;
+    if (batch) ZDB_RETURN_IF_ERROR(pager->BeginBatch());
+    {
+      PageRef catalog;
+      ZDB_ASSIGN_OR_RETURN(catalog, pool->New());
+      if (catalog.id() != kCatalogPage) {
+        return Status::Corruption("catalog page landed at page " +
+                                  std::to_string(catalog.id()));
+      }
+      std::memset(catalog.mutable_data(), 0, sizeof(PageId));
+    }
+    ZDB_ASSIGN_OR_RETURN(db->index_,
+                         SpatialIndex::Create(pool, options.index));
+    PageId master;
+    ZDB_ASSIGN_OR_RETURN(master, db->index_->Checkpoint());
+    {
+      PageRef catalog;
+      ZDB_ASSIGN_OR_RETURN(catalog, pool->Fetch(kCatalogPage));
+      std::memcpy(catalog.mutable_data(), &master, sizeof(master));
+    }
+    ZDB_RETURN_IF_ERROR(pool->FlushAll());
+    ZDB_RETURN_IF_ERROR(batch ? pager->CommitBatch() : pager->Sync());
+  } else {
+    PageId master = kInvalidPageId;
+    {
+      PageRef catalog;
+      ZDB_ASSIGN_OR_RETURN(catalog, pool->Fetch(kCatalogPage));
+      std::memcpy(&master, catalog.data(), sizeof(master));
+    }
+    ZDB_ASSIGN_OR_RETURN(db->index_, SpatialIndex::Open(pool, master));
+  }
+
+  if (db->journaled_ && options.group_commit) {
+    ZDB_RETURN_IF_ERROR(db->index_->StartGroupCommit());
+  }
+  return db;
+}
+
+// --------------------------------------------------------------- queries
+
+Result<std::vector<ObjectId>> DB::Window(const Rect& window,
+                                         QueryStats* stats) {
+  return index_->WindowQuery(window, stats);
+}
+
+Result<std::vector<ObjectId>> DB::Point(const zdb::Point& p, QueryStats* stats) {
+  return index_->PointQuery(p, stats);
+}
+
+Result<std::vector<ObjectId>> DB::Containment(const Rect& window,
+                                              QueryStats* stats) {
+  return index_->ContainmentQuery(window, stats);
+}
+
+Result<std::vector<std::pair<ObjectId, double>>> DB::Nearest(
+    const zdb::Point& p, size_t k, QueryStats* stats) {
+  return index_->NearestNeighbors(p, k, stats);
+}
+
+// --------------------------------------------------------------- updates
+
+Result<ObjectId> DB::Insert(const Rect& mbr, uint32_t payload) {
+  return index_->Insert(mbr, payload);
+}
+
+Result<ObjectId> DB::InsertPolygon(const Polygon& poly) {
+  return index_->InsertPolygon(poly);
+}
+
+Status DB::Erase(ObjectId oid) { return index_->Erase(oid); }
+
+Status DB::BulkLoad(const std::vector<Rect>& data, double fill) {
+  return index_->BulkLoad(data, fill);
+}
+
+Result<std::vector<ObjectId>> DB::Apply(const WriteBatch& batch,
+                                        Durability durability) {
+  return index_->ApplyBatch(batch, durability);
+}
+
+// ------------------------------------------------------------ durability
+
+Status DB::Checkpoint() {
+  if (index_->group_commit_active()) {
+    // Everything written is already published; durability is the
+    // pipeline's job — just wait it out.
+    return index_->WaitDurable(index_->write_epoch());
+  }
+  Pager* pager = impl_->pager.get();
+  if (journaled_ && !pager->in_batch()) {
+    ZDB_RETURN_IF_ERROR(pager->BeginBatch());
+    Status st = index_->Checkpoint().status();
+    if (st.ok()) st = impl_->pool->FlushAll();
+    if (st.ok()) st = pager->CommitBatch();
+    if (!st.ok() && pager->in_batch()) {
+      Status undo = pager->AbortBatch();
+      if (!undo.ok()) {
+        return Status::Corruption("checkpoint failed (" + st.ToString() +
+                                  ") and rollback failed too: " +
+                                  undo.ToString());
+      }
+    }
+    return st;
+  }
+  ZDB_RETURN_IF_ERROR(index_->Checkpoint().status());
+  ZDB_RETURN_IF_ERROR(impl_->pool->FlushAll());
+  return pager->Sync();
+}
+
+Status DB::WaitDurable(uint64_t epoch, uint64_t timeout_ms) {
+  if (!index_->group_commit_active()) {
+    return Status::InvalidArgument("group-commit pipeline not running");
+  }
+  return index_->WaitDurable(epoch, timeout_ms);
+}
+
+// -------------------------------------------------------------- plumbing
+
+DBStats DB::Stats() const {
+  const Pager* pager = impl_->pager.get();
+  DBStats s;
+  s.objects = index_->object_count();
+  s.index_entries = index_->build_stats().index_entries;
+  s.redundancy = index_->build_stats().redundancy();
+  s.write_epoch = index_->write_epoch();
+  s.durable_epoch = index_->durable_epoch();
+  s.journal_commits = pager->commit_count();
+  s.pages = pager->page_count();
+  s.page_size = pager->page_size();
+  s.group_commit = index_->group_commit_active();
+  return s;
+}
+
+const IoStats& DB::io_stats() const { return impl_->pager->io_stats(); }
+
+void DB::set_simulated_read_latency_us(uint32_t us) {
+  impl_->pager->set_simulated_read_latency_us(us);
+}
+
+Status DB::ClearCache() { return impl_->pool->Clear(); }
+
+std::unique_ptr<QueryExecutor> DB::NewExecutor(size_t threads) {
+  return std::make_unique<QueryExecutor>(index_.get(), threads);
+}
+
+}  // namespace zdb

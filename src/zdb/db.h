@@ -1,0 +1,189 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// zdb::DB — the single public facade over the engine. It owns the whole
+// storage stack (file, rollback journal, pager, buffer pool, spatial
+// index, group-commit pipeline) so applications, examples, benches and
+// the server never assemble Pager/BufferPool/SpatialIndex by hand.
+//
+//   auto db = zdb::DB::Open("", {}).value();          // in-memory
+//   auto db = zdb::DB::Open("/tmp/city.zdb").value(); // durable file
+//
+//   ObjectId id = db->Insert(Rect{.2, .2, .3, .25}).value();
+//   auto hits = db->Window(Rect{.1, .1, .4, .4}).value();
+//
+//   WriteBatch batch;
+//   batch.Insert(Rect{.5, .5, .6, .6});
+//   batch.Erase(id);
+//   auto ids = db->Apply(batch).value();              // durable on return
+//   auto ids2 = db->Apply(batch2, Durability::kPublished);  // ack early
+//
+// Durability: a file-backed DB opens its rollback journal at
+// `path + "-journal"` and runs the group-commit pipeline — mutations are
+// published to readers immediately and made durable by a dedicated
+// thread that coalesces batches into one fsync; Apply's Durability flag
+// chooses whether the call waits for that fsync. Crash contract:
+// published-but-not-durable batches roll back as a unit on the next
+// Open, never partially. An in-memory DB has no journal by default
+// (queries and batches behave as before); set
+// DBOptions::memory_journal to get journaled crash-atomic batches and
+// the group-commit pipeline on an in-memory file (tests, benches).
+//
+// Every fallible entry point returns Status/Result<T> (common/status.h).
+
+#ifndef ZDB_ZDB_DB_H_
+#define ZDB_ZDB_DB_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/spatial_index.h"
+#include "exec/executor.h"
+
+namespace zdb {
+
+/// Configuration of DB::Open. The defaults give a 4 KiB-page, 256-frame
+/// cache with the paper's size-bound-4 decomposition.
+struct DBOptions {
+  /// Index configuration (decomposition policies, grid, ablations).
+  /// Used when creating; a reopened DB restores its stored options.
+  SpatialIndexOptions index;
+
+  /// Page size of a newly created database file.
+  uint32_t page_size = kDefaultPageSize;
+
+  /// Buffer-pool capacity in frames.
+  size_t cache_pages = 256;
+
+  /// Give an in-memory DB a (memory-backed) rollback journal, enabling
+  /// crash-atomic batches and the group-commit pipeline without a disk
+  /// file. File-backed DBs always have a journal.
+  bool memory_journal = false;
+
+  /// Run the group-commit durability pipeline when the DB is journaled
+  /// (see spatial_index.h). Disable to get the legacy synchronous
+  /// commit-per-batch path.
+  bool group_commit = true;
+};
+
+/// Aggregate counters served by DB::Stats().
+struct DBStats {
+  uint64_t objects = 0;        ///< live objects
+  uint64_t index_entries = 0;  ///< z-elements stored in the B+-tree
+  double redundancy = 0.0;     ///< entries per object
+  uint64_t write_epoch = 0;    ///< published writer sections
+  uint64_t durable_epoch = 0;  ///< highest epoch fsynced (group mode)
+  uint64_t journal_commits = 0;  ///< durable batch commits (coalesced)
+  uint32_t pages = 0;          ///< pages allocated in the file
+  uint32_t page_size = 0;
+  bool group_commit = false;   ///< pipeline currently running
+};
+
+class DB {
+ public:
+  /// Opens (or creates) a database. An empty path or ":memory:" gives an
+  /// in-memory DB; anything else is a file path whose rollback journal
+  /// lives at `path + "-journal"` (crash recovery runs here). A file
+  /// that already holds a database is reopened with its stored index
+  /// options; otherwise it is created with `options.index`.
+  static Result<std::unique_ptr<DB>> Open(const std::string& path,
+                                          const DBOptions& options = {});
+
+  /// Stops the group-commit pipeline (draining pending durability) and
+  /// tears the stack down.
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  // ------------------------------------------------------------- queries
+
+  /// All live objects whose MBR intersects `window`.
+  Result<std::vector<ObjectId>> Window(const Rect& window,
+                                       QueryStats* stats = nullptr);
+
+  /// All live objects containing `p` (exact geometry).
+  Result<std::vector<ObjectId>> Point(const zdb::Point& p,
+                                      QueryStats* stats = nullptr);
+
+  /// All live objects fully inside `window`.
+  Result<std::vector<ObjectId>> Containment(const Rect& window,
+                                            QueryStats* stats = nullptr);
+
+  /// The k nearest objects to `p`, closest first.
+  Result<std::vector<std::pair<ObjectId, double>>> Nearest(
+      const zdb::Point& p, size_t k, QueryStats* stats = nullptr);
+
+  // ------------------------------------------------------------- updates
+
+  /// Single-object mutations. With the pipeline running these are
+  /// acknowledged at publish time (durable asynchronously); use Apply
+  /// with kDurable — or Checkpoint() — to block on durability.
+  Result<ObjectId> Insert(const Rect& mbr, uint32_t payload = 0);
+  Result<ObjectId> InsertPolygon(const Polygon& poly);
+  Status Erase(ObjectId oid);
+
+  /// Bulk loads rectangles into an empty DB.
+  Status BulkLoad(const std::vector<Rect>& data, double fill = 0.9);
+
+  /// Applies `batch` atomically. kDurable (default) returns once the
+  /// batch is fsynced; kPublished returns once readers can see it (the
+  /// batch becomes durable asynchronously and rolls back as a unit if a
+  /// crash beats the fsync).
+  Result<std::vector<ObjectId>> Apply(
+      const WriteBatch& batch, Durability durability = Durability::kDurable);
+
+  // ---------------------------------------------------------- durability
+
+  /// Makes everything written so far durable: waits out the pipeline in
+  /// group mode, or checkpoints + flushes + commits synchronously
+  /// otherwise. No-op-ish for an unjournaled in-memory DB (state is
+  /// checkpointed so Stats()/reopen paths stay coherent).
+  Status Checkpoint();
+
+  /// Blocks until `epoch` is durable (group mode; see
+  /// SpatialIndex::WaitDurable). timeout_ms 0 waits indefinitely.
+  Status WaitDurable(uint64_t epoch, uint64_t timeout_ms = 0);
+
+  // ------------------------------------------------------------ plumbing
+
+  DBStats Stats() const;
+
+  uint64_t write_epoch() const { return index_->write_epoch(); }
+  uint64_t object_count() const { return index_->object_count(); }
+  const IndexBuildStats& build_stats() const { return index_->build_stats(); }
+
+  /// Cumulative page I/O counters of the underlying pager.
+  const IoStats& io_stats() const;
+
+  /// Benchmarking aid: simulated per-page-read device latency (see
+  /// Pager::set_simulated_read_latency_us).
+  void set_simulated_read_latency_us(uint32_t us);
+
+  /// Benchmarking aid: drops every clean cached page so the next query
+  /// runs against a cold cache. Fails if dirty or pinned pages would be
+  /// lost — checkpoint first.
+  Status ClearCache();
+
+  /// A query executor driving this DB's index over `threads` workers.
+  /// The executor must not outlive the DB.
+  std::unique_ptr<QueryExecutor> NewExecutor(size_t threads);
+
+  /// The underlying index — the escape hatch for engine-level wiring
+  /// (net::Server, diagnostics like LevelHistogram or btree stats).
+  /// Prefer the typed DB methods for data operations.
+  SpatialIndex* index() { return index_.get(); }
+
+ private:
+  DB() = default;
+
+  struct Impl;  ///< owns file/journal/pager/pool in construction order
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<SpatialIndex> index_;
+  bool journaled_ = false;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_ZDB_DB_H_

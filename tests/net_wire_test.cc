@@ -360,6 +360,101 @@ TEST(Names, OpcodesAndErrors) {
   EXPECT_FALSE(KnownOpcode(200));
   EXPECT_STREQ(OpcodeName(Opcode::kApply), "apply");
   EXPECT_STREQ(WireErrorName(WireError::kBusy), "busy");
+  EXPECT_STREQ(WireErrorName(WireError::kTimedOut), "timed_out");
+}
+
+TEST(WireHeader, AcceptsEveryVersionInTheSupportedRange) {
+  // Receivers accept [kMinWireVersion, kWireVersion]; anything newer is
+  // kBadVersion (the typed reply an old server gives a flagged APPLY).
+  char buf[kHeaderSize];
+  FrameHeader out;
+  for (uint16_t v = kMinWireVersion; v <= kWireVersion; ++v) {
+    EncodeFrameHeader(buf, FrameHeader{});
+    EncodeFixed16(buf + 8, v);
+    EXPECT_EQ(DecodeFrameHeader(buf, &out), WireError::kOk) << v;
+    EXPECT_EQ(out.version, v);
+  }
+  EncodeFrameHeader(buf, FrameHeader{});
+  EncodeFixed16(buf + 8, 0);
+  EXPECT_EQ(DecodeFrameHeader(buf, &out), WireError::kBadVersion);
+}
+
+TEST(StatusMapping, EveryStatusCodeRoundTripsThroughTheWire) {
+  // The bidirectional table must be lossless status -> wire -> status,
+  // so a typed engine error crosses the protocol without degrading to
+  // kServerError/Internal.
+  const Status::Code codes[] = {
+      Status::Code::kOk,          Status::Code::kNotFound,
+      Status::Code::kCorruption,  Status::Code::kInvalidArgument,
+      Status::Code::kIOError,     Status::Code::kNoSpace,
+      Status::Code::kAlreadyExists, Status::Code::kInternal,
+      Status::Code::kBusy,        Status::Code::kUnavailable,
+      Status::Code::kTimedOut,
+  };
+  for (Status::Code c : codes) {
+    EXPECT_EQ(WireErrorToStatusCode(StatusCodeToWireError(c)), c)
+        << static_cast<int>(c);
+  }
+  const Status s =
+      WireErrorToStatus(StatusCodeToWireError(Status::Code::kTimedOut),
+                        "deadline blown");
+  EXPECT_TRUE(s.IsTimedOut());
+  EXPECT_EQ(s.message(), "deadline blown");
+}
+
+TEST(StatusMapping, FramingErrorsCollapseToIOError) {
+  // Protocol-level failures have no engine-side Status identity; the
+  // client reports them as I/O errors on the connection.
+  for (WireError e : {WireError::kMalformed, WireError::kUnknownOpcode,
+                      WireError::kBadVersion, WireError::kFrameTooLarge,
+                      WireError::kBadMagic}) {
+    EXPECT_EQ(WireErrorToStatusCode(e), Status::Code::kIOError)
+        << WireErrorName(e);
+  }
+}
+
+TEST(Requests, ApplyDurabilityFlagRoundTrip) {
+  WriteBatch batch;
+  batch.Insert(Rect{0.1, 0.1, 0.2, 0.2}, 9);
+  batch.Erase(3);
+
+  // kDurable (the default) is byte-identical to the v1 encoding: a
+  // flag-free frame decodes on any server.
+  EXPECT_EQ(EncodeApplyRequest(batch, Durability::kDurable),
+            EncodeApplyRequest(batch));
+  WriteBatch out;
+  Durability d = Durability::kPublished;
+  ASSERT_TRUE(DecodeApplyRequest(EncodeApplyRequest(batch), &out, &d));
+  EXPECT_EQ(d, Durability::kDurable);
+
+  // kPublished appends the trailing flag byte; a v2-aware decode
+  // recovers it along with the ops.
+  const std::string flagged =
+      EncodeApplyRequest(batch, Durability::kPublished);
+  EXPECT_EQ(flagged.size(), EncodeApplyRequest(batch).size() + 1);
+  out = WriteBatch{};
+  d = Durability::kDurable;
+  ASSERT_TRUE(DecodeApplyRequest(flagged, &out, &d));
+  EXPECT_EQ(d, Durability::kPublished);
+  ASSERT_EQ(out.ops.size(), 2u);
+  EXPECT_EQ(out.ops[1].oid, 3u);
+}
+
+TEST(Requests, ApplyDurabilityFlagStrictV1Rejection) {
+  // A server parsing a v1 frame (durability == nullptr) must treat the
+  // trailing byte as the malformed payload it always was pre-v2.
+  WriteBatch batch;
+  batch.Insert(Rect{0.1, 0.1, 0.2, 0.2});
+  const std::string flagged =
+      EncodeApplyRequest(batch, Durability::kPublished);
+  WriteBatch out;
+  EXPECT_FALSE(DecodeApplyRequest(flagged, &out));
+
+  // An out-of-range flag byte is malformed even for a v2 decode.
+  std::string bad = EncodeApplyRequest(batch);
+  bad.push_back('\x02');
+  Durability d;
+  EXPECT_FALSE(DecodeApplyRequest(bad, &out, &d));
 }
 
 }  // namespace
