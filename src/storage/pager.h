@@ -95,10 +95,16 @@ class Pager {
   uint32_t page_size() const { return page_size_; }
 
   /// Total pages ever allocated (including freed ones and the header).
-  uint32_t page_count() const { return page_count_; }
+  uint32_t page_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return page_count_;
+  }
 
   /// Pages currently allocated to callers (excludes header and free list).
-  uint32_t live_page_count() const { return live_pages_; }
+  uint32_t live_page_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_pages_;
+  }
 
   /// Allocates a page (recycling the free list first). The new page's
   /// contents are undefined until written.
