@@ -411,8 +411,7 @@ std::string Server::StatsJson() const {
   {
     size_t depth, in_flight;
     {
-      std::lock_guard<std::mutex> lock(
-          const_cast<std::mutex&>(queue_mu_));
+      std::lock_guard<std::mutex> lock(queue_mu_);
       depth = queue_.size();
       in_flight = in_flight_;
     }

@@ -171,7 +171,8 @@ class Server {
   std::atomic<bool> stopped_{false};
 
   // Admission queue + drain accounting (all guarded by queue_mu_).
-  std::mutex queue_mu_;
+  // mutable: StatsJson() is const but must lock to snapshot the queue.
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;  ///< workers wait for requests
   std::condition_variable drain_cv_;  ///< Stop() waits for quiescence
   std::deque<Request> queue_;
