@@ -215,30 +215,27 @@ void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
     SendReply(conn, op, id, EncodeErrorReply(code, WireErrorName(code)));
     return;
   }
+  WireError code;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (draining_ || stop_workers_) {
       counters_.shutdown_rejected.fetch_add(1, std::memory_order_relaxed);
-      // Reply outside the queue lock (below).
+      code = WireError::kShuttingDown;
     } else if (queue_.size() >= options_.queue_capacity) {
       counters_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
-      // BUSY reply below, outside the lock.
+      code = WireError::kBusy;
     } else {
       conn->pending.fetch_add(1, std::memory_order_acq_rel);
       queue_.push_back(Request{conn, std::move(frame)});
       queue_cv_.notify_one();
       return;
     }
-    // fallthrough target recorded in counters; compute code from them
   }
   // Rejected: emit the backpressure / drain reply from the reader thread
-  // so a saturated worker pool can't delay the rejection.
-  const bool draining = [&] {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    return draining_ || stop_workers_;
-  }();
-  const WireError code =
-      draining ? WireError::kShuttingDown : WireError::kBusy;
+  // so a saturated worker pool can't delay the rejection. The reason is
+  // decided under the same lock hold that recorded the counter — a
+  // re-check here could observe a drain that started after the BUSY
+  // rejection and misreport it as SHUTTING_DOWN.
   SendReply(conn, op, id, EncodeErrorReply(code, WireErrorName(code)));
 }
 
