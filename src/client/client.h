@@ -52,27 +52,27 @@ struct ApplyReplyData {
 
 class Client {
  public:
-  static Result<Client> ConnectTcp(const std::string& host, uint16_t port);
-  static Result<Client> ConnectUnix(const std::string& path);
+  [[nodiscard]] static Result<Client> ConnectTcp(const std::string& host, uint16_t port);
+  [[nodiscard]] static Result<Client> ConnectUnix(const std::string& path);
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
-  Result<QueryReply> Window(const Rect& w);
-  Result<QueryReply> Point(const zdb::Point& p);
-  Result<KnnReplyData> Nearest(const zdb::Point& p, uint32_t k);
+  [[nodiscard]] Result<QueryReply> Window(const Rect& w);
+  [[nodiscard]] Result<QueryReply> Point(const zdb::Point& p);
+  [[nodiscard]] Result<KnnReplyData> Nearest(const zdb::Point& p, uint32_t k);
   /// Applies `batch` atomically on the server. kDurable (default) acks
   /// after the batch is fsynced — encoded exactly as wire v1, so it
   /// works against servers of any version. kPublished acks as soon as
   /// readers can see the batch (wire v2); a pre-v2 server rejects that
   /// flag and the call fails with a clear InvalidArgument.
-  Result<ApplyReplyData> Apply(const WriteBatch& batch,
+  [[nodiscard]] Result<ApplyReplyData> Apply(const WriteBatch& batch,
                                Durability durability = Durability::kDurable);
-  Result<std::string> Stats();
-  Status Ping();
+  [[nodiscard]] Result<std::string> Stats();
+  [[nodiscard]] Status Ping();
   /// Asks the daemon to shut down (the reply arrives before the server
   /// starts draining).
-  Status Shutdown();
+  [[nodiscard]] Status Shutdown();
 
   /// Closes the connection; further calls fail.
   void Close() { sock_.Close(); }
@@ -86,7 +86,7 @@ class Client {
   /// Status codes documented above). `version` marks the request frame;
   /// plain requests send kMinWireVersion so any server accepts them.
   /// If `wire_err` is non-null it receives the reply's raw wire code.
-  Result<std::string> RoundTrip(Opcode op, std::string_view payload,
+  [[nodiscard]] Result<std::string> RoundTrip(Opcode op, std::string_view payload,
                                 uint16_t version = kMinWireVersion,
                                 WireError* wire_err = nullptr);
 

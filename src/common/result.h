@@ -17,9 +17,10 @@
 namespace zdb {
 
 /// Holds either a value of type T or a non-OK Status explaining why the
-/// value could not be produced.
+/// value could not be produced. [[nodiscard]] like Status: dropping a
+/// Result discards both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return 42;`
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

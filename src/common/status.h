@@ -13,7 +13,11 @@
 namespace zdb {
 
 /// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
-class Status {
+/// [[nodiscard]] at class level: any call that returns a Status and drops
+/// it on the floor is a compile warning (-Werror=unused-result in the
+/// build), because a silently ignored error is a latent bug. Use a
+/// `(void)` cast for the rare genuinely best-effort call sites.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

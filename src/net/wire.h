@@ -77,7 +77,7 @@ enum class Opcode : uint8_t {
 /// One past the largest opcode value; sizes per-opcode counter arrays.
 constexpr size_t kOpcodeLimit = 8;
 
-bool KnownOpcode(uint8_t op);
+[[nodiscard]] bool KnownOpcode(uint8_t op);
 const char* OpcodeName(Opcode op);
 
 /// Typed wire-level error codes carried in the reply status byte.
@@ -139,7 +139,7 @@ void EncodeFrameHeader(char* dst, const FrameHeader& header);
 /// On kBadMagic/kBadVersion/kFrameTooLarge, *out still carries whatever
 /// fields were readable (opcode, request_id) so an error reply can echo
 /// them. Versions kMinWireVersion..kWireVersion are all accepted.
-WireError DecodeFrameHeader(const char* src, FrameHeader* out);
+[[nodiscard]] WireError DecodeFrameHeader(const char* src, FrameHeader* out);
 
 /// A complete frame: header + payload, ready to write to a socket.
 /// `version` is the protocol revision the payload encoding requires;
@@ -188,12 +188,12 @@ class PayloadReader {
   explicit PayloadReader(std::string_view buf)
       : p_(buf.data()), end_(buf.data() + buf.size()) {}
 
-  bool GetU8(uint8_t* v);
-  bool GetU32(uint32_t* v);
-  bool GetU64(uint64_t* v);
-  bool GetDouble(double* v);
+  [[nodiscard]] bool GetU8(uint8_t* v);
+  [[nodiscard]] bool GetU32(uint32_t* v);
+  [[nodiscard]] bool GetU64(uint64_t* v);
+  [[nodiscard]] bool GetDouble(double* v);
   /// u32 length prefix + that many bytes.
-  bool GetLengthPrefixedString(std::string* v);
+  [[nodiscard]] bool GetLengthPrefixedString(std::string* v);
 
   size_t remaining() const { return static_cast<size_t>(end_ - p_); }
   bool AtEnd() const { return p_ == end_; }
@@ -206,13 +206,14 @@ class PayloadReader {
 // ------------------------------------------------------ request payloads
 
 std::string EncodeWindowRequest(const Rect& w);
-bool DecodeWindowRequest(std::string_view payload, Rect* w);
+[[nodiscard]] bool DecodeWindowRequest(std::string_view payload, Rect* w);
 
 std::string EncodePointRequest(const Point& p);
-bool DecodePointRequest(std::string_view payload, Point* p);
+[[nodiscard]] bool DecodePointRequest(std::string_view payload, Point* p);
 
 std::string EncodeKnnRequest(const Point& p, uint32_t k);
-bool DecodeKnnRequest(std::string_view payload, Point* p, uint32_t* k);
+[[nodiscard]] bool DecodeKnnRequest(std::string_view payload, Point* p,
+                                    uint32_t* k);
 
 /// Batch of inserts (kind 0: mbr + payload word) and erases (kind 1:
 /// oid), applied atomically server-side via SpatialIndex::ApplyBatch.
@@ -228,8 +229,9 @@ std::string EncodeApplyRequest(const WriteBatch& batch,
 /// Passing durability == nullptr restores strict v1 parsing: a trailing
 /// byte is rejected as malformed — exactly how pre-v2 servers respond
 /// to the flag.
-bool DecodeApplyRequest(std::string_view payload, WriteBatch* batch,
-                        Durability* durability = nullptr);
+[[nodiscard]] bool DecodeApplyRequest(std::string_view payload,
+                                      WriteBatch* batch,
+                                      Durability* durability = nullptr);
 
 // -------------------------------------------------------- reply payloads
 //
@@ -258,17 +260,22 @@ std::string EncodeEmptyReply();
 /// opcode-specific remainder; on error, *error_message is filled from the
 /// length-prefixed message. A reply too short to carry a status byte (or
 /// an error reply with a malformed message) reports kMalformed.
-WireError ParseReplyStatus(std::string_view payload, std::string_view* body,
-                           std::string* error_message);
+[[nodiscard]] WireError ParseReplyStatus(std::string_view payload,
+                                         std::string_view* body,
+                                         std::string* error_message);
 
-bool DecodeIdListReplyBody(std::string_view body, uint64_t* epoch_before,
-                           uint64_t* epoch_after, std::vector<ObjectId>* ids);
-bool DecodeKnnReplyBody(std::string_view body, uint64_t* epoch_before,
-                        uint64_t* epoch_after,
-                        std::vector<std::pair<ObjectId, double>>* hits);
-bool DecodeApplyReplyBody(std::string_view body, uint64_t* epoch_after,
-                          std::vector<ObjectId>* inserted);
-bool DecodeStatsReplyBody(std::string_view body, std::string* json);
+[[nodiscard]] bool DecodeIdListReplyBody(std::string_view body,
+                                         uint64_t* epoch_before,
+                                         uint64_t* epoch_after,
+                                         std::vector<ObjectId>* ids);
+[[nodiscard]] bool DecodeKnnReplyBody(
+    std::string_view body, uint64_t* epoch_before, uint64_t* epoch_after,
+    std::vector<std::pair<ObjectId, double>>* hits);
+[[nodiscard]] bool DecodeApplyReplyBody(std::string_view body,
+                                        uint64_t* epoch_after,
+                                        std::vector<ObjectId>* inserted);
+[[nodiscard]] bool DecodeStatsReplyBody(std::string_view body,
+                                        std::string* json);
 
 }  // namespace net
 }  // namespace zdb

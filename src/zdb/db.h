@@ -87,7 +87,7 @@ class DB {
   /// lives at `path + "-journal"` (crash recovery runs here). A file
   /// that already holds a database is reopened with its stored index
   /// options; otherwise it is created with `options.index`.
-  static Result<std::unique_ptr<DB>> Open(const std::string& path,
+  [[nodiscard]] static Result<std::unique_ptr<DB>> Open(const std::string& path,
                                           const DBOptions& options = {});
 
   /// Stops the group-commit pipeline (draining pending durability) and
@@ -100,19 +100,19 @@ class DB {
   // ------------------------------------------------------------- queries
 
   /// All live objects whose MBR intersects `window`.
-  Result<std::vector<ObjectId>> Window(const Rect& window,
+  [[nodiscard]] Result<std::vector<ObjectId>> Window(const Rect& window,
                                        QueryStats* stats = nullptr);
 
   /// All live objects containing `p` (exact geometry).
-  Result<std::vector<ObjectId>> Point(const zdb::Point& p,
+  [[nodiscard]] Result<std::vector<ObjectId>> Point(const zdb::Point& p,
                                       QueryStats* stats = nullptr);
 
   /// All live objects fully inside `window`.
-  Result<std::vector<ObjectId>> Containment(const Rect& window,
+  [[nodiscard]] Result<std::vector<ObjectId>> Containment(const Rect& window,
                                             QueryStats* stats = nullptr);
 
   /// The k nearest objects to `p`, closest first.
-  Result<std::vector<std::pair<ObjectId, double>>> Nearest(
+  [[nodiscard]] Result<std::vector<std::pair<ObjectId, double>>> Nearest(
       const zdb::Point& p, size_t k, QueryStats* stats = nullptr);
 
   // ------------------------------------------------------------- updates
@@ -120,18 +120,18 @@ class DB {
   /// Single-object mutations. With the pipeline running these are
   /// acknowledged at publish time (durable asynchronously); use Apply
   /// with kDurable — or Checkpoint() — to block on durability.
-  Result<ObjectId> Insert(const Rect& mbr, uint32_t payload = 0);
-  Result<ObjectId> InsertPolygon(const Polygon& poly);
-  Status Erase(ObjectId oid);
+  [[nodiscard]] Result<ObjectId> Insert(const Rect& mbr, uint32_t payload = 0);
+  [[nodiscard]] Result<ObjectId> InsertPolygon(const Polygon& poly);
+  [[nodiscard]] Status Erase(ObjectId oid);
 
   /// Bulk loads rectangles into an empty DB.
-  Status BulkLoad(const std::vector<Rect>& data, double fill = 0.9);
+  [[nodiscard]] Status BulkLoad(const std::vector<Rect>& data, double fill = 0.9);
 
   /// Applies `batch` atomically. kDurable (default) returns once the
   /// batch is fsynced; kPublished returns once readers can see it (the
   /// batch becomes durable asynchronously and rolls back as a unit if a
   /// crash beats the fsync).
-  Result<std::vector<ObjectId>> Apply(
+  [[nodiscard]] Result<std::vector<ObjectId>> Apply(
       const WriteBatch& batch, Durability durability = Durability::kDurable);
 
   // ---------------------------------------------------------- durability
@@ -140,11 +140,11 @@ class DB {
   /// group mode, or checkpoints + flushes + commits synchronously
   /// otherwise. No-op-ish for an unjournaled in-memory DB (state is
   /// checkpointed so Stats()/reopen paths stay coherent).
-  Status Checkpoint();
+  [[nodiscard]] Status Checkpoint();
 
   /// Blocks until `epoch` is durable (group mode; see
   /// SpatialIndex::WaitDurable). timeout_ms 0 waits indefinitely.
-  Status WaitDurable(uint64_t epoch, uint64_t timeout_ms = 0);
+  [[nodiscard]] Status WaitDurable(uint64_t epoch, uint64_t timeout_ms = 0);
 
   // ------------------------------------------------------------ plumbing
 
@@ -164,7 +164,7 @@ class DB {
   /// Benchmarking aid: drops every clean cached page so the next query
   /// runs against a cold cache. Fails if dirty or pinned pages would be
   /// lost — checkpoint first.
-  Status ClearCache();
+  [[nodiscard]] Status ClearCache();
 
   /// A query executor driving this DB's index over `threads` workers.
   /// The executor must not outlive the DB.
