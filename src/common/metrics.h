@@ -11,6 +11,14 @@
 // ThreadIoStats is a per-thread shadow registered via SetThreadIoStats();
 // each worker owns its own instance, so those counters are plain integers
 // aggregated racelessly after the worker quiesces.
+//
+// Thread-safety contracts: this header deliberately has no lockable
+// members and therefore no GUARDED_BY annotations (see DESIGN.md,
+// "Concurrency contracts"). Everything shared is a lone relaxed atomic
+// — no multi-field invariant to guard — and everything non-atomic is
+// owned by exactly one thread (TLS registration) for its whole lifetime.
+// If a future counter couples two fields under one invariant, promote
+// this to a zdb::Mutex + GUARDED_BY rather than widening the atomics.
 
 #ifndef ZDB_COMMON_METRICS_H_
 #define ZDB_COMMON_METRICS_H_

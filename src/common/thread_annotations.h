@@ -1,0 +1,107 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Clang Thread Safety Analysis annotations, in the style shipped by
+// LevelDB/RocksDB/Abseil. On Clang these expand to the attributes that
+// -Wthread-safety checks at compile time; on every other compiler they
+// vanish, so the annotated code stays portable.
+//
+// The build enables -Wthread-safety -Werror=thread-safety-analysis on
+// Clang (see the top-level CMakeLists.txt), and the negative-compile
+// harness in tests/static_analysis/ proves the analysis rejects lock
+// discipline violations. Use these macros together with the annotated
+// lock wrappers in common/mutex.h — never with raw std::mutex, which the
+// analysis cannot see.
+//
+// Conventions (see DESIGN.md "Concurrency contracts"):
+//   * every shared field names its lock with GUARDED_BY;
+//   * internal "*Locked" methods name their precondition with
+//     REQUIRES / REQUIRES_SHARED;
+//   * functions that take and release a lock internally use
+//     ACQUIRE/RELEASE (or a SCOPED_CAPABILITY RAII type);
+//   * deliberate escape hatches (type-erased latch handles, racy
+//     diagnostic reads) are marked NO_THREAD_SAFETY_ANALYSIS with a
+//     comment saying why.
+
+#ifndef ZDB_COMMON_THREAD_ANNOTATIONS_H_
+#define ZDB_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ZDB_TSA_HAS_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define ZDB_TSA_HAS_ATTRIBUTE(x) 0
+#endif
+
+#if ZDB_TSA_HAS_ATTRIBUTE(guarded_by)
+#define ZDB_TSA_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ZDB_TSA_ATTRIBUTE(x)  // no-op on non-Clang compilers
+#endif
+
+/// Marks a lock-like type (a "capability" in analysis terms).
+#define CAPABILITY(x) ZDB_TSA_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability.
+#define SCOPED_CAPABILITY ZDB_TSA_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be accessed while holding the named capability
+/// (exclusively for writes, at least shared for reads).
+#define GUARDED_BY(x) ZDB_TSA_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the named capability.
+#define PT_GUARDED_BY(x) ZDB_TSA_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-order declarations: this capability must be acquired before /
+/// after the named ones. (Checked under -Wthread-safety-beta; kept as
+/// machine-readable documentation of the canonical order regardless.)
+#define ACQUIRED_BEFORE(...) ZDB_TSA_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) ZDB_TSA_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held exclusively / shared on entry,
+/// and does not release it.
+#define REQUIRES(...) \
+  ZDB_TSA_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  ZDB_TSA_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it
+/// on return.
+#define ACQUIRE(...) ZDB_TSA_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  ZDB_TSA_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define RELEASE(...) ZDB_TSA_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  ZDB_TSA_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  ZDB_TSA_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the first argument is
+/// the return value meaning success.
+#define TRY_ACQUIRE(...) \
+  ZDB_TSA_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  ZDB_TSA_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it acquires it
+/// itself; catches self-deadlock at call sites the analysis can see).
+#define EXCLUDES(...) ZDB_TSA_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held; tells the analysis to
+/// assume it from here on. The zdb wrappers back these with real checks
+/// that abort with a message (see Mutex::AssertHeld).
+#define ASSERT_CAPABILITY(x) ZDB_TSA_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  ZDB_TSA_ATTRIBUTE(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) ZDB_TSA_ATTRIBUTE(lock_returned(x))
+
+/// Opts a function out of the analysis. Use only for deliberate,
+/// documented boundaries (type-erased lock handles, construction-time
+/// initialization, racy diagnostic accessors).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ZDB_TSA_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // ZDB_COMMON_THREAD_ANNOTATIONS_H_

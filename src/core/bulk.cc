@@ -13,8 +13,8 @@
 namespace zdb {
 
 Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  auto lock = AcquireExclusive();
+  MutexLock commit(commit_mu_);
+  WriterSection lock(this);
   if (btree_->size() != 0 || store_->size() != 0) {
     return Status::InvalidArgument("bulk load into non-empty index");
   }

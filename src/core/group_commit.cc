@@ -24,41 +24,46 @@ namespace zdb {
 
 void SpatialIndex::NotifyPublished() {
   if (!gc_active_.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> gl(gc_mu_);
+  MutexLock gl(gc_mu_);
   gc_published_ = write_epoch();
-  gc_cv_.notify_one();
+  gc_cv_.NotifyOne();
 }
 
 uint64_t SpatialIndex::durable_epoch() const {
-  std::lock_guard<std::mutex> gl(gc_mu_);
+  MutexLock gl(gc_mu_);
   return gc_durable_;
 }
 
 void SpatialIndex::SetGroupCommitPaused(bool paused) {
-  std::lock_guard<std::mutex> gl(gc_mu_);
+  MutexLock gl(gc_mu_);
   gc_paused_ = paused;
-  if (!paused) gc_cv_.notify_all();
+  if (!paused) gc_cv_.NotifyAll();
+}
+
+bool SpatialIndex::DurabilitySettledLocked(uint64_t epoch) const {
+  if (gc_durable_ >= epoch) return true;
+  if (!gc_running_ || gc_dead_) return true;
+  for (const FailedEpochs& f : gc_failed_) {
+    if (epoch > f.lo && epoch <= f.hi) return true;
+  }
+  return false;
 }
 
 Status SpatialIndex::WaitDurable(uint64_t epoch, uint64_t timeout_ms) {
-  std::unique_lock<std::mutex> gl(gc_mu_);
-  auto settled = [&] {
-    if (gc_durable_ >= epoch) return true;
-    if (!gc_running_ || gc_dead_) return true;
-    for (const FailedEpochs& f : gc_failed_) {
-      if (epoch > f.lo && epoch <= f.hi) return true;
-    }
-    return false;
-  };
+  MutexLock gl(gc_mu_);
   if (timeout_ms > 0) {
-    if (!gc_done_cv_.wait_for(gl, std::chrono::milliseconds(timeout_ms),
-                              settled)) {
-      return Status::TimedOut("epoch " + std::to_string(epoch) +
-                              " not durable within " +
-                              std::to_string(timeout_ms) + "ms");
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!DurabilitySettledLocked(epoch)) {
+      if (!gc_done_cv_.WaitUntil(gc_mu_, deadline)) {
+        if (DurabilitySettledLocked(epoch)) break;
+        return Status::TimedOut("epoch " + std::to_string(epoch) +
+                                " not durable within " +
+                                std::to_string(timeout_ms) + "ms");
+      }
     }
   } else {
-    gc_done_cv_.wait(gl, settled);
+    while (!DurabilitySettledLocked(epoch)) gc_done_cv_.Wait(gc_mu_);
   }
   // A rolled-back epoch can be numerically below a later watermark, so
   // the failure ranges are consulted before the watermark.
@@ -71,7 +76,7 @@ Status SpatialIndex::WaitDurable(uint64_t epoch, uint64_t timeout_ms) {
 }
 
 Status SpatialIndex::StartGroupCommit() {
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  MutexLock commit(commit_mu_);
   if (gc_active_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("group commit already running");
   }
@@ -86,7 +91,7 @@ Status SpatialIndex::StartGroupCommit() {
 
   // Make the current state durable — it becomes the initial group
   // boundary the armed journal's before-images roll back to.
-  auto lock = AcquireExclusive();
+  WriterSection lock(this);
   const PageId master_before = master_page_;
   ZDB_RETURN_IF_ERROR(pager->BeginBatch());
   Status st = CheckpointLocked().status();
@@ -111,7 +116,7 @@ Status SpatialIndex::StartGroupCommit() {
   }
   gc_master_ = master_page_;
   {
-    std::lock_guard<std::mutex> gl(gc_mu_);
+    MutexLock gl(gc_mu_);
     gc_stop_ = false;
     gc_dead_ = false;
     gc_paused_ = false;
@@ -126,14 +131,14 @@ Status SpatialIndex::StartGroupCommit() {
 
 Status SpatialIndex::StopGroupCommit() {
   {
-    std::lock_guard<std::mutex> gl(gc_mu_);
+    MutexLock gl(gc_mu_);
     gc_stop_ = true;
     gc_paused_ = false;
-    gc_cv_.notify_all();
+    gc_cv_.NotifyAll();
   }
   if (gc_thread_.joinable()) gc_thread_.join();
 
-  std::lock_guard<std::mutex> commit(commit_mu_);
+  MutexLock commit(commit_mu_);
   Status st = Status::OK();
   Pager* pager = pool_->pager();
   if (gc_active_.load(std::memory_order_relaxed) && pager->in_batch()) {
@@ -142,11 +147,11 @@ Status SpatialIndex::StopGroupCommit() {
     // Stop() leaves everything durable, then retire the armed batch.
     bool pending;
     {
-      std::lock_guard<std::mutex> gl(gc_mu_);
+      MutexLock gl(gc_mu_);
       pending = gc_published_ > gc_durable_;
     }
     if (pending) {
-      auto lock = AcquireExclusive();
+      WriterSection lock(this);
       st = CheckpointLocked().status();
       if (st.ok()) st = pool_->FlushAll();
     }
@@ -154,10 +159,10 @@ Status SpatialIndex::StopGroupCommit() {
   }
   gc_active_.store(false, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> gl(gc_mu_);
+    MutexLock gl(gc_mu_);
     gc_running_ = false;
     if (st.ok()) gc_durable_ = gc_published_;
-    gc_done_cv_.notify_all();
+    gc_done_cv_.NotifyAll();
   }
   // On failure the batch stays armed and the intact journal rolls the
   // undurable tail back on the next open — the crash contract, applied
@@ -168,11 +173,11 @@ Status SpatialIndex::StopGroupCommit() {
 void SpatialIndex::GroupCommitLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> gl(gc_mu_);
-      gc_cv_.wait(gl, [&] {
-        return gc_stop_ || gc_dead_ ||
-               (!gc_paused_ && gc_published_ > gc_durable_);
-      });
+      MutexLock gl(gc_mu_);
+      while (!(gc_stop_ || gc_dead_ ||
+               (!gc_paused_ && gc_published_ > gc_durable_))) {
+        gc_cv_.Wait(gc_mu_);
+      }
       if (gc_dead_) return;
       if (gc_published_ <= gc_durable_) {
         if (gc_stop_) return;
@@ -188,7 +193,7 @@ void SpatialIndex::GroupCommitLoop() {
 }
 
 Status SpatialIndex::CommitGroup() {
-  std::unique_lock<std::mutex> commit(commit_mu_);
+  MutexLock commit(commit_mu_);
   if (!gc_active_.load(std::memory_order_relaxed)) return Status::OK();
   Pager* pager = pool_->pager();
 
@@ -199,7 +204,7 @@ Status SpatialIndex::CommitGroup() {
   uint64_t target = 0;
   Status st;
   {
-    auto lock = AcquireExclusive();
+    WriterSection lock(this);
     target = write_epoch();
     st = CheckpointLocked().status();
   }
@@ -212,15 +217,15 @@ Status SpatialIndex::CommitGroup() {
   if (st.ok()) st = pager->CommitBatch();
 
   if (!st.ok()) {
-    auto lock = AcquireExclusive();
+    WriterSection lock(this);
     return RollbackGroupLocked(st);
   }
 
   gc_master_ = master_page_;
   {
-    std::lock_guard<std::mutex> gl(gc_mu_);
+    MutexLock gl(gc_mu_);
     gc_durable_ = target;
-    gc_done_cv_.notify_all();
+    gc_done_cv_.NotifyAll();
   }
 
   // Re-arm the journal for the next group. Failing here is not a state
@@ -230,10 +235,10 @@ Status SpatialIndex::CommitGroup() {
   st = pager->BeginBatch();
   if (!st.ok()) {
     gc_active_.store(false, std::memory_order_release);
-    std::lock_guard<std::mutex> gl(gc_mu_);
+    MutexLock gl(gc_mu_);
     gc_dead_ = true;
-    gc_cv_.notify_all();
-    gc_done_cv_.notify_all();
+    gc_cv_.NotifyAll();
+    gc_done_cv_.NotifyAll();
   }
   return st;
 }
@@ -253,14 +258,14 @@ Status SpatialIndex::RollbackGroupLocked(const Status& cause) {
   // cause; the new epoch *is* the durable state re-published.
   PublishWrite();
   {
-    std::lock_guard<std::mutex> gl(gc_mu_);
+    MutexLock gl(gc_mu_);
     if (gc_published_ > gc_durable_) {
       gc_failed_.push_back({gc_durable_, gc_published_, cause});
     }
     gc_published_ = gc_durable_ = write_epoch();
     if (!undo.ok()) gc_dead_ = true;
-    gc_cv_.notify_all();
-    gc_done_cv_.notify_all();
+    gc_cv_.NotifyAll();
+    gc_done_cv_.NotifyAll();
   }
   if (!undo.ok()) {
     // Disk and memory may disagree; the armed journal (if the abort is

@@ -34,7 +34,7 @@ SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
   // One reader section for ALL expanding rounds: a writer can never
   // interleave between rounds, so the returned neighbor set reflects a
   // single index state.
-  auto lock = AcquireShared();
+  SharedSection lock(this);
   std::vector<std::pair<ObjectId, double>> best;
   if (k == 0 || live_objects_ == 0) {
     if (rounds != nullptr) *rounds = 0;

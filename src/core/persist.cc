@@ -134,8 +134,8 @@ Result<PageId> SpatialIndex::Checkpoint() {
   // A checkpoint rewrites directory chains and the master page; it is a
   // writer section even though the logical contents do not change (and
   // takes commit_mu_ first to serialize with the group-commit thread).
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  auto lock = AcquireExclusive();
+  MutexLock commit(commit_mu_);
+  WriterSection lock(this);
   return CheckpointLocked();
 }
 
@@ -285,6 +285,10 @@ Result<std::unique_ptr<SpatialIndex>> SpatialIndex::Open(BufferPool* pool,
   index->store_->Restore(std::move(obj_pages), next_oid);
   index->polys_->RestorePages(std::move(poly_pages));
 
+  // Uncontended (the index is not published yet), but the restored
+  // fields carry GUARDED_BY contracts, so take their locks for real.
+  MutexLock commit(index->commit_mu_);
+  WriterSection lock(index.get());
   index->level_mask_ = level_mask;
   index->live_objects_ = live_objects;
   index->build_stats_ = build;

@@ -215,7 +215,7 @@ Result<std::vector<ObjectId>> SpatialIndex::CollectPointCandidates(
 }
 
 Result<std::vector<uint64_t>> SpatialIndex::LevelHistogram() {
-  auto lock = AcquireShared();
+  SharedSection lock(this);
   std::vector<uint64_t> histogram(2 * options_.grid_bits + 1, 0);
   Cursor cur(pool_, pool_->pager()->page_size());
   ZDB_ASSIGN_OR_RETURN(cur, btree_->SeekFirst());

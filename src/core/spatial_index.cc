@@ -41,7 +41,7 @@ bool SharedHeldByThisThread(const void* index) {
 
 // ----------------------------------------------------- latch acquisition
 //
-// std::shared_mutex fairness is implementation-defined, and the common
+// shared_mutex fairness is implementation-defined, and the common
 // pthread rwlock prefers readers: with reader threads issuing queries
 // back to back, the shared side never drains and a unique_lock waits
 // forever. The writers_waiting_ gate restores progress — writers
@@ -52,7 +52,7 @@ bool SharedHeldByThisThread(const void* index) {
 // most one query, so the writer's wait is bounded by one in-flight
 // query per reader thread.
 
-ReaderLatch SpatialIndex::AcquireShared() const {
+void SpatialIndex::LatchShared() const {
 #ifndef NDEBUG
   // The re-entrancy hazard documented at ReaderSection(): a nested
   // shared acquisition on the same index deadlocks as soon as a writer
@@ -63,27 +63,39 @@ ReaderLatch SpatialIndex::AcquireShared() const {
          "*Locked/plan hooks inside a held section instead");
 #endif
   {
-    std::unique_lock<std::mutex> gate(gate_mu_);
-    gate_cv_.wait(gate, [&] { return writers_waiting_ == 0; });
+    MutexLock gate(gate_mu_);
+    while (writers_waiting_ != 0) gate_cv_.Wait(gate_mu_);
   }
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  latch_.LockShared();
 #ifndef NDEBUG
   internal::NoteSharedAcquired(this);
 #endif
-  return ReaderLatch(std::move(lock), this);
 }
 
-std::unique_lock<std::shared_mutex> SpatialIndex::AcquireExclusive() {
+void SpatialIndex::UnlatchShared() const {
+#ifndef NDEBUG
+  internal::NoteSharedReleased(this);
+#endif
+  latch_.UnlockShared();
+}
+
+void SpatialIndex::LatchExclusive() {
   {
-    std::lock_guard<std::mutex> gate(gate_mu_);
+    MutexLock gate(gate_mu_);
     ++writers_waiting_;
   }
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  latch_.Lock();
   {
-    std::lock_guard<std::mutex> gate(gate_mu_);
-    if (--writers_waiting_ == 0) gate_cv_.notify_all();
+    MutexLock gate(gate_mu_);
+    if (--writers_waiting_ == 0) gate_cv_.NotifyAll();
   }
-  return lock;
+}
+
+void SpatialIndex::UnlatchExclusive() { latch_.Unlock(); }
+
+ReaderLatch SpatialIndex::AcquireShared() const {
+  LatchShared();
+  return ReaderLatch(this);
 }
 
 Result<std::unique_ptr<SpatialIndex>> SpatialIndex::Create(
@@ -121,8 +133,8 @@ bool PrevalidatedFailure(const Status& s) {
 }  // namespace
 
 Result<ObjectId> SpatialIndex::Insert(const Rect& mbr, uint32_t payload) {
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  auto lock = AcquireExclusive();
+  MutexLock commit(commit_mu_);
+  WriterSection lock(this);
   auto r = InsertLocked(mbr, payload);
   if (r.ok()) {
     PublishWrite();
@@ -134,8 +146,8 @@ Result<ObjectId> SpatialIndex::Insert(const Rect& mbr, uint32_t payload) {
 }
 
 Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly) {
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  auto lock = AcquireExclusive();
+  MutexLock commit(commit_mu_);
+  WriterSection lock(this);
   auto r = InsertPolygonLocked(poly);
   if (r.ok()) {
     PublishWrite();
@@ -147,8 +159,8 @@ Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly) {
 }
 
 Status SpatialIndex::Erase(ObjectId oid) {
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  auto lock = AcquireExclusive();
+  MutexLock commit(commit_mu_);
+  WriterSection lock(this);
   Status s = EraseLocked(oid);
   if (s.ok()) {
     PublishWrite();
@@ -161,8 +173,8 @@ Status SpatialIndex::Erase(ObjectId oid) {
 
 Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
     const WriteBatch& batch, Durability durability) {
-  std::unique_lock<std::mutex> commit(commit_mu_);
-  auto lock = AcquireExclusive();
+  MutexLock commit(commit_mu_);
+  WriterSection lock(this);
   // Predictable failures (invalid MBRs, unknown/dead/duplicate erases)
   // reject the whole batch before any op is applied, so they can never
   // leave a partial application — with or without a journal.
@@ -174,19 +186,6 @@ Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
   // commit as its own batch, and no write-epoch bump.
   if (batch.empty()) return inserted;
 
-  auto apply_ops = [&]() -> Status {
-    for (const WriteOp& op : batch.ops) {
-      if (op.kind == WriteOp::Kind::kInsert) {
-        auto r = InsertLocked(op.mbr, op.payload);
-        if (!r.ok()) return r.status();
-        inserted.push_back(r.value());
-      } else {
-        ZDB_RETURN_IF_ERROR(EraseLocked(op.oid));
-      }
-    }
-    return Status::OK();
-  };
-
   Pager* pager = pool_->pager();
 
   if (gc_active_) {
@@ -194,7 +193,7 @@ Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
     // (page mutations land in the buffer pool; the permanently armed
     // pager batch journals before-images of any evicted page), then
     // hand durability to the pipeline thread.
-    Status st = apply_ops();
+    Status st = ApplyOpsLocked(batch, &inserted);
     if (!st.ok()) {
       // Partial in-memory application: the only exact recovery point is
       // the last durable group boundary, so the whole group rolls back
@@ -205,8 +204,8 @@ Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
     PublishWrite();
     const uint64_t epoch = write_epoch();
     NotifyPublished();
-    lock.unlock();
-    commit.unlock();
+    lock.Unlock();
+    commit.Unlock();
     if (durability == Durability::kDurable) {
       ZDB_RETURN_IF_ERROR(WaitDurable(epoch));
     }
@@ -219,7 +218,7 @@ Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
   // to the caller's outer rollback (see header).
   const bool journal = pager->journaled() && !pager->in_batch();
   if (!journal) {
-    ZDB_RETURN_IF_ERROR(apply_ops());
+    ZDB_RETURN_IF_ERROR(ApplyOpsLocked(batch, &inserted));
     PublishWrite();
     return inserted;
   }
@@ -242,7 +241,7 @@ Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
   // reopen.
   if (st.ok()) st = pager->BeginBatch();
   if (st.ok()) {
-    st = apply_ops();
+    st = ApplyOpsLocked(batch, &inserted);
     if (st.ok()) st = CheckpointLocked().status();
     if (st.ok()) st = pool_->FlushAll();
     if (st.ok()) st = pager->CommitBatch();
@@ -275,6 +274,20 @@ Result<std::vector<ObjectId>> SpatialIndex::ApplyBatch(
   }
   PublishWrite();
   return inserted;
+}
+
+Status SpatialIndex::ApplyOpsLocked(const WriteBatch& batch,
+                                    std::vector<ObjectId>* inserted) {
+  for (const WriteOp& op : batch.ops) {
+    if (op.kind == WriteOp::Kind::kInsert) {
+      auto r = InsertLocked(op.mbr, op.payload);
+      if (!r.ok()) return r.status();
+      inserted->push_back(r.value());
+    } else {
+      ZDB_RETURN_IF_ERROR(EraseLocked(op.oid));
+    }
+  }
+  return Status::OK();
 }
 
 Status SpatialIndex::ValidateBatchLocked(const WriteBatch& batch) {
@@ -396,7 +409,7 @@ Result<bool> SpatialIndex::RecordIntersects(const ObjectRecord& rec,
 }
 
 Result<double> SpatialIndex::DistanceTo(ObjectId oid, const Point& p) {
-  auto lock = AcquireShared();
+  SharedSection lock(this);
   return DistanceToLocked(oid, p);
 }
 
@@ -448,7 +461,7 @@ Result<std::vector<ObjectId>> SpatialIndex::RefineWindowCandidates(
 
 Result<std::vector<ObjectId>> SpatialIndex::WindowQuery(const Rect& window,
                                                         QueryStats* stats) {
-  auto lock = AcquireShared();
+  SharedSection lock(this);
   return WindowQueryLocked(window, stats);
 }
 
@@ -476,7 +489,7 @@ Result<std::vector<ObjectId>> SpatialIndex::WindowQueryLocked(
 
 Result<std::vector<ObjectId>> SpatialIndex::PointQuery(const Point& p,
                                                        QueryStats* stats) {
-  auto lock = AcquireShared();
+  SharedSection lock(this);
   const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
     return mbr.Contains(p);
   };
@@ -504,7 +517,7 @@ Result<std::vector<ObjectId>> SpatialIndex::PointQuery(const Point& p,
 
 Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
     const Rect& window, QueryStats* stats) {
-  auto lock = AcquireShared();
+  SharedSection lock(this);
   if (!window.valid()) {
     return Status::InvalidArgument("invalid query window");
   }
@@ -531,7 +544,7 @@ Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
 
 Result<std::vector<ObjectId>> SpatialIndex::EnclosureQuery(
     const Rect& window, QueryStats* stats) {
-  auto lock = AcquireShared();
+  SharedSection lock(this);
   if (!window.valid()) {
     return Status::InvalidArgument("invalid query window");
   }

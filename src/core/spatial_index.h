@@ -36,16 +36,15 @@
 #define ZDB_CORE_SPATIAL_INDEX_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "btree/btree.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/object_store.h"
 #include "core/options.h"
 #include "core/polygon_store.h"
@@ -118,26 +117,30 @@ bool SharedHeldByThisThread(const void* index);
 #endif
 }  // namespace internal
 
+class SpatialIndex;
+
 /// Movable RAII shared-latch section returned by
-/// SpatialIndex::ReaderSection(). Behaves like the
-/// std::shared_lock it wraps; in debug builds it additionally maintains
-/// the per-thread held-set that lets AcquireShared() assert on nested
-/// acquisition of the same index (the writer-gate deadlock documented at
-/// ReaderSection()) at the call site instead of hanging. Must be
-/// released on the thread that acquired it.
+/// SpatialIndex::ReaderSection(). In debug builds it additionally
+/// maintains the per-thread held-set that lets the latch acquisition
+/// assert on nested acquisition of the same index (the writer-gate
+/// deadlock documented at ReaderSection()) at the call site instead of
+/// hanging. Must be released on the thread that acquired it.
+///
+/// Deliberately outside thread-safety analysis: a movable handle cannot
+/// be tracked by the analysis (the capability would have to follow the
+/// move), so the latch is acquired and released through unchecked
+/// boundaries (SpatialIndex::AcquireShared / UnlatchShared). Internal
+/// code uses the checked scoped sections instead; this handle exists for
+/// external callers that span the unlatched plan hooks.
 class ReaderLatch {
  public:
   ReaderLatch() = default;
-  ReaderLatch(std::shared_lock<std::shared_mutex> lock, const void* owner)
-      : lock_(std::move(lock)), owner_(owner) {}
-  ReaderLatch(ReaderLatch&& o) noexcept
-      : lock_(std::move(o.lock_)), owner_(o.owner_) {
+  ReaderLatch(ReaderLatch&& o) noexcept : owner_(o.owner_) {
     o.owner_ = nullptr;
   }
   ReaderLatch& operator=(ReaderLatch&& o) noexcept {
     if (this != &o) {
       Release();
-      lock_ = std::move(o.lock_);
       owner_ = o.owner_;
       o.owner_ = nullptr;
     }
@@ -147,19 +150,15 @@ class ReaderLatch {
   ReaderLatch& operator=(const ReaderLatch&) = delete;
   ~ReaderLatch() { Release(); }
 
-  bool owns_lock() const { return lock_.owns_lock(); }
+  bool owns_lock() const { return owner_ != nullptr; }
 
  private:
-  void Release() {
-#ifndef NDEBUG
-    if (owner_ != nullptr) internal::NoteSharedReleased(owner_);
-#endif
-    owner_ = nullptr;
-    if (lock_.owns_lock()) lock_.unlock();
-  }
+  friend class SpatialIndex;
+  explicit ReaderLatch(const SpatialIndex* owner) : owner_(owner) {}
 
-  std::shared_lock<std::shared_mutex> lock_;
-  const void* owner_ = nullptr;
+  void Release() NO_THREAD_SAFETY_ANALYSIS;  // inline after SpatialIndex
+
+  const SpatialIndex* owner_ = nullptr;
 };
 
 class SpatialIndex {
@@ -356,9 +355,16 @@ class SpatialIndex {
   // internally (per-call latching could interleave a writer between the
   // plan and its slices); when writers may be active, hold one
   // ReaderSection() across the whole plan/execute/refine sequence.
+  //
+  // That contract is not expressible to the thread-safety analysis (the
+  // ReaderSection handle is movable and the hooks run on threads other
+  // than the acquiring one), so the hooks are a documented unchecked
+  // boundary: NO_THREAD_SAFETY_ANALYSIS here, checked REQUIRES_SHARED
+  // helpers underneath.
 
   /// Builds the probe/scan plan for a window query.
-  Result<WindowPlan> PlanWindow(const Rect& window);
+  Result<WindowPlan> PlanWindow(const Rect& window)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   /// Executes plan work items [begin, end) and returns the candidate
   /// object ids (locally deduplicated, sorted). In store_mbr_in_leaf mode
@@ -366,7 +372,8 @@ class SpatialIndex {
   Result<std::vector<ObjectId>> ExecuteWindowPlanSlice(const WindowPlan& plan,
                                                        size_t begin,
                                                        size_t end,
-                                                       QueryStats* stats);
+                                                       QueryStats* stats)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   /// Refines window-query candidates against exact geometry (a no-op
   /// pass-through in store_mbr_in_leaf mode, where the filter already
@@ -388,11 +395,19 @@ class SpatialIndex {
   /// Euclidean otherwise. Polygon objects use their exact ring.
   Result<double> DistanceTo(ObjectId oid, const Point& p);
 
-  const IndexBuildStats& build_stats() const { return build_stats_; }
+  /// Build counters. Advisory monitor read outside the latch (callers
+  /// wanting a consistent snapshot hold a ReaderSection across it), so
+  /// deliberately outside the analysis.
+  const IndexBuildStats& build_stats() const NO_THREAD_SAFETY_ANALYSIS {
+    return build_stats_;
+  }
 
   /// Bitmask of element levels present in the index (bit L set if some
   /// entry was inserted at level L). Conservative: never cleared.
-  uint64_t level_mask() const { return level_mask_; }
+  /// Advisory monitor read outside the latch, like build_stats().
+  uint64_t level_mask() const NO_THREAD_SAFETY_ANALYSIS {
+    return level_mask_;
+  }
 
   /// Exact per-level entry counts (index 0 = whole-space element, up to
   /// 2 * grid_bits). Scans the whole index; diagnostics/analysis use.
@@ -408,6 +423,7 @@ class SpatialIndex {
  private:
   friend Result<std::vector<std::pair<ObjectId, ObjectId>>> SpatialJoin(
       SpatialIndex* a, SpatialIndex* b, JoinStats* stats);
+  friend class ReaderLatch;  // Release() calls UnlatchShared()
 
   SpatialIndex(BufferPool* pool, const SpatialIndexOptions& options)
       : pool_(pool),
@@ -415,35 +431,50 @@ class SpatialIndex {
         mapper_(options.world, options.grid_bits) {}
 
   // Unlatched bodies of the public entry points (suffix "Locked" =
-  // caller holds latch_, shared for reads / exclusive for writes). The
+  // caller holds latch_, shared for reads / exclusive for writes; the
+  // REQUIRES annotations make the analysis enforce exactly that). The
   // public wrappers acquire the latch and, for mutations, publish the
   // write epoch; internal callers (kNN's expanding windows, ApplyBatch,
   // SpatialJoin) compose these without re-acquiring.
-  Result<ObjectId> InsertLocked(const Rect& mbr, uint32_t payload);
-  Result<ObjectId> InsertPolygonLocked(const Polygon& poly);
-  Status EraseLocked(ObjectId oid);
+  Result<ObjectId> InsertLocked(const Rect& mbr, uint32_t payload)
+      REQUIRES(latch_);
+  Result<ObjectId> InsertPolygonLocked(const Polygon& poly)
+      REQUIRES(latch_);
+  Status EraseLocked(ObjectId oid) REQUIRES(latch_);
   /// Body of BulkLoad; sets *mutated once the first page is touched.
   Status BulkLoadLocked(const std::vector<Rect>& data, double fill,
-                        bool* mutated);
-  Result<PageId> CheckpointLocked();
+                        bool* mutated) REQUIRES(latch_);
+  /// Checkpoints serialize against the group-commit thread through
+  /// commit_mu_ in addition to the exclusive latch.
+  Result<PageId> CheckpointLocked() REQUIRES(commit_mu_, latch_);
 
   /// Rejects a batch whose ops would fail mid-application: invalid
   /// insert MBRs, erases of unknown/dead oids, duplicate erases. Reads
   /// only; nothing is applied.
-  Status ValidateBatchLocked(const WriteBatch& batch);
+  Status ValidateBatchLocked(const WriteBatch& batch) REQUIRES(latch_);
+
+  /// Applies a validated batch's ops in order, appending inserted oids
+  /// to *inserted; stops at the first failure (possibly mid-batch — the
+  /// caller owns rollback). Split out of ApplyBatch so the loop is a
+  /// checkable function instead of a lambda (the analysis does not
+  /// propagate locksets into lambdas).
+  Status ApplyOpsLocked(const WriteBatch& batch,
+                        std::vector<ObjectId>* inserted) REQUIRES(latch_);
 
   /// Re-reads the dynamic index state (B+-tree meta, store directories,
   /// counters) from the master page after Pager::AbortBatch rolled the
   /// file back to the pre-batch checkpoint, discarding the buffer-pool
   /// cache first. Defined in core/persist.cc.
-  Status ReloadLocked();
+  Status ReloadLocked() REQUIRES(commit_mu_, latch_);
   Result<std::vector<ObjectId>> WindowQueryLocked(const Rect& window,
-                                                  QueryStats* stats);
-  Result<double> DistanceToLocked(ObjectId oid, const Point& p);
+                                                  QueryStats* stats)
+      REQUIRES_SHARED(latch_);
+  Result<double> DistanceToLocked(ObjectId oid, const Point& p)
+      REQUIRES_SHARED(latch_);
 
   /// Bumps the published write epoch; call at the end of a successful
   /// writer section, while still holding the exclusive latch.
-  void PublishWrite() {
+  void PublishWrite() REQUIRES(latch_) {
     write_epoch_.fetch_add(1, std::memory_order_release);
   }
 
@@ -452,11 +483,15 @@ class SpatialIndex {
   /// Records the current write epoch as published and wakes the
   /// durability thread. Caller holds commit_mu_ (and has just
   /// PublishWrite()d); no-op when the pipeline is off.
-  void NotifyPublished();
+  void NotifyPublished() REQUIRES(commit_mu_);
 
   /// Durability thread body: waits for published > durable, commits one
   /// group per wakeup.
   void GroupCommitLoop();
+
+  /// True once WaitDurable(epoch)'s outcome is decided (durable, rolled
+  /// back, or the pipeline stopped/died). Wait-loop predicate.
+  bool DurabilitySettledLocked(uint64_t epoch) const REQUIRES(gc_mu_);
 
   /// One group commit cycle: brief exclusive-latch checkpoint, then
   /// flush + journal commit + re-arm off the latch. Takes commit_mu_.
@@ -469,49 +504,103 @@ class SpatialIndex {
   /// successful rollback, Corruption if the rollback itself failed
   /// (group mode is then disabled; the intact journal still recovers
   /// the file on the next open).
-  Status RollbackGroupLocked(const Status& cause);
+  Status RollbackGroupLocked(const Status& cause)
+      REQUIRES(commit_mu_, latch_);
 
   // Latch acquisition with writer preference. The portable
-  // std::shared_mutex makes no fairness promise, and the common pthread
+  // SharedMutex makes no fairness promise, and the common pthread
   // implementation prefers readers — under a continuous query stream the
   // shared side never drains and a writer waits forever. Writers
   // announce themselves in writers_waiting_ before blocking on the
-  // exclusive latch; AcquireShared() sleeps on gate_cv_ while any
+  // exclusive latch; LatchShared() sleeps on gate_cv_ while any
   // writer is announced (no CPU burned during the writer's turn), so
   // the shared side drains within one in-flight query per reader thread
   // and the writer gets through. Defined in spatial_index.cc.
-  ReaderLatch AcquireShared() const;
-  std::unique_lock<std::shared_mutex> AcquireExclusive();
+  void LatchShared() const ACQUIRE_SHARED(latch_);
+  void UnlatchShared() const RELEASE_SHARED(latch_);
+  void LatchExclusive() ACQUIRE(latch_);
+  void UnlatchExclusive() RELEASE(latch_);
+
+  /// Checked scoped shared section over the gate + latch; what internal
+  /// read paths use (the public ReaderSection() handle is movable and
+  /// therefore untracked).
+  class SCOPED_CAPABILITY SharedSection {
+   public:
+    explicit SharedSection(const SpatialIndex* ix)
+        ACQUIRE_SHARED(ix->latch_)
+        : ix_(ix) {
+      ix_->LatchShared();
+    }
+    ~SharedSection() RELEASE() { ix_->UnlatchShared(); }
+    SharedSection(const SharedSection&) = delete;
+    SharedSection& operator=(const SharedSection&) = delete;
+
+   private:
+    const SpatialIndex* ix_;
+  };
+
+  /// Checked scoped writer section (gate announcement + exclusive
+  /// latch). Unlock() releases early — ApplyBatch drops the latch before
+  /// blocking on durability.
+  class SCOPED_CAPABILITY WriterSection {
+   public:
+    explicit WriterSection(SpatialIndex* ix) ACQUIRE(ix->latch_)
+        : ix_(ix) {
+      ix_->LatchExclusive();
+    }
+    ~WriterSection() RELEASE() {
+      if (ix_ != nullptr) ix_->UnlatchExclusive();
+    }
+    void Unlock() RELEASE() {
+      ix_->UnlatchExclusive();
+      ix_ = nullptr;
+    }
+    WriterSection(const WriterSection&) = delete;
+    WriterSection& operator=(const WriterSection&) = delete;
+
+   private:
+    SpatialIndex* ix_;
+  };
+
+  /// Backs the public ReaderSection() handle: LatchShared() wrapped into
+  /// a movable ReaderLatch. Untracked by design (see ReaderLatch).
+  ReaderLatch AcquireShared() const NO_THREAD_SAFETY_ANALYSIS;
 
   /// Builds the probe/scan work list for a grid query rect (the shared
   /// planning step of the filter stage). Defined in query.cc.
-  WindowPlan BuildWindowPlan(const GridRect& qgrid) const;
+  WindowPlan BuildWindowPlan(const GridRect& qgrid) const
+      REQUIRES_SHARED(latch_);
 
   /// Executes plan work items [begin, end) through a fresh CandidateSink,
   /// optionally leaf-filtering with `leaf_pred`. Defined in query.cc.
   Result<std::vector<ObjectId>> ExecutePlanSlice(
       const WindowPlan& plan, size_t begin, size_t end,
-      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats);
+      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats)
+      REQUIRES_SHARED(latch_);
 
   /// Shared filter stage: every unique candidate whose element
   /// approximation touches the query grid rect. Defined in query.cc.
   Result<std::vector<ObjectId>> CollectCandidates(const GridRect& qgrid,
-                                                  QueryStats* stats);
+                                                  QueryStats* stats)
+      REQUIRES_SHARED(latch_);
 
   /// As above; in store-MBR-in-leaf mode additionally applies `leaf_pred`
   /// to the MBR replicated in the leaf, making refinement I/O-free.
   Result<std::vector<ObjectId>> CollectCandidatesFiltered(
       const GridRect& qgrid,
-      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats);
+      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats)
+      REQUIRES_SHARED(latch_);
 
   /// Candidates for a point (ancestor probes only). Defined in query.cc.
   Result<std::vector<ObjectId>> CollectPointCandidates(GridCoord gx,
                                                        GridCoord gy,
-                                                       QueryStats* stats);
+                                                       QueryStats* stats)
+      REQUIRES_SHARED(latch_);
 
   Result<std::vector<ObjectId>> CollectPointCandidatesFiltered(
       GridCoord gx, GridCoord gy,
-      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats);
+      const std::function<bool(const Rect&)>* leaf_pred, QueryStats* stats)
+      REQUIRES_SHARED(latch_);
 
   /// Refinement driver shared by the public queries. The predicate sees
   /// the full object record and may fetch exact geometry.
@@ -525,11 +614,15 @@ class SpatialIndex {
   BufferPool* pool_;
   SpatialIndexOptions options_;
   SpaceMapper mapper_;
+  // The handles are set once at construction/Open and the pointees do
+  // their own page-level synchronization under this index's latch; the
+  // pointers themselves are never reseated concurrently (ReloadLocked
+  // reseats them under commit_mu_ + exclusive latch).
   std::unique_ptr<BTree> btree_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<PolygonStore> polys_;
-  IndexBuildStats build_stats_;
-  uint64_t level_mask_ = 0;
+  IndexBuildStats build_stats_ GUARDED_BY(latch_);
+  uint64_t level_mask_ GUARDED_BY(latch_) = 0;
   /// Relaxed atomic so object_count() stays readable from monitor
   /// threads without a latch; writers mutate it under the exclusive
   /// latch.
@@ -539,13 +632,13 @@ class SpatialIndex {
   /// duration (kNN across all its expanding rounds), mutations hold it
   /// exclusive — batch-granular writer sections over the B+-tree, the
   /// stores and the index metadata.
-  mutable std::shared_mutex latch_;
-  /// Writer-preference gate (see AcquireShared()): writers_waiting_
+  mutable SharedMutex latch_ ACQUIRED_AFTER(commit_mu_);
+  /// Writer-preference gate (see LatchShared()): writers_waiting_
   /// counts writers blocked on (or about to block on) latch_; readers
-  /// wait on gate_cv_ until it drops to zero. Both guarded by gate_mu_.
-  mutable std::mutex gate_mu_;
-  mutable std::condition_variable gate_cv_;
-  mutable uint32_t writers_waiting_ = 0;
+  /// wait on gate_cv_ until it drops to zero. gate_mu_ is a leaf lock.
+  mutable Mutex gate_mu_;
+  mutable CondVar gate_cv_;
+  mutable uint32_t writers_waiting_ GUARDED_BY(gate_mu_) = 0;
   std::atomic<uint64_t> write_epoch_{0};
 
   /// Commit pipeline mutex: every mutator takes it *before* latch_
@@ -554,27 +647,30 @@ class SpatialIndex {
   /// journal commit. Readers never touch it, so the fsync window cannot
   /// stall the query path; writers queue on it instead of on the
   /// reader-visible latch.
-  std::mutex commit_mu_;
+  Mutex commit_mu_;
   /// Pipeline on/off. Written under commit_mu_; atomic so
   /// group_commit_active() is latch-free.
   std::atomic<bool> gc_active_{false};
   /// Master page of the last *durable* group boundary — the rollback
-  /// target. Guarded by commit_mu_.
-  PageId gc_master_ = kInvalidPageId;
+  /// target.
+  PageId gc_master_ GUARDED_BY(commit_mu_) = kInvalidPageId;
+  /// Started under commit_mu_ (StartGroupCommit), joined by
+  /// StopGroupCommit before it takes commit_mu_ — never touched
+  /// concurrently, so deliberately unguarded.
   std::thread gc_thread_;
 
   /// Epoch bookkeeping shared with the durability thread and waiters.
   /// gc_mu_ is a leaf lock (acquired after commit_mu_/latch_, never
   /// held across I/O).
-  mutable std::mutex gc_mu_;
-  std::condition_variable gc_cv_;             ///< wakes the thread
-  mutable std::condition_variable gc_done_cv_;  ///< wakes waiters
-  bool gc_stop_ = false;    ///< thread asked to drain and exit
-  bool gc_dead_ = false;    ///< pipeline broke (failed rollback/re-arm)
-  bool gc_paused_ = false;  ///< test hook
-  bool gc_running_ = false; ///< thread alive
-  uint64_t gc_published_ = 0;  ///< highest published epoch
-  uint64_t gc_durable_ = 0;    ///< highest durable epoch (watermark)
+  mutable Mutex gc_mu_ ACQUIRED_AFTER(commit_mu_);
+  CondVar gc_cv_;             ///< wakes the thread
+  mutable CondVar gc_done_cv_;  ///< wakes waiters
+  bool gc_stop_ GUARDED_BY(gc_mu_) = false;  ///< drain and exit
+  bool gc_dead_ GUARDED_BY(gc_mu_) = false;  ///< pipeline broke
+  bool gc_paused_ GUARDED_BY(gc_mu_) = false;   ///< test hook
+  bool gc_running_ GUARDED_BY(gc_mu_) = false;  ///< thread alive
+  uint64_t gc_published_ GUARDED_BY(gc_mu_) = 0;  ///< highest published
+  uint64_t gc_durable_ GUARDED_BY(gc_mu_) = 0;    ///< durable watermark
   /// Epochs (lo, hi] rolled back by a failed group, with the cause;
   /// append-only (failures are rare), consulted by WaitDurable.
   struct FailedEpochs {
@@ -582,13 +678,23 @@ class SpatialIndex {
     uint64_t hi;
     Status status;
   };
-  std::vector<FailedEpochs> gc_failed_;
+  std::vector<FailedEpochs> gc_failed_ GUARDED_BY(gc_mu_);
 
-  // Persistence bookkeeping (see core/persist.cc).
-  PageId master_page_ = kInvalidPageId;
-  PageId obj_dir_chain_ = kInvalidPageId;
-  PageId poly_dir_chain_ = kInvalidPageId;
+  // Persistence bookkeeping (see core/persist.cc). Written by
+  // checkpoint/reload/rollback, which all hold commit_mu_ (plus the
+  // exclusive latch); read by the commit pipeline under commit_mu_
+  // alone.
+  PageId master_page_ GUARDED_BY(commit_mu_) = kInvalidPageId;
+  PageId obj_dir_chain_ GUARDED_BY(commit_mu_) = kInvalidPageId;
+  PageId poly_dir_chain_ GUARDED_BY(commit_mu_) = kInvalidPageId;
 };
+
+inline void ReaderLatch::Release() {
+  if (owner_ != nullptr) {
+    owner_->UnlatchShared();
+    owner_ = nullptr;
+  }
+}
 
 /// Spatial join: all pairs (a-object, b-object) with intersecting MBRs,
 /// computed by a synchronized z-order merge of the two indexes' entry

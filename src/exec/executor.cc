@@ -22,10 +22,10 @@ QueryExecutor::QueryExecutor(SpatialIndex* index, size_t threads)
 
 QueryExecutor::~QueryExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -38,20 +38,21 @@ void QueryExecutor::WorkerLoop(size_t worker_idx) {
   // The worker's I/O shadow: the buffer pool charges this thread's pins,
   // hits and misses here without any shared-counter races.
   SetThreadIoStats(&stats_.workers[worker_idx].io);
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
-    if (jobs_.empty()) {
-      if (stop_) break;
-      continue;
+    std::shared_ptr<Job> job;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && jobs_.empty()) cv_.Wait(mu_);
+      if (jobs_.empty()) break;  // stop_ and nothing left to drain
+      job = jobs_.front();
     }
-    std::shared_ptr<Job> job = jobs_.front();
-    lock.unlock();
     ProcessJob(job.get(), worker_idx);
-    lock.lock();
-    // Whichever worker drains the job retires it; the shared_ptr identity
-    // check makes the pop idempotent across workers.
-    if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
+    {
+      MutexLock lock(mu_);
+      // Whichever worker drains the job retires it; the shared_ptr
+      // identity check makes the pop idempotent across workers.
+      if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
+    }
   }
   SetThreadIoStats(nullptr);
 }
@@ -62,14 +63,14 @@ void QueryExecutor::ProcessJob(Job* job, size_t worker_idx) {
     if (item >= job->count) return;
     bool skip;
     {
-      std::lock_guard<std::mutex> jl(job->mu);
+      MutexLock jl(job->mu);
       skip = job->failed;
     }
     if (!skip) {
       Status s = job->fn(item, worker_idx);
       ++stats_.workers[worker_idx].tasks;
       if (!s.ok()) {
-        std::lock_guard<std::mutex> jl(job->mu);
+        MutexLock jl(job->mu);
         if (!job->failed) {
           job->failed = true;
           job->first_error = std::move(s);
@@ -78,8 +79,8 @@ void QueryExecutor::ProcessJob(Job* job, size_t worker_idx) {
     }
     if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job->count) {
-      std::lock_guard<std::mutex> jl(job->mu);
-      job->cv.notify_all();
+      MutexLock jl(job->mu);
+      job->cv.NotifyAll();
     }
   }
 }
@@ -91,14 +92,14 @@ Status QueryExecutor::RunJob(
   job->fn = std::move(fn);
   job->count = count;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     jobs_.push_back(job);
   }
-  cv_.notify_all();
-  std::unique_lock<std::mutex> jl(job->mu);
-  job->cv.wait(jl, [&] {
-    return job->done.load(std::memory_order_acquire) == job->count;
-  });
+  cv_.NotifyAll();
+  MutexLock jl(job->mu);
+  while (job->done.load(std::memory_order_acquire) != job->count) {
+    job->cv.Wait(job->mu);
+  }
   return job->failed ? job->first_error : Status::OK();
 }
 

@@ -40,16 +40,16 @@
 #define ZDB_EXEC_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/spatial_index.h"
 
 namespace zdb {
@@ -173,10 +173,10 @@ class QueryExecutor {
     size_t count = 0;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    bool failed = false;    // guarded by mu
-    Status first_error;     // guarded by mu
+    Mutex mu;
+    CondVar cv;
+    bool failed GUARDED_BY(mu) = false;
+    Status first_error GUARDED_BY(mu);
   };
 
   Status RunJob(size_t count,
@@ -185,12 +185,14 @@ class QueryExecutor {
   void ProcessJob(Job* job, size_t worker_idx);
 
   SpatialIndex* index_;
+  /// Per-worker slots: each worker owns stats_.workers[i] (raceless by
+  /// ownership, not by lock — see the header comment).
   ExecStats stats_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Job>> jobs_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Job>> jobs_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -86,19 +86,19 @@ void Server::Stop() {
   // 2. Drain: frames arriving from here on are answered SHUTTING_DOWN by
   //    the reader threads; requests already admitted keep executing.
   {
-    std::unique_lock<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     draining_ = true;
-    drain_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+    while (!(queue_.empty() && in_flight_ == 0)) drain_cv_.Wait(queue_mu_);
     // 3. Quiesced — stop the worker pool.
     stop_workers_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
   workers_.clear();
 
   // 4. Tear down the connections (readers wake via the socket shutdown).
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (auto& [conn, thread] : conns_) {
       conn->closed.store(true, std::memory_order_release);
       conn->sock.ShutdownBoth();
@@ -110,13 +110,19 @@ void Server::Stop() {
 }
 
 bool Server::WaitForShutdownRequest(int timeout_ms) {
-  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(shutdown_mu_);
   if (timeout_ms < 0) {
-    shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+    while (!shutdown_requested_) shutdown_cv_.Wait(shutdown_mu_);
     return true;
   }
-  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                               [&] { return shutdown_requested_; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!shutdown_requested_) {
+    if (!shutdown_cv_.WaitUntil(shutdown_mu_, deadline)) {
+      return shutdown_requested_;
+    }
+  }
+  return true;
 }
 
 // ------------------------------------------------------------- accepting
@@ -128,7 +134,7 @@ void Server::AcceptLoop(Socket* listener) {
     auto conn = std::make_shared<Connection>();
     conn->sock = std::move(conn_sock).value();
     counters_.accepted.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     ReapConnectionsLocked();
     std::thread reader([this, conn] { ConnectionLoop(conn); });
     conns_.emplace_back(conn, std::move(reader));
@@ -215,9 +221,13 @@ void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
     SendReply(conn, op, id, EncodeErrorReply(code, WireErrorName(code)));
     return;
   }
+  // The rejection reason is decided under the same lock hold as the
+  // admission decision itself; re-deriving it from a second lock
+  // acquisition could misreport BUSY as SHUTTING_DOWN if Stop() began
+  // in between.
   WireError code;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (draining_ || stop_workers_) {
       counters_.shutdown_rejected.fetch_add(1, std::memory_order_relaxed);
       code = WireError::kShuttingDown;
@@ -227,15 +237,12 @@ void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
     } else {
       conn->pending.fetch_add(1, std::memory_order_acq_rel);
       queue_.push_back(Request{conn, std::move(frame)});
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
       return;
     }
   }
   // Rejected: emit the backpressure / drain reply from the reader thread
-  // so a saturated worker pool can't delay the rejection. The reason is
-  // decided under the same lock hold that recorded the counter — a
-  // re-check here could observe a drain that started after the BUSY
-  // rejection and misreport it as SHUTTING_DOWN.
+  // so a saturated worker pool can't delay the rejection.
   SendReply(conn, op, id, EncodeErrorReply(code, WireErrorName(code)));
 }
 
@@ -245,22 +252,18 @@ void Server::WorkerLoop() {
   for (;;) {
     Request req;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [&] { return stop_workers_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_workers_) return;
-        continue;
-      }
+      MutexLock lock(queue_mu_);
+      while (!stop_workers_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
+      if (queue_.empty()) return;  // stop_workers_ and nothing left
       req = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
     HandleRequest(req);
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.NotifyAll();
     }
   }
 }
@@ -361,10 +364,10 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
 
     case Opcode::kShutdown: {
       {
-        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        MutexLock lock(shutdown_mu_);
         shutdown_requested_ = true;
       }
-      shutdown_cv_.notify_all();
+      shutdown_cv_.NotifyAll();
       return EncodeEmptyReply();
     }
   }
@@ -381,7 +384,7 @@ void Server::SendReply(const ConnPtr& conn, uint8_t opcode,
   const std::string frame =
       BuildFrame(static_cast<Opcode>(opcode), kFlagReply, request_id,
                  payload, kMinWireVersion);
-  std::lock_guard<std::mutex> lock(conn->write_mu);
+  MutexLock lock(conn->write_mu);
   if (conn->closed.load(std::memory_order_acquire)) return;
   Status s = WriteFully(conn->sock, frame.data(), frame.size());
   if (!s.ok()) {
@@ -408,7 +411,7 @@ std::string Server::StatsJson() const {
   {
     size_t depth, in_flight;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       depth = queue_.size();
       in_flight = in_flight_;
     }

@@ -39,17 +39,17 @@
 #define ZDB_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/spatial_index.h"
 #include "exec/executor.h"
 #include "net/socket.h"
@@ -125,8 +125,8 @@ class Server {
 
  private:
   struct Connection {
-    Socket sock;
-    std::mutex write_mu;              ///< serializes reply frames
+    Socket sock;                      ///< shared by reader + repliers; see write_mu
+    Mutex write_mu;                   ///< serializes reply frames
     std::atomic<bool> closed{false};
     std::atomic<uint32_t> pending{0}; ///< admitted, reply not yet sent
     std::atomic<bool> done{false};    ///< reader thread exited (reap)
@@ -157,7 +157,7 @@ class Server {
                  std::string_view payload);
 
   /// Joins reader threads whose connections have finished.
-  void ReapConnectionsLocked();
+  void ReapConnectionsLocked() REQUIRES(conns_mu_);
 
   SpatialIndex* index_;
   ServerOptions options_;
@@ -170,23 +170,25 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 
-  // Admission queue + drain accounting (all guarded by queue_mu_).
-  // mutable: StatsJson() is const but must lock to snapshot the queue.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;  ///< workers wait for requests
-  std::condition_variable drain_cv_;  ///< Stop() waits for quiescence
-  std::deque<Request> queue_;
-  size_t in_flight_ = 0;     ///< popped but reply not yet written
-  bool draining_ = false;    ///< reject new admissions (SHUTTING_DOWN)
-  bool stop_workers_ = false;
+  // Admission queue + drain accounting. Mutable: StatsJson() (const)
+  // snapshots the queue depth under the lock.
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;  ///< workers wait for requests
+  CondVar drain_cv_;  ///< Stop() waits for quiescence
+  std::deque<Request> queue_ GUARDED_BY(queue_mu_);
+  /// Popped but reply not yet written.
+  size_t in_flight_ GUARDED_BY(queue_mu_) = 0;
+  /// Reject new admissions (SHUTTING_DOWN).
+  bool draining_ GUARDED_BY(queue_mu_) = false;
+  bool stop_workers_ GUARDED_BY(queue_mu_) = false;
   std::vector<std::thread> workers_;
 
-  std::mutex conns_mu_;
-  std::vector<std::pair<ConnPtr, std::thread>> conns_;
+  Mutex conns_mu_;
+  std::vector<std::pair<ConnPtr, std::thread>> conns_ GUARDED_BY(conns_mu_);
 
-  mutable std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
+  mutable Mutex shutdown_mu_;
+  CondVar shutdown_cv_;
+  bool shutdown_requested_ GUARDED_BY(shutdown_mu_) = false;
 
   ServerCounters counters_;
 };

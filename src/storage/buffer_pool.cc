@@ -96,36 +96,37 @@ void BufferPool::Unpin(uint32_t shard, uint32_t frame) {
   (void)prev;
 }
 
-Status BufferPool::WriteBack(Frame* f) {
+Status BufferPool::WriteBack(Shard& s, Frame* f) {
+  (void)s;  // capability token: proves the frame's shard lock is held
   if (!f->dirty.load(std::memory_order_relaxed)) return Status::OK();
   ZDB_RETURN_IF_ERROR(pager_->WritePage(f->id, f->data.data()));
   f->dirty.store(false, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<uint32_t> BufferPool::AcquireFrame(Shard* s) {
-  if (!s->free_frames.empty()) {
-    uint32_t idx = s->free_frames.back();
-    s->free_frames.pop_back();
+Result<uint32_t> BufferPool::AcquireFrame(Shard& s) {
+  if (!s.free_frames.empty()) {
+    uint32_t idx = s.free_frames.back();
+    s.free_frames.pop_back();
     return idx;
   }
   // Evict the least-recently-used unpinned frame of this shard.
-  uint32_t victim = static_cast<uint32_t>(s->frames.size());
+  uint32_t victim = static_cast<uint32_t>(s.frames.size());
   uint64_t best = UINT64_MAX;
-  for (uint32_t i = 0; i < s->frames.size(); ++i) {
-    const Frame& f = s->frames[i];
+  for (uint32_t i = 0; i < s.frames.size(); ++i) {
+    const Frame& f = s.frames[i];
     if (f.pins.load(std::memory_order_acquire) == 0 && f.last_used < best) {
       best = f.last_used;
       victim = i;
     }
   }
-  if (victim == s->frames.size()) {
+  if (victim == s.frames.size()) {
     return Status::NoSpace("buffer pool exhausted: all pages pinned");
   }
-  Frame& f = s->frames[victim];
-  ZDB_RETURN_IF_ERROR(WriteBack(&f));
+  Frame& f = s.frames[victim];
+  ZDB_RETURN_IF_ERROR(WriteBack(s, &f));
   ++pager_->mutable_io_stats()->pool_evictions;
-  s->table.erase(f.id);
+  s.table.erase(f.id);
   f.id = kInvalidPageId;
   return victim;
 }
@@ -133,7 +134,7 @@ Result<uint32_t> BufferPool::AcquireFrame(Shard* s) {
 Result<PageRef> BufferPool::Fetch(PageId id) {
   const uint32_t sidx = static_cast<uint32_t>(id) & shard_mask_;
   Shard& s = shards_[sidx];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   ThreadIoStats* tls = GetThreadIoStats();
   auto it = s.table.find(id);
   if (it != s.table.end()) {
@@ -144,13 +145,13 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
     }
     Frame& f = s.frames[it->second];
     f.pins.fetch_add(1, std::memory_order_relaxed);
-    Touch(&s, it->second);
+    Touch(s, it->second);
     return PageRef(this, sidx, it->second);
   }
   ++pager_->mutable_io_stats()->pool_misses;
   if (tls != nullptr) ++tls->pool_misses;
   uint32_t idx;
-  ZDB_ASSIGN_OR_RETURN(idx, AcquireFrame(&s));
+  ZDB_ASSIGN_OR_RETURN(idx, AcquireFrame(s));
   Frame& f = s.frames[idx];
   Status st = pager_->ReadPage(id, f.data.data());
   if (!st.ok()) {
@@ -161,7 +162,7 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
   f.pins.store(1, std::memory_order_relaxed);
   f.dirty.store(false, std::memory_order_relaxed);
   s.table[id] = idx;
-  Touch(&s, idx);
+  Touch(s, idx);
   if (tls != nullptr) ++tls->pages_pinned;
   return PageRef(this, sidx, idx);
 }
@@ -171,10 +172,10 @@ Result<PageRef> BufferPool::New() {
   ZDB_ASSIGN_OR_RETURN(id, pager_->Allocate());
   const uint32_t sidx = static_cast<uint32_t>(id) & shard_mask_;
   Shard& s = shards_[sidx];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   uint32_t idx;
   {
-    auto r = AcquireFrame(&s);
+    auto r = AcquireFrame(s);
     if (!r.ok()) {
       // Undo the allocation so the pager does not leak the page.
       (void)pager_->Free(id);
@@ -188,7 +189,7 @@ Result<PageRef> BufferPool::New() {
   f.pins.store(1, std::memory_order_relaxed);
   f.dirty.store(true, std::memory_order_relaxed);
   s.table[id] = idx;
-  Touch(&s, idx);
+  Touch(s, idx);
   ThreadIoStats* tls = GetThreadIoStats();
   if (tls != nullptr) ++tls->pages_pinned;
   return PageRef(this, sidx, idx);
@@ -197,7 +198,7 @@ Result<PageRef> BufferPool::New() {
 Status BufferPool::Delete(PageId id) {
   Shard& s = shard_for(id);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     auto it = s.table.find(id);
     if (it != s.table.end()) {
       Frame& f = s.frames[it->second];
@@ -228,7 +229,7 @@ Status BufferPool::FlushInternal(bool include_pinned) {
   size_t blocked = 0;
   PageId first_blocked = kInvalidPageId;
   for (auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     for (auto& f : s.frames) {
       if (f.id == kInvalidPageId ||
           !f.dirty.load(std::memory_order_relaxed)) {
@@ -239,7 +240,7 @@ Status BufferPool::FlushInternal(bool include_pinned) {
         if (first_blocked == kInvalidPageId) first_blocked = f.id;
         continue;
       }
-      ZDB_RETURN_IF_ERROR(WriteBack(&f));
+      ZDB_RETURN_IF_ERROR(WriteBack(s, &f));
     }
   }
   if (blocked > 0) {
@@ -255,7 +256,7 @@ Status BufferPool::FlushInternal(bool include_pinned) {
 Status BufferPool::Clear() {
   ZDB_RETURN_IF_ERROR(FlushAll());
   for (auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     for (uint32_t i = 0; i < s.frames.size(); ++i) {
       Frame& f = s.frames[i];
       if (f.id != kInvalidPageId) {
@@ -276,7 +277,7 @@ Status BufferPool::Discard() {
   // is dropped (a half-discarded cache would be worse than either
   // outcome).
   for (auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     for (const auto& f : s.frames) {
       if (f.id != kInvalidPageId &&
           f.pins.load(std::memory_order_acquire) > 0) {
@@ -286,7 +287,7 @@ Status BufferPool::Discard() {
     }
   }
   for (auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     for (uint32_t i = 0; i < s.frames.size(); ++i) {
       Frame& f = s.frames[i];
       if (f.id != kInvalidPageId) {
@@ -303,7 +304,7 @@ Status BufferPool::Discard() {
 size_t BufferPool::cached_pages() const {
   size_t n = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     n += s.table.size();
   }
   return n;
@@ -312,7 +313,7 @@ size_t BufferPool::cached_pages() const {
 size_t BufferPool::pinned_pages() const {
   size_t n = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     for (const auto& f : s.frames) {
       if (f.id != kInvalidPageId &&
           f.pins.load(std::memory_order_acquire) > 0) {

@@ -22,11 +22,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/pager.h"
 
 namespace zdb {
@@ -79,21 +80,21 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Pins page `id`, reading it from the pager on a miss. Thread-safe.
-  Result<PageRef> Fetch(PageId id);
+  [[nodiscard]] Result<PageRef> Fetch(PageId id);
 
   /// Allocates a fresh page, pinned and zero-filled (and dirty).
   /// Thread-safe.
-  Result<PageRef> New();
+  [[nodiscard]] Result<PageRef> New();
 
   /// Removes page `id` from the pool (must be unpinned) and frees it in
   /// the pager.
-  Status Delete(PageId id);
+  [[nodiscard]] Status Delete(PageId id);
 
   /// Writes back every dirty unpinned page. If dirty pages remain pinned
   /// after that, returns InvalidArgument naming how many pins block the
   /// flush and which page — everything flushable has still been written,
   /// so retrying after releasing the pins completes the flush.
-  Status FlushAll();
+  [[nodiscard]] Status FlushAll();
 
   /// Writes back every dirty page, *including* pinned ones. Only safe
   /// when no mutator can race the write-back — i.e. the caller excludes
@@ -101,10 +102,10 @@ class BufferPool {
   /// and remaining pins are read-only. Readers never mutate frame bytes,
   /// so copying a reader-pinned frame to the pager is a consistent
   /// snapshot; the frame stays cached and pinned afterwards.
-  Status FlushForCommit();
+  [[nodiscard]] Status FlushForCommit();
 
   /// Writes back everything and drops the cache (keeps capacity).
-  Status Clear();
+  [[nodiscard]] Status Clear();
 
   /// Drops every cached page WITHOUT writing dirty frames back, so the
   /// cache afterwards reflects exactly what is on disk. Fails (dropping
@@ -113,7 +114,7 @@ class BufferPool {
   /// cache makes subsequent fetches reload the restored images. Like
   /// FlushAll/Clear, intended for one thread with no concurrent
   /// mutators.
-  Status Discard();
+  [[nodiscard]] Status Discard();
 
   Pager* pager() const { return pager_; }
   size_t capacity() const { return capacity_; }
@@ -131,6 +132,10 @@ class BufferPool {
  private:
   friend class PageRef;
 
+  /// Frame fields are deliberately NOT GUARDED_BY(shard mu): id/data are
+  /// read by pinned PageRefs without the shard lock (the pin count — not
+  /// the mutex — is what keeps them stable), and pins/dirty are atomics.
+  /// id and last_used are only *mutated* under the shard lock.
   struct Frame {
     PageId id = kInvalidPageId;
     std::vector<char> data;
@@ -140,11 +145,11 @@ class BufferPool {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Frame> frames;
-    std::vector<uint32_t> free_frames;
-    std::unordered_map<PageId, uint32_t> table;
-    uint64_t tick = 0;
+    mutable Mutex mu;
+    std::vector<Frame> frames;  ///< fixed at construction; see Frame note
+    std::vector<uint32_t> free_frames GUARDED_BY(mu);
+    std::unordered_map<PageId, uint32_t> table GUARDED_BY(mu);
+    uint64_t tick GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(PageId id) {
@@ -152,16 +157,17 @@ class BufferPool {
   }
 
   void Unpin(uint32_t shard, uint32_t frame);
-  static void Touch(Shard* s, uint32_t frame) {
-    s->frames[frame].last_used = ++s->tick;
+  static void Touch(Shard& s, uint32_t frame) REQUIRES(s.mu) {
+    s.frames[frame].last_used = ++s.tick;
   }
 
   /// Finds a frame to (re)use within the shard, evicting the LRU unpinned
-  /// page if needed. Caller holds the shard lock.
-  Result<uint32_t> AcquireFrame(Shard* s);
+  /// page if needed.
+  Result<uint32_t> AcquireFrame(Shard& s) REQUIRES(s.mu);
 
-  /// Caller holds the shard lock of the frame's shard.
-  Status WriteBack(Frame* f);
+  /// Writes frame `f` (which must belong to shard `s`) back to the pager
+  /// if dirty. The shard reference is the capability token.
+  Status WriteBack(Shard& s, Frame* f) REQUIRES(s.mu);
 
   /// Shared body of FlushAll/FlushForCommit.
   Status FlushInternal(bool include_pinned);

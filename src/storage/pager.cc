@@ -38,10 +38,15 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::unique_ptr<File> file,
                                    std::to_string(kMaxPageSize) + "]");
   }
   std::unique_ptr<Pager> pager(new Pager(std::move(file), page_size));
-  if (pager->file_->Size() == 0) {
-    ZDB_RETURN_IF_ERROR(pager->StoreHeader());
-  } else {
-    ZDB_RETURN_IF_ERROR(pager->LoadHeader());
+  {
+    // Uncontended (the pager is not published yet), but LoadHeader and
+    // StoreHeader carry REQUIRES(mu_), so take it for real.
+    MutexLock lock(pager->mu_);
+    if (pager->file_->Size() == 0) {
+      ZDB_RETURN_IF_ERROR(pager->StoreHeader());
+    } else {
+      ZDB_RETURN_IF_ERROR(pager->LoadHeader());
+    }
   }
   return pager;
 }
@@ -55,7 +60,10 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::unique_ptr<File> file,
   {
     std::unique_ptr<Pager> probe(new Pager(std::move(file), page_size));
     probe->journal_ = std::move(journal);
-    ZDB_RETURN_IF_ERROR(probe->Rollback());
+    {
+      MutexLock lock(probe->mu_);
+      ZDB_RETURN_IF_ERROR(probe->Rollback());
+    }
     file = std::move(probe->file_);
     journal = std::move(probe->journal_);
   }
@@ -101,7 +109,7 @@ Status Pager::ReplayJournal() {
 }
 
 Status Pager::AbortBatch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!in_batch_) return Status::InvalidArgument("no active batch");
   // Until every step below succeeds the batch stays active and the
   // journal stays intact, so a failed abort still recovers on reopen.
@@ -125,7 +133,7 @@ Status Pager::AbortBatch() {
 }
 
 Status Pager::BeginBatch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (journal_ == nullptr) {
     return Status::InvalidArgument("pager opened without a journal");
   }
@@ -171,7 +179,7 @@ Status Pager::JournalBeforeImage(PageId id) {
 }
 
 Status Pager::CommitBatch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!in_batch_) return Status::InvalidArgument("no active batch");
   ZDB_RETURN_IF_ERROR(StoreHeader());
   ZDB_RETURN_IF_ERROR(file_->Sync());
@@ -221,7 +229,7 @@ Status Pager::StoreHeader() {
 }
 
 Result<PageId> Pager::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (freelist_head_ != kInvalidPageId) {
     const PageId id = freelist_head_;
     std::vector<char> buf(page_size_);
@@ -238,7 +246,7 @@ Result<PageId> Pager::Allocate() {
 }
 
 Status Pager::Free(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id == kInvalidPageId || id >= page_count_) {
     return Status::InvalidArgument("free of invalid page " +
                                    std::to_string(id));
@@ -257,7 +265,7 @@ Status Pager::ReadPage(PageId id, char* buf) {
     // Outside mu_: concurrent misses overlap their device stalls.
     std::this_thread::sleep_for(std::chrono::microseconds(latency));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ReadPageInternal(id, buf);
 }
 
@@ -271,7 +279,7 @@ Status Pager::ReadPageInternal(PageId id, char* buf) {
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return WritePageInternal(id, buf);
 }
 
@@ -289,7 +297,7 @@ Status Pager::WritePageInternal(PageId id, const char* buf) {
 }
 
 Status Pager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ZDB_RETURN_IF_ERROR(StoreHeader());
   return file_->Sync();
 }

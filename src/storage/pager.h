@@ -15,11 +15,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/file.h"
 #include "storage/page.h"
 
@@ -58,10 +59,10 @@ class Pager {
 
   /// Starts an atomic batch. Fails if none was configured or one is
   /// already active.
-  Status BeginBatch();
+  [[nodiscard]] Status BeginBatch() EXCLUDES(mu_);
 
   /// Durably ends the batch: header + file sync, then journal reset.
-  Status CommitBatch();
+  [[nodiscard]] Status CommitBatch() EXCLUDES(mu_);
 
   /// Aborts the active batch at runtime: restores every journaled
   /// before-image, truncates pages allocated inside the batch, resets
@@ -75,7 +76,7 @@ class Pager {
   /// restore their logical state exactly. If the abort itself fails
   /// (I/O error), the batch stays active and the intact journal still
   /// rolls everything back on the next Open().
-  Status AbortBatch();
+  [[nodiscard]] Status AbortBatch() EXCLUDES(mu_);
 
   bool in_batch() const {
     return in_batch_.load(std::memory_order_acquire);
@@ -95,32 +96,33 @@ class Pager {
   uint32_t page_size() const { return page_size_; }
 
   /// Total pages ever allocated (including freed ones and the header).
-  uint32_t page_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// Takes mu_: the counter is a plain field mutated by Allocate().
+  uint32_t page_count() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return page_count_;
   }
 
   /// Pages currently allocated to callers (excludes header and free list).
-  uint32_t live_page_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint32_t live_page_count() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return live_pages_;
   }
 
   /// Allocates a page (recycling the free list first). The new page's
   /// contents are undefined until written.
-  Result<PageId> Allocate();
+  [[nodiscard]] Result<PageId> Allocate() EXCLUDES(mu_);
 
   /// Returns a page to the free list.
-  Status Free(PageId id);
+  [[nodiscard]] Status Free(PageId id) EXCLUDES(mu_);
 
   /// Reads page `id` into `buf` (page_size bytes). Counts one page read.
-  Status ReadPage(PageId id, char* buf);
+  [[nodiscard]] Status ReadPage(PageId id, char* buf) EXCLUDES(mu_);
 
   /// Writes page `id` from `buf`. Counts one page write.
-  Status WritePage(PageId id, const char* buf);
+  [[nodiscard]] Status WritePage(PageId id, const char* buf) EXCLUDES(mu_);
 
   /// Persists the header (page count, free list) and syncs the file.
-  Status Sync();
+  [[nodiscard]] Status Sync() EXCLUDES(mu_);
 
   const IoStats& io_stats() const { return io_; }
   IoStats* mutable_io_stats() { return &io_; }
@@ -143,33 +145,35 @@ class Pager {
 
   /// Unlocked bodies shared by the public entry points (which hold mu_)
   /// and by internal callers that already do.
-  Status ReadPageInternal(PageId id, char* buf);
-  Status WritePageInternal(PageId id, const char* buf);
+  Status ReadPageInternal(PageId id, char* buf) REQUIRES(mu_);
+  Status WritePageInternal(PageId id, const char* buf) REQUIRES(mu_);
 
-  Status LoadHeader();
-  Status StoreHeader();
+  Status LoadHeader() REQUIRES(mu_);
+  Status StoreHeader() REQUIRES(mu_);
 
   /// Appends page `id`'s current on-disk image to the journal if this
   /// batch has not journaled it yet.
-  Status JournalBeforeImage(PageId id);
+  Status JournalBeforeImage(PageId id) REQUIRES(mu_);
 
   /// Restores before-images from a non-empty journal and truncates the
   /// database back to its pre-batch size.
-  Status Rollback();
+  Status Rollback() REQUIRES(mu_);
 
   /// The replay half of Rollback()/AbortBatch(): writes every journaled
   /// before-image back into the database file, truncates pages born in
   /// the batch and syncs the file. Does not reset the journal.
-  Status ReplayJournal();
+  Status ReplayJournal() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unique_ptr<File> file_;
-  std::unique_ptr<File> journal_;
+  mutable Mutex mu_;
+  /// file_/journal_ are set once during Open and only dereferenced under
+  /// mu_ afterwards; the pointers themselves never change post-open.
+  std::unique_ptr<File> file_ PT_GUARDED_BY(mu_);
+  std::unique_ptr<File> journal_ PT_GUARDED_BY(mu_);
   uint32_t page_size_;
-  uint32_t page_count_ = 1;  // page 0 is the header
-  uint32_t live_pages_ = 0;
-  PageId freelist_head_ = kInvalidPageId;
-  IoStats io_;
+  uint32_t page_count_ GUARDED_BY(mu_) = 1;  // page 0 is the header
+  uint32_t live_pages_ GUARDED_BY(mu_) = 0;
+  PageId freelist_head_ GUARDED_BY(mu_) = kInvalidPageId;
+  IoStats io_;  ///< relaxed atomics; read concurrently without mu_
   std::atomic<uint32_t> sim_read_latency_us_{0};
 
   /// Atomic so in_batch() may be polled without the pager mutex (e.g.
@@ -180,11 +184,11 @@ class Pager {
   // Allocation state snapshotted at BeginBatch, restored by AbortBatch
   // (the journaled page-0 image may predate un-synced header changes,
   // so the in-memory counters are the authoritative pre-batch state).
-  uint32_t batch_page_count_ = 0;
-  PageId batch_freelist_head_ = kInvalidPageId;
-  uint32_t batch_live_pages_ = 0;
-  uint32_t journal_entries_ = 0;
-  std::unordered_set<PageId> journaled_;
+  uint32_t batch_page_count_ GUARDED_BY(mu_) = 0;
+  PageId batch_freelist_head_ GUARDED_BY(mu_) = kInvalidPageId;
+  uint32_t batch_live_pages_ GUARDED_BY(mu_) = 0;
+  uint32_t journal_entries_ GUARDED_BY(mu_) = 0;
+  std::unordered_set<PageId> journaled_ GUARDED_BY(mu_);
 };
 
 }  // namespace zdb
