@@ -1,0 +1,22 @@
+// FAIL case: waiting on a condition variable without holding the mutex
+// it releases. CondVar::Wait carries REQUIRES(mu) — a wait outside the
+// lock would sleep while racing every reader of the predicate.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+struct Gate {
+  zdb::Mutex mu;
+  zdb::CondVar cv;
+  bool open GUARDED_BY(mu) = false;
+
+  void Await() {
+    while (!open) cv.Wait(mu);  // mu not held (and `open` read unlocked)
+  }
+};
+
+int main() {
+  Gate g;
+  (void)g;
+  return 0;
+}

@@ -1,0 +1,18 @@
+// FAIL case: writing a GUARDED_BY field without holding its mutex. The
+// analysis must reject the unlocked increment.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+struct Counter {
+  zdb::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  void Bump() { ++value; }  // no lock held
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

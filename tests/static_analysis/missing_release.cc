@@ -1,0 +1,24 @@
+// FAIL case: an early return leaks a manually acquired lock. The
+// analysis tracks every path's lockset, so the path that skips Unlock()
+// must be rejected ("mutex is still held at the end of function").
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+struct Queue {
+  zdb::Mutex mu;
+  int depth GUARDED_BY(mu) = 0;
+
+  int Pop() {
+    mu.Lock();
+    if (depth == 0) return -1;  // leaks mu
+    --depth;
+    mu.Unlock();
+    return depth;
+  }
+};
+
+int main() {
+  Queue q;
+  return q.Pop();
+}

@@ -1,0 +1,22 @@
+// FAIL case: calling a REQUIRES(mu) function without holding mu. This is
+// the *Locked-suffix convention the engine uses everywhere (InsertLocked,
+// CheckpointLocked, ...): forgetting the lock at a call site must not
+// compile.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+struct Table {
+  zdb::Mutex mu;
+  int rows GUARDED_BY(mu) = 0;
+
+  void InsertLocked() REQUIRES(mu) { ++rows; }
+
+  void Insert() { InsertLocked(); }  // missing MutexLock
+};
+
+int main() {
+  Table t;
+  t.Insert();
+  return 0;
+}

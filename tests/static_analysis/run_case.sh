@@ -1,0 +1,49 @@
+#!/bin/sh
+# Drives one negative-compile (or positive-control) case of the
+# thread-safety suite.
+#
+#   run_case.sh <clang++> <PASS|FAIL> <case.cc> <include-dir>
+#
+# FAIL cases must be rejected by the compiler AND the diagnostic must
+# come from the thread-safety analysis — a case failing for any other
+# reason (syntax error, missing header) is a broken case, not a caught
+# violation. PASS cases are positive controls: the disciplined versions
+# of the same patterns must stay warning-clean, proving the suite fails
+# for the right reason and not because the flags reject everything.
+set -u
+
+compiler="$1"
+mode="$2"
+src="$3"
+incdir="$4"
+
+out=$("$compiler" -std=c++20 -fsyntax-only -I "$incdir" \
+      -Wthread-safety -Werror=thread-safety-analysis "$src" 2>&1)
+status=$?
+
+case "$mode" in
+  PASS)
+    if [ "$status" -ne 0 ]; then
+      echo "$out"
+      echo "FAILED: expected a clean compile for $src"
+      exit 1
+    fi
+    ;;
+  FAIL)
+    if [ "$status" -eq 0 ]; then
+      echo "FAILED: expected a thread-safety error for $src, compiled clean"
+      exit 1
+    fi
+    if ! echo "$out" | grep -qi "thread.safety"; then
+      echo "$out"
+      echo "FAILED: $src was rejected, but not by the thread-safety analysis"
+      exit 1
+    fi
+    ;;
+  *)
+    echo "unknown mode: $mode (want PASS or FAIL)"
+    exit 2
+    ;;
+esac
+
+exit 0

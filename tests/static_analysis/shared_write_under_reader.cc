@@ -1,0 +1,22 @@
+// FAIL case: mutating a field guarded by a reader/writer mutex while
+// holding it only shared. A reader section proves read access, not write
+// access — the analysis must demand the exclusive hold.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+struct Index {
+  zdb::SharedMutex latch;
+  int entries GUARDED_BY(latch) = 0;
+
+  void Mutate() {
+    zdb::ReaderLock lock(latch);
+    ++entries;  // shared hold only; write needs exclusive
+  }
+};
+
+int main() {
+  Index i;
+  i.Mutate();
+  return 0;
+}
