@@ -1,0 +1,55 @@
+#!/bin/sh
+# Runs clang-tidy over src/ with the repo's .clang-tidy profile.
+#
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# The build dir must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the static-analysis CI job does);
+# defaults to ./build. Exits 0 with a notice when clang-tidy is not
+# installed, so the script is safe to call from environments that only
+# have GCC — the CI job is where the gate is binding.
+set -u
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy_bin="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy_bin" ]; then
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping (the" \
+       "static-analysis CI job enforces this gate)"
+  exit 0
+fi
+
+if [ ! -f "$repo_root/$build_dir/compile_commands.json" ] &&
+   [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: no compile_commands.json under '$build_dir'." >&2
+  echo "Configure with: cmake -B $build_dir -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+if [ -f "$repo_root/$build_dir/compile_commands.json" ]; then
+  build_dir="$repo_root/$build_dir"
+fi
+
+# Analyze every first-party translation unit; headers are covered via
+# HeaderFilterRegex in .clang-tidy.
+files=$(find "$repo_root/src" -name '*.cc' | sort)
+
+echo "run_clang_tidy.sh: $tidy_bin -p $build_dir ($(echo "$files" | wc -l) files)"
+status=0
+for f in $files; do
+  "$tidy_bin" -p "$build_dir" --quiet "$f" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy.sh: findings above must be fixed or suppressed" \
+       "with a reasoned NOLINT." >&2
+fi
+exit "$status"
