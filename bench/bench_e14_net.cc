@@ -24,6 +24,10 @@
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "bench_util/runner.h"
 #include "bench_util/table.h"
 #include "client/client.h"
@@ -387,12 +391,209 @@ void RunSaturation(size_t clients) {
   }
 }
 
+size_t ProcessThreadCount() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t threads = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "Threads: %zu", &threads) == 1) break;
+  }
+  std::fclose(f);
+  return threads;
+}
+
+/// Connection-horde phase: `total` concurrent idle connections (each
+/// pinged once so it is fully established through the wire protocol)
+/// held open by `procs` forked client processes, while the parent
+/// verifies that the net-thread pool stays flat — same thread count as
+/// with zero connections — and that a probe client's latency is still
+/// healthy. The old thread-per-connection front end burned one thread
+/// per client and could not get near this number.
+///
+/// Clients fork BEFORE the server starts any thread: mixing fork(2)
+/// into a multithreaded process risks inheriting locked allocator /
+/// runtime state, so the children are created while this process is
+/// still single-threaded.
+void RunConnectionHorde(size_t total, size_t procs) {
+  // Each connection needs one fd in the parent (server side) and one in
+  // its child (client side); lift the soft nofile limit to the hard cap.
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+  }
+
+  const size_t per_child = total / procs;
+  struct Child {
+    pid_t pid = -1;
+    int to_child = -1;    // parent writes: port, then the teardown byte
+    int from_child = -1;  // child writes: connections established
+  };
+  std::vector<Child> children(procs);
+
+  for (size_t c = 0; c < procs; ++c) {
+    int down[2], up[2];
+    if (pipe(down) != 0 || pipe(up) != 0) {
+      std::perror("pipe");
+      std::exit(1);
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      std::exit(1);
+    }
+    if (pid == 0) {
+      // --- child: hold per_child pinged connections until told to go.
+      close(down[1]);
+      close(up[0]);
+      uint16_t port = 0;
+      if (read(down[0], &port, sizeof(port)) != sizeof(port)) _exit(2);
+      std::vector<Client> conns;
+      conns.reserve(per_child);
+      uint32_t established = 0;
+      for (size_t i = 0; i < per_child; ++i) {
+        auto conn = Client::ConnectTcp("127.0.0.1", port);
+        if (!conn.ok()) break;
+        Client client = std::move(conn).value();
+        if (!client.Ping().ok()) break;
+        conns.push_back(std::move(client));
+        ++established;
+      }
+      if (write(up[1], &established, sizeof(established)) !=
+          sizeof(established)) {
+        _exit(2);
+      }
+      char go = 0;
+      (void)read(down[0], &go, 1);  // parent's teardown signal (or EOF)
+      // conns close on exit — a 10k-fd EOF storm for the net threads.
+      _exit(0);
+    }
+    close(down[0]);
+    close(up[1]);
+    children[c] = Child{pid, down[1], up[0]};
+  }
+
+  // --- parent: only now does the process go multithreaded.
+  Env env = MakeEnv(kBenchPageSize, 4096);
+  const SpatialIndexOptions opt{.data = DecomposeOptions::SizeBound(8)};
+  DataGenOptions dg;
+  dg.seed = kSeed + 77;
+  auto index = BuildZIndex(&env, GenerateData(1000, dg), opt).value();
+
+  ServerOptions sopt;
+  sopt.net_threads = 2;
+  sopt.workers = 4;
+  sopt.idle_timeout_ms = 0;  // the horde is deliberately idle
+  sopt.listen_backlog = 1024;
+  Server server(index.get(), sopt);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::exit(1);
+  }
+  const size_t threads_baseline = ProcessThreadCount();
+
+  const uint16_t port = server.port();
+  for (Child& ch : children) {
+    if (write(ch.to_child, &port, sizeof(port)) != sizeof(port)) {
+      std::perror("write port");
+      std::exit(1);
+    }
+  }
+
+  const uint64_t t0 = NowMicros();
+  uint64_t established = 0;
+  for (Child& ch : children) {
+    uint32_t n = 0;
+    if (read(ch.from_child, &n, sizeof(n)) != sizeof(n)) {
+      std::fprintf(stderr, "FAIL: horde child died during setup\n");
+      std::exit(1);
+    }
+    established += n;
+  }
+  const double setup_secs = (NowMicros() - t0) / 1e6;
+
+  // Every connection is live server-side, and the thread count did not
+  // move: connections are state in two epoll loops, not threads.
+  const size_t threads_loaded = ProcessThreadCount();
+  const uint64_t open = server.open_connections();
+
+  // Probe latency with the horde parked in the epoll sets.
+  std::vector<uint64_t> probe_us;
+  {
+    auto conn = Client::ConnectTcp("127.0.0.1", port);
+    if (conn.ok()) {
+      Client probe = std::move(conn).value();
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t s = NowMicros();
+        if (probe.Ping().ok()) probe_us.push_back(NowMicros() - s);
+      }
+    }
+  }
+
+  // Teardown: all children hang up at once.
+  const uint64_t t1 = NowMicros();
+  for (Child& ch : children) {
+    const char go = 1;
+    (void)write(ch.to_child, &go, 1);
+  }
+  for (Child& ch : children) {
+    int status = 0;
+    waitpid(ch.pid, &status, 0);
+    close(ch.to_child);
+    close(ch.from_child);
+  }
+  while (server.open_connections() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double teardown_secs = (NowMicros() - t1) / 1e6;
+  server.Stop();
+
+  std::printf(
+      "connection horde: %llu/%zu connections established+pinged across "
+      "%zu client processes in %.1fs; open gauge %llu; threads %zu -> %zu "
+      "(flat); probe ping p50 %.0fus p99 %.0fus with horde parked; "
+      "EOF-storm teardown drained in %.2fs\n",
+      static_cast<unsigned long long>(established), total, procs,
+      setup_secs, static_cast<unsigned long long>(open), threads_baseline,
+      threads_loaded, Percentile(probe_us, 0.50), Percentile(probe_us, 0.99),
+      teardown_secs);
+
+  bool failed = false;
+  if (established != total || open != total) {
+    std::fprintf(stderr, "FAIL: horde wanted %zu connections, got %llu "
+                         "(server gauge %llu)\n",
+                 total, static_cast<unsigned long long>(established),
+                 static_cast<unsigned long long>(open));
+    failed = true;
+  }
+  if (threads_loaded != threads_baseline) {
+    std::fprintf(stderr,
+                 "FAIL: thread count moved under the horde (%zu -> %zu)\n",
+                 threads_baseline, threads_loaded);
+    failed = true;
+  }
+  if (probe_us.size() < 500) {
+    std::fprintf(stderr, "FAIL: probe client lost pings under the horde\n");
+    failed = true;
+  }
+  if (failed) std::exit(1);
+}
+
 }  // namespace
 }  // namespace zdb
 
 int main(int argc, char** argv) {
   const size_t max_readers =
       argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const size_t horde =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10000;
+
+  // First, while this process is still single-threaded (fork safety —
+  // see RunConnectionHorde): the many-idle-connections phase.
+  if (horde > 0) {
+    zdb::RunConnectionHorde(horde, /*procs=*/5);
+  }
 
   const zdb::Workload w = zdb::MakeWorkload();
   zdb::Table table(

@@ -10,8 +10,10 @@
 //   --host H          bind address            (default 127.0.0.1)
 //   --port P          TCP port; 0 = ephemeral (default 4490)
 //   --unix PATH       also listen on a unix-domain socket
+//   --net-threads N   epoll event-loop threads (default 2)
 //   --workers N       request worker threads  (default 4)
 //   --queue N         admission queue bound   (default 64)
+//   --backlog N       listen(2) backlog       (default 128)
 //   --idle-ms N       idle connection timeout (default 30000; 0 = never)
 //   --exec-threads N  intra-query pool size   (default 2; 0 = off)
 //   --k N             size-bound redundancy k (default 4)
@@ -63,10 +65,15 @@ int main(int argc, char** argv) {
       opt.port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--unix") {
       opt.unix_path = next();
+    } else if (arg == "--net-threads") {
+      opt.net_threads = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--workers") {
       opt.workers = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--queue") {
       opt.queue_capacity = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--backlog") {
+      opt.listen_backlog =
+          static_cast<int>(std::strtol(next(), nullptr, 10));
     } else if (arg == "--idle-ms") {
       opt.idle_timeout_ms = static_cast<int>(std::strtol(next(), nullptr, 10));
     } else if (arg == "--exec-threads") {
@@ -127,9 +134,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (opt.tcp) {
-    std::printf("zdb_server: listening on %s:%u (workers %zu, queue %zu)\n",
-                opt.host.c_str(), server.port(), opt.workers,
-                opt.queue_capacity);
+    std::printf(
+        "zdb_server: listening on %s:%u (net threads %zu, workers %zu, "
+        "queue %zu)\n",
+        opt.host.c_str(), server.port(), opt.net_threads, opt.workers,
+        opt.queue_capacity);
   }
   if (!opt.unix_path.empty()) {
     std::printf("zdb_server: listening on unix:%s\n", opt.unix_path.c_str());

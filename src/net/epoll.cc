@@ -1,0 +1,100 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "net/epoll.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace zdb {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<Epoll> Epoll::Create() {
+  const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) return Errno("epoll_create1");
+  return Epoll(fd);
+}
+
+Status Epoll::Add(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(fd_.fd(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Mod(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(fd_.fd(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Del(int fd) {
+  if (::epoll_ctl(fd_.fd(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Result<int> Epoll::Wait(epoll_event* out, int cap, int timeout_ms) {
+  const auto deadline = timeout_ms >= 0
+                            ? std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(timeout_ms)
+                            : std::chrono::steady_clock::time_point{};
+  int remaining = timeout_ms;
+  for (;;) {
+    const int n = ::epoll_wait(fd_.fd(), out, cap, remaining);
+    if (n >= 0) return n;
+    if (errno != EINTR) return Errno("epoll_wait");
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return 0;  // deadline passed mid-signal
+      remaining = static_cast<int>(left.count());
+    }
+  }
+}
+
+Result<EventFd> EventFd::Create() {
+  const int fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (fd < 0) return Errno("eventfd");
+  return EventFd(fd);
+}
+
+void EventFd::Signal() const {
+  const uint64_t one = 1;
+  // A full counter (EAGAIN) still leaves the fd readable, which is all
+  // a wakeup needs; EINTR on an 8-byte eventfd write cannot split it.
+  ssize_t rc;
+  do {
+    rc = ::write(fd_.fd(), &one, sizeof(one));
+  } while (rc < 0 && errno == EINTR);
+}
+
+void EventFd::Drain() const {
+  uint64_t count = 0;
+  ssize_t rc;
+  do {
+    rc = ::read(fd_.fd(), &count, sizeof(count));
+  } while (rc < 0 && errno == EINTR);
+}
+
+}  // namespace net
+}  // namespace zdb

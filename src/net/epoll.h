@@ -1,0 +1,90 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Thin RAII wrappers over the two Linux event-loop primitives the
+// server's net threads are built on:
+//
+//   * Epoll — an epoll(7) instance. Readiness interest is registered
+//     per fd with a caller-chosen u64 tag (the server uses the fd
+//     number itself) that comes back in every event.
+//   * EventFd — an eventfd(2) wakeup channel. Any thread may Signal();
+//     the owning net thread registers it in its Epoll and Drain()s it
+//     on wakeup. This is how worker threads hand completed replies
+//     back to the net thread that owns the connection.
+//
+// Both are movable-only fd owners, reusing Socket for close-on-destroy.
+// Epoll::Wait retries EINTR against a monotonic deadline, so a timeout
+// passed by the caller is honored even under signal load (the same
+// contract WaitReadable has).
+
+#ifndef ZDB_NET_EPOLL_H_
+#define ZDB_NET_EPOLL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+struct epoll_event;  // <sys/epoll.h>; kept out of this header
+
+namespace zdb {
+namespace net {
+
+class Epoll {
+ public:
+  /// An invalid instance; assign from Create() before use.
+  Epoll() = default;
+
+  static Result<Epoll> Create();
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.fd(); }
+
+  /// Registers `fd` for the EPOLL* event mask in `events`; `tag` rides
+  /// back in each event's data.u64.
+  Status Add(int fd, uint32_t events, uint64_t tag);
+
+  /// Replaces the interest mask (and tag) of an already-registered fd.
+  Status Mod(int fd, uint32_t events, uint64_t tag);
+
+  /// Deregisters the fd. Removing an fd that is gone already (closed
+  /// descriptors auto-deregister) reports the error; callers that race
+  /// close-vs-del may ignore it.
+  Status Del(int fd);
+
+  /// Waits for up to `cap` events into `out`; returns the event count
+  /// (possibly 0 on timeout). timeout_ms < 0 waits forever. EINTR
+  /// restarts the wait with the remaining time, never the full timeout.
+  Result<int> Wait(struct epoll_event* out, int cap, int timeout_ms);
+
+ private:
+  explicit Epoll(int fd) : fd_(fd) {}
+  Socket fd_;
+};
+
+class EventFd {
+ public:
+  /// An invalid instance; assign from Create() before use.
+  EventFd() = default;
+
+  static Result<EventFd> Create();
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.fd(); }
+
+  /// Adds 1 to the counter, waking any epoll watching the fd. Safe from
+  /// any thread; best-effort (a full counter still leaves it readable).
+  void Signal() const;
+
+  /// Reads the counter down to zero so the next Signal() re-arms the
+  /// level-triggered readability. Only the owning thread calls this.
+  void Drain() const;
+
+ private:
+  explicit EventFd(int fd) : fd_(fd) {}
+  Socket fd_;
+};
+
+}  // namespace net
+}  // namespace zdb
+
+#endif  // ZDB_NET_EPOLL_H_

@@ -4,7 +4,9 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -113,14 +115,19 @@ Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
 
 Result<Socket> UnixListen(const std::string& path, int backlog) {
   sockaddr_un addr{};
+  // Reject over-long paths outright: a truncating copy into sun_path
+  // would silently bind a *different* address than the caller asked for.
   if (path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("unix socket path too long: " + path);
+    return Status::InvalidArgument("unix socket path too long (" +
+                                   std::to_string(path.size()) + " > " +
+                                   std::to_string(sizeof(addr.sun_path) - 1) +
+                                   " bytes): " + path);
   }
   Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!s.valid()) return Errno("socket");
   ::unlink(path.c_str());  // stale socket file from a previous run
   addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  std::memcpy(addr.sun_path, path.c_str(), path.size());  // fits: checked above
   if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     return Errno("bind " + path);
@@ -131,13 +138,18 @@ Result<Socket> UnixListen(const std::string& path, int backlog) {
 
 Result<Socket> UnixConnect(const std::string& path) {
   sockaddr_un addr{};
+  // Same contract as UnixListen: never truncate-and-connect to a
+  // different address than the one requested.
   if (path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("unix socket path too long: " + path);
+    return Status::InvalidArgument("unix socket path too long (" +
+                                   std::to_string(path.size()) + " > " +
+                                   std::to_string(sizeof(addr.sun_path) - 1) +
+                                   " bytes): " + path);
   }
   Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!s.valid()) return Errno("socket");
   addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  std::memcpy(addr.sun_path, path.c_str(), path.size());  // fits: checked above
   int rc;
   do {
     rc = ::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr),
@@ -187,10 +199,27 @@ Result<bool> WaitReadable(const Socket& s, int timeout_ms) {
   pollfd pfd{};
   pfd.fd = s.fd();
   pfd.events = POLLIN;
+  // The timeout is a monotonic deadline, not a per-poll budget: each
+  // EINTR restart passes only the *remaining* time. Restarting with the
+  // full timeout (the old behavior) meant a process receiving signals
+  // faster than the timeout never observed it at all.
+  const auto deadline = timeout_ms >= 0
+                            ? std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(timeout_ms)
+                            : std::chrono::steady_clock::time_point{};
+  int remaining = timeout_ms;
   for (;;) {
-    const int rc = ::poll(&pfd, 1, timeout_ms);
+    const int rc = ::poll(&pfd, 1, remaining);
     if (rc < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (timeout_ms >= 0) {
+          const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+          if (left.count() <= 0) return false;  // deadline passed mid-signal
+          remaining = static_cast<int>(left.count());
+        }
+        continue;
+      }
       return Errno("poll");
     }
     if (rc == 0) return false;  // timeout
@@ -198,6 +227,83 @@ Result<bool> WaitReadable(const Socket& s, int timeout_ms) {
     // close/err, keeping the error path single.
     return true;
   }
+}
+
+// ------------------------------------------------- nonblocking primitives
+
+Status SetNonBlocking(const Socket& s, bool nonblocking) {
+  const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(s.fd(), F_SETFL, want) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Result<IoEvent> TryRead(const Socket& s, char* buf, size_t cap, size_t* n) {
+  *n = 0;
+  for (;;) {
+    const ssize_t rc = ::recv(s.fd(), buf, cap, 0);
+    if (rc > 0) {
+      *n = static_cast<size_t>(rc);
+      return IoEvent::kData;
+    }
+    if (rc == 0) return IoEvent::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoEvent::kWouldBlock;
+    return Errno("recv");
+  }
+}
+
+Result<IoEvent> WriteSome(const Socket& s, const char* data, size_t len,
+                          size_t* n) {
+  *n = 0;
+  for (;;) {
+    const ssize_t rc = ::send(s.fd(), data, len, MSG_NOSIGNAL);
+    if (rc >= 0) {
+      *n = static_cast<size_t>(rc);
+      return IoEvent::kData;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoEvent::kWouldBlock;
+    return Errno("send");
+  }
+}
+
+AcceptOutcome ClassifyAcceptError(int err) {
+  switch (err) {
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return AcceptOutcome::kWouldBlock;
+    case EMFILE:   // per-process fd table full
+    case ENFILE:   // system fd table full
+    case ENOBUFS:
+    case ENOMEM:
+      return AcceptOutcome::kFdExhausted;
+    case EBADF:
+    case EINVAL:   // listener shut down (Linux) or not listening
+    case ENOTSOCK:
+    case EOPNOTSUPP:
+      return AcceptOutcome::kShutdown;
+    default:
+      // EINTR, ECONNABORTED, EPROTO, EPERM (firewall), network errors a
+      // half-open peer can induce, and anything unforeseen: the listener
+      // itself is fine, so the only safe answer is "try again".
+      return AcceptOutcome::kRetry;
+  }
+}
+
+AcceptOutcome AcceptNonBlocking(const Socket& listener, Socket* out) {
+  const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_NONBLOCK);
+  if (fd >= 0) {
+    *out = Socket(fd);
+    return AcceptOutcome::kAccepted;
+  }
+  return ClassifyAcceptError(errno);
 }
 
 }  // namespace net

@@ -1,9 +1,12 @@
 // Copyright (c) zdb authors. Licensed under the MIT license.
 //
 // Thin POSIX socket layer shared by the server and the client: an RAII
-// fd wrapper plus TCP / unix-domain listen, accept and connect helpers
-// and full-buffer read/write loops. Everything reports failures as
-// Status; EINTR is retried; SIGPIPE is avoided via MSG_NOSIGNAL.
+// fd wrapper plus TCP / unix-domain listen, accept and connect helpers,
+// full-buffer read/write loops for synchronous callers, and the
+// nonblocking primitives (SetNonBlocking, TryRead, WriteSome,
+// AcceptNonBlocking) the event-driven server front end is built on.
+// Everything reports failures as Status; EINTR is retried; SIGPIPE is
+// avoided via MSG_NOSIGNAL.
 
 #ifndef ZDB_NET_SOCKET_H_
 #define ZDB_NET_SOCKET_H_
@@ -72,8 +75,53 @@ Result<size_t> ReadSome(const Socket& s, char* buf, size_t n);
 
 /// Waits until the socket is readable. Returns false on timeout
 /// (timeout_ms >= 0) and an error Status on poll failure or hangup
-/// without data. timeout_ms < 0 waits forever.
+/// without data. timeout_ms < 0 waits forever. The timeout is a
+/// monotonic deadline: EINTR restarts the wait with the *remaining*
+/// time, so a signal-heavy process still observes it.
 Result<bool> WaitReadable(const Socket& s, int timeout_ms);
+
+// ------------------------------------------------- nonblocking primitives
+
+/// Switches the descriptor's O_NONBLOCK flag.
+Status SetNonBlocking(const Socket& s, bool nonblocking = true);
+
+/// Outcome of one nonblocking read/write attempt that did not fail.
+enum class IoEvent : uint8_t {
+  kData,        ///< *n bytes were transferred (reads: n > 0)
+  kWouldBlock,  ///< nothing transferable now; retry on readiness
+  kEof,         ///< orderly peer close (reads only)
+};
+
+/// One nonblocking recv(2) of up to `cap` bytes into `buf`; *n is the
+/// byte count when kData. Errors (connection reset, ...) come back as a
+/// Status; EINTR is retried.
+Result<IoEvent> TryRead(const Socket& s, char* buf, size_t cap, size_t* n);
+
+/// One nonblocking send(2) of up to `len` bytes; *n is the (possibly
+/// short) byte count when kData. A full socket buffer is kWouldBlock —
+/// resume when the fd polls writable. Never returns kEof.
+Result<IoEvent> WriteSome(const Socket& s, const char* data, size_t len,
+                          size_t* n);
+
+/// Classified outcome of a nonblocking accept attempt. The distinction
+/// matters for listener longevity: transient failures must never kill
+/// an accept loop (the pre-epoll server died on the first ECONNABORTED).
+enum class AcceptOutcome : uint8_t {
+  kAccepted,     ///< *out holds the new connection
+  kWouldBlock,   ///< no pending connection; wait for readiness
+  kRetry,        ///< transient (EINTR, ECONNABORTED, EPROTO, ...): retry now
+  kFdExhausted,  ///< EMFILE/ENFILE/ENOBUFS/ENOMEM: back off, then retry
+  kShutdown,     ///< the listener itself is shut down or invalid: stop
+};
+
+/// Maps an accept(2) errno onto the retry policy above. Unknown errnos
+/// classify as kRetry — permanently abandoning a listener is the one
+/// unrecoverable outcome, so only provably-dead listeners get kShutdown.
+AcceptOutcome ClassifyAcceptError(int err);
+
+/// One nonblocking accept(4) attempt on `listener`. On kAccepted, *out
+/// is the new connection (already O_NONBLOCK via SOCK_NONBLOCK).
+AcceptOutcome AcceptNonBlocking(const Socket& listener, Socket* out);
 
 }  // namespace net
 }  // namespace zdb

@@ -3,7 +3,12 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace zdb {
@@ -11,10 +16,12 @@ namespace net {
 
 namespace {
 
-uint64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point t0) {
   return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - t0)
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            t0)
           .count());
 }
 
@@ -24,6 +31,34 @@ void BumpMax(std::atomic<uint64_t>* slot, uint64_t v) {
          !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
 }
+
+/// Whole milliseconds until `when` (0 if already due), saturated into
+/// an int for epoll_wait.
+int MsUntil(Clock::time_point now, Clock::time_point when) {
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(when - now)
+          .count();
+  if (ms <= 0) return 0;
+  if (ms > 60 * 1000) return 60 * 1000;
+  return static_cast<int>(ms) + 1;  // round up: don't spin before the deadline
+}
+
+/// Merges a deadline into an epoll timeout (-1 = none yet).
+int MinTimeout(int current, int candidate) {
+  return current < 0 ? candidate : std::min(current, candidate);
+}
+
+/// How long a listener sits out after fd exhaustion before re-arming.
+constexpr std::chrono::milliseconds kAcceptBackoff{10};
+
+/// Per-event read budget. Level-triggered epoll re-fires for whatever
+/// is left, so a bounded burst keeps one firehose connection from
+/// starving its net thread's siblings.
+constexpr size_t kReadBudget = 256 * 1024;
+
+/// Compact the flushed prefix of a write buffer once it crosses this
+/// size, so a long partial-flush sequence cannot pin stale bytes.
+constexpr size_t kCompactThreshold = 256 * 1024;
 
 }  // namespace
 
@@ -42,28 +77,43 @@ Status Server::Start() {
   if (options_.workers == 0) {
     return Status::InvalidArgument("server needs at least one worker");
   }
+  if (options_.net_threads == 0) {
+    return Status::InvalidArgument("server needs at least one net thread");
+  }
 
   if (options_.tcp) {
-    ZDB_ASSIGN_OR_RETURN(tcp_listener_,
-                         TcpListen(options_.host, options_.port));
+    ZDB_ASSIGN_OR_RETURN(
+        tcp_listener_,
+        TcpListen(options_.host, options_.port, options_.listen_backlog));
     ZDB_ASSIGN_OR_RETURN(port_, LocalPort(tcp_listener_));
+    ZDB_RETURN_IF_ERROR(SetNonBlocking(tcp_listener_));
   }
   if (!options_.unix_path.empty()) {
-    ZDB_ASSIGN_OR_RETURN(unix_listener_, UnixListen(options_.unix_path));
+    ZDB_ASSIGN_OR_RETURN(
+        unix_listener_,
+        UnixListen(options_.unix_path, options_.listen_backlog));
+    ZDB_RETURN_IF_ERROR(SetNonBlocking(unix_listener_));
   }
   if (options_.exec_threads > 0 && options_.parallel_window_area >= 0) {
     exec_ = std::make_unique<QueryExecutor>(index_, options_.exec_threads);
+  }
+
+  // Create every fallible per-thread resource before spawning anything,
+  // so a failure here unwinds through plain destructors.
+  net_.reserve(options_.net_threads);
+  for (size_t i = 0; i < options_.net_threads; ++i) {
+    auto nt = std::make_unique<NetThread>();
+    ZDB_ASSIGN_OR_RETURN(nt->epoll, Epoll::Create());
+    ZDB_ASSIGN_OR_RETURN(nt->wakeup, EventFd::Create());
+    net_.push_back(std::move(nt));
   }
 
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
-  if (tcp_listener_.valid()) {
-    accept_threads_.emplace_back([this] { AcceptLoop(&tcp_listener_); });
-  }
-  if (unix_listener_.valid()) {
-    accept_threads_.emplace_back([this] { AcceptLoop(&unix_listener_); });
+  for (size_t i = 0; i < net_.size(); ++i) {
+    net_[i]->thread = std::thread([this, i] { NetLoop(i); });
   }
   return Status::OK();
 }
@@ -71,20 +121,17 @@ Status Server::Start() {
 void Server::Stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
 
-  // 1. Refuse new connections: shutting the listeners down unblocks the
-  //    accept threads; once they exit, connect() gets ECONNREFUSED.
+  // 1. Refuse new connections. shutdown(2) on a listening socket makes
+  //    the kernel refuse connects and fails pending/future accepts with
+  //    EINVAL, which the accept path classifies as kShutdown and
+  //    disarms — without racing the fd number (it stays allocated until
+  //    the close at the bottom).
   tcp_listener_.ShutdownBoth();
   unix_listener_.ShutdownBoth();
-  for (auto& t : accept_threads_) t.join();
-  accept_threads_.clear();
-  tcp_listener_.Close();
-  unix_listener_.Close();
-  if (!options_.unix_path.empty()) {
-    ::unlink(options_.unix_path.c_str());
-  }
 
-  // 2. Drain: frames arriving from here on are answered SHUTTING_DOWN by
-  //    the reader threads; requests already admitted keep executing.
+  // 2. Drain: frames arriving from here on are answered SHUTTING_DOWN
+  //    by the net threads; requests already admitted keep executing and
+  //    buffer their replies.
   {
     MutexLock lock(queue_mu_);
     draining_ = true;
@@ -96,15 +143,25 @@ void Server::Stop() {
   for (auto& w : workers_) w.join();
   workers_.clear();
 
-  // 4. Tear down the connections (readers wake via the socket shutdown).
-  {
-    MutexLock lock(conns_mu_);
-    for (auto& [conn, thread] : conns_) {
-      conn->closed.store(true, std::memory_order_release);
-      conn->sock.ShutdownBoth();
+  // 4. Net threads flush whatever replies are still buffered (bounded
+  //    by drain_flush_ms against stuck peers), close their connections,
+  //    and exit.
+  for (auto& nt : net_) {
+    {
+      MutexLock lock(nt->mu);
+      nt->drain = true;
     }
-    for (auto& [conn, thread] : conns_) thread.join();
-    conns_.clear();
+    nt->wakeup.Signal();
+  }
+  for (auto& nt : net_) {
+    if (nt->thread.joinable()) nt->thread.join();
+  }
+  net_.clear();
+
+  tcp_listener_.Close();
+  unix_listener_.Close();
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
   }
   exec_.reset();
 }
@@ -115,8 +172,8 @@ bool Server::WaitForShutdownRequest(int timeout_ms) {
     while (!shutdown_requested_) shutdown_cv_.Wait(shutdown_mu_);
     return true;
   }
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
   while (!shutdown_requested_) {
     if (!shutdown_cv_.WaitUntil(shutdown_mu_, deadline)) {
       return shutdown_requested_;
@@ -125,86 +182,412 @@ bool Server::WaitForShutdownRequest(int timeout_ms) {
   return true;
 }
 
-// ------------------------------------------------------------- accepting
+// ------------------------------------------------------ net event loops
 
-void Server::AcceptLoop(Socket* listener) {
+void Server::NetLoop(size_t idx) {
+  NetThread& nt = *net_[idx];
+  std::vector<char> read_buf(64 * 1024);
+
+  // Net thread 0 owns the listeners.
+  std::vector<ListenerState> listeners;
+  if (idx == 0) {
+    if (tcp_listener_.valid()) listeners.push_back({&tcp_listener_, false, {}, false});
+    if (unix_listener_.valid()) listeners.push_back({&unix_listener_, false, {}, false});
+    for (ListenerState& ls : listeners) {
+      const int fd = ls.sock->fd();
+      ls.armed = nt.epoll.Add(fd, EPOLLIN, static_cast<uint64_t>(fd)).ok();
+    }
+  }
+  (void)nt.epoll.Add(nt.wakeup.fd(), EPOLLIN,
+                     static_cast<uint64_t>(nt.wakeup.fd()));
+
+  auto now = Clock::now();
+  auto next_idle_scan = now;
+  bool drain_mode = false;
+  Clock::time_point drain_deadline{};
+  epoll_event events[128];
+
   for (;;) {
-    auto conn_sock = Accept(*listener);
-    if (!conn_sock.ok()) return;  // listener shut down (Stop) or fatal
-    auto conn = std::make_shared<Connection>();
-    conn->sock = std::move(conn_sock).value();
-    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
-    MutexLock lock(conns_mu_);
-    ReapConnectionsLocked();
-    std::thread reader([this, conn] { ConnectionLoop(conn); });
-    conns_.emplace_back(conn, std::move(reader));
-  }
-}
+    now = Clock::now();
 
-void Server::ReapConnectionsLocked() {
-  auto it = conns_.begin();
-  while (it != conns_.end()) {
-    if (it->first->done.load(std::memory_order_acquire)) {
-      it->second.join();
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-// ----------------------------------------------------- connection reader
-
-void Server::ConnectionLoop(ConnPtr conn) {
-  FrameAssembler assembler;
-  std::vector<char> buf(64 * 1024);
-  bool close = false;
-  while (!close && !conn->closed.load(std::memory_order_acquire)) {
-    const bool has_pending =
-        conn->pending.load(std::memory_order_acquire) > 0;
-    // The idle clock only ticks while nothing is in flight: a client
-    // quietly waiting for a slow reply is not idle.
-    const int timeout =
-        (options_.idle_timeout_ms > 0 && !has_pending)
-            ? options_.idle_timeout_ms
-            : (has_pending ? 100 : -1);
-    auto readable = WaitReadable(conn->sock, timeout);
-    if (!readable.ok()) break;
-    if (!readable.value()) {
-      if (has_pending ||
-          conn->pending.load(std::memory_order_acquire) > 0) {
-        continue;  // reply still being computed; not idle
+    if (!drain_mode) {
+      bool drain_now;
+      {
+        MutexLock lock(nt.mu);
+        drain_now = nt.drain;
       }
-      counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
-      break;
+      if (drain_now) {
+        // Entering drain: no new reads anywhere, flush what is
+        // buffered, close each connection the moment it runs dry.
+        drain_mode = true;
+        drain_deadline =
+            now + std::chrono::milliseconds(
+                      std::max(0, options_.drain_flush_ms));
+        ProcessQueues(nt);  // pick up last-minute replies first
+        std::vector<ConnPtr> snapshot;
+        snapshot.reserve(nt.conns.size());
+        for (auto& [fd, conn] : nt.conns) snapshot.push_back(conn);
+        for (const ConnPtr& conn : snapshot) {
+          conn->read_paused = true;
+          conn->close_after_flush = true;
+          UpdateInterest(nt, conn);
+          FlushConnection(nt, conn);
+        }
+      }
     }
-    auto n = ReadSome(conn->sock, buf.data(), buf.size());
-    if (!n.ok() || n.value() == 0) break;  // peer closed or error
-    assembler.Feed(buf.data(), n.value());
+    if (drain_mode && (nt.conns.empty() || now >= drain_deadline)) break;
+
+    int timeout = -1;
+    if (drain_mode) {
+      timeout = MsUntil(now, drain_deadline);
+    } else {
+      if (options_.idle_timeout_ms > 0) {
+        timeout = MinTimeout(timeout, MsUntil(now, next_idle_scan));
+      }
+      for (const ListenerState& ls : listeners) {
+        if (ls.backed_off) {
+          timeout = MinTimeout(timeout, MsUntil(now, ls.backoff_until));
+        }
+      }
+    }
+
+    auto n = nt.epoll.Wait(events, 128, timeout);
+    if (!n.ok()) break;  // fatal epoll failure; teardown below
+    now = Clock::now();
+
+    for (int i = 0; i < n.value(); ++i) {
+      const uint64_t tag = events[i].data.u64;
+      const uint32_t ev = events[i].events;
+      if (tag == static_cast<uint64_t>(nt.wakeup.fd())) {
+        nt.wakeup.Drain();
+        continue;
+      }
+      ListenerState* ls = nullptr;
+      for (ListenerState& cand : listeners) {
+        if (tag == static_cast<uint64_t>(cand.sock->fd())) ls = &cand;
+      }
+      if (ls != nullptr) {
+        if (drain_mode) {
+          if (ls->armed) {
+            (void)nt.epoll.Del(ls->sock->fd());
+            ls->armed = false;
+          }
+        } else {
+          HandleAccept(nt, *ls);
+        }
+        continue;
+      }
+      auto it = nt.conns.find(static_cast<int>(tag));
+      if (it == nt.conns.end()) continue;  // closed earlier this batch
+      ConnPtr conn = it->second;
+      // Flush before reading: draining the write buffer both finishes
+      // EPOLLOUT-driven partial writes and lifts flow-control pauses.
+      if ((ev & EPOLLOUT) != 0) FlushConnection(nt, conn);
+      if (conn->closed.load(std::memory_order_acquire)) continue;
+      if ((ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0 && !drain_mode) {
+        HandleReadable(nt, conn, read_buf.data(), read_buf.size());
+      }
+    }
+
+    ProcessQueues(nt);
+
+    if (!drain_mode) {
+      for (ListenerState& ls : listeners) {
+        if (ls.backed_off && now >= ls.backoff_until) {
+          ls.backed_off = false;
+          const int fd = ls.sock->fd();
+          if (!ls.armed &&
+              nt.epoll.Add(fd, EPOLLIN, static_cast<uint64_t>(fd)).ok()) {
+            ls.armed = true;
+          }
+        }
+      }
+      if (options_.idle_timeout_ms > 0 && now >= next_idle_scan) {
+        next_idle_scan = IdleScan(nt, now);
+      }
+    }
+  }
+
+  // Teardown: drop whatever is still open (drain deadline passed, or a
+  // fatal epoll error). Buffered bytes for these peers are lost, which
+  // is the contract drain_flush_ms bounds.
+  std::vector<ConnPtr> leftover;
+  leftover.reserve(nt.conns.size());
+  for (auto& [fd, conn] : nt.conns) leftover.push_back(conn);
+  for (const ConnPtr& conn : leftover) CloseConnection(nt, conn, false);
+}
+
+void Server::HandleAccept(NetThread& nt, ListenerState& ls) {
+  // Bounded burst: level-triggered epoll re-fires if more are pending.
+  for (int burst = 0; burst < 128; ++burst) {
+    Socket s;
+    AcceptOutcome outcome;
+    const int injected = options_.accept_fault_injection
+                             ? options_.accept_fault_injection()
+                             : 0;
+    if (injected != 0) {
+      outcome = ClassifyAcceptError(injected);
+    } else {
+      outcome = AcceptNonBlocking(*ls.sock, &s);
+    }
+    switch (outcome) {
+      case AcceptOutcome::kAccepted: {
+        const int one = 1;
+        // No-op (EOPNOTSUPP) on unix-domain sockets.
+        (void)::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                           sizeof(one));
+        counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_shared<Connection>();
+        conn->sock = std::move(s);
+        conn->owner = next_owner_;
+        next_owner_ = (next_owner_ + 1) % net_.size();
+        NetThread& owner = *net_[conn->owner];
+        {
+          MutexLock lock(owner.mu);
+          owner.incoming.push_back(std::move(conn));
+        }
+        owner.wakeup.Signal();
+        continue;
+      }
+      case AcceptOutcome::kWouldBlock:
+        return;
+      case AcceptOutcome::kRetry:
+        // ECONNABORTED & friends: the peer is gone, the listener is
+        // fine. The pre-epoll server exited its accept loop here,
+        // permanently killing the listener.
+        counters_.accept_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      case AcceptOutcome::kFdExhausted:
+        // Out of fds: accepting again immediately would spin. Sit the
+        // listener out briefly; pending connections stay in the
+        // kernel's accept queue meanwhile.
+        counters_.accept_retries.fetch_add(1, std::memory_order_relaxed);
+        counters_.accept_backoffs.fetch_add(1, std::memory_order_relaxed);
+        ls.backed_off = true;
+        ls.backoff_until = Clock::now() + kAcceptBackoff;
+        if (ls.armed) {
+          (void)nt.epoll.Del(ls.sock->fd());
+          ls.armed = false;
+        }
+        return;
+      case AcceptOutcome::kShutdown:
+        // Stop() shut the listener down (or it is truly dead) — the
+        // only outcome that disarms it for good.
+        if (ls.armed) {
+          (void)nt.epoll.Del(ls.sock->fd());
+          ls.armed = false;
+        }
+        ls.backed_off = false;
+        return;
+    }
+  }
+}
+
+void Server::ProcessQueues(NetThread& nt) {
+  std::vector<ConnPtr> incoming;
+  std::vector<ConnPtr> flush;
+  bool drain;
+  {
+    MutexLock lock(nt.mu);
+    incoming.swap(nt.incoming);
+    flush.swap(nt.flush_queue);
+    drain = nt.drain;
+  }
+  const auto now = Clock::now();
+  for (ConnPtr& conn : incoming) {
+    if (drain) {
+      // Raced Stop(): never served, close immediately.
+      conn->closed.store(true, std::memory_order_release);
+      conn->sock.Close();
+      counters_.closed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    conn->last_active = now;
+    const int fd = conn->sock.fd();
+    if (!nt.epoll.Add(fd, EPOLLIN, static_cast<uint64_t>(fd)).ok()) {
+      conn->closed.store(true, std::memory_order_release);
+      conn->sock.Close();
+      counters_.closed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    nt.conns.emplace(fd, std::move(conn));
+  }
+  for (const ConnPtr& conn : flush) {
+    if (conn->closed.load(std::memory_order_acquire)) continue;
+    FlushConnection(nt, conn);
+  }
+}
+
+void Server::HandleReadable(NetThread& nt, const ConnPtr& conn, char* buf,
+                            size_t buf_cap) {
+  if (conn->closed.load(std::memory_order_acquire) || conn->read_paused) {
+    return;
+  }
+  size_t budget = kReadBudget;
+  for (;;) {
+    size_t n = 0;
+    auto ev = TryRead(conn->sock, buf, buf_cap, &n);
+    if (!ev.ok() || ev.value() == IoEvent::kEof) {
+      // Peer closed or reset. Like the thread-per-connection server,
+      // replies still in flight for this peer are dropped.
+      CloseConnection(nt, conn, false);
+      return;
+    }
+    if (ev.value() == IoEvent::kWouldBlock) break;
+    conn->last_active = Clock::now();
+    conn->assembler.Feed(buf, n);
 
     for (;;) {
       Frame frame;
       WireError err;
       FrameHeader err_header;
-      const auto next = assembler.Poll(&frame, &err, &err_header);
+      const auto next = conn->assembler.Poll(&frame, &err, &err_header);
       if (next == FrameAssembler::Next::kNeedMore) break;
       if (next == FrameAssembler::Next::kError) {
-        // Framing is lost: reply with the typed error, then close.
+        // Framing is lost: reply with the typed error, then close once
+        // the reply has been flushed. No further reads.
         counters_.framing_errors.fetch_add(1, std::memory_order_relaxed);
         SendReply(conn, err_header.opcode, err_header.request_id,
                   EncodeErrorReply(err, WireErrorName(err)));
-        close = true;
-        break;
+        conn->close_after_flush = true;
+        conn->read_paused = true;
+        UpdateInterest(nt, conn);
+        return;
       }
       counters_.frames.fetch_add(1, std::memory_order_relaxed);
       DispatchFrame(conn, std::move(frame));
     }
+
+    if (n < buf_cap || n >= budget) break;  // drained, or burst budget spent
+    budget -= n;
   }
-  conn->closed.store(true, std::memory_order_release);
-  conn->sock.ShutdownBoth();
-  counters_.closed.fetch_add(1, std::memory_order_relaxed);
-  conn->done.store(true, std::memory_order_release);
+
+  // Flow control: a peer that sends faster than it reads replies stops
+  // being read once its buffered output crosses the limit. Reading
+  // resumes in FlushConnection below the low watermark.
+  size_t buffered;
+  {
+    MutexLock lock(conn->write_mu);
+    buffered = conn->out_buf.size() - conn->out_off;
+  }
+  if (!conn->read_paused && buffered > options_.out_buffer_limit) {
+    conn->read_paused = true;
+    counters_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+    UpdateInterest(nt, conn);
+  }
 }
+
+void Server::FlushConnection(NetThread& nt, const ConnPtr& conn) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  bool fatal = false;
+  bool empty;
+  size_t buffered;
+  {
+    MutexLock lock(conn->write_mu);
+    conn->flush_queued = false;
+    while (conn->out_off < conn->out_buf.size()) {
+      size_t n = 0;
+      auto ev =
+          WriteSome(conn->sock, conn->out_buf.data() + conn->out_off,
+                    conn->out_buf.size() - conn->out_off, &n);
+      if (!ev.ok()) {
+        fatal = true;
+        break;
+      }
+      if (ev.value() == IoEvent::kWouldBlock) break;
+      conn->out_off += n;
+    }
+    empty = conn->out_off >= conn->out_buf.size();
+    if (empty) {
+      conn->out_buf.clear();
+      conn->out_off = 0;
+    } else if (conn->out_off > kCompactThreshold) {
+      conn->out_buf.erase(0, conn->out_off);
+      conn->out_off = 0;
+    }
+    // While a partial write waits on EPOLLOUT, keep flush_queued set so
+    // workers appending more output don't queue redundant wakeups.
+    if (!empty && !fatal) conn->flush_queued = true;
+    buffered = conn->out_buf.size() - conn->out_off;
+  }
+  if (fatal) {
+    CloseConnection(nt, conn, false);
+    return;
+  }
+  if (empty && conn->close_after_flush) {
+    CloseConnection(nt, conn, false);
+    return;
+  }
+  bool interest_changed = false;
+  const bool want_write = !empty;
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    interest_changed = true;
+  }
+  if (conn->read_paused && !conn->close_after_flush &&
+      buffered < options_.out_buffer_limit / 2) {
+    conn->read_paused = false;
+    interest_changed = true;
+  }
+  if (interest_changed) UpdateInterest(nt, conn);
+}
+
+void Server::UpdateInterest(NetThread& nt, const ConnPtr& conn) {
+  uint32_t ev = 0;
+  if (!conn->read_paused) ev |= EPOLLIN;
+  if (conn->want_write) ev |= EPOLLOUT;
+  const int fd = conn->sock.fd();
+  if (fd < 0) return;
+  (void)nt.epoll.Mod(fd, ev, static_cast<uint64_t>(fd));
+}
+
+void Server::CloseConnection(NetThread& nt, const ConnPtr& conn,
+                             bool idle) {
+  const int fd = conn->sock.fd();
+  if (!conn->closed.exchange(true, std::memory_order_acq_rel)) {
+    counters_.closed.fetch_add(1, std::memory_order_relaxed);
+    if (idle) counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (fd >= 0) {
+    (void)nt.epoll.Del(fd);
+    conn->sock.ShutdownBoth();
+    conn->sock.Close();
+    nt.conns.erase(fd);
+  }
+}
+
+std::chrono::steady_clock::time_point Server::IdleScan(
+    NetThread& nt, std::chrono::steady_clock::time_point now) {
+  const auto idle = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<ConnPtr> victims;
+  for (auto& [fd, conn] : nt.conns) {
+    // The idle clock only ticks while nothing is in flight and nothing
+    // is buffered: a client quietly waiting for a slow reply (or slowly
+    // draining a large one) is not idle.
+    if (conn->pending.load(std::memory_order_acquire) > 0) {
+      conn->last_active = now;
+      continue;
+    }
+    size_t buffered;
+    {
+      MutexLock lock(conn->write_mu);
+      buffered = conn->out_buf.size() - conn->out_off;
+    }
+    if (buffered > 0) {
+      conn->last_active = now;
+      continue;
+    }
+    if (now - conn->last_active >= idle) victims.push_back(conn);
+  }
+  for (const ConnPtr& conn : victims) CloseConnection(nt, conn, true);
+  // Scan at a quarter of the timeout: worst-case reap latency is then
+  // 1.25x idle_timeout_ms, with bounded scan frequency either way.
+  const int interval =
+      std::clamp(options_.idle_timeout_ms / 4, 10, 1000);
+  return now + std::chrono::milliseconds(interval);
+}
+
+// ----------------------------------------------------- request dispatch
 
 void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
   const uint8_t op = frame.header.opcode;
@@ -241,7 +624,7 @@ void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
       return;
     }
   }
-  // Rejected: emit the backpressure / drain reply from the reader thread
+  // Rejected: emit the backpressure / drain reply from the net thread
   // so a saturated worker pool can't delay the rejection.
   SendReply(conn, op, id, EncodeErrorReply(code, WireErrorName(code)));
 }
@@ -270,7 +653,7 @@ void Server::WorkerLoop() {
 
 void Server::HandleRequest(const Request& req) {
   const uint8_t op = req.frame.header.opcode;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = Clock::now();
   bool is_error = false;
   const std::string payload = ExecuteRequest(req.frame, &is_error);
   const uint64_t us = MicrosSince(t0);
@@ -384,13 +767,23 @@ void Server::SendReply(const ConnPtr& conn, uint8_t opcode,
   const std::string frame =
       BuildFrame(static_cast<Opcode>(opcode), kFlagReply, request_id,
                  payload, kMinWireVersion);
-  MutexLock lock(conn->write_mu);
-  if (conn->closed.load(std::memory_order_acquire)) return;
-  Status s = WriteFully(conn->sock, frame.data(), frame.size());
-  if (!s.ok()) {
-    // Peer is gone; the reader thread notices via recv and cleans up.
-    conn->closed.store(true, std::memory_order_release);
-    conn->sock.ShutdownBoth();
+  bool enqueue = false;
+  {
+    MutexLock lock(conn->write_mu);
+    if (conn->closed.load(std::memory_order_acquire)) return;  // peer gone
+    conn->out_buf.append(frame);
+    if (!conn->flush_queued) {
+      conn->flush_queued = true;
+      enqueue = true;
+    }
+  }
+  if (enqueue) {
+    NetThread& owner = *net_[conn->owner];
+    {
+      MutexLock lock(owner.mu);
+      owner.flush_queue.push_back(conn);
+    }
+    owner.wakeup.Signal();
   }
 }
 
@@ -406,6 +799,17 @@ std::string Server::StatsJson() const {
   w.Field("closed", counters_.closed.load(std::memory_order_relaxed));
   w.Field("idle_closed",
           counters_.idle_closed.load(std::memory_order_relaxed));
+  w.Field("open", open_connections());
+  w.EndObject();
+
+  w.Key("net").BeginObject();
+  w.Field("net_threads", static_cast<uint64_t>(options_.net_threads));
+  w.Field("accept_retries",
+          counters_.accept_retries.load(std::memory_order_relaxed));
+  w.Field("accept_backoffs",
+          counters_.accept_backoffs.load(std::memory_order_relaxed));
+  w.Field("read_pauses",
+          counters_.read_pauses.load(std::memory_order_relaxed));
   w.EndObject();
 
   {

@@ -10,10 +10,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <dirent.h>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -599,6 +603,198 @@ TEST(NetServer, ShutdownOpcodeSignalsDaemon) {
   ASSERT_TRUE(client.Shutdown().ok());
   EXPECT_TRUE(ts.server->WaitForShutdownRequest(5000));
   ts.server->Stop();
+}
+
+// ----------------------------------------------- accept-loop resilience
+
+// Regression: the pre-epoll AcceptLoop exited permanently on the first
+// non-EINTR accept failure — one ECONNABORTED (a client connecting and
+// resetting before accept) silently killed the listener for the rest of
+// the process lifetime. Transient failures must be retried and counted.
+TEST(NetServer, AcceptSurvivesTransientErrors) {
+  auto faults = std::make_shared<std::atomic<int>>(6);
+  ServerOptions opt;
+  opt.accept_fault_injection = [faults]() -> int {
+    // First six accept attempts fail with a rotating transient errno.
+    const int left = faults->fetch_sub(1);
+    if (left <= 0) return 0;
+    return (left % 2 == 0) ? ECONNABORTED : EPROTO;
+  };
+  TestServer ts(opt);
+
+  // Every connect still succeeds: the listener outlived the failures.
+  for (int i = 0; i < 3; ++i) {
+    Client client = ts.Connect();
+    EXPECT_TRUE(client.Ping().ok());
+  }
+  EXPECT_GE(ts.server->counters().accept_retries.load(), 6u);
+  EXPECT_EQ(ts.server->counters().accept_backoffs.load(), 0u);
+}
+
+// Fd exhaustion (EMFILE) backs the listener off briefly instead of
+// spinning or dying; the pending connection is accepted after the
+// backoff expires.
+TEST(NetServer, AcceptBacksOffOnFdExhaustion) {
+  auto faults = std::make_shared<std::atomic<int>>(3);
+  ServerOptions opt;
+  opt.accept_fault_injection = [faults]() -> int {
+    return faults->fetch_sub(1) > 0 ? EMFILE : 0;
+  };
+  TestServer ts(opt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Client client = ts.Connect();  // rides out the injected EMFILE window
+  EXPECT_TRUE(client.Ping().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_GE(ts.server->counters().accept_backoffs.load(), 1u);
+  EXPECT_GE(ts.server->counters().accept_retries.load(), 1u);
+  // Sanity: the backoff is short (10ms steps), not a hang.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+namespace {
+
+size_t OpenFdCount() {
+  size_t count = 0;
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count;
+}
+
+size_t ProcessThreadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<size_t>(std::stoul(line.substr(8)));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+// Regression: the thread-per-connection server only reaped finished
+// connection state on the NEXT accept — a burst of clients that then
+// disconnected held their fds and thread handles until someone else
+// connected. The epoll front end must release everything as soon as the
+// peer goes away, with no further accepts.
+TEST(NetServer, ClosedConnectionsReleaseResourcesWithoutNewAccepts) {
+  TestServer ts;
+  const size_t fds_before = OpenFdCount();
+
+  constexpr int kClients = 32;
+  {
+    std::vector<Client> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.push_back(ts.Connect());
+      EXPECT_TRUE(clients.back().Ping().ok());
+    }
+    EXPECT_EQ(ts.server->open_connections(),
+              static_cast<uint64_t>(kClients));
+  }  // all clients hang up here; nobody connects afterwards
+
+  // The server notices the EOFs and releases every connection without a
+  // subsequent accept poking the loop.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ts.server->open_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(ts.server->open_connections(), 0u);
+
+  // And the fds really are gone (small slack for unrelated runtime fds).
+  const auto fd_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  size_t fds_after = OpenFdCount();
+  while (fds_after > fds_before + 2 &&
+         std::chrono::steady_clock::now() < fd_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    fds_after = OpenFdCount();
+  }
+  EXPECT_LE(fds_after, fds_before + 2);
+}
+
+// The whole point of the rewrite: connection count no longer implies
+// thread count. A pile of concurrent connections is served by the same
+// fixed set of net + worker threads.
+TEST(NetServer, ThreadCountStaysFlatUnderManyConnections) {
+  ServerOptions opt;
+  opt.net_threads = 2;
+  opt.workers = 4;
+  TestServer ts(opt);
+
+  const size_t threads_with_server = ProcessThreadCount();
+  ASSERT_GT(threads_with_server, 0u);
+
+  std::vector<Client> clients;
+  clients.reserve(128);
+  for (int i = 0; i < 128; ++i) {
+    clients.push_back(ts.Connect());
+  }
+  for (auto& c : clients) EXPECT_TRUE(c.Ping().ok());
+
+  // 128 live connections, zero additional threads.
+  EXPECT_EQ(ProcessThreadCount(), threads_with_server);
+}
+
+// Pipelined flood with a tiny flow-control limit: the server pauses
+// reading (read_pauses ticks up) instead of buffering unboundedly, and
+// once the client finally drains, every reply arrives exactly once.
+// (Per-connection reply ORDER is not part of the contract — pipelined
+// requests execute on concurrent workers; clients match on request_id.)
+TEST(NetServer, FlowControlPausesReadsAndDeliversEverything) {
+  ServerOptions opt;
+  opt.out_buffer_limit = 2048;  // a handful of PING replies
+  TestServer ts(opt);
+
+  auto sock = TcpConnect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(sock.ok());
+
+  // Pipeline a large burst of PINGs without reading a single reply.
+  constexpr uint64_t kPings = 2000;
+  std::string burst;
+  for (uint64_t i = 0; i < kPings; ++i) {
+    burst += BuildFrame(Opcode::kPing, 0, i, {});
+  }
+  ASSERT_TRUE(WriteFully(sock.value(), burst.data(), burst.size()).ok());
+
+  // Now drain: expect every request id exactly once.
+  FrameAssembler assembler;
+  std::vector<char> buf(64 * 1024);
+  std::vector<bool> seen(kPings, false);
+  uint64_t received = 0;
+  while (received < kPings) {
+    Frame f;
+    WireError err;
+    FrameHeader eh;
+    const auto next = assembler.Poll(&f, &err, &eh);
+    if (next == FrameAssembler::Next::kNeedMore) {
+      auto n = ReadSome(sock.value(), buf.data(), buf.size());
+      ASSERT_TRUE(n.ok()) << n.status().ToString();
+      ASSERT_GT(n.value(), 0u) << "server hung up mid-drain after "
+                               << received << " replies";
+      assembler.Feed(buf.data(), n.value());
+      continue;
+    }
+    ASSERT_EQ(next, FrameAssembler::Next::kFrame);
+    ASSERT_LT(f.header.request_id, kPings);
+    ASSERT_FALSE(seen[f.header.request_id])
+        << "duplicate reply for id " << f.header.request_id;
+    seen[f.header.request_id] = true;
+    ++received;
+  }
+  EXPECT_EQ(received, kPings);
+  // With ~2000 pipelined replies against a 2KB cap, flow control must
+  // have engaged at least once.
+  EXPECT_GE(ts.server->counters().read_pauses.load(), 1u);
 }
 
 }  // namespace
