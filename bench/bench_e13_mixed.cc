@@ -17,11 +17,24 @@
 // Read-only throughput at the same thread count is reported as the
 // baseline, so the last column is the fraction of read throughput
 // retained when the write stream is switched on.
+//
+// The second phase measures the epoch-pinned snapshot read path against
+// the latched baseline: per-query reader latency (p50/p99) with and
+// without a sustained writer stream, at growing reader counts. With the
+// latch, every writer section stalls all readers (and a long scan
+// stalls the writer); with snapshots, readers pin an epoch and traverse
+// copy-on-write page versions latch-free. The phase closes with the
+// parked-pin experiment: writer batch throughput while a long-lived pin
+// is held open, versus unpinned — with snapshots this must be a wash,
+// where a parked latched reader section would have stopped the writer
+// entirely.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <functional>
 #include <thread>
 
@@ -158,6 +171,177 @@ void RunDistribution(Distribution dist, size_t n) {
   std::printf("\n");
 }
 
+// ------------------------------------------------- snapshot read phase
+
+constexpr size_t kSnapReadsPerThread = 256;
+constexpr size_t kSnapWindows = 64;
+constexpr size_t kSnapChurnBatch = 32;     ///< erase+insert pairs per batch
+constexpr uint64_t kSnapParkedBatches = 200;
+
+/// p-th latency quantile (sorts in place; idempotent).
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t i = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+struct ReadSample {
+  std::vector<double> lat_us;  ///< one entry per query
+  double wall = 0.0;           ///< seconds for the whole measurement
+};
+
+/// `threads` readers each issue kSnapReadsPerThread window queries
+/// through the public API (latched ReaderSection before
+/// EnableSnapshots(), auto-pinned snapshot read after), timing each
+/// query individually.
+ReadSample MeasureReaders(SpatialIndex* index, const std::vector<Rect>& windows,
+                          size_t threads) {
+  std::vector<std::vector<double>> per(threads);
+  const double wall = SecondsOf([&] {
+    std::vector<std::thread> ts;
+    ts.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      ts.emplace_back([&, t] {
+        per[t].reserve(kSnapReadsPerThread);
+        for (size_t i = 0; i < kSnapReadsPerThread; ++i) {
+          const Rect& w = windows[(t * 31 + i) % windows.size()];
+          const auto t0 = std::chrono::steady_clock::now();
+          (void)index->WindowQuery(w).value();
+          const auto t1 = std::chrono::steady_clock::now();
+          per[t].push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+      });
+    }
+    for (auto& th : ts) th.join();
+  });
+  ReadSample out;
+  out.wall = wall;
+  for (auto& v : per) out.lat_us.insert(out.lat_us.end(), v.begin(), v.end());
+  return out;
+}
+
+/// Applies erase+insert churn batches until `*stop` flips (or, with a
+/// null stop, until `max_batches` have been applied). The deque tracks
+/// live oids — erases pop the front, fresh inserts append — so erase
+/// targets stay valid no matter how long the churn runs. `applied` is
+/// bumped per batch so callers can window their throughput measurement.
+void Churn(SpatialIndex* index, size_t n_base, const std::vector<Rect>& extra,
+           const std::atomic<bool>* stop, uint64_t max_batches,
+           std::atomic<uint64_t>* applied) {
+  std::deque<ObjectId> live;
+  for (size_t i = 0; i < n_base; ++i) live.push_back(static_cast<ObjectId>(i));
+  size_t cursor = 0;
+  for (uint64_t done = 0;
+       stop ? !stop->load(std::memory_order_relaxed) : done < max_batches;
+       ++done) {
+    WriteBatch b;
+    for (size_t i = 0; i < kSnapChurnBatch; ++i) {
+      b.Erase(live.front());
+      live.pop_front();
+      b.Insert(extra[cursor++ % extra.size()]);
+    }
+    const auto ids = index->ApplyBatch(b).value();
+    live.insert(live.end(), ids.begin(), ids.end());
+    applied->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RunSnapshotPhase(size_t n) {
+  const SpatialIndexOptions opt{.data = DecomposeOptions::SizeBound(4)};
+  DataGenOptions dg;
+  dg.distribution = Distribution::kUniformLarge;
+  dg.seed = 71;
+  const auto data = GenerateData(n, dg);
+  DataGenOptions dge = dg;
+  dge.seed = 72;
+  const auto extra = GenerateData(4096, dge);
+  QueryGenOptions qopt;
+  qopt.seed = 900;
+  const auto windows = GenerateWindows(kSnapWindows, kSelectivity, qopt);
+
+  Table table(
+      "E13 snapshot reads vs latched baseline — uniform-large (" +
+          std::to_string(n) + " objects; " +
+          std::to_string(kSnapReadsPerThread) +
+          " window queries/reader; churn writer: " +
+          std::to_string(kSnapChurnBatch) + " erase+insert pairs/batch)",
+      {"mode", "readers", "quiet p50 us", "quiet p99 us", "churn p50 us",
+       "churn p99 us", "churn read q/s", "writer batch/s"});
+
+  double latched_qps8 = 0.0, snapshot_qps8 = 0.0;
+  for (const bool snap : {false, true}) {
+    for (size_t threads : kThreadCounts) {
+      Env env = MakeEnv(kBenchPageSize, 8192);
+      auto index = BuildZIndex(&env, data, opt).value();
+      if (snap && !index->EnableSnapshots().ok()) std::abort();
+
+      ReadSample quiet = MeasureReaders(index.get(), windows, threads);
+
+      std::atomic<bool> stop{false};
+      std::atomic<uint64_t> applied{0};
+      std::thread writer([&] {
+        Churn(index.get(), n, extra, &stop, 0, &applied);
+      });
+      const uint64_t b0 = applied.load();
+      ReadSample churn = MeasureReaders(index.get(), windows, threads);
+      const uint64_t b1 = applied.load();
+      stop.store(true);
+      writer.join();
+
+      const double qps = static_cast<double>(churn.lat_us.size()) / churn.wall;
+      if (threads == 8) (snap ? snapshot_qps8 : latched_qps8) = qps;
+      table.AddRow({snap ? "snapshot" : "latched", std::to_string(threads),
+                    Fmt(Percentile(quiet.lat_us, 0.50), 1),
+                    Fmt(Percentile(quiet.lat_us, 0.99), 1),
+                    Fmt(Percentile(churn.lat_us, 0.50), 1),
+                    Fmt(Percentile(churn.lat_us, 0.99), 1), Fmt(qps, 0),
+                    Fmt(static_cast<double>(b1 - b0) / churn.wall, 1)});
+    }
+  }
+  table.Print();
+  if (latched_qps8 > 0.0) {
+    std::printf(
+        "  snapshot vs latched read throughput under churn @ 8 readers: "
+        "%.2fx\n",
+        snapshot_qps8 / latched_qps8);
+  }
+
+  // Parked-pin writer progress: a long-lived pin parked at the base
+  // epoch must not slow the write stream (it only delays version
+  // reclamation). A parked *latched* reader section would stop the
+  // writer outright, so this is snapshot-mode only.
+  double unpinned_s = 0.0, parked_s = 0.0;
+  {
+    Env env = MakeEnv(kBenchPageSize, 8192);
+    auto index = BuildZIndex(&env, data, opt).value();
+    if (!index->EnableSnapshots().ok()) std::abort();
+    std::atomic<uint64_t> applied{0};
+    unpinned_s = SecondsOf(
+        [&] { Churn(index.get(), n, extra, nullptr, kSnapParkedBatches,
+                    &applied); });
+  }
+  {
+    Env env = MakeEnv(kBenchPageSize, 8192);
+    auto index = BuildZIndex(&env, data, opt).value();
+    if (!index->EnableSnapshots().ok()) std::abort();
+    const EpochPin pin = index->PinEpoch();
+    std::atomic<uint64_t> applied{0};
+    parked_s = SecondsOf(
+        [&] { Churn(index.get(), n, extra, nullptr, kSnapParkedBatches,
+                    &applied); });
+  }
+  const double per_batch = static_cast<double>(kSnapParkedBatches);
+  std::printf(
+      "  parked-pin writer progress (%llu batches): unpinned %.0f batch/s, "
+      "parked pin %.0f batch/s (retained %.2f)\n\n",
+      static_cast<unsigned long long>(kSnapParkedBatches),
+      per_batch / unpinned_s, per_batch / parked_s, parked_s > 0.0
+          ? (per_batch / parked_s) / (per_batch / unpinned_s)
+          : 0.0);
+}
+
 }  // namespace
 }  // namespace zdb
 
@@ -167,5 +351,6 @@ int main(int argc, char** argv) {
        {zdb::Distribution::kUniformLarge, zdb::Distribution::kClusters}) {
     zdb::RunDistribution(d, n);
   }
+  zdb::RunSnapshotPhase(n);
   return 0;
 }

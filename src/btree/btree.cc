@@ -302,7 +302,7 @@ Status BTree::SplitInternal(Node* node, const Slice& key, PageId child,
 
 Result<std::string> BTree::Get(const Slice& key) {
   const uint32_t page_size = pool_->pager()->page_size();
-  PageId page = root_;
+  PageId page = ReadRoot();
   for (;;) {
     PageRef ref;
     ZDB_ASSIGN_OR_RETURN(ref, pool_->Fetch(page));
@@ -320,7 +320,7 @@ Result<std::string> BTree::Get(const Slice& key) {
 
 Result<Cursor> BTree::Seek(const Slice& key) {
   const uint32_t page_size = pool_->pager()->page_size();
-  PageId page = root_;
+  PageId page = ReadRoot();
   for (;;) {
     PageRef ref;
     ZDB_ASSIGN_OR_RETURN(ref, pool_->Fetch(page));

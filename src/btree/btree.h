@@ -85,6 +85,10 @@ class BTree {
   uint64_t size() const { return count_; }
   uint32_t height() const { return height_; }
 
+  /// Current root page (captured into snapshot metas by the index
+  /// writer under the exclusive latch).
+  PageId root() const { return root_; }
+
   /// Persists the in-memory root/height/count to the meta page. Call
   /// before dropping the tree if it will be re-attached with Open().
   Status Flush();
@@ -133,6 +137,17 @@ class BTree {
 
   Status LoadMeta();
   Status StoreMeta();
+
+  /// Root for the read path: the pinned snapshot's root when this tree
+  /// is running under an installed SnapshotView (page reads then
+  /// resolve through the version chains via BufferPool::Fetch), the
+  /// live root otherwise.
+  PageId ReadRoot() const {
+    if (const SnapshotView* v = SnapshotView::FindBTree(this)) {
+      return v->meta->btree_root;
+    }
+    return root_;
+  }
 
   Status CheckRec(PageId page, uint32_t depth,
                   const std::optional<std::string>& lower,

@@ -31,6 +31,7 @@ class [[nodiscard]] Status {
     kBusy,         ///< server admission queue full; retry later
     kUnavailable,  ///< server shutting down / endpoint unreachable
     kTimedOut,     ///< deadline expired before the operation completed
+    kAborted,      ///< snapshot epoch rolled back; re-pin and retry
   };
 
   /// Constructs an OK status.
@@ -67,6 +68,9 @@ class [[nodiscard]] Status {
   static Status TimedOut(std::string msg = "") {
     return Status(Code::kTimedOut, std::move(msg));
   }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -78,6 +82,7 @@ class [[nodiscard]] Status {
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -98,6 +103,7 @@ class [[nodiscard]] Status {
       case Code::kBusy: name = "Busy"; break;
       case Code::kUnavailable: name = "Unavailable"; break;
       case Code::kTimedOut: name = "TimedOut"; break;
+      case Code::kAborted: name = "Aborted"; break;
     }
     if (msg_.empty()) return name;
     return name + ": " + msg_;

@@ -1,0 +1,182 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "core/epoch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace zdb {
+
+EpochPin& EpochPin::operator=(EpochPin&& other) noexcept {
+  if (this != &other) {
+    if (mgr_ != nullptr) Release();
+    mgr_ = other.mgr_;
+    epoch_ = other.epoch_;
+    owner_ = other.owner_;
+    other.mgr_ = nullptr;
+  }
+  return *this;
+}
+
+EpochPin::~EpochPin() {
+  if (mgr_ != nullptr) Release();
+}
+
+void EpochPin::Release() {
+  if (mgr_ == nullptr) {
+    internal::LockAssertFail("EpochPin released twice (or never pinned)");
+  }
+  if (owner_ != std::this_thread::get_id()) {
+    internal::LockAssertFail(
+        "EpochPin released on a thread other than the pinning one");
+  }
+  mgr_->Unpin(epoch_);
+  mgr_ = nullptr;
+}
+
+EpochManager::EpochManager(const std::atomic<uint64_t>* epoch,
+                           PageVersions* versions)
+    : epoch_(epoch), versions_(versions) {}
+
+EpochManager::~EpochManager() {
+  StopGc();
+  MutexLock lock(pin_mu_);
+  if (!pins_.empty()) {
+    internal::LockAssertFail("EpochPin outlives its EpochManager");
+  }
+}
+
+EpochPin EpochManager::Pin() {
+  MutexLock lock(pin_mu_);
+  // Reading the epoch under pin_mu_ orders this pin against the GC
+  // cycle's floor computation: once the GC (under the same mutex) has
+  // read epoch E, every later pin sees an epoch >= E and can never need
+  // the entries the GC reclaims below it. The acquire load pairs with
+  // the writer's release publish, so the pinned state is fully visible.
+  const uint64_t e = epoch_->load(std::memory_order_acquire);
+  pins_.insert(e);
+  if (e < min_pinned_) min_pinned_ = e;
+  ++pins_taken_;
+  return EpochPin(this, e);
+}
+
+void EpochManager::Unpin(uint64_t epoch) {
+  bool advanced = false;
+  {
+    MutexLock lock(pin_mu_);
+    auto it = pins_.find(epoch);
+    if (it == pins_.end()) {
+      internal::LockAssertFail("EpochPin release for an unknown epoch");
+    }
+    pins_.erase(it);
+    const uint64_t new_min = pins_.empty() ? UINT64_MAX : *pins_.begin();
+    advanced = new_min != min_pinned_;
+    min_pinned_ = new_min;
+  }
+  // Lock-free nudge; the GC loop's periodic wakeup is the backstop for
+  // a notification that races its wait.
+  if (advanced) gc_cv_.NotifyOne();
+}
+
+void EpochManager::RecordMeta(uint64_t epoch, SnapshotMeta meta) {
+  MutexLock lock(gc_mu_);
+  metas_[epoch] = std::make_shared<const SnapshotMeta>(std::move(meta));
+}
+
+void EpochManager::InvalidateRange(uint64_t lo, uint64_t hi, Status cause) {
+  if (hi <= lo) return;
+  MutexLock lock(gc_mu_);
+  // The rolled-back metas must not serve new pins (the live state they
+  // described was reloaded away).
+  metas_.erase(metas_.upper_bound(lo), metas_.upper_bound(hi));
+  aborted_.push_back(AbortedRange{lo, hi, std::move(cause)});
+}
+
+Result<std::shared_ptr<const SnapshotMeta>> EpochManager::MetaAt(
+    uint64_t epoch) const {
+  MutexLock lock(gc_mu_);
+  for (const AbortedRange& r : aborted_) {
+    if (epoch > r.lo && epoch <= r.hi) {
+      return Status::Aborted("snapshot epoch " + std::to_string(epoch) +
+                             " was rolled back: " + r.cause.ToString());
+    }
+  }
+  auto it = metas_.find(epoch);
+  if (it == metas_.end()) {
+    return Status::Internal("no snapshot meta recorded for epoch " +
+                            std::to_string(epoch));
+  }
+  return it->second;
+}
+
+void EpochManager::StartGc() {
+  {
+    MutexLock lock(gc_mu_);
+    if (gc_running_) return;
+    gc_stop_ = false;
+    gc_running_ = true;
+  }
+  gc_thread_ = std::thread(&EpochManager::GcLoop, this);
+}
+
+void EpochManager::StopGc() {
+  {
+    MutexLock lock(gc_mu_);
+    if (!gc_running_) return;
+    gc_stop_ = true;
+    gc_cv_.NotifyAll();
+  }
+  if (gc_thread_.joinable()) gc_thread_.join();
+  MutexLock lock(gc_mu_);
+  gc_running_ = false;
+}
+
+void EpochManager::RunGcCycle() {
+  uint64_t floor;
+  {
+    MutexLock lock(pin_mu_);
+    floor = std::min(min_pinned_, epoch_->load(std::memory_order_acquire));
+  }
+  // Entries with as_of < floor can only be resolved by pins below the
+  // floor — none exist, and Pin() (see above) can never create one.
+  versions_->ReclaimBefore(floor);
+  MutexLock lock(gc_mu_);
+  metas_.erase(metas_.begin(), metas_.lower_bound(floor));
+  aborted_.erase(std::remove_if(aborted_.begin(), aborted_.end(),
+                                [floor](const AbortedRange& r) {
+                                  return r.hi < floor;
+                                }),
+                 aborted_.end());
+  ++gc_cycles_;
+}
+
+void EpochManager::GcLoop() {
+  for (;;) {
+    {
+      MutexLock lock(gc_mu_);
+      if (gc_stop_) return;
+      // Periodic wakeup: reclamation floor movement is signalled by
+      // Unpin, but writers advancing the epoch with no pins around
+      // would otherwise accumulate chains until the next unpin.
+      (void)gc_cv_.WaitFor(gc_mu_, std::chrono::milliseconds(10));
+      if (gc_stop_) return;
+    }
+    RunGcCycle();
+  }
+}
+
+EpochStats EpochManager::stats() const {
+  EpochStats st;
+  {
+    MutexLock lock(pin_mu_);
+    st.pinned = pins_.size();
+    st.min_pinned = pins_.empty() ? 0 : *pins_.begin();
+    st.pins_taken = pins_taken_;
+  }
+  MutexLock lock(gc_mu_);
+  st.gc_cycles = gc_cycles_;
+  return st;
+}
+
+}  // namespace zdb

@@ -1,0 +1,164 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Epoch pinning and version GC — the lifecycle half of snapshot reads
+// (the version chains themselves live in storage/snapshot.h).
+//
+// A reader calls EpochManager::Pin() and gets back an RAII EpochPin on
+// the current write epoch. While any pin at or below epoch E is held,
+// the GC thread will not reclaim version-chain entries or snapshot
+// metas that a reader at E could still resolve. Pin() reads the epoch
+// counter *under pin_mu_*, and the GC cycle computes its reclamation
+// floor under the same mutex — so a new pin can never slip in below a
+// floor the GC already committed to.
+//
+// Lock order (extends the index's commit_mu_ -> latch_ -> gc_mu_
+// discipline): pin_mu_ -> gc_mu_ (this manager's own gc_mu_, not the
+// index's). The writer calls RecordMeta/InvalidateRange while holding
+// the exclusive index latch, so latch -> manager gc_mu_ is also part of
+// the order; the manager never acquires any index lock.
+//
+// EpochPin misuse is a programming error and aborts loudly rather than
+// corrupting the pin accounting: double release, release (or
+// destruction) on a thread other than the pinning one, and a pin
+// outliving its manager all call LockAssertFail. The pin may be freely
+// *read* (epoch()) from other threads — executor workers share one pin
+// by const reference.
+
+#ifndef ZDB_CORE_EPOCH_H_
+#define ZDB_CORE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "storage/snapshot.h"
+
+namespace zdb {
+
+class EpochManager;
+
+/// RAII handle on a pinned epoch. Move-only; see the misuse contract in
+/// the file comment.
+class EpochPin {
+ public:
+  EpochPin() = default;
+  EpochPin(EpochPin&& other) noexcept { *this = std::move(other); }
+  EpochPin& operator=(EpochPin&& other) noexcept;
+  ~EpochPin();
+
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+  bool valid() const { return mgr_ != nullptr; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Unpins. Aborts on double release, on a default-constructed pin,
+  /// and when called from a thread other than the pinning one.
+  void Release();
+
+ private:
+  friend class EpochManager;
+  EpochPin(EpochManager* mgr, uint64_t epoch)
+      : mgr_(mgr), epoch_(epoch), owner_(std::this_thread::get_id()) {}
+
+  EpochManager* mgr_ = nullptr;
+  uint64_t epoch_ = 0;
+  std::thread::id owner_{};
+};
+
+/// Snapshot counters surfaced through SpatialIndex/DB stats.
+struct EpochStats {
+  uint64_t pinned = 0;       ///< pins currently held
+  uint64_t min_pinned = 0;   ///< lowest pinned epoch (0 if none)
+  uint64_t pins_taken = 0;   ///< lifetime pin count
+  uint64_t gc_cycles = 0;    ///< reclamation passes run
+};
+
+/// Tracks pinned epochs, stores per-epoch snapshot metas, and runs the
+/// reclamation thread. One instance per snapshot-enabled SpatialIndex.
+class EpochManager {
+ public:
+  /// `epoch` is the index's write-epoch counter; `versions` the buffer
+  /// pool's chain table. Both must outlive the manager.
+  EpochManager(const std::atomic<uint64_t>* epoch, PageVersions* versions);
+
+  /// Stops the GC thread. Aborts if any EpochPin is still outstanding —
+  /// a pin outliving its manager would be a dangling reference.
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Pins the current write epoch.
+  EpochPin Pin() EXCLUDES(pin_mu_);
+
+  /// Writer side (called under the exclusive index latch): stores the
+  /// meta readers pinned at `epoch` resolve non-page state through.
+  void RecordMeta(uint64_t epoch, SnapshotMeta meta) EXCLUDES(gc_mu_);
+
+  /// Writer side, on group rollback: epochs in (lo, hi] never became
+  /// durable and their published state was reloaded away; queries at a
+  /// pin in that range fail with Aborted carrying `cause`.
+  void InvalidateRange(uint64_t lo, uint64_t hi, Status cause)
+      EXCLUDES(gc_mu_);
+
+  /// Reader side: the meta for a pinned epoch. Aborted if the epoch was
+  /// rolled back; Internal if no meta exists (a pin always protects its
+  /// own meta from reclamation, so this indicates a bug).
+  Result<std::shared_ptr<const SnapshotMeta>> MetaAt(uint64_t epoch) const
+      EXCLUDES(gc_mu_);
+
+  /// Starts / stops the background reclamation thread. Start is
+  /// idempotent; Stop is also called by the destructor.
+  void StartGc();
+  void StopGc();
+
+  /// One synchronous reclamation pass (what the GC thread runs each
+  /// wakeup). Exposed so tests can make reclamation deterministic.
+  void RunGcCycle() EXCLUDES(pin_mu_, gc_mu_);
+
+  EpochStats stats() const EXCLUDES(pin_mu_, gc_mu_);
+
+ private:
+  friend class EpochPin;
+
+  void Unpin(uint64_t epoch) EXCLUDES(pin_mu_);
+  void GcLoop();
+
+  const std::atomic<uint64_t>* epoch_;
+  PageVersions* versions_;
+
+  mutable Mutex pin_mu_;
+  std::multiset<uint64_t> pins_ GUARDED_BY(pin_mu_);
+  /// Cached *pins_.begin() (UINT64_MAX when no pins): the GC floor is
+  /// min(min_pinned_, current epoch), taken under pin_mu_.
+  uint64_t min_pinned_ GUARDED_BY(pin_mu_) = UINT64_MAX;
+  uint64_t pins_taken_ GUARDED_BY(pin_mu_) = 0;
+
+  struct AbortedRange {
+    uint64_t lo;
+    uint64_t hi;
+    Status cause;
+  };
+
+  mutable Mutex gc_mu_ ACQUIRED_AFTER(pin_mu_);
+  std::map<uint64_t, std::shared_ptr<const SnapshotMeta>> metas_
+      GUARDED_BY(gc_mu_);
+  std::vector<AbortedRange> aborted_ GUARDED_BY(gc_mu_);
+  CondVar gc_cv_;
+  bool gc_stop_ GUARDED_BY(gc_mu_) = false;
+  bool gc_running_ GUARDED_BY(gc_mu_) = false;
+  uint64_t gc_cycles_ GUARDED_BY(gc_mu_) = 0;
+  std::thread gc_thread_;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_CORE_EPOCH_H_

@@ -38,6 +38,15 @@ Result<std::vector<std::pair<ObjectId, ObjectId>>> SpatialJoin(
   // Reader sections on both indexes for the whole merge, acquired in
   // address order so two joins over the same pair cannot deadlock
   // against waiting writers. Self-joins take a single section.
+  //
+  // The join deliberately stays on the latched path even when the
+  // indexes have snapshot reads enabled: a consistent two-index merge
+  // would need one pin per index plus a nested snapshot view per
+  // stream, and the merge's correctness only needs each index frozen
+  // for the scan — which the shared sections provide (writers still
+  // latch exclusively with snapshots on). Joins are analytic
+  // whole-index scans; the latch-free fast path targets the point /
+  // window / kNN serving queries.
   SpatialIndex* first = a < b ? a : b;
   SpatialIndex* second = a < b ? b : a;
   auto lock_first = first->ReaderSection();

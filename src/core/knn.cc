@@ -31,19 +31,39 @@ void SortByDistance(std::vector<std::pair<ObjectId, double>>* best) {
 Result<std::vector<std::pair<ObjectId, double>>>
 SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
                                uint32_t* rounds) {
+  if (snapshots_enabled()) {
+    // Pinned path: all expanding rounds run at one pinned epoch, which
+    // gives the same single-state guarantee the latch provides below —
+    // without stalling writers across the whole expansion. Re-pin and
+    // retry if a group rollback invalidates the pinned epoch.
+    for (int attempt = 0;; ++attempt) {
+      const EpochPin pin = PinEpoch();
+      auto r = NearestNeighborsAt(pin, p, k, stats, rounds);
+      if (r.ok() || !r.status().IsAborted() || attempt >= 2) return r;
+    }
+  }
   // One reader section for ALL expanding rounds: a writer can never
   // interleave between rounds, so the returned neighbor set reflects a
   // single index state.
   SharedSection lock(this);
+  return NearestNeighborsLocked(p, k, stats, rounds);
+}
+
+Result<std::vector<std::pair<ObjectId, double>>>
+SpatialIndex::NearestNeighborsLocked(const Point& p, size_t k,
+                                     QueryStats* stats, uint32_t* rounds) {
+  // Pinned reads must size the search off the pinned object count, not
+  // the live counter a concurrent writer is mutating.
+  const uint64_t live_objects = EffectiveLiveObjects();
   std::vector<std::pair<ObjectId, double>> best;
-  if (k == 0 || live_objects_ == 0) {
+  if (k == 0 || live_objects == 0) {
     if (rounds != nullptr) *rounds = 0;
     return best;
   }
 
   const Rect world = options_.world;
 
-  if (k >= live_objects_) {
+  if (k >= live_objects) {
     // Termination guard: the expanding-window loop exits on a proven k-th
     // hit, which can never exist when k meets or exceeds the live object
     // count. One whole-world sweep returns every live object directly.
@@ -68,7 +88,7 @@ SpatialIndex::NearestNeighbors(const Point& p, size_t k, QueryStats* stats,
   double radius =
       world_span *
       std::sqrt(static_cast<double>(k) /
-                std::max<uint64_t>(1, live_objects_)) /
+                std::max<uint64_t>(1, live_objects)) /
       2.0;
   radius = std::max(radius, world_span / 4096.0);
 

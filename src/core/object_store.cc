@@ -32,11 +32,18 @@ Result<ObjectId> ObjectStore::Insert(const Rect& mbr, uint32_t payload) {
 }
 
 Result<ObjectRecord> ObjectStore::Fetch(ObjectId oid) {
-  if (oid >= next_oid_) return Status::NotFound("oid out of range");
+  // Under an installed snapshot view, resolve through the pinned meta:
+  // the live directory/append cursor may already describe later epochs.
+  // The page fetch below then goes through the version chains.
+  const SnapshotView* v = SnapshotView::FindObjects(this);
+  const uint32_t next_oid = v != nullptr ? v->meta->obj_next_oid : next_oid_;
+  const std::vector<PageId>& pages =
+      v != nullptr ? v->meta->obj_pages : pages_;
+  if (oid >= next_oid) return Status::NotFound("oid out of range");
   const uint32_t page_idx = oid / per_page_;
   const uint32_t slot = oid % per_page_;
   PageRef ref;
-  ZDB_ASSIGN_OR_RETURN(ref, pool_->Fetch(pages_[page_idx]));
+  ZDB_ASSIGN_OR_RETURN(ref, pool_->Fetch(pages[page_idx]));
   return ObjectRecord::DecodeFrom(ref.data() +
                                   slot * ObjectRecord::kEncodedSize);
 }

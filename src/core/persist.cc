@@ -191,6 +191,19 @@ Result<PageId> SpatialIndex::CheckpointLocked() {
 }
 
 Status SpatialIndex::ReloadLocked() {
+  // Quiesce snapshot readers first: they hold no latch, but a pinned
+  // read may be mid-flight with a transient buffer-pool pin (which
+  // would fail the Discard below) or mid-dereference of the handles
+  // this reload reseats. The barrier waits those out and blocks new
+  // snapshot scopes until the reload finishes; the caller's exclusive
+  // latch keeps latched readers out as before.
+  BeginSnapshotQuiesce();
+  Status st = ReloadUnquiescedLocked();
+  EndSnapshotQuiesce();
+  return st;
+}
+
+Status SpatialIndex::ReloadUnquiescedLocked() {
   if (master_page_ == kInvalidPageId) {
     return Status::InvalidArgument("reload without a prior checkpoint");
   }

@@ -85,12 +85,15 @@ WindowPlan SpatialIndex::BuildWindowPlan(const GridRect& qgrid) const {
 
   // 2. Ancestor probes: strict enclosing elements of the query elements
   // that the scans will not pass over. Only levels that actually occur in
-  // the index are probed.
+  // the index are probed (the pinned snapshot's mask under a snapshot
+  // read — the live mask may already include a concurrent writer's new
+  // levels).
+  const uint64_t level_mask = EffectiveLevelMask();
   for (const ZElement& e : plan.scans) {
     ZElement anc = e;
     while (anc.level > 0) {
       anc = anc.Parent();
-      if ((level_mask_ & (1ULL << anc.level)) == 0) continue;
+      if ((level_mask & (1ULL << anc.level)) == 0) continue;
       if (CoveredByScan(plan.scans, anc.zmin)) continue;
       plan.probes.push_back(anc);
     }
@@ -245,9 +248,10 @@ Result<std::vector<ObjectId>> SpatialIndex::CollectPointCandidatesFiltered(
   // the point's cell: probe every level present in the index.
   const ZElement cell = ZElement::Cell(gx, gy, gbits);
   const uint32_t zbits = 2 * gbits;
+  const uint64_t level_mask = EffectiveLevelMask();
   if (stats != nullptr) stats->query_elements += 1;
   for (uint32_t lvl = 0; lvl <= zbits; ++lvl) {
-    if ((level_mask_ & (1ULL << lvl)) == 0) continue;
+    if ((level_mask & (1ULL << lvl)) == 0) continue;
     const uint64_t zmin =
         (lvl == 0) ? 0 : (cell.zmin & (~0ULL << (zbits - lvl)));
     const ZElement anc(zmin, static_cast<uint8_t>(lvl),

@@ -458,9 +458,28 @@ Result<std::vector<ObjectId>> SpatialIndex::RefineWindowCandidates(
 }
 
 // ---------------------------------------------------------------- queries
+//
+// With snapshots enabled, the public queries pin the current epoch and
+// run latch-free against the pinned version chains; a pin can race a
+// group rollback that invalidates its epoch (rare: I/O failure), in
+// which case the query re-pins — the re-published epoch is always
+// valid — and retries. Without snapshots they take the shared latch as
+// before.
+
+/// Expands to the snapshot-pinned fast path of a public query: pin,
+/// delegate to the *At variant, retry on a rolled-back epoch.
+#define ZDB_SNAPSHOT_QUERY(AtCall)                                     \
+  if (snapshots_enabled()) {                                           \
+    for (int attempt = 0;; ++attempt) {                                \
+      const EpochPin pin = PinEpoch();                                 \
+      auto r = AtCall;                                                 \
+      if (r.ok() || !r.status().IsAborted() || attempt >= 2) return r; \
+    }                                                                  \
+  }
 
 Result<std::vector<ObjectId>> SpatialIndex::WindowQuery(const Rect& window,
                                                         QueryStats* stats) {
+  ZDB_SNAPSHOT_QUERY(WindowQueryAt(pin, window, stats));
   SharedSection lock(this);
   return WindowQueryLocked(window, stats);
 }
@@ -489,7 +508,13 @@ Result<std::vector<ObjectId>> SpatialIndex::WindowQueryLocked(
 
 Result<std::vector<ObjectId>> SpatialIndex::PointQuery(const Point& p,
                                                        QueryStats* stats) {
+  ZDB_SNAPSHOT_QUERY(PointQueryAt(pin, p, stats));
   SharedSection lock(this);
+  return PointQueryLocked(p, stats);
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::PointQueryLocked(
+    const Point& p, QueryStats* stats) {
   const std::function<bool(const Rect&)> leaf_pred = [&](const Rect& mbr) {
     return mbr.Contains(p);
   };
@@ -517,7 +542,13 @@ Result<std::vector<ObjectId>> SpatialIndex::PointQuery(const Point& p,
 
 Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
     const Rect& window, QueryStats* stats) {
+  ZDB_SNAPSHOT_QUERY(ContainmentQueryAt(pin, window, stats));
   SharedSection lock(this);
+  return ContainmentQueryLocked(window, stats);
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::ContainmentQueryLocked(
+    const Rect& window, QueryStats* stats) {
   if (!window.valid()) {
     return Status::InvalidArgument("invalid query window");
   }
@@ -544,7 +575,13 @@ Result<std::vector<ObjectId>> SpatialIndex::ContainmentQuery(
 
 Result<std::vector<ObjectId>> SpatialIndex::EnclosureQuery(
     const Rect& window, QueryStats* stats) {
+  ZDB_SNAPSHOT_QUERY(EnclosureQueryAt(pin, window, stats));
   SharedSection lock(this);
+  return EnclosureQueryLocked(window, stats);
+}
+
+Result<std::vector<ObjectId>> SpatialIndex::EnclosureQueryLocked(
+    const Rect& window, QueryStats* stats) {
   if (!window.valid()) {
     return Status::InvalidArgument("invalid query window");
   }
@@ -570,5 +607,7 @@ Result<std::vector<ObjectId>> SpatialIndex::EnclosureQuery(
       },
       stats);
 }
+
+#undef ZDB_SNAPSHOT_QUERY
 
 }  // namespace zdb

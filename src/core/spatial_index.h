@@ -31,6 +31,16 @@
 // hold one ReaderSection() across all hook calls (exec/executor.h does).
 // Use exec/executor.h to drive query and mixed read/write batches over a
 // worker pool.
+//
+// Snapshot reads: after EnableSnapshots(), the public queries stop
+// taking the shared latch. Each query pins the current write epoch
+// (EpochPin, core/epoch.h) and traverses copy-on-write before-image
+// version chains (storage/snapshot.h) at that epoch, so a long scan
+// never blocks a writer and a sustained write stream never blocks
+// readers. The *At query variants run several queries against one
+// explicitly pinned epoch — repeated reads at one pin are byte-stable.
+// A background GC thread reclaims superseded versions once the lowest
+// pinned epoch passes them. See DESIGN.md "Snapshot reads & epoch GC".
 
 #ifndef ZDB_CORE_SPATIAL_INDEX_H_
 #define ZDB_CORE_SPATIAL_INDEX_H_
@@ -38,6 +48,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -45,6 +56,7 @@
 #include "btree/btree.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "core/epoch.h"
 #include "core/object_store.h"
 #include "core/options.h"
 #include "core/polygon_store.h"
@@ -318,6 +330,102 @@ class SpatialIndex {
     return write_epoch_.load(std::memory_order_acquire);
   }
 
+  // ------------------------------------------------------ snapshot reads
+  //
+  // Epoch-pinned reads replace the reader half of the latch: queries at
+  // a pinned epoch resolve pages through before-image version chains
+  // and never hold latch_, so they cannot stall writers (and writers
+  // cannot tear them). Writers still serialize through
+  // commit_mu_ -> latch_ exactly as before; on every publish they
+  // capture a SnapshotMeta (root, directories, counters) for the new
+  // epoch and the buffer pool saves pre-batch page images on first
+  // mutation.
+
+  /// Switches the read path to epoch-pinned snapshot reads. Captures
+  /// the current state as the first pinned-readable epoch, arms
+  /// copy-on-write in the buffer pool, and starts the version GC
+  /// thread. Call once, after Create()/Open() (and after
+  /// StartGroupCommit() if used); idempotent. Snapshots stay enabled
+  /// for the index's lifetime.
+  Status EnableSnapshots();
+
+  /// True once EnableSnapshots() succeeded.
+  bool snapshots_enabled() const {
+    return snapshots_on_.load(std::memory_order_acquire);
+  }
+
+  /// Pins the current write epoch for explicit multi-query snapshot
+  /// reads (the *At variants below). Requires snapshots_enabled();
+  /// aborts otherwise. Holding a pin never blocks writers — it only
+  /// delays version reclamation.
+  EpochPin PinEpoch() const;
+
+  /// Scoped thread-local snapshot context: while alive, every read this
+  /// thread makes through this index (including the unlatched plan
+  /// hooks) resolves at the scope's epoch. Obtained from
+  /// OpenSnapshot(); destroy on the creating thread, strictly nested.
+  /// Construction briefly blocks while a failed-batch reload is in
+  /// progress (the quiesce barrier); it never blocks on writers
+  /// otherwise.
+  class SnapshotReadScope {
+   public:
+    ~SnapshotReadScope();
+    SnapshotReadScope(const SnapshotReadScope&) = delete;
+    SnapshotReadScope& operator=(const SnapshotReadScope&) = delete;
+
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class SpatialIndex;
+    SnapshotReadScope(const SpatialIndex* ix, uint64_t epoch,
+                      std::shared_ptr<const SnapshotMeta> meta);
+
+    const SpatialIndex* ix_;
+    uint64_t epoch_;
+    /// Engaged for the scope's whole life; optional only because the
+    /// TLS installer must be constructed after the quiesce-barrier
+    /// wait in the constructor body.
+    std::optional<SnapshotScope> scope_;
+  };
+
+  /// Opens a snapshot context at `pin`'s epoch on the calling thread.
+  /// The pin must come from this index's PinEpoch() and must stay held
+  /// for the scope's lifetime. Fails with Aborted if the pinned epoch
+  /// was rolled back by a failed group commit (re-pin and retry).
+  /// Used by the parallel executor, whose workers each install their
+  /// own scope under one shared pin; single queries use the *At
+  /// variants instead.
+  Result<std::unique_ptr<SnapshotReadScope>> OpenSnapshot(
+      const EpochPin& pin) const;
+
+  /// The queries below at an explicitly pinned epoch. All reads at one
+  /// pin observe the single committed state of that epoch, stable
+  /// across arbitrarily many re-reads and concurrent writer churn.
+  /// They fail with Aborted if the pinned epoch was rolled back.
+  Result<std::vector<ObjectId>> WindowQueryAt(const EpochPin& pin,
+                                              const Rect& window,
+                                              QueryStats* stats = nullptr);
+  Result<std::vector<ObjectId>> PointQueryAt(const EpochPin& pin,
+                                             const Point& p,
+                                             QueryStats* stats = nullptr);
+  Result<std::vector<ObjectId>> ContainmentQueryAt(
+      const EpochPin& pin, const Rect& window, QueryStats* stats = nullptr);
+  Result<std::vector<ObjectId>> EnclosureQueryAt(const EpochPin& pin,
+                                                 const Rect& window,
+                                                 QueryStats* stats = nullptr);
+  Result<std::vector<std::pair<ObjectId, double>>> NearestNeighborsAt(
+      const EpochPin& pin, const Point& p, size_t k,
+      QueryStats* stats = nullptr, uint32_t* rounds = nullptr);
+
+  /// Pin / version-chain counters (zero before EnableSnapshots()).
+  EpochStats epoch_stats() const;
+  PageVersionStats version_stats() const;
+
+  /// The manager backing PinEpoch(); nullptr before EnableSnapshots().
+  /// Exposed for tests that drive reclamation deterministically
+  /// (EpochManager::RunGcCycle).
+  EpochManager* epochs() const { return epoch_mgr_.get(); }
+
   // ------------------------------------------------------------- queries
 
   /// All live objects whose MBR intersects `window`.
@@ -464,19 +572,103 @@ class SpatialIndex {
   /// Re-reads the dynamic index state (B+-tree meta, store directories,
   /// counters) from the master page after Pager::AbortBatch rolled the
   /// file back to the pre-batch checkpoint, discarding the buffer-pool
-  /// cache first. Defined in core/persist.cc.
+  /// cache first. Quiesces in-flight snapshot reads before touching
+  /// anything (see BeginSnapshotQuiesce). Defined in core/persist.cc.
   Status ReloadLocked() REQUIRES(commit_mu_, latch_);
+  /// ReloadLocked's body, run between the quiesce brackets.
+  Status ReloadUnquiescedLocked() REQUIRES(commit_mu_, latch_);
   Result<std::vector<ObjectId>> WindowQueryLocked(const Rect& window,
                                                   QueryStats* stats)
+      REQUIRES_SHARED(latch_);
+  Result<std::vector<ObjectId>> PointQueryLocked(const Point& p,
+                                                 QueryStats* stats)
+      REQUIRES_SHARED(latch_);
+  Result<std::vector<ObjectId>> ContainmentQueryLocked(const Rect& window,
+                                                       QueryStats* stats)
+      REQUIRES_SHARED(latch_);
+  Result<std::vector<ObjectId>> EnclosureQueryLocked(const Rect& window,
+                                                     QueryStats* stats)
+      REQUIRES_SHARED(latch_);
+  Result<std::vector<std::pair<ObjectId, double>>> NearestNeighborsLocked(
+      const Point& p, size_t k, QueryStats* stats, uint32_t* rounds)
       REQUIRES_SHARED(latch_);
   Result<double> DistanceToLocked(ObjectId oid, const Point& p)
       REQUIRES_SHARED(latch_);
 
   /// Bumps the published write epoch; call at the end of a successful
-  /// writer section, while still holding the exclusive latch.
+  /// writer section, while still holding the exclusive latch. With
+  /// snapshots enabled, first records the post-batch SnapshotMeta under
+  /// the new epoch — readers that pin the bumped epoch immediately
+  /// afterwards must already find its meta.
   void PublishWrite() REQUIRES(latch_) {
+    if (snapshots_on_.load(std::memory_order_relaxed)) {
+      epoch_mgr_->RecordMeta(
+          write_epoch_.load(std::memory_order_relaxed) + 1,
+          CaptureMetaLocked());
+    }
     write_epoch_.fetch_add(1, std::memory_order_release);
   }
+
+  // ----------------------------- snapshot reads (core/snapshot_read.cc)
+
+  /// Value-copies the reader-visible index state (tree root/height,
+  /// store directories, counters) into a SnapshotMeta. Writer side,
+  /// under the exclusive latch, at every publish.
+  SnapshotMeta CaptureMetaLocked() const REQUIRES(latch_);
+
+  /// Builds the thread-local redirection record for `epoch`: tags this
+  /// index's pool/tree/stores so their read paths resolve through the
+  /// version chains and `meta` instead of the live state.
+  SnapshotView MakeView(uint64_t epoch,
+                        std::shared_ptr<const SnapshotMeta> meta) const;
+
+  /// Resolves `pin`'s snapshot meta (InvalidArgument before
+  /// EnableSnapshots(), Aborted for a rolled-back epoch).
+  Result<std::shared_ptr<const SnapshotMeta>> PinnedMeta(
+      const EpochPin& pin) const;
+
+  /// Reader-count gate for the reload quiesce barrier. Snapshot reads
+  /// hold no latch, but a chain-miss page resolution takes a transient
+  /// buffer-pool pin — ReloadLocked (which discards the pool cache and
+  /// reseats the tree/store handles) must wait those out. Enter blocks
+  /// while the barrier is up; reads in progress finish first.
+  void EnterSnapshotRead() const EXCLUDES(snap_mu_);
+  void LeaveSnapshotRead() const EXCLUDES(snap_mu_);
+
+  /// Raises the barrier and waits until no snapshot read is active /
+  /// lowers it again. Bracket ReloadLocked's body; the caller holds
+  /// commit_mu_ + the exclusive latch, so no new epoch can be pinned
+  /// meanwhile and snapshot readers never take either lock (no
+  /// deadlock; lock order commit_mu_ -> latch_ -> snap_mu_).
+  void BeginSnapshotQuiesce() EXCLUDES(snap_mu_);
+  void EndSnapshotQuiesce() EXCLUDES(snap_mu_);
+
+  /// Capability bridge for the pinned read path: claims the shared
+  /// latch for the thread-safety analysis WITHOUT acquiring it, so the
+  /// REQUIRES_SHARED query bodies stay checkable from the latch-free
+  /// snapshot path. Sound because under an installed SnapshotView every
+  /// latch-guarded datum those bodies touch is redirected to immutable
+  /// snapshot state (EffectiveLevelMask/EffectiveLiveObjects, the
+  /// view-aware BTree/store/pool read paths); the live fields a writer
+  /// could race on are never read. Only construct with a
+  /// SnapshotReadScope installed on this thread.
+  class SCOPED_CAPABILITY SnapshotSection {
+   public:
+    explicit SnapshotSection(const SpatialIndex* ix)
+        ACQUIRE_SHARED(ix->latch_) {
+      (void)ix;  // consumed by the annotation only
+    }
+    ~SnapshotSection() RELEASE() {}
+    SnapshotSection(const SnapshotSection&) = delete;
+    SnapshotSection& operator=(const SnapshotSection&) = delete;
+  };
+
+  /// level_mask_ / live_objects_, redirected to the installed snapshot
+  /// view when one covers this index (pinned reads must not consult
+  /// live counters a concurrent writer is mutating). Defined in
+  /// core/snapshot_read.cc with the rest of the snapshot plumbing.
+  uint64_t EffectiveLevelMask() const REQUIRES_SHARED(latch_);
+  uint64_t EffectiveLiveObjects() const REQUIRES_SHARED(latch_);
 
   // --------------------------------- group commit (core/group_commit.cc)
 
@@ -547,6 +739,13 @@ class SpatialIndex {
     explicit WriterSection(SpatialIndex* ix) ACQUIRE(ix->latch_)
         : ix_(ix) {
       ix_->LatchExclusive();
+      // Arm copy-on-write for this batch: first mutation of any page
+      // saves its pre-batch image tagged with the current (pre-bump)
+      // epoch. The stamp is re-armed per section; the keep-first rule
+      // in PageVersions makes a checkpoint sharing the stamp harmless.
+      if (ix_->snapshots_on_.load(std::memory_order_relaxed)) {
+        ix_->pool_->ArmVersioning(ix_->write_epoch() + 1);
+      }
     }
     ~WriterSection() RELEASE() {
       if (ix_ != nullptr) ix_->UnlatchExclusive();
@@ -640,6 +839,22 @@ class SpatialIndex {
   mutable CondVar gate_cv_;
   mutable uint32_t writers_waiting_ GUARDED_BY(gate_mu_) = 0;
   std::atomic<uint64_t> write_epoch_{0};
+
+  /// Pin accounting, per-epoch snapshot metas and the version GC
+  /// thread. Set once by EnableSnapshots() (never reseated); the
+  /// snapshots_on_ flag is what readers consult, with acquire order so
+  /// a reader seeing `true` also sees the pointer.
+  std::unique_ptr<EpochManager> epoch_mgr_;
+  std::atomic<bool> snapshots_on_{false};
+
+  /// Reload quiesce barrier (see BeginSnapshotQuiesce). snap_mu_ is a
+  /// leaf lock on the reader side; ReloadLocked takes it while holding
+  /// commit_mu_ + the exclusive latch, extending the lock order to
+  /// commit_mu_ -> latch_ -> snap_mu_.
+  mutable Mutex snap_mu_ ACQUIRED_AFTER(commit_mu_);
+  mutable CondVar snap_cv_;
+  mutable uint32_t snap_active_ GUARDED_BY(snap_mu_) = 0;
+  bool snap_barrier_ GUARDED_BY(snap_mu_) = false;
 
   /// Commit pipeline mutex: every mutator takes it *before* latch_
   /// (lock order: commit_mu_ → latch_ → gc_mu_), and the durability

@@ -150,6 +150,18 @@ QueryExecutor::NearestBatch(const std::vector<Point>& points, size_t k) {
 
 Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowQuery(
     const Rect& window, QueryStats* stats) {
+  if (index_->snapshots_enabled()) {
+    // Latch-free path: pin ONE epoch for the whole plan/slice/refine
+    // pipeline so every hook call observes the same committed state —
+    // the snapshot equivalent of the single reader section below. A
+    // group-commit rollback can invalidate the pinned epoch mid-flight
+    // (Aborted); re-pin at the re-published epoch and retry.
+    for (int attempt = 0;; ++attempt) {
+      const EpochPin pin = index_->PinEpoch();
+      auto r = ParallelWindowBody(window, stats, &pin);
+      if (r.ok() || !r.status().IsAborted() || attempt >= 2) return r;
+    }
+  }
   // One reader section spanning plan, slices and refinement: the hooks
   // themselves do not latch (a per-call latch could admit a writer
   // between the plan and its slices), so the driver pins the index state
@@ -157,6 +169,20 @@ Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowQuery(
   // the latch themselves, which keeps a waiting writer from wedging the
   // job between the driver's shared hold and a worker's fresh acquire.
   auto section = index_->ReaderSection();
+  return ParallelWindowBody(window, stats, nullptr);
+}
+
+Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowBody(
+    const Rect& window, QueryStats* stats, const EpochPin* pin) {
+  // With a pin, every participating thread installs its own snapshot
+  // view: the TLS view is per-thread, so the driver's scope (for
+  // PlanWindow) does not cover the workers — each job lambda opens one
+  // before touching the index. Without a pin the caller already holds
+  // the shared latch and the scopes collapse to nothing.
+  std::unique_ptr<SpatialIndex::SnapshotReadScope> driver_scope;
+  if (pin != nullptr) {
+    ZDB_ASSIGN_OR_RETURN(driver_scope, index_->OpenSnapshot(*pin));
+  }
   WindowPlan plan;
   ZDB_ASSIGN_OR_RETURN(plan, index_->PlanWindow(window));
   const size_t items = plan.work_items();
@@ -168,6 +194,10 @@ Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowQuery(
   std::vector<std::vector<ObjectId>> parts(slices);
   std::vector<QueryStats> part_stats(slices);
   ZDB_RETURN_IF_ERROR(RunJob(slices, [&](size_t i, size_t w) -> Status {
+    std::unique_ptr<SpatialIndex::SnapshotReadScope> scope;
+    if (pin != nullptr) {
+      ZDB_ASSIGN_OR_RETURN(scope, index_->OpenSnapshot(*pin));
+    }
     const size_t lo = items * i / slices;
     const size_t hi = items * (i + 1) / slices;
     auto r = index_->ExecuteWindowPlanSlice(plan, lo, hi, &part_stats[i]);
@@ -195,6 +225,10 @@ Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowQuery(
   std::vector<std::vector<ObjectId>> refined(chunks);
   std::vector<QueryStats> refine_stats(chunks);
   ZDB_RETURN_IF_ERROR(RunJob(chunks, [&](size_t i, size_t w) -> Status {
+    std::unique_ptr<SpatialIndex::SnapshotReadScope> scope;
+    if (pin != nullptr) {
+      ZDB_ASSIGN_OR_RETURN(scope, index_->OpenSnapshot(*pin));
+    }
     const size_t lo = candidates.size() * i / chunks;
     const size_t hi = candidates.size() * (i + 1) / chunks;
     std::vector<ObjectId> chunk(candidates.begin() + lo,

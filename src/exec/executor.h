@@ -23,6 +23,20 @@
 // reader/writer latch, so batches may run while a writer is active; a
 // query observes either all or none of any write batch.
 //
+// Snapshot migration boundary: when the index has snapshot reads
+// enabled (SpatialIndex::EnableSnapshots), the executor stops latching.
+// Batch queries delegate to the public index queries, which auto-pin
+// per query; ParallelWindowQuery pins ONE epoch up front and every
+// worker installs its own SnapshotReadScope under that shared pin, so
+// all plan hooks (PlanWindow/ExecuteWindowPlanSlice/
+// RefineWindowCandidates) observe the same committed epoch — the
+// latch-era contract "one ReaderSection across all hook calls" maps to
+// "one EpochPin across all hook calls, one scope per worker thread".
+// The hooks themselves stay NO_THREAD_SAFETY_ANALYSIS: what protects
+// them is the pinned epoch's immutability, which tests/snapshot_test.cc
+// (SnapshotStress.PlanHooksCannotObserveTornEpoch) verifies cannot
+// observe a torn epoch under writer churn.
+//
 // Per-worker counters (pages pinned, pool hit rate, candidates,
 // refinements) are collected racelessly: each worker owns its WorkerStats
 // slot and registers its ThreadIoStats shadow with the buffer pool (the
@@ -178,6 +192,14 @@ class QueryExecutor {
     bool failed GUARDED_BY(mu) = false;
     Status first_error GUARDED_BY(mu);
   };
+
+  /// Shared plan/slice/refine pipeline of ParallelWindowQuery. With
+  /// `pin` non-null the driver and every worker install per-thread
+  /// snapshot views under that pin; with null the caller must hold the
+  /// index's shared latch for the duration.
+  Result<std::vector<ObjectId>> ParallelWindowBody(const Rect& window,
+                                                   QueryStats* stats,
+                                                   const EpochPin* pin);
 
   Status RunJob(size_t count,
                 std::function<Status(size_t item, size_t worker)> fn);

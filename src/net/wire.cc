@@ -88,6 +88,9 @@ WireError StatusCodeToWireError(Status::Code code) {
     case Status::Code::kBusy: return WireError::kBusy;
     case Status::Code::kUnavailable: return WireError::kShuttingDown;
     case Status::Code::kTimedOut: return WireError::kTimedOut;
+    // No dedicated wire code: a rolled-back snapshot epoch is a server-
+    // side condition the client retries like any transient server error.
+    case Status::Code::kAborted: return WireError::kServerError;
   }
   return WireError::kServerError;
 }
@@ -134,6 +137,7 @@ Status WireErrorToStatus(WireError e, std::string message) {
     case Status::Code::kUnavailable:
       return Status::Unavailable(std::move(message));
     case Status::Code::kTimedOut: return Status::TimedOut(std::move(message));
+    case Status::Code::kAborted: return Status::Aborted(std::move(message));
   }
   return Status::IOError(std::move(message));
 }

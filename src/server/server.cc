@@ -691,12 +691,27 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
     case Opcode::kWindow: {
       Rect w;
       if (!DecodeWindowRequest(frame.payload, &w)) return malformed();
+      const bool parallel = exec_ != nullptr && w.valid() &&
+                            w.area() >= options_.parallel_window_area;
+      if (!parallel && index_->snapshots_enabled()) {
+        // Snapshot path: pin once so the reply can name the exact
+        // committed epoch the answer reflects (e0 == e1 == the pin).
+        // A group rollback can invalidate the pin mid-query; re-pin at
+        // the re-published epoch and retry.
+        for (int attempt = 0;; ++attempt) {
+          const EpochPin pin = index_->PinEpoch();
+          auto r = index_->WindowQueryAt(pin, w);
+          if (!r.ok() && r.status().IsAborted() && attempt < 2) continue;
+          if (!r.ok()) return engine_error(r.status());
+          return EncodeIdListReply(pin.epoch(), pin.epoch(), r.value());
+        }
+      }
+      // Parallel queries pin internally (or latch, with snapshots off);
+      // the observed epochs bracket whichever state the query saw.
       const uint64_t e0 = index_->write_epoch();
-      Result<std::vector<ObjectId>> r =
-          (exec_ != nullptr && w.valid() &&
-           w.area() >= options_.parallel_window_area)
-              ? exec_->ParallelWindowQuery(w)
-              : index_->WindowQuery(w);
+      Result<std::vector<ObjectId>> r = parallel
+                                            ? exec_->ParallelWindowQuery(w)
+                                            : index_->WindowQuery(w);
       const uint64_t e1 = index_->write_epoch();
       if (!r.ok()) return engine_error(r.status());
       return EncodeIdListReply(e0, e1, r.value());
@@ -705,6 +720,15 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
     case Opcode::kPoint: {
       Point p;
       if (!DecodePointRequest(frame.payload, &p)) return malformed();
+      if (index_->snapshots_enabled()) {
+        for (int attempt = 0;; ++attempt) {
+          const EpochPin pin = index_->PinEpoch();
+          auto r = index_->PointQueryAt(pin, p);
+          if (!r.ok() && r.status().IsAborted() && attempt < 2) continue;
+          if (!r.ok()) return engine_error(r.status());
+          return EncodeIdListReply(pin.epoch(), pin.epoch(), r.value());
+        }
+      }
       const uint64_t e0 = index_->write_epoch();
       auto r = index_->PointQuery(p);
       const uint64_t e1 = index_->write_epoch();
@@ -716,6 +740,15 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
       Point p;
       uint32_t k;
       if (!DecodeKnnRequest(frame.payload, &p, &k)) return malformed();
+      if (index_->snapshots_enabled()) {
+        for (int attempt = 0;; ++attempt) {
+          const EpochPin pin = index_->PinEpoch();
+          auto r = index_->NearestNeighborsAt(pin, p, k);
+          if (!r.ok() && r.status().IsAborted() && attempt < 2) continue;
+          if (!r.ok()) return engine_error(r.status());
+          return EncodeKnnReply(pin.epoch(), pin.epoch(), r.value());
+        }
+      }
       const uint64_t e0 = index_->write_epoch();
       auto r = index_->NearestNeighbors(p, k);
       const uint64_t e1 = index_->write_epoch();
@@ -857,6 +890,18 @@ std::string Server::StatsJson() const {
   w.Key("engine").BeginObject();
   w.Field("objects", index_->object_count());
   w.Field("write_epoch", index_->write_epoch());
+  if (index_->snapshots_enabled()) {
+    const EpochStats es = index_->epoch_stats();
+    const PageVersionStats vs = index_->version_stats();
+    w.Key("snapshots").BeginObject();
+    w.Field("pinned", es.pinned);
+    w.Field("pins_taken", es.pins_taken);
+    w.Field("gc_cycles", es.gc_cycles);
+    w.Field("page_versions", vs.live);
+    w.Field("version_bytes", vs.bytes);
+    w.Field("versions_reclaimed", vs.reclaimed);
+    w.EndObject();
+  }
   AppendJson(&w, "io", index_->pool()->pager()->io_stats());
   w.EndObject();
 

@@ -32,23 +32,32 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
     pool_ = other.pool_;
     shard_ = other.shard_;
     frame_ = other.frame_;
+    snap_ = std::move(other.snap_);
+    snap_id_ = other.snap_id_;
     other.pool_ = nullptr;
+    other.snap_.reset();
   }
   return *this;
 }
 
 PageId PageRef::id() const {
   assert(valid());
+  if (snap_ != nullptr) return snap_id_;
   return pool_->shards_[shard_].frames[frame_].id;
 }
 
 const char* PageRef::data() const {
   assert(valid());
+  if (snap_ != nullptr) return snap_->data();
   return pool_->shards_[shard_].frames[frame_].data.data();
 }
 
 char* PageRef::mutable_data() {
   assert(valid());
+  if (snap_ != nullptr) {
+    internal::LockAssertFail("mutable_data() on a snapshot-backed page");
+  }
+  pool_->PrepareWrite(shard_, frame_);
   BufferPool::Frame& f = pool_->shards_[shard_].frames[frame_];
   f.dirty.store(true, std::memory_order_relaxed);
   return f.data.data();
@@ -59,12 +68,14 @@ void PageRef::Release() {
     pool_->Unpin(shard_, frame_);
     pool_ = nullptr;
   }
+  snap_.reset();
 }
 
 BufferPool::BufferPool(Pager* pager, size_t capacity)
     : pager_(pager),
       capacity_(capacity),
-      shards_(PickShardCount(capacity)) {
+      shards_(PickShardCount(capacity)),
+      versions_(pager->page_size()) {
   assert(capacity >= 1);
   shard_mask_ = shards_.size() - 1;
   // Distribute frames round-robin so every shard gets within one frame of
@@ -131,7 +142,46 @@ Result<uint32_t> BufferPool::AcquireFrame(Shard& s) {
   return victim;
 }
 
+void BufferPool::PrepareWrite(uint32_t shard, uint32_t frame) {
+  // Only the single armed mutator (exclusive index latch) reaches here
+  // with a nonzero stamp, so the stamp comparison cannot race another
+  // writer; the frame's bytes are stable under the mutator's own pin.
+  const uint64_t stamp = save_stamp_.load(std::memory_order_acquire);
+  if (stamp == 0) return;
+  Frame& f = shards_[shard].frames[frame];
+  if (f.save_stamp.load(std::memory_order_relaxed) == stamp) return;
+  versions_.SaveBeforeImage(f.id, stamp - 1, f.data.data());
+  f.save_stamp.store(stamp, std::memory_order_relaxed);
+}
+
+Result<PageRef> BufferPool::SnapshotFetch(const SnapshotView& view,
+                                          PageId id) {
+  if (PageVersions::Buffer b = versions_.Lookup(id, view.epoch)) {
+    ++pager_->mutable_io_stats()->pool_hits;
+    ThreadIoStats* tls = GetThreadIoStats();
+    if (tls != nullptr) ++tls->pool_hits;
+    return PageRef(std::move(b), id);
+  }
+  // No image covers the pinned epoch: the live frame is current for it.
+  // Pin it through the normal path (the pin is transient — released
+  // before returning, so reload/discard barriers never wait on a
+  // snapshot ref), then copy the bytes under the chain shard mutex to
+  // order the copy against a concurrent first-mutation save.
+  PageRef live;
+  ZDB_ASSIGN_OR_RETURN(live, FetchLive(id));
+  PageVersions::Buffer b = versions_.ReadAtEpoch(id, view.epoch, live.data());
+  live.Release();
+  return PageRef(std::move(b), id);
+}
+
 Result<PageRef> BufferPool::Fetch(PageId id) {
+  if (const SnapshotView* v = SnapshotView::FindPool(this)) {
+    return SnapshotFetch(*v, id);
+  }
+  return FetchLive(id);
+}
+
+Result<PageRef> BufferPool::FetchLive(PageId id) {
   const uint32_t sidx = static_cast<uint32_t>(id) & shard_mask_;
   Shard& s = shards_[sidx];
   MutexLock lock(s.mu);
@@ -161,6 +211,10 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
   f.id = id;
   f.pins.store(1, std::memory_order_relaxed);
   f.dirty.store(false, std::memory_order_relaxed);
+  // Freshly loaded bytes may be the pre-batch image (or a mid-batch
+  // re-load after eviction): force the next mutation through the save
+  // path and let keep-first dedup sort out which case it was.
+  f.save_stamp.store(0, std::memory_order_relaxed);
   s.table[id] = idx;
   Touch(s, idx);
   if (tls != nullptr) ++tls->pages_pinned;
@@ -188,6 +242,10 @@ Result<PageRef> BufferPool::New() {
   f.id = id;
   f.pins.store(1, std::memory_order_relaxed);
   f.dirty.store(true, std::memory_order_relaxed);
+  // A fresh page has no pre-batch content to preserve (if the id was
+  // freed earlier in this batch, the Delete hook already saved it).
+  f.save_stamp.store(save_stamp_.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
   s.table[id] = idx;
   Touch(s, idx);
   ThreadIoStats* tls = GetThreadIoStats();
@@ -196,6 +254,7 @@ Result<PageRef> BufferPool::New() {
 }
 
 Status BufferPool::Delete(PageId id) {
+  const uint64_t stamp = save_stamp_.load(std::memory_order_acquire);
   Shard& s = shard_for(id);
   {
     MutexLock lock(s.mu);
@@ -205,11 +264,26 @@ Status BufferPool::Delete(PageId id) {
       if (f.pins.load(std::memory_order_acquire) > 0) {
         return Status::InvalidArgument("deleting a pinned page");
       }
+      // A pinned reader may still need this page at an older epoch:
+      // preserve its pre-batch image before the id is recycled. If this
+      // batch already mutated the page, the true pre-batch bytes are in
+      // the chain and keep-first makes this a no-op.
+      if (stamp != 0 && f.save_stamp.load(std::memory_order_relaxed) !=
+                            stamp) {
+        versions_.SaveBeforeImage(id, stamp - 1, f.data.data());
+      }
       // Contents are garbage now; never write back.
       f.dirty.store(false, std::memory_order_relaxed);
       f.id = kInvalidPageId;
       s.free_frames.push_back(it->second);
       s.table.erase(it);
+    } else if (stamp != 0) {
+      // Uncached: the disk image is the pre-batch image unless this
+      // batch mutated the page and it was evicted — in which case the
+      // chain already holds the true one and keep-first skips the save.
+      std::vector<char> buf(pager_->page_size());
+      ZDB_RETURN_IF_ERROR(pager_->ReadPage(id, buf.data()));
+      versions_.SaveBeforeImage(id, stamp - 1, buf.data());
     }
   }
   return pager_->Free(id);

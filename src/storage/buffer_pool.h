@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "storage/pager.h"
+#include "storage/snapshot.h"
 
 namespace zdb {
 
@@ -37,6 +38,12 @@ class BufferPool;
 /// RAII pin on a cached page. While a PageRef is alive the frame cannot be
 /// evicted and its data pointer stays valid. Move-only. A PageRef may be
 /// released from any thread.
+///
+/// A PageRef can also be backed by an immutable snapshot buffer instead
+/// of a pool frame (returned by Fetch under an installed SnapshotView).
+/// Such a ref holds no pin — it shares ownership of a version-chain
+/// buffer — and aborts on mutable_data(): snapshot pages are read-only
+/// by construction.
 class PageRef {
  public:
   PageRef() = default;
@@ -47,13 +54,15 @@ class PageRef {
   PageRef(const PageRef&) = delete;
   PageRef& operator=(const PageRef&) = delete;
 
-  bool valid() const { return pool_ != nullptr; }
+  bool valid() const { return pool_ != nullptr || snap_ != nullptr; }
   PageId id() const;
 
   /// Read-only view of the page bytes.
   const char* data() const;
 
-  /// Mutable view; automatically marks the page dirty.
+  /// Mutable view; automatically marks the page dirty and, when the
+  /// pool's versioning is armed, saves the page's pre-batch image into
+  /// the version chains first (copy-on-write for pinned readers).
   char* mutable_data();
 
   /// Drops the pin early (also done by the destructor).
@@ -63,10 +72,14 @@ class PageRef {
   friend class BufferPool;
   PageRef(BufferPool* pool, uint32_t shard, uint32_t frame)
       : pool_(pool), shard_(shard), frame_(frame) {}
+  PageRef(PageVersions::Buffer snap, PageId id)
+      : snap_(std::move(snap)), snap_id_(id) {}
 
   BufferPool* pool_ = nullptr;
   uint32_t shard_ = 0;
   uint32_t frame_ = 0;
+  PageVersions::Buffer snap_;
+  PageId snap_id_ = kInvalidPageId;
 };
 
 /// Fixed-capacity page cache with sharded LRU replacement and pin counts.
@@ -119,6 +132,20 @@ class BufferPool {
   Pager* pager() const { return pager_; }
   size_t capacity() const { return capacity_; }
 
+  /// The before-image version chains backing snapshot reads. Always
+  /// present; empty (and never written) until versioning is armed.
+  PageVersions* versions() { return &versions_; }
+
+  /// Arms copy-on-write before-images for the write batch that will
+  /// publish epoch `stamp` (stamp = current epoch + 1): until re-armed,
+  /// the first mutation of each page saves its current bytes tagged
+  /// `stamp - 1`. Called by the index writer section under the
+  /// exclusive latch; 0 (the initial value) means versioning is off and
+  /// mutable_data() saves nothing.
+  void ArmVersioning(uint64_t stamp) {
+    save_stamp_.store(stamp, std::memory_order_release);
+  }
+
   /// Number of table shards (1 for small pools).
   size_t shard_count() const { return shards_.size(); }
 
@@ -136,12 +163,16 @@ class BufferPool {
   /// read by pinned PageRefs without the shard lock (the pin count — not
   /// the mutex — is what keeps them stable), and pins/dirty are atomics.
   /// id and last_used are only *mutated* under the shard lock.
+  /// save_stamp marks the versioning batch whose before-image save this
+  /// frame already performed (0 = none since load); it is written under
+  /// the shard lock on load and by the single armed mutator otherwise.
   struct Frame {
     PageId id = kInvalidPageId;
     std::vector<char> data;
     std::atomic<uint32_t> pins{0};
     std::atomic<bool> dirty{false};
     uint64_t last_used = 0;
+    std::atomic<uint64_t> save_stamp{0};
   };
 
   struct Shard {
@@ -172,10 +203,23 @@ class BufferPool {
   /// Shared body of FlushAll/FlushForCommit.
   Status FlushInternal(bool include_pinned);
 
+  /// The non-redirecting Fetch body (live frames only).
+  Result<PageRef> FetchLive(PageId id);
+
+  /// Resolves `id` at the view's pinned epoch: chain entry if one
+  /// covers the epoch, otherwise a copy of the live frame taken under
+  /// the chain shard mutex. The returned ref holds no pin.
+  Result<PageRef> SnapshotFetch(const SnapshotView& view, PageId id);
+
+  /// First-mutation hook behind PageRef::mutable_data().
+  void PrepareWrite(uint32_t shard, uint32_t frame);
+
   Pager* pager_;
   size_t capacity_;
   size_t shard_mask_;            ///< shard count - 1 (power of two)
   std::vector<Shard> shards_;
+  PageVersions versions_;
+  std::atomic<uint64_t> save_stamp_{0};
 };
 
 }  // namespace zdb

@@ -1,0 +1,172 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Page-level before-image version chains and the thread-local snapshot
+// view — the storage half of epoch-based snapshot reads (the pin/GC
+// half lives in core/epoch.h).
+//
+// Model: every write batch publishes one write epoch E under the
+// exclusive index latch. While the batch runs, the first mutation of a
+// page through PageRef::mutable_data() appends the page's *pre-batch*
+// bytes to its version chain, tagged `as_of = E-1` ("content at the end
+// of epoch E-1"). A reader pinned at epoch P resolves a page by taking
+// the first chain entry with `as_of >= P` (the oldest image still valid
+// at P); if there is none, the live frame is current for P and its
+// bytes are copied out under the chain shard mutex — the same mutex the
+// writer's first-mutation save takes — so the copy is ordered either
+// entirely before the save (clean pre-batch bytes) or after it (the
+// reader then hits the chain instead). Later mutations of the same page
+// in the same batch skip the save, but by then the chain entry exists
+// and pinned readers never touch the live frame again.
+//
+// Chains are append-only per page (epochs are monotonic), so entries
+// stay sorted by as_of without re-sorting. ReclaimBefore(M) drops every
+// entry with as_of < M: no pin below M exists or can be created (the
+// epoch manager computes M under its pin mutex), so nothing can look
+// those entries up again.
+
+#ifndef ZDB_STORAGE_SNAPSHOT_H_
+#define ZDB_STORAGE_SNAPSHOT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "storage/page.h"
+
+namespace zdb {
+
+/// Counters for the version-chain table. `live`/`bytes` are the current
+/// footprint; `saved`/`reclaimed` are lifetime totals (their difference
+/// is `live` — the GC reclamation tests assert on exactly that).
+struct PageVersionStats {
+  uint64_t live = 0;
+  uint64_t bytes = 0;
+  uint64_t saved = 0;
+  uint64_t reclaimed = 0;
+};
+
+/// Sharded PageId -> before-image chain table. One instance per
+/// BufferPool. Thread-safe; see the file comment for the copy protocol.
+class PageVersions {
+ public:
+  using Buffer = std::shared_ptr<const std::vector<char>>;
+
+  explicit PageVersions(uint32_t page_size) : page_size_(page_size) {}
+  PageVersions(const PageVersions&) = delete;
+  PageVersions& operator=(const PageVersions&) = delete;
+
+  /// Appends the pre-batch image of `page` (exactly page_size bytes)
+  /// tagged `as_of`, unless an entry for that as_of already exists —
+  /// keep-first: only the batch's *first* save holds the true pre-batch
+  /// bytes, and re-saves (checkpoint + batch sharing a stamp, a freed
+  /// page re-deleted) must not overwrite it.
+  void SaveBeforeImage(PageId page, uint64_t as_of, const char* data);
+
+  /// First chain entry with as_of >= epoch, or nullptr if the live
+  /// frame is current for `epoch`.
+  Buffer Lookup(PageId page, uint64_t epoch) const;
+
+  /// The pinned-reader resolution step for a chain miss: re-checks the
+  /// chain and, still on a miss, copies `live_data` under the shard
+  /// mutex (ordering the copy against a concurrent first-mutation
+  /// save). `live_data` must stay valid across the call — the caller
+  /// holds a buffer-pool pin on the frame.
+  Buffer ReadAtEpoch(PageId page, uint64_t epoch, const char* live_data);
+
+  /// Drops every entry with as_of < min_epoch. Called by the GC thread
+  /// once no pin at or below those epochs can exist.
+  void ReclaimBefore(uint64_t min_epoch);
+
+  /// Drops everything (index shutdown / reload with no pins).
+  void Clear();
+
+  PageVersionStats stats() const;
+  uint32_t page_size() const { return page_size_; }
+
+ private:
+  struct Entry {
+    uint64_t as_of;
+    Buffer data;
+  };
+  struct Shard {
+    mutable Mutex mu;
+    std::map<PageId, std::vector<Entry>> chains GUARDED_BY(mu);
+  };
+  static constexpr size_t kShards = 16;
+
+  Shard& shard_for(PageId page) { return shards_[page % kShards]; }
+  const Shard& shard_for(PageId page) const { return shards_[page % kShards]; }
+
+  const uint32_t page_size_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> live_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> saved_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+};
+
+/// The non-page index state a pinned reader needs, captured by the
+/// writer under the exclusive latch at every publish. Everything here
+/// is a value copy — a reader holding the meta shares nothing mutable
+/// with later writers.
+struct SnapshotMeta {
+  PageId btree_root = kInvalidPageId;
+  uint32_t btree_height = 1;
+  uint32_t obj_next_oid = 0;
+  std::vector<PageId> obj_pages;
+  std::vector<PageId> poly_pages;
+  uint64_t level_mask = 0;
+  uint64_t live_objects = 0;
+};
+
+/// A thread-local redirection record: while installed (via
+/// SnapshotScope), reads through the tagged components resolve at
+/// `epoch` instead of the live state. BufferPool::Fetch matches `pool`,
+/// BTree matches `btree`, the stores match `objects`/`polygons`, and
+/// SpatialIndex matches `owner` (level mask / live-object count). Tags
+/// are opaque pointers so storage/ stays ignorant of core/ types.
+///
+/// Views form a per-thread stack (nested queries — e.g. kNN issuing
+/// window sweeps — reuse the installed view; an executor worker
+/// installs its own). Lookups walk the stack and match the *innermost*
+/// view for the component.
+struct SnapshotView {
+  uint64_t epoch = 0;
+  PageVersions* versions = nullptr;
+  const void* pool = nullptr;
+  const void* owner = nullptr;
+  const void* btree = nullptr;
+  const void* objects = nullptr;
+  const void* polygons = nullptr;
+  std::shared_ptr<const SnapshotMeta> meta;
+  const SnapshotView* prev = nullptr;
+
+  static const SnapshotView* FindPool(const void* pool);
+  static const SnapshotView* FindOwner(const void* owner);
+  static const SnapshotView* FindBTree(const void* btree);
+  static const SnapshotView* FindObjects(const void* objects);
+  static const SnapshotView* FindPolygons(const void* polygons);
+};
+
+/// RAII installer for a SnapshotView on the current thread. The view is
+/// copied in; the scope must be destroyed on the thread that created it
+/// (strictly nested, like any TLS stack).
+class SnapshotScope {
+ public:
+  explicit SnapshotScope(SnapshotView view);
+  ~SnapshotScope();
+  SnapshotScope(const SnapshotScope&) = delete;
+  SnapshotScope& operator=(const SnapshotScope&) = delete;
+
+ private:
+  SnapshotView view_;
+};
+
+}  // namespace zdb
+
+#endif  // ZDB_STORAGE_SNAPSHOT_H_

@@ -109,6 +109,9 @@ Result<std::unique_ptr<DB>> DB::Open(const std::string& path,
   if (db->journaled_ && options.group_commit) {
     ZDB_RETURN_IF_ERROR(db->index_->StartGroupCommit());
   }
+  if (options.snapshot_reads) {
+    ZDB_RETURN_IF_ERROR(db->index_->EnableSnapshots());
+  }
   return db;
 }
 
@@ -204,6 +207,17 @@ DBStats DB::Stats() const {
   s.pages = pager->page_count();
   s.page_size = pager->page_size();
   s.group_commit = index_->group_commit_active();
+  s.snapshot_reads = index_->snapshots_enabled();
+  if (s.snapshot_reads) {
+    const EpochStats es = index_->epoch_stats();
+    s.pinned_epochs = es.pinned;
+    s.pins_taken = es.pins_taken;
+    const PageVersionStats vs = index_->version_stats();
+    s.page_versions = vs.live;
+    s.version_bytes = vs.bytes;
+    s.versions_saved = vs.saved;
+    s.versions_reclaimed = vs.reclaimed;
+  }
   return s;
 }
 

@@ -65,6 +65,14 @@ struct DBOptions {
   /// (see spatial_index.h). Disable to get the legacy synchronous
   /// commit-per-batch path.
   bool group_commit = true;
+
+  /// Serve queries from epoch-pinned snapshots instead of the shared
+  /// reader latch (see the "snapshot reads" section of spatial_index.h):
+  /// each query pins the current committed epoch and traverses
+  /// copy-on-write page versions latch-free, so long scans never stall a
+  /// writer and a writer never stalls readers. Disable to get the legacy
+  /// latched reader path.
+  bool snapshot_reads = true;
 };
 
 /// Aggregate counters served by DB::Stats().
@@ -78,6 +86,13 @@ struct DBStats {
   uint32_t pages = 0;          ///< pages allocated in the file
   uint32_t page_size = 0;
   bool group_commit = false;   ///< pipeline currently running
+  bool snapshot_reads = false;  ///< epoch-pinned latch-free queries on
+  uint64_t pinned_epochs = 0;   ///< snapshot pins currently open
+  uint64_t pins_taken = 0;      ///< snapshot pins ever taken
+  uint64_t page_versions = 0;   ///< before-image page versions retained
+  uint64_t version_bytes = 0;   ///< bytes held by those versions
+  uint64_t versions_saved = 0;  ///< before-images ever saved
+  uint64_t versions_reclaimed = 0;  ///< versions reclaimed by epoch GC
 };
 
 class DB {

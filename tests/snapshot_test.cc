@@ -1,0 +1,639 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Snapshot-isolation oracle suite for epoch-pinned reads (the latch-free
+// query path of spatial_index.h). The properties under test:
+//
+//   * repeatability — a query re-run at the same EpochPin returns the
+//     byte-identical answer no matter how much writer churn happened in
+//     between;
+//   * oracle agreement — the answer at a pin taken after k batches is
+//     exactly the brute-force oracle state k (tests/oracle_util.h), not
+//     merely *some* boundary state;
+//   * writer progress — a parked long-lived pin never blocks writers;
+//   * reclamation — version chains and metas retained for a pin are
+//     reclaimed once the minimum pinned epoch passes (EpochManager GC);
+//   * misuse aborts — EpochPin double release, cross-thread release and
+//     a pin outliving its manager die loudly instead of corrupting the
+//     pin accounting;
+//   * plan-hook integrity — the executor's NO_THREAD_SAFETY_ANALYSIS
+//     plan hooks, run under one shared pin across many worker threads,
+//     cannot observe a torn epoch.
+//
+// Deterministic workloads derive from ZDB_STRESS_SEED like the
+// stress_mixed suite; thread tests are sized to stay fast under TSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/epoch.h"
+#include "core/spatial_index.h"
+#include "exec/executor.h"
+#include "oracle_util.h"
+#include "storage/pager.h"
+#include "workload/datagen.h"
+#include "workload/seed.h"
+#include "zdb/db.h"
+
+namespace zdb {
+namespace {
+
+using oracle::ExpectedPoint;
+using oracle::ExpectedWindow;
+using oracle::KnnMatchesState;
+using oracle::MakeWorkload;
+using oracle::MatchesWindowInRange;
+using oracle::OracleState;
+using oracle::Workload;
+using oracle::WorkloadShape;
+
+constexpr const char* kSeedEnv = "ZDB_STRESS_SEED";
+constexpr uint64_t kDefaultSeed = 0x5EED5;
+constexpr size_t kKnnK = 4;
+
+/// Smaller than the stress_mixed default: every pinned reader replays
+/// the full query set against its boundary state many times.
+WorkloadShape SnapshotShape() {
+  WorkloadShape s;
+  s.initial_objects = 200;
+  s.batches = 8;
+  s.inserts_per_batch = 16;
+  s.erases_per_batch = 12;
+  s.window_queries = 10;
+  s.point_queries = 8;
+  s.knn_queries = 4;
+  s.knn_k = kKnnK;
+  return s;
+}
+
+std::unique_ptr<SpatialIndex> BuildIndex(BufferPool* pool,
+                                         const Workload& w) {
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(8);
+  auto index = SpatialIndex::Create(pool, opt).value();
+  for (size_t i = 0; i < w.initial.size(); ++i) {
+    EXPECT_EQ(index->Insert(w.initial[i]).value(),
+              static_cast<ObjectId>(i));
+  }
+  return index;
+}
+
+/// Runs the workload's full query set at `pin` and checks every answer
+/// against the oracle state for the pinned boundary. Returns false (and
+/// records gtest failures) on any mismatch.
+bool CheckPinAgainstState(SpatialIndex* index, const EpochPin& pin,
+                          const Workload& w, const OracleState& st) {
+  bool ok = true;
+  for (const Rect& win : w.windows) {
+    auto r = index->WindowQueryAt(pin, win);
+    if (!r.ok() || r.value() != ExpectedWindow(st, win)) ok = false;
+  }
+  for (const Point& p : w.points) {
+    auto r = index->PointQueryAt(pin, p);
+    if (!r.ok() || r.value() != ExpectedPoint(st, p)) ok = false;
+  }
+  for (const Point& p : w.knn_points) {
+    auto r = index->NearestNeighborsAt(pin, p, kKnnK);
+    if (!r.ok() || !KnnMatchesState(st, p, kKnnK, r.value())) ok = false;
+  }
+  return ok;
+}
+
+// ------------------------------------------------------- oracle checks
+
+// Single-threaded determinism: pin every batch boundary, apply all the
+// batches, then verify each pin still answers exactly its boundary's
+// brute-force state — including the containment/enclosure variants —
+// and that re-reads are byte-identical.
+TEST(Snapshot, EveryPinnedBoundaryMatchesBruteForceOracle) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed);
+  SCOPED_TRACE(SeedReplayHint(kSeedEnv, seed));
+  const Workload w = MakeWorkload(seed, SnapshotShape());
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 128);  // small pool: forces CoW saves
+  auto index = BuildIndex(&pool, w);
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+  const uint64_t base = index->write_epoch();
+
+  // Pin boundary k, then apply batch k to step to boundary k+1.
+  std::vector<EpochPin> pins;
+  pins.push_back(index->PinEpoch());
+  for (const WriteBatch& batch : w.batches) {
+    ASSERT_TRUE(index->ApplyBatch(batch).ok());
+    pins.push_back(index->PinEpoch());
+  }
+  ASSERT_EQ(pins.size(), w.states.size());
+
+  for (size_t k = 0; k < pins.size(); ++k) {
+    ASSERT_EQ(pins[k].epoch() - base, k);
+    EXPECT_TRUE(CheckPinAgainstState(index.get(), pins[k], w, w.states[k]))
+        << "boundary " << k;
+    // Byte-identical re-read, plus the window-shaped variants.
+    for (const Rect& win : w.windows) {
+      const auto first = index->WindowQueryAt(pins[k], win).value();
+      EXPECT_EQ(index->WindowQueryAt(pins[k], win).value(), first);
+      auto contain = index->ContainmentQueryAt(pins[k], win).value();
+      auto enclose = index->EnclosureQueryAt(pins[k], win).value();
+      // Containment answers are a subset of intersection answers; both
+      // must be stable across re-reads too.
+      EXPECT_TRUE(std::includes(first.begin(), first.end(),
+                                contain.begin(), contain.end()));
+      EXPECT_EQ(index->ContainmentQueryAt(pins[k], win).value(), contain);
+      EXPECT_EQ(index->EnclosureQueryAt(pins[k], win).value(), enclose);
+    }
+  }
+
+  // The live (unpinned) path must answer the final state.
+  EXPECT_TRUE(index->snapshots_enabled());
+  auto all = index->WindowQuery(Rect{0, 0, 1, 1}).value();
+  EXPECT_EQ(all, ExpectedWindow(w.states.back(), Rect{0, 0, 1, 1}));
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+}
+
+// The auto-pin wrappers (public queries with snapshots enabled) must
+// still satisfy the epoch-bracket oracle check the latched path did:
+// each answer equals the oracle at exactly one committed boundary.
+TEST(SnapshotStress, AutoPinnedQueriesMatchOracleUnderChurn) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed + 1);
+  SCOPED_TRACE(SeedReplayHint(kSeedEnv, seed));
+  const Workload w = MakeWorkload(seed, SnapshotShape());
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 128);
+  auto index = BuildIndex(&pool, w);
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+  const uint64_t base = index->write_epoch();
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    for (const WriteBatch& batch : w.batches) {
+      if (!index->ApplyBatch(batch).ok()) {
+        ++failures;
+        break;
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  constexpr size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      bool last_pass = false;
+      size_t iter = 0;
+      while (!last_pass) {
+        last_pass = writer_done.load(std::memory_order_acquire);
+        const size_t wq = (t + iter) % w.windows.size();
+        const uint64_t e0 = index->write_epoch() - base;
+        auto res = index->WindowQuery(w.windows[wq]);
+        const uint64_t e1 = index->write_epoch() - base;
+        if (!res.ok() ||
+            !MatchesWindowInRange(w.states, w.windows[wq], res.value(),
+                                  e0, e1)) {
+          ++failures;
+        }
+        ++iter;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(index->write_epoch() - base, w.batches.size());
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+}
+
+// Concurrent pinned readers under live writer churn: each reader pins
+// whatever boundary is current, computes its first answers, then
+// re-reads the same queries in a loop — every re-read must be
+// byte-identical to the first AND equal to the oracle at the pinned
+// boundary, regardless of what the writer does meanwhile.
+TEST(SnapshotStress, PinnedReadersRereadIdenticallyUnderWriterChurn) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed + 2);
+  SCOPED_TRACE(SeedReplayHint(kSeedEnv, seed));
+  const Workload w = MakeWorkload(seed, SnapshotShape());
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);  // tiny pool: constant eviction
+  auto index = BuildIndex(&pool, w);
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+  const uint64_t base = index->write_epoch();
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> failures{0};
+
+  constexpr size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      size_t pins_checked = 0;
+      while (!writer_done.load(std::memory_order_acquire) ||
+             pins_checked == 0) {
+        const EpochPin pin = index->PinEpoch();
+        const uint64_t k = pin.epoch() - base;
+        if (k >= w.states.size()) {
+          ++failures;  // pinned an epoch no batch ever published
+          break;
+        }
+        const OracleState& st = w.states[k];
+        // First read of a rotating query subset...
+        const Rect& win = w.windows[(t + pins_checked) % w.windows.size()];
+        const Point& pt = w.points[(t + pins_checked) % w.points.size()];
+        const Point& kp =
+            w.knn_points[(t + pins_checked) % w.knn_points.size()];
+        auto w0 = index->WindowQueryAt(pin, win);
+        auto p0 = index->PointQueryAt(pin, pt);
+        auto n0 = index->NearestNeighborsAt(pin, kp, kKnnK);
+        if (!w0.ok() || !p0.ok() || !n0.ok() ||
+            w0.value() != ExpectedWindow(st, win) ||
+            p0.value() != ExpectedPoint(st, pt) ||
+            !KnnMatchesState(st, kp, kKnnK, n0.value())) {
+          ++failures;
+        }
+        // ...then re-reads at the same pin: byte-identical every time.
+        for (int rep = 0; rep < 3; ++rep) {
+          auto w1 = index->WindowQueryAt(pin, win);
+          auto p1 = index->PointQueryAt(pin, pt);
+          auto n1 = index->NearestNeighborsAt(pin, kp, kKnnK);
+          if (!w1.ok() || w1.value() != w0.value() || !p1.ok() ||
+              p1.value() != p0.value() || !n1.ok() ||
+              n1.value() != n0.value()) {
+            ++failures;
+          }
+        }
+        ++pins_checked;
+      }
+      EXPECT_GT(pins_checked, 0u);
+    });
+  }
+
+  std::thread writer([&] {
+    for (const WriteBatch& batch : w.batches) {
+      if (!index->ApplyBatch(batch).ok()) {
+        ++failures;
+        break;
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(index->btree()->CheckInvariants().ok());
+}
+
+// A parked long-lived pin must not block writers: the whole batch
+// sequence completes while the pin is held (a latched long scan would
+// have wedged the writer-preference gate for its duration), and the
+// parked pin still answers its original boundary afterwards.
+TEST(SnapshotStress, ParkedPinNeverBlocksWriterProgress) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed + 3);
+  SCOPED_TRACE(SeedReplayHint(kSeedEnv, seed));
+  const Workload w = MakeWorkload(seed, SnapshotShape());
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 128);
+  auto index = BuildIndex(&pool, w);
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+  const uint64_t base = index->write_epoch();
+
+  // Park the pin and take its baseline answers.
+  const EpochPin pin = index->PinEpoch();
+  ASSERT_EQ(pin.epoch(), base);
+  std::vector<std::vector<ObjectId>> before;
+  for (const Rect& win : w.windows) {
+    before.push_back(index->WindowQueryAt(pin, win).value());
+  }
+
+  // Writer runs to completion with the pin parked. A deadlock here is a
+  // regression and fails via the suite's ctest timeout.
+  std::thread writer([&] {
+    for (const WriteBatch& batch : w.batches) {
+      ASSERT_TRUE(index->ApplyBatch(batch).ok());
+    }
+  });
+  writer.join();
+  EXPECT_EQ(index->write_epoch() - base, w.batches.size());
+
+  // The parked pin is unmoved by all that churn.
+  for (size_t q = 0; q < w.windows.size(); ++q) {
+    EXPECT_EQ(index->WindowQueryAt(pin, w.windows[q]).value(), before[q])
+        << "window " << q;
+  }
+  EXPECT_TRUE(CheckPinAgainstState(index.get(), pin, w, w.states[0]));
+  // And the live path sees the final state, not the pinned one.
+  auto all = index->WindowQuery(Rect{0, 0, 1, 1}).value();
+  EXPECT_EQ(all, ExpectedWindow(w.states.back(), Rect{0, 0, 1, 1}));
+}
+
+// --------------------------------------------------------- reclamation
+
+// Version chains retained for a parked pin are reclaimed once the pin
+// is released and the floor passes: live count and bytes drop, the
+// reclaimed counter rises, and a fresh pin at the current epoch still
+// works (it needs no chains at all).
+TEST(SnapshotGc, ReleasedPinAllowsVersionReclamation) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed + 4);
+  const Workload w = MakeWorkload(seed, SnapshotShape());
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  auto index = BuildIndex(&pool, w);
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+
+  EpochPin parked = index->PinEpoch();
+  for (const WriteBatch& batch : w.batches) {
+    ASSERT_TRUE(index->ApplyBatch(batch).ok());
+  }
+
+  // The parked pin holds the floor: a GC cycle reclaims nothing below
+  // it no matter how often it runs.
+  index->epochs()->RunGcCycle();
+  const PageVersionStats held = index->version_stats();
+  EXPECT_GT(held.live, 0u);
+  EXPECT_GT(held.bytes, 0u);
+  EXPECT_GT(held.saved, 0u);
+  // Still readable right up to the release.
+  EXPECT_TRUE(CheckPinAgainstState(index.get(), parked, w, w.states[0]));
+
+  parked.Release();
+  index->epochs()->RunGcCycle();
+  const PageVersionStats after = index->version_stats();
+  EXPECT_EQ(after.live, 0u) << "no pin left, every chain reclaimable";
+  EXPECT_EQ(after.bytes, 0u);
+  EXPECT_GT(after.reclaimed, 0u);
+  EXPECT_EQ(after.saved, held.saved);  // reclamation saves nothing new
+
+  // Fresh pins at the current epoch read the live frames directly.
+  const EpochPin now = index->PinEpoch();
+  EXPECT_TRUE(CheckPinAgainstState(index.get(), now, w, w.states.back()));
+}
+
+// The floor is min over ALL pins: releasing a newer pin while an older
+// one is parked must keep every chain the older pin can still resolve.
+TEST(SnapshotGc, FloorIsMinimumAcrossPins) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed + 5);
+  const Workload w = MakeWorkload(seed, SnapshotShape());
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  auto index = BuildIndex(&pool, w);
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+  const uint64_t base = index->write_epoch();
+
+  EpochPin old_pin = index->PinEpoch();
+  const size_t half = w.batches.size() / 2;
+  for (size_t b = 0; b < half; ++b) {
+    ASSERT_TRUE(index->ApplyBatch(w.batches[b]).ok());
+  }
+  EpochPin mid_pin = index->PinEpoch();
+  ASSERT_EQ(mid_pin.epoch() - base, half);
+  for (size_t b = half; b < w.batches.size(); ++b) {
+    ASSERT_TRUE(index->ApplyBatch(w.batches[b]).ok());
+  }
+
+  const EpochStats es = index->epoch_stats();
+  EXPECT_EQ(es.pinned, 2u);
+  EXPECT_EQ(es.min_pinned, base);
+  EXPECT_GE(es.pins_taken, 2u);
+
+  // Dropping the NEWER pin must not free what the older pin needs.
+  mid_pin.Release();
+  index->epochs()->RunGcCycle();
+  EXPECT_TRUE(CheckPinAgainstState(index.get(), old_pin, w, w.states[0]));
+
+  old_pin.Release();
+  index->epochs()->RunGcCycle();
+  EXPECT_EQ(index->version_stats().live, 0u);
+}
+
+// The background GC thread (started by EnableSnapshots) reclaims on its
+// own once the pins go away — no manual cycle required.
+TEST(SnapshotGc, BackgroundThreadReclaimsAfterRelease) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed + 6);
+  const Workload w = MakeWorkload(seed, SnapshotShape());
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  auto index = BuildIndex(&pool, w);
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+
+  {
+    const EpochPin pin = index->PinEpoch();
+    for (const WriteBatch& batch : w.batches) {
+      ASSERT_TRUE(index->ApplyBatch(batch).ok());
+    }
+    EXPECT_GT(index->version_stats().live, 0u);
+  }  // pin released here
+
+  // The GC loop wakes at least every 10ms; give it a generous bound.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (index->version_stats().live != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(index->version_stats().live, 0u);
+  EXPECT_GT(index->epoch_stats().gc_cycles, 0u);
+}
+
+// ------------------------------------------------------ misuse aborts
+
+TEST(SnapshotDeathTest, DoubleReleaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  auto index = SpatialIndex::Create(&pool, opt).value();
+  ASSERT_TRUE(index->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+
+  EXPECT_DEATH(
+      {
+        EpochPin pin = index->PinEpoch();
+        pin.Release();
+        pin.Release();  // second release must abort
+      },
+      "released twice");
+}
+
+TEST(SnapshotDeathTest, CrossThreadReleaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 64);
+  SpatialIndexOptions opt;
+  opt.data = DecomposeOptions::SizeBound(4);
+  auto index = SpatialIndex::Create(&pool, opt).value();
+  ASSERT_TRUE(index->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+
+  EXPECT_DEATH(
+      {
+        EpochPin pin = index->PinEpoch();
+        // Reading the pin from another thread is allowed (the executor
+        // shares one pin across workers); releasing is not.
+        std::thread other([&] {
+          (void)pin.epoch();
+          pin.Release();  // wrong thread: must abort
+        });
+        other.join();
+      },
+      "other than the pinning");
+}
+
+TEST(SnapshotDeathTest, PinOutlivingItsIndexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        auto pager = Pager::OpenInMemory(512);
+        BufferPool pool(pager.get(), 64);
+        SpatialIndexOptions opt;
+        opt.data = DecomposeOptions::SizeBound(4);
+        auto index = SpatialIndex::Create(&pool, opt).value();
+        (void)index->Insert(Rect{0.1, 0.1, 0.2, 0.2});
+        (void)index->EnableSnapshots();
+        EpochPin pin = index->PinEpoch();
+        index.reset();  // destroys the EpochManager under a live pin
+      },
+      "outlives");
+}
+
+// ------------------------------------------------- executor plan hooks
+
+// Regression for the ReaderSection -> EpochPin migration boundary: the
+// executor's plan hooks (PlanWindow / ExecuteWindowPlanSlice /
+// RefineWindowCandidates) are NO_THREAD_SAFETY_ANALYSIS and run on many
+// worker threads under ONE shared pin. If any hook observed a torn
+// epoch — plan at boundary k, a slice or refinement at k+1 — the merged
+// answer would match no single oracle state and fail the bracket check.
+TEST(SnapshotStress, PlanHooksCannotObserveTornEpoch) {
+  const uint64_t seed = SeedFromEnv(kSeedEnv, kDefaultSeed + 7);
+  SCOPED_TRACE(SeedReplayHint(kSeedEnv, seed));
+  const Workload w = MakeWorkload(seed, SnapshotShape());
+
+  auto pager = Pager::OpenInMemory(512);
+  BufferPool pool(pager.get(), 128);
+  auto index = BuildIndex(&pool, w);
+  ASSERT_TRUE(index->EnableSnapshots().ok());
+  const uint64_t base = index->write_epoch();
+
+  QueryExecutor exec(index.get(), 4);
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    for (const WriteBatch& batch : w.batches) {
+      if (!index->ApplyBatch(batch).ok()) {
+        ++failures;
+        break;
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  // Drive the intra-query parallel path (big windows split into many
+  // slices + refinement chunks) concurrently with the writer.
+  bool last_pass = false;
+  size_t iter = 0;
+  while (!last_pass) {
+    last_pass = writer_done.load(std::memory_order_acquire);
+    const Rect& win = w.windows[w.windows.size() - 1 - (iter % 4)];
+    const uint64_t e0 = index->write_epoch() - base;
+    auto r = exec.ParallelWindowQuery(win);
+    const uint64_t e1 = index->write_epoch() - base;
+    if (!r.ok() ||
+        !MatchesWindowInRange(w.states, win, r.value(), e0, e1)) {
+      ++failures;
+    }
+    ++iter;
+  }
+
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(iter, 0u);
+
+  // Quiesced: the parallel answer now equals the plain snapshot answer
+  // at the final boundary exactly.
+  for (const Rect& win : w.windows) {
+    EXPECT_EQ(exec.ParallelWindowQuery(win).value(),
+              ExpectedWindow(w.states.back(), win));
+  }
+}
+
+// ------------------------------------------------------------ DB facade
+
+TEST(Snapshot, DbEnablesSnapshotsByDefaultAndReportsStats) {
+  auto db = DB::Open("", {}).value();
+  ASSERT_TRUE(db->index()->snapshots_enabled());
+
+  ASSERT_TRUE(db->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  ASSERT_TRUE(db->Insert(Rect{0.4, 0.4, 0.6, 0.6}).ok());
+  auto hits = db->Window(Rect{0.0, 0.0, 1.0, 1.0}).value();
+  EXPECT_EQ(hits.size(), 2u);
+
+  const DBStats s = db->Stats();
+  EXPECT_TRUE(s.snapshot_reads);
+  EXPECT_GT(s.pins_taken, 0u) << "the Window query must have auto-pinned";
+  EXPECT_EQ(s.pinned_epochs, 0u) << "auto-pins are released per query";
+  EXPECT_GT(s.versions_saved, 0u)
+      << "the second insert mutates pages the first one wrote";
+}
+
+TEST(Snapshot, DbSnapshotOptOutFallsBackToLatchedReads) {
+  DBOptions opt;
+  opt.snapshot_reads = false;
+  auto db = DB::Open("", opt).value();
+  ASSERT_FALSE(db->index()->snapshots_enabled());
+
+  ASSERT_TRUE(db->Insert(Rect{0.1, 0.1, 0.2, 0.2}).ok());
+  EXPECT_EQ(db->Window(Rect{0.0, 0.0, 1.0, 1.0}).value().size(), 1u);
+  const DBStats s = db->Stats();
+  EXPECT_FALSE(s.snapshot_reads);
+  EXPECT_EQ(s.pins_taken, 0u);
+  EXPECT_EQ(s.versions_saved, 0u);
+}
+
+// Snapshots compose with the group-commit pipeline: a journaled DB runs
+// both; pinned reads stay stable across durable batch boundaries.
+TEST(Snapshot, PinnedReadsStableAcrossGroupCommitBoundaries) {
+  DBOptions opt;
+  opt.memory_journal = true;
+  auto db = DB::Open("", opt).value();
+  ASSERT_TRUE(db->index()->snapshots_enabled());
+  ASSERT_TRUE(db->index()->group_commit_active());
+
+  WriteBatch first;
+  for (int i = 0; i < 16; ++i) {
+    first.Insert(Rect{0.05 * i, 0.05 * i, 0.05 * i + 0.02,
+                      0.05 * i + 0.02});
+  }
+  ASSERT_TRUE(db->Apply(first).ok());
+
+  const EpochPin pin = db->index()->PinEpoch();
+  const auto before =
+      db->index()->WindowQueryAt(pin, Rect{0, 0, 1, 1}).value();
+  EXPECT_EQ(before.size(), 16u);
+
+  WriteBatch second;
+  second.Erase(before[0]);
+  second.Insert(Rect{0.9, 0.9, 0.95, 0.95});
+  ASSERT_TRUE(db->Apply(second, Durability::kDurable).ok());
+
+  // Pinned view: unchanged. Live view: one erase, one insert.
+  EXPECT_EQ(db->index()->WindowQueryAt(pin, Rect{0, 0, 1, 1}).value(),
+            before);
+  EXPECT_EQ(db->Window(Rect{0, 0, 1, 1}).value().size(), 16u);
+}
+
+}  // namespace
+}  // namespace zdb

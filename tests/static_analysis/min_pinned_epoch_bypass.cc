@@ -1,0 +1,37 @@
+// FAIL case: reading the min-pinned-epoch floor without pin_mu_.
+// Mirrors EpochManager::min_pinned_ (core/epoch.h): the GC reclamation
+// floor is min(min_pinned_, current epoch) computed UNDER pin_mu_ — the
+// same mutex Pin() inserts under — so a new pin can never slip below a
+// floor the GC already committed to. A cycle that reads the floor
+// outside the mutex reintroduces exactly that race; the analysis must
+// reject the bypass.
+
+#include <cstdint>
+#include <set>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+struct PinTable {
+  zdb::Mutex pin_mu;
+  std::multiset<uint64_t> pins GUARDED_BY(pin_mu);
+  uint64_t min_pinned GUARDED_BY(pin_mu) = UINT64_MAX;
+
+  void Pin(uint64_t epoch) {
+    zdb::MutexLock lock(pin_mu);
+    pins.insert(epoch);
+    if (epoch < min_pinned) min_pinned = epoch;
+  }
+
+  // The racy GC cycle: the floor read bypasses pin_mu_. Must be
+  // rejected.
+  uint64_t ReclamationFloor(uint64_t current_epoch) {
+    return min_pinned < current_epoch ? min_pinned : current_epoch;
+  }
+};
+
+int main() {
+  PinTable t;
+  t.Pin(3);
+  return static_cast<int>(t.ReclamationFloor(9) == 3 ? 0 : 1);
+}
