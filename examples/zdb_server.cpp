@@ -17,8 +17,10 @@
 //   --idle-ms N       idle connection timeout (default 30000; 0 = never)
 //   --exec-threads N  intra-query pool size   (default 2; 0 = off)
 //   --k N             size-bound redundancy k (default 4)
-//   --pool-pages N    buffer pool pages       (default 1024)
+//   --pool-pages N    buffer pool pages (per shard, default 1024)
 //   --db PATH         serve a durable database file (default: in-memory)
+//   --shards N        z-prefix shard engines  (default 1; reopen keeps
+//                     the stored layout)
 //   --preload N       seed N random rectangles before serving
 //   --seed S          preload RNG seed        (default 42)
 //
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   opt.port = 4490;
   uint32_t k = 4;
   size_t pool_pages = 1024;
+  uint32_t shards = 1;
   std::string db_path;
   size_t preload = 0;
   uint64_t seed = 42;
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
       k = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--pool-pages") {
       pool_pages = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--shards") {
+      shards = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--db") {
       db_path = next();
     } else if (arg == "--preload") {
@@ -100,6 +105,7 @@ int main(int argc, char** argv) {
   // Journal even the in-memory server so the group-commit pipeline runs
   // and clients get real per-request durability semantics.
   options.memory_journal = true;
+  options.shards = shards;
   auto db_r = DB::Open(db_path, options);
   if (!db_r.ok()) {
     std::fprintf(stderr, "zdb_server: open failed: %s\n",
@@ -127,7 +133,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(seed));
   }
 
-  net::Server server(db->index(), opt);
+  net::Server server(db.get(), opt);
   Status s = server.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "zdb_server: %s\n", s.ToString().c_str());
@@ -136,9 +142,9 @@ int main(int argc, char** argv) {
   if (opt.tcp) {
     std::printf(
         "zdb_server: listening on %s:%u (net threads %zu, workers %zu, "
-        "queue %zu)\n",
+        "queue %zu, shards %u)\n",
         opt.host.c_str(), server.port(), opt.net_threads, opt.workers,
-        opt.queue_capacity);
+        opt.queue_capacity, db->shards());
   }
   if (!opt.unix_path.empty()) {
     std::printf("zdb_server: listening on unix:%s\n", opt.unix_path.c_str());

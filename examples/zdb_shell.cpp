@@ -194,14 +194,28 @@ int main(int argc, char** argv) {
     }
     return RunRemote(argv[2]);
   }
-  const uint32_t k = argc > 1
-                         ? static_cast<uint32_t>(std::strtoul(
-                               argv[1], nullptr, 10))
-                         : 4;
+  uint32_t k = 4;
+  uint32_t shards = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      k = static_cast<uint32_t>(std::strtoul(arg.c_str(), nullptr, 10));
+    }
+  }
   DBOptions options;
   options.index.data = DecomposeOptions::SizeBound(k);
-  auto db = DB::Open(":memory:", options).value();
-  std::printf("zdb shell — size-bound k=%u. Type 'help'.\n", k);
+  options.shards = shards;
+  auto db_r = DB::Open(":memory:", options);
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_r.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_r).value();
+  std::printf("zdb shell — size-bound k=%u, %u shard%s. Type 'help'.\n", k,
+              db->shards(), db->shards() == 1 ? "" : "s");
 
   std::string line;
   while (std::printf("zdb> "), std::fflush(stdout),
@@ -223,7 +237,10 @@ int main(int argc, char** argv) {
         std::printf("usage: insert X1 Y1 X2 Y2\n");
         continue;
       }
-      const uint64_t before = db->build_stats().index_entries;
+      // Stats() sums index entries over every shard (build_stats() is
+      // shard 0 only); on a sharded DB a straddler's count includes its
+      // replicas.
+      const uint64_t before = db->Stats().index_entries;
       auto oid = db->Insert(r);
       if (!oid.ok()) {
         std::printf("error: %s\n", oid.status().ToString().c_str());
@@ -231,7 +248,7 @@ int main(int argc, char** argv) {
       }
       std::printf("id %u (%llu elements)\n", oid.value(),
                   static_cast<unsigned long long>(
-                      db->build_stats().index_entries - before));
+                      db->Stats().index_entries - before));
     } else if (cmd == "poly") {
       std::vector<Point> ring;
       double x, y;
@@ -303,6 +320,26 @@ int main(int argc, char** argv) {
       Status s = db->Erase(oid);
       std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
     } else if (cmd == "stats") {
+      if (db->sharded()) {
+        const DBStats agg = db->Stats();
+        std::printf(
+            "objects %llu, index entries %llu (summed over %u shards), "
+            "redundancy %.2f\n",
+            static_cast<unsigned long long>(agg.objects),
+            static_cast<unsigned long long>(agg.index_entries), agg.shards,
+            agg.redundancy);
+        const auto per_shard = db->ShardStats();
+        for (size_t s = 0; s < per_shard.size(); ++s) {
+          std::printf(
+              "  shard %zu: %llu objects, %llu entries, epoch %llu, "
+              "%llu batches\n",
+              s, static_cast<unsigned long long>(per_shard[s].objects),
+              static_cast<unsigned long long>(per_shard[s].index_entries),
+              static_cast<unsigned long long>(per_shard[s].write_epoch),
+              static_cast<unsigned long long>(per_shard[s].batches));
+        }
+        continue;
+      }
       auto tree_stats = db->index()->btree()->ComputeStats();
       if (!tree_stats.ok()) continue;
       std::printf(

@@ -12,14 +12,18 @@
 
 namespace zdb {
 
-Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
+Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill,
+                              const std::vector<ObjectId>* oids) {
   MutexLock commit(commit_mu_);
   WriterSection lock(this);
   if (btree_->size() != 0 || store_->size() != 0) {
     return Status::InvalidArgument("bulk load into non-empty index");
   }
+  if (oids != nullptr && oids->size() != data.size()) {
+    return Status::InvalidArgument("bulk load oids/data size mismatch");
+  }
   bool mutated = false;
-  Status st = BulkLoadLocked(data, fill, &mutated);
+  Status st = BulkLoadLocked(data, fill, oids, &mutated);
   if (st.ok()) {
     PublishWrite();
     NotifyPublished();
@@ -32,7 +36,9 @@ Status SpatialIndex::BulkLoad(const std::vector<Rect>& data, double fill) {
 }
 
 Status SpatialIndex::BulkLoadLocked(const std::vector<Rect>& data,
-                                    double fill, bool* mutated) {
+                                    double fill,
+                                    const std::vector<ObjectId>* oids,
+                                    bool* mutated) {
   std::string value;
   if (options_.store_mbr_in_leaf) value.resize(kEncodedRectSize);
 
@@ -43,11 +49,17 @@ Status SpatialIndex::BulkLoadLocked(const std::vector<Rect>& data,
   std::vector<Entry> entries;
   entries.reserve(data.size() * 2);
 
-  for (const Rect& mbr : data) {
+  for (size_t n = 0; n < data.size(); ++n) {
+    const Rect& mbr = data[n];
     if (!mbr.valid()) return Status::InvalidArgument("invalid MBR");
     *mutated = true;
     ObjectId oid;
-    ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr));
+    if (oids == nullptr) {
+      ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr));
+    } else {
+      oid = (*oids)[n];
+      ZDB_RETURN_IF_ERROR(store_->InsertAt(oid, mbr));
+    }
     const Decomposition decomp =
         Decompose(mapper_.ToGrid(mbr), options_.grid_bits, options_.data);
     if (options_.store_mbr_in_leaf) EncodeRect(mbr, value.data());

@@ -31,6 +31,34 @@ Result<ObjectId> ObjectStore::Insert(const Rect& mbr, uint32_t payload) {
   return oid;
 }
 
+Status ObjectStore::InsertAt(ObjectId oid, const Rect& mbr,
+                             uint32_t payload) {
+  const uint32_t page_idx = oid / per_page_;
+  const uint32_t slot = oid % per_page_;
+  if (page_idx >= pages_.size()) pages_.resize(page_idx + 1, kInvalidPageId);
+
+  PageRef ref;
+  if (pages_[page_idx] == kInvalidPageId) {
+    ZDB_ASSIGN_OR_RETURN(ref, pool_->New());
+    pages_[page_idx] = ref.id();
+  } else {
+    ZDB_ASSIGN_OR_RETURN(ref, pool_->Fetch(pages_[page_idx]));
+  }
+
+  ObjectRecord rec =
+      ObjectRecord::DecodeFrom(ref.data() + slot * ObjectRecord::kEncodedSize);
+  if (oid < next_oid_ && rec.live) {
+    return Status::InvalidArgument("preassigned oid already live");
+  }
+  rec = ObjectRecord();
+  rec.mbr = mbr;
+  rec.payload = payload;
+  rec.live = 1;
+  rec.EncodeTo(ref.mutable_data() + slot * ObjectRecord::kEncodedSize);
+  if (oid >= next_oid_) next_oid_ = oid + 1;
+  return Status::OK();
+}
+
 Result<ObjectRecord> ObjectStore::Fetch(ObjectId oid) {
   // Under an installed snapshot view, resolve through the pinned meta:
   // the live directory/append cursor may already describe later epochs.
@@ -42,6 +70,9 @@ Result<ObjectRecord> ObjectStore::Fetch(ObjectId oid) {
   if (oid >= next_oid) return Status::NotFound("oid out of range");
   const uint32_t page_idx = oid / per_page_;
   const uint32_t slot = oid % per_page_;
+  if (pages[page_idx] == kInvalidPageId) {
+    return Status::NotFound("oid in unallocated page");
+  }
   PageRef ref;
   ZDB_ASSIGN_OR_RETURN(ref, pool_->Fetch(pages[page_idx]));
   return ObjectRecord::DecodeFrom(ref.data() +
@@ -52,6 +83,9 @@ Status ObjectStore::Rewrite(ObjectId oid, const ObjectRecord& rec) {
   if (oid >= next_oid_) return Status::NotFound("oid out of range");
   const uint32_t page_idx = oid / per_page_;
   const uint32_t slot = oid % per_page_;
+  if (pages_[page_idx] == kInvalidPageId) {
+    return Status::NotFound("oid in unallocated page");
+  }
   PageRef ref;
   ZDB_ASSIGN_OR_RETURN(ref, pool_->Fetch(pages_[page_idx]));
   rec.EncodeTo(ref.mutable_data() + slot * ObjectRecord::kEncodedSize);
@@ -62,6 +96,9 @@ Status ObjectStore::Erase(ObjectId oid) {
   if (oid >= next_oid_) return Status::NotFound("oid out of range");
   const uint32_t page_idx = oid / per_page_;
   const uint32_t slot = oid % per_page_;
+  if (pages_[page_idx] == kInvalidPageId) {
+    return Status::NotFound("oid in unallocated page");
+  }
   PageRef ref;
   ZDB_ASSIGN_OR_RETURN(ref, pool_->Fetch(pages_[page_idx]));
   ObjectRecord rec = ObjectRecord::DecodeFrom(

@@ -24,6 +24,14 @@ class ObjectStore {
   /// Appends a live record; returns its id.
   Result<ObjectId> Insert(const Rect& mbr, uint32_t payload = 0);
 
+  /// Writes a live record under a caller-chosen id (sharded engines
+  /// replicate one global oid into several stores). The page directory
+  /// grows with kInvalidPageId holes for any skipped pages; freshly
+  /// allocated pages come zeroed from the pool, so skipped slots inside
+  /// an allocated page decode as dead records. Fails if `oid` already
+  /// names a live record.
+  Status InsertAt(ObjectId oid, const Rect& mbr, uint32_t payload = 0);
+
   /// Fetches a record (including dead ones; check `live`).
   Result<ObjectRecord> Fetch(ObjectId oid);
 
@@ -34,7 +42,8 @@ class ObjectStore {
   /// consider growing files; liveness suffices for correctness).
   Status Erase(ObjectId oid);
 
-  /// Records ever inserted (including dead).
+  /// One past the highest id ever written (including dead records and,
+  /// in sharded stores, ids this store never saw — those read as holes).
   uint32_t size() const { return next_oid_; }
 
   /// Heap pages allocated.

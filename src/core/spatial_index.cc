@@ -145,10 +145,11 @@ Result<ObjectId> SpatialIndex::Insert(const Rect& mbr, uint32_t payload) {
   return r;
 }
 
-Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly) {
+Result<ObjectId> SpatialIndex::InsertPolygon(const Polygon& poly,
+                                             ObjectId preassigned) {
   MutexLock commit(commit_mu_);
   WriterSection lock(this);
-  auto r = InsertPolygonLocked(poly);
+  auto r = InsertPolygonLocked(poly, preassigned);
   if (r.ok()) {
     PublishWrite();
     NotifyPublished();
@@ -280,7 +281,7 @@ Status SpatialIndex::ApplyOpsLocked(const WriteBatch& batch,
                                     std::vector<ObjectId>* inserted) {
   for (const WriteOp& op : batch.ops) {
     if (op.kind == WriteOp::Kind::kInsert) {
-      auto r = InsertLocked(op.mbr, op.payload);
+      auto r = InsertLocked(op.mbr, op.payload, op.preassigned);
       if (!r.ok()) return r.status();
       inserted->push_back(r.value());
     } else {
@@ -295,6 +296,17 @@ Status SpatialIndex::ValidateBatchLocked(const WriteBatch& batch) {
   for (const WriteOp& op : batch.ops) {
     if (op.kind == WriteOp::Kind::kInsert) {
       if (!op.mbr.valid()) return Status::InvalidArgument("invalid MBR");
+      if (op.preassigned != kNoPreassignedOid &&
+          op.preassigned < store_->size()) {
+        // A preassigned id may name a hole or a tombstone, never a live
+        // record. Holes fetch as NotFound and skipped-but-allocated
+        // slots decode as dead — both are fine to overwrite.
+        auto r = store_->Fetch(op.preassigned);
+        if (r.ok() && r.value().live) {
+          return Status::InvalidArgument("preassigned oid already live");
+        }
+        if (!r.ok() && !r.status().IsNotFound()) return r.status();
+      }
     } else {
       ObjectRecord rec;
       ZDB_ASSIGN_OR_RETURN(rec, store_->Fetch(op.oid));
@@ -308,10 +320,16 @@ Status SpatialIndex::ValidateBatchLocked(const WriteBatch& batch) {
 }
 
 Result<ObjectId> SpatialIndex::InsertLocked(const Rect& mbr,
-                                            uint32_t payload) {
+                                            uint32_t payload,
+                                            ObjectId preassigned) {
   if (!mbr.valid()) return Status::InvalidArgument("invalid MBR");
   ObjectId oid;
-  ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr, payload));
+  if (preassigned == kNoPreassignedOid) {
+    ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(mbr, payload));
+  } else {
+    oid = preassigned;
+    ZDB_RETURN_IF_ERROR(store_->InsertAt(oid, mbr, payload));
+  }
 
   const GridRect grect = mapper_.ToGrid(mbr);
   const Decomposition decomp =
@@ -336,7 +354,8 @@ Result<ObjectId> SpatialIndex::InsertLocked(const Rect& mbr,
   return oid;
 }
 
-Result<ObjectId> SpatialIndex::InsertPolygonLocked(const Polygon& poly) {
+Result<ObjectId> SpatialIndex::InsertPolygonLocked(const Polygon& poly,
+                                                   ObjectId preassigned) {
   if (poly.size() < 3) {
     return Status::InvalidArgument("polygon needs at least 3 vertices");
   }
@@ -347,7 +366,12 @@ Result<ObjectId> SpatialIndex::InsertPolygonLocked(const Polygon& poly) {
   PolyRef ref;
   ZDB_ASSIGN_OR_RETURN(ref, polys_->Insert(poly));
   ObjectId oid;
-  ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(poly.Bounds(), ref));
+  if (preassigned == kNoPreassignedOid) {
+    ZDB_ASSIGN_OR_RETURN(oid, store_->Insert(poly.Bounds(), ref));
+  } else {
+    oid = preassigned;
+    ZDB_RETURN_IF_ERROR(store_->InsertAt(oid, poly.Bounds(), ref));
+  }
   {
     // Flip the record to polygon kind.
     ObjectRecord rec;

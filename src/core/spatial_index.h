@@ -81,6 +81,11 @@ struct WindowPlan {
   size_t work_items() const { return probes.size() + scans.size(); }
 };
 
+/// Sentinel for WriteOp::preassigned: let the object store assign the
+/// next dense oid (the default, and the only mode single-engine callers
+/// use).
+inline constexpr ObjectId kNoPreassignedOid = 0xFFFFFFFFu;
+
 /// One mutation of a write batch (see WriteBatch / ApplyBatch).
 struct WriteOp {
   enum class Kind : uint8_t { kInsert, kErase };
@@ -88,6 +93,11 @@ struct WriteOp {
   Rect mbr;              ///< kInsert: the object's MBR
   uint32_t payload = 0;  ///< kInsert: opaque application reference
   ObjectId oid = 0;      ///< kErase: the object to remove
+  /// kInsert: store the object under this caller-chosen oid instead of
+  /// the store's append cursor. Used by the shard router, which assigns
+  /// global oids and replicates one object into every overlapping
+  /// shard engine under the same id.
+  ObjectId preassigned = kNoPreassignedOid;
 };
 
 /// When a batch is acknowledged to the caller (see
@@ -111,6 +121,10 @@ struct WriteBatch {
 
   void Insert(const Rect& mbr, uint32_t payload = 0) {
     ops.push_back({WriteOp::Kind::kInsert, mbr, payload, 0});
+  }
+  /// Insert under a caller-chosen oid (see WriteOp::preassigned).
+  void InsertWithOid(const Rect& mbr, ObjectId oid, uint32_t payload = 0) {
+    ops.push_back({WriteOp::Kind::kInsert, mbr, payload, 0, oid});
   }
   void Erase(ObjectId oid) {
     ops.push_back({WriteOp::Kind::kErase, Rect{}, 0, oid});
@@ -205,8 +219,10 @@ class SpatialIndex {
   /// polygon store and the *polygon itself* (not its MBR) is decomposed
   /// into z-elements; queries refine against the exact geometry.
   /// Incompatible with store_mbr_in_leaf (the leaf MBR cannot refine a
-  /// polygon).
-  Result<ObjectId> InsertPolygon(const Polygon& poly);
+  /// polygon). `preassigned` stores the ring under a caller-chosen oid
+  /// (shard replication); leave defaulted otherwise.
+  Result<ObjectId> InsertPolygon(const Polygon& poly,
+                                 ObjectId preassigned = kNoPreassignedOid);
 
   /// Removes an object: deletes all its index entries and tombstones the
   /// object record.
@@ -216,7 +232,11 @@ class SpatialIndex {
   /// the object store, all (element, oid) entries are generated and
   /// sorted, and the B+-tree is built bottom-up at `fill` leaf
   /// occupancy. Far cheaper than n inserts and yields a denser tree.
-  Status BulkLoad(const std::vector<Rect>& data, double fill = 0.9);
+  /// `oids`, when non-null, must parallel `data` and assigns each
+  /// rectangle its global object id (shard engines load a routed subset
+  /// of a global data set); ids must be unique but may be sparse.
+  Status BulkLoad(const std::vector<Rect>& data, double fill = 0.9,
+                  const std::vector<ObjectId>* oids = nullptr);
 
   /// Applies `batch` as one writer section: concurrent readers see either
   /// the full pre-batch or the full post-batch state, never a partially
@@ -544,14 +564,18 @@ class SpatialIndex {
   // public wrappers acquire the latch and, for mutations, publish the
   // write epoch; internal callers (kNN's expanding windows, ApplyBatch,
   // SpatialJoin) compose these without re-acquiring.
-  Result<ObjectId> InsertLocked(const Rect& mbr, uint32_t payload)
+  Result<ObjectId> InsertLocked(const Rect& mbr, uint32_t payload,
+                                ObjectId preassigned = kNoPreassignedOid)
       REQUIRES(latch_);
-  Result<ObjectId> InsertPolygonLocked(const Polygon& poly)
+  Result<ObjectId> InsertPolygonLocked(const Polygon& poly,
+                                       ObjectId preassigned =
+                                           kNoPreassignedOid)
       REQUIRES(latch_);
   Status EraseLocked(ObjectId oid) REQUIRES(latch_);
   /// Body of BulkLoad; sets *mutated once the first page is touched.
   Status BulkLoadLocked(const std::vector<Rect>& data, double fill,
-                        bool* mutated) REQUIRES(latch_);
+                        const std::vector<ObjectId>* oids, bool* mutated)
+      REQUIRES(latch_);
   /// Checkpoints serialize against the group-commit thread through
   /// commit_mu_ in addition to the exclusive latch.
   Result<PageId> CheckpointLocked() REQUIRES(commit_mu_, latch_);

@@ -7,10 +7,27 @@
 #include <thread>
 #include <unordered_set>
 
+#include "shard/scatter.h"
+
 namespace zdb {
 
 QueryExecutor::QueryExecutor(SpatialIndex* index, size_t threads)
-    : index_(index) {
+    : index_(index), indexes_{index} {
+  assert(threads >= 1);
+  if (threads < 1) threads = 1;
+  stats_.workers.resize(threads);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryExecutor::QueryExecutor(std::vector<SpatialIndex*> indexes,
+                             shard::ShardRouting routing, size_t threads)
+    : index_(indexes.empty() ? nullptr : indexes[0]),
+      indexes_(std::move(indexes)),
+      routing_(std::make_unique<shard::ShardRouting>(std::move(routing))) {
+  assert(!indexes_.empty() && indexes_.size() == routing_->shards());
   assert(threads >= 1);
   if (threads < 1) threads = 1;
   stats_.workers.resize(threads);
@@ -109,7 +126,10 @@ Result<std::vector<std::vector<ObjectId>>> QueryExecutor::WindowBatch(
   ZDB_RETURN_IF_ERROR(
       RunJob(windows.size(), [&](size_t i, size_t w) -> Status {
         QueryStats qs;
-        auto r = index_->WindowQuery(windows[i], &qs);
+        auto r = sharded()
+                     ? shard::ScatterWindow(indexes_, *routing_, windows[i],
+                                            &qs)
+                     : index_->WindowQuery(windows[i], &qs);
         if (!r.ok()) return r.status();
         out[i] = std::move(r).value();
         stats_.workers[w].query.Add(qs);
@@ -124,7 +144,9 @@ Result<std::vector<std::vector<ObjectId>>> QueryExecutor::PointBatch(
   ZDB_RETURN_IF_ERROR(
       RunJob(points.size(), [&](size_t i, size_t w) -> Status {
         QueryStats qs;
-        auto r = index_->PointQuery(points[i], &qs);
+        auto r = sharded()
+                     ? shard::ScatterPoint(indexes_, *routing_, points[i], &qs)
+                     : index_->PointQuery(points[i], &qs);
         if (!r.ok()) return r.status();
         out[i] = std::move(r).value();
         stats_.workers[w].query.Add(qs);
@@ -139,7 +161,9 @@ QueryExecutor::NearestBatch(const std::vector<Point>& points, size_t k) {
   ZDB_RETURN_IF_ERROR(
       RunJob(points.size(), [&](size_t i, size_t w) -> Status {
         QueryStats qs;
-        auto r = index_->NearestNeighbors(points[i], k, &qs);
+        auto r = sharded() ? shard::ScatterNearest(indexes_, *routing_,
+                                                   points[i], k, &qs)
+                           : index_->NearestNeighbors(points[i], k, &qs);
         if (!r.ok()) return r.status();
         out[i] = std::move(r).value();
         stats_.workers[w].query.Add(qs);
@@ -150,6 +174,7 @@ QueryExecutor::NearestBatch(const std::vector<Point>& points, size_t k) {
 
 Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowQuery(
     const Rect& window, QueryStats* stats) {
+  if (sharded()) return ShardedParallelWindow(window, stats);
   if (index_->snapshots_enabled()) {
     // Latch-free path: pin ONE epoch for the whole plan/slice/refine
     // pipeline so every hook call observes the same committed state —
@@ -255,8 +280,150 @@ Result<std::vector<ObjectId>> QueryExecutor::ParallelWindowBody(
   return results;
 }
 
+Result<std::vector<ObjectId>> QueryExecutor::ShardedParallelWindow(
+    const Rect& window, QueryStats* stats) {
+  // Scatter set: only the shards whose prefix regions the window
+  // overlaps participate; non-overlapping shards are never touched.
+  std::vector<uint32_t> shards;
+  uint64_t mask = routing_->MaskForRect(window);
+  while (mask != 0) {
+    shards.push_back(static_cast<uint32_t>(__builtin_ctzll(mask)));
+    mask &= mask - 1;
+  }
+  const bool snapshots = index_->snapshots_enabled();
+  for (int attempt = 0;; ++attempt) {
+    // A group-commit rollback on any participating shard invalidates
+    // that shard's pinned epoch mid-flight (Aborted); re-pin everything
+    // and retry, like the single-shard path.
+    auto r = ShardedParallelWindowBody(window, stats, shards, snapshots);
+    if (r.ok() || !snapshots || !r.status().IsAborted() || attempt >= 2) {
+      return r;
+    }
+  }
+}
+
+Result<std::vector<ObjectId>> QueryExecutor::ShardedParallelWindowBody(
+    const Rect& window, QueryStats* stats,
+    const std::vector<uint32_t>& shards, bool snapshots) {
+  const size_t ns = shards.size();
+
+  // Pin one epoch per participating shard (or hold its reader latch):
+  // each shard's plan/slice/refine calls all observe that shard's
+  // pinned state — per-shard consistency, not one cross-shard state
+  // (the scatter-gather contract, see shard/scatter.h). Latches are
+  // reader-shared and writers take one shard at a time, so holding
+  // several shard latches cannot deadlock the router fan-out.
+  std::vector<EpochPin> pins;
+  std::vector<ReaderLatch> sections;
+  std::vector<WindowPlan> plans(ns);
+  for (size_t i = 0; i < ns; ++i) {
+    SpatialIndex* ix = indexes_[shards[i]];
+    std::unique_ptr<SpatialIndex::SnapshotReadScope> driver_scope;
+    if (snapshots) {
+      pins.push_back(ix->PinEpoch());
+      ZDB_ASSIGN_OR_RETURN(driver_scope, ix->OpenSnapshot(pins.back()));
+    } else {
+      sections.push_back(ix->ReaderSection());
+    }
+    ZDB_ASSIGN_OR_RETURN(plans[i], ix->PlanWindow(window));
+  }
+
+  // Flatten every shard's slice work into ONE pool job: the workers
+  // parallelize across shards first (each claims whatever shard's slice
+  // is next), so a skewed shard cannot serialize the query.
+  struct ShardSlice {
+    size_t shard;  ///< index into `shards`/`plans`
+    size_t lo, hi;
+  };
+  std::vector<ShardSlice> work;
+  for (size_t i = 0; i < ns; ++i) {
+    const size_t items = plans[i].work_items();
+    const size_t slices = std::max<size_t>(
+        1, std::min(items, std::max<size_t>(1, threads() * 4 / ns)));
+    for (size_t j = 0; j < slices; ++j) {
+      work.push_back({i, items * j / slices, items * (j + 1) / slices});
+    }
+  }
+  std::vector<std::vector<ObjectId>> parts(work.size());
+  std::vector<QueryStats> part_stats(work.size());
+  ZDB_RETURN_IF_ERROR(RunJob(work.size(), [&](size_t i, size_t w) -> Status {
+    SpatialIndex* ix = indexes_[shards[work[i].shard]];
+    std::unique_ptr<SpatialIndex::SnapshotReadScope> scope;
+    if (snapshots) {
+      ZDB_ASSIGN_OR_RETURN(scope, ix->OpenSnapshot(pins[work[i].shard]));
+    }
+    auto r = ix->ExecuteWindowPlanSlice(plans[work[i].shard], work[i].lo,
+                                        work[i].hi, &part_stats[i]);
+    if (!r.ok()) return r.status();
+    parts[i] = std::move(r).value();
+    stats_.workers[w].query.Add(part_stats[i]);
+    return Status::OK();
+  }));
+
+  // Global dedup by oid; a replicated object is refined only in the
+  // shard that surfaced it first (replicas store identical exact
+  // geometry, so any owning shard refines it correctly).
+  std::unordered_set<ObjectId> seen;
+  std::vector<std::vector<ObjectId>> cand(ns);
+  for (size_t i = 0; i < work.size(); ++i) {
+    for (ObjectId oid : parts[i]) {
+      if (seen.insert(oid).second) cand[work[i].shard].push_back(oid);
+    }
+  }
+
+  // Refinement: again one flattened job over per-shard candidate chunks.
+  std::vector<ShardSlice> rwork;
+  for (size_t i = 0; i < ns; ++i) {
+    const size_t n = cand[i].size();
+    const size_t chunks = std::max<size_t>(
+        1, std::min(n, std::max<size_t>(1, threads() / ns + 1)));
+    for (size_t j = 0; j < chunks; ++j) {
+      rwork.push_back({i, n * j / chunks, n * (j + 1) / chunks});
+    }
+  }
+  std::vector<std::vector<ObjectId>> refined(rwork.size());
+  std::vector<QueryStats> refine_stats(rwork.size());
+  ZDB_RETURN_IF_ERROR(RunJob(rwork.size(), [&](size_t i, size_t w) -> Status {
+    SpatialIndex* ix = indexes_[shards[rwork[i].shard]];
+    std::unique_ptr<SpatialIndex::SnapshotReadScope> scope;
+    if (snapshots) {
+      ZDB_ASSIGN_OR_RETURN(scope, ix->OpenSnapshot(pins[rwork[i].shard]));
+    }
+    const auto& list = cand[rwork[i].shard];
+    std::vector<ObjectId> chunk(list.begin() + rwork[i].lo,
+                                list.begin() + rwork[i].hi);
+    stats_.workers[w].refinements += chunk.size();
+    auto r = ix->RefineWindowCandidates(window, std::move(chunk),
+                                        &refine_stats[i]);
+    if (!r.ok()) return r.status();
+    refined[i] = std::move(r).value();
+    stats_.workers[w].query.Add(refine_stats[i]);
+    return Status::OK();
+  }));
+
+  // Each oid was refined exactly once, so a plain sort yields the same
+  // sorted-unique answer SpatialIndex::WindowQuery (and the router's
+  // scatter path) returns.
+  std::vector<ObjectId> results;
+  for (auto& chunk : refined) {
+    results.insert(results.end(), chunk.begin(), chunk.end());
+  }
+  std::sort(results.begin(), results.end());
+  if (stats != nullptr) {
+    for (const auto& qs : part_stats) stats->Add(qs);
+    for (const auto& qs : refine_stats) stats->Add(qs);
+    stats->unique_candidates = seen.size();
+    stats->results = results.size();
+  }
+  return results;
+}
+
 Result<std::vector<MixedRoundResult>> QueryExecutor::MixedWorkload(
     const std::vector<MixedRound>& rounds) {
+  if (sharded()) {
+    return Status::InvalidArgument(
+        "mixed workload requires a single-shard executor");
+  }
   std::vector<MixedRoundResult> out(rounds.size());
   for (size_t r = 0; r < rounds.size(); ++r) {
     out[r].window_results.resize(rounds[r].windows.size());

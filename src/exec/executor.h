@@ -44,6 +44,20 @@
 // aggregate is read only after the batch completes (completion is a
 // synchronizing event, so no locks are needed on the counters).
 //
+// Sharded mode: the multi-index constructor drives the N shard engines
+// of a sharded zdb::DB (DB::NewExecutor wires it). Batch queries
+// scatter-gather each query across its overlapping shards (queries
+// parallelize across the pool as before); ParallelWindowQuery
+// parallelizes ACROSS shards before slicing WITHIN them — the
+// overlapping shards' plans are built under one pin (or reader latch)
+// per shard, every (shard, slice) work item goes into a single pool
+// job, candidates are deduplicated globally by oid (an object
+// replicated into several shards is refined only in the shard that
+// surfaced it first — replicas carry identical exact geometry), and
+// refinement chunks again mix all shards in one job. MixedWorkload
+// requires a single-shard executor (writes go through the router, which
+// the executor deliberately does not own).
+//
 // Example:
 //   QueryExecutor exec(index.get(), 4);
 //   auto results = exec.WindowBatch(windows).value();   // one per window
@@ -65,6 +79,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/spatial_index.h"
+#include "shard/routing.h"
 
 namespace zdb {
 
@@ -134,6 +149,13 @@ class QueryExecutor {
  public:
   /// `threads` >= 1 worker threads are started immediately.
   QueryExecutor(SpatialIndex* index, size_t threads);
+
+  /// Sharded mode: drives `indexes` (one per shard engine, borrowed)
+  /// with scatter-gather routing through `routing`. `indexes.size()`
+  /// must equal `routing.shards()`.
+  QueryExecutor(std::vector<SpatialIndex*> indexes,
+                shard::ShardRouting routing, size_t threads);
+
   ~QueryExecutor();
 
   QueryExecutor(const QueryExecutor&) = delete;
@@ -141,6 +163,10 @@ class QueryExecutor {
 
   size_t threads() const { return workers_.size(); }
   SpatialIndex* index() const { return index_; }
+
+  /// True when this executor scatter-gathers over several shard engines.
+  bool sharded() const { return indexes_.size() > 1; }
+  size_t shards() const { return indexes_.size(); }
 
   /// Runs every window query concurrently; results in input order.
   Result<std::vector<std::vector<ObjectId>>> WindowBatch(
@@ -167,7 +193,9 @@ class QueryExecutor {
   /// on a dedicated writer thread while the rounds' query batches run on
   /// the worker pool. Results are per round, each query annotated with
   /// its pre/post write epochs (see MixedRoundResult). Returns the first
-  /// writer or query error, after all threads quiesce.
+  /// writer or query error, after all threads quiesce. Single-shard
+  /// executors only (InvalidArgument otherwise — sharded writes go
+  /// through the ShardRouter, not the executor).
   Result<std::vector<MixedRoundResult>> MixedWorkload(
       const std::vector<MixedRound>& rounds);
 
@@ -201,12 +229,25 @@ class QueryExecutor {
                                                    QueryStats* stats,
                                                    const EpochPin* pin);
 
+  /// Sharded ParallelWindowQuery: pins (or latches) every overlapping
+  /// shard, then runs all shards' slice and refinement work items
+  /// through the shared pool. Retries the whole query on a group-commit
+  /// rollback (Aborted) like the single-shard path.
+  Result<std::vector<ObjectId>> ShardedParallelWindow(const Rect& window,
+                                                      QueryStats* stats);
+  Result<std::vector<ObjectId>> ShardedParallelWindowBody(
+      const Rect& window, QueryStats* stats,
+      const std::vector<uint32_t>& shards, bool snapshots);
+
   Status RunJob(size_t count,
                 std::function<Status(size_t item, size_t worker)> fn);
   void WorkerLoop(size_t worker_idx);
   void ProcessJob(Job* job, size_t worker_idx);
 
-  SpatialIndex* index_;
+  SpatialIndex* index_;                 ///< shard 0 (the index of a
+                                        ///< single-shard executor)
+  std::vector<SpatialIndex*> indexes_;  ///< all shards, borrowed
+  std::unique_ptr<shard::ShardRouting> routing_;  ///< null if unsharded
   /// Per-worker slots: each worker owns stats_.workers[i] (raceless by
   /// ownership, not by lock — see the header comment).
   ExecStats stats_;

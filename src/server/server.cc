@@ -65,6 +65,9 @@ constexpr size_t kCompactThreshold = 256 * 1024;
 Server::Server(SpatialIndex* index, ServerOptions options)
     : index_(index), options_(std::move(options)) {}
 
+Server::Server(DB* db, ServerOptions options)
+    : index_(db->index()), db_(db), options_(std::move(options)) {}
+
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
@@ -95,7 +98,12 @@ Status Server::Start() {
     ZDB_RETURN_IF_ERROR(SetNonBlocking(unix_listener_));
   }
   if (options_.exec_threads > 0 && options_.parallel_window_area >= 0) {
-    exec_ = std::make_unique<QueryExecutor>(index_, options_.exec_threads);
+    // Under the DB constructor the DB wires the executor (a sharded DB
+    // hands back a scatter-gather executor over its shard engines).
+    exec_ = db_ != nullptr
+                ? db_->NewExecutor(options_.exec_threads)
+                : std::make_unique<QueryExecutor>(index_,
+                                                  options_.exec_threads);
   }
 
   // Create every fallible per-thread resource before spawning anything,
@@ -693,6 +701,16 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
       if (!DecodeWindowRequest(frame.payload, &w)) return malformed();
       const bool parallel = exec_ != nullptr && w.valid() &&
                             w.area() >= options_.parallel_window_area;
+      if (db_ != nullptr && db_->sharded()) {
+        // Sharded: scatter-gather through the facade (each shard engine
+        // pins its own epoch internally); the router epochs bracket the
+        // states the query may have seen.
+        const uint64_t e0 = db_->write_epoch();
+        auto r = parallel ? exec_->ParallelWindowQuery(w) : db_->Window(w);
+        const uint64_t e1 = db_->write_epoch();
+        if (!r.ok()) return engine_error(r.status());
+        return EncodeIdListReply(e0, e1, r.value());
+      }
       if (!parallel && index_->snapshots_enabled()) {
         // Snapshot path: pin once so the reply can name the exact
         // committed epoch the answer reflects (e0 == e1 == the pin).
@@ -720,6 +738,13 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
     case Opcode::kPoint: {
       Point p;
       if (!DecodePointRequest(frame.payload, &p)) return malformed();
+      if (db_ != nullptr && db_->sharded()) {
+        const uint64_t e0 = db_->write_epoch();
+        auto r = db_->Point(p);
+        const uint64_t e1 = db_->write_epoch();
+        if (!r.ok()) return engine_error(r.status());
+        return EncodeIdListReply(e0, e1, r.value());
+      }
       if (index_->snapshots_enabled()) {
         for (int attempt = 0;; ++attempt) {
           const EpochPin pin = index_->PinEpoch();
@@ -740,6 +765,13 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
       Point p;
       uint32_t k;
       if (!DecodeKnnRequest(frame.payload, &p, &k)) return malformed();
+      if (db_ != nullptr && db_->sharded()) {
+        const uint64_t e0 = db_->write_epoch();
+        auto r = db_->Nearest(p, k);
+        const uint64_t e1 = db_->write_epoch();
+        if (!r.ok()) return engine_error(r.status());
+        return EncodeKnnReply(e0, e1, r.value());
+      }
       if (index_->snapshots_enabled()) {
         for (int attempt = 0;; ++attempt) {
           const EpochPin pin = index_->PinEpoch();
@@ -769,7 +801,13 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
       }
       // kDurable blocks this worker until the group-commit fsync (or
       // commits synchronously off-pipeline); kPublished acks as soon as
-      // readers can see the batch.
+      // readers can see the batch. Sharded batches split by routing
+      // prefix inside the router and overlap their per-shard fsyncs.
+      if (db_ != nullptr && db_->sharded()) {
+        auto r = db_->Apply(batch, durability);
+        if (!r.ok()) return engine_error(r.status());
+        return EncodeApplyReply(db_->write_epoch(), r.value());
+      }
       auto r = index_->ApplyBatch(batch, durability);
       if (!r.ok()) return engine_error(r.status());
       return EncodeApplyReply(index_->write_epoch(), r.value());
@@ -888,6 +926,45 @@ std::string Server::StatsJson() const {
   w.EndObject();  // server
 
   w.Key("engine").BeginObject();
+  if (db_ != nullptr && db_->sharded()) {
+    // Sharded: deduped aggregate up front, per-shard breakdown in the
+    // "shards" array (one entry per shard engine, in shard order).
+    w.Field("objects", db_->object_count());
+    w.Field("write_epoch", db_->write_epoch());
+    w.Field("shard_count", static_cast<uint64_t>(db_->shards()));
+    IoStats io_total;
+    w.Key("shards").BeginArray();
+    const std::vector<shard::ShardCounters> per_shard = db_->ShardStats();
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+      const shard::ShardCounters& c = per_shard[s];
+      w.BeginObject();
+      w.Field("shard", static_cast<uint64_t>(s));
+      w.Field("objects", c.objects);
+      w.Field("index_entries", c.index_entries);
+      w.Field("write_epoch", c.write_epoch);
+      w.Field("durable_epoch", c.durable_epoch);
+      w.Field("journal_commits", c.journal_commits);
+      w.Field("batches", c.batches);
+      w.Field("pages", static_cast<uint64_t>(c.pages));
+      w.Field("pins_taken", c.pins_taken);
+      w.Field("page_versions", c.page_versions);
+      w.EndObject();
+      const IoStats& eio =
+          db_->router()->engine(static_cast<uint32_t>(s))->pager()->io_stats();
+      io_total.page_reads += eio.page_reads.load(std::memory_order_relaxed);
+      io_total.page_writes += eio.page_writes.load(std::memory_order_relaxed);
+      io_total.pool_hits += eio.pool_hits.load(std::memory_order_relaxed);
+      io_total.pool_misses += eio.pool_misses.load(std::memory_order_relaxed);
+      io_total.pool_evictions +=
+          eio.pool_evictions.load(std::memory_order_relaxed);
+    }
+    w.EndArray();
+    AppendJson(&w, "io", io_total);
+    w.EndObject();
+
+    w.EndObject();
+    return w.str();
+  }
   w.Field("objects", index_->object_count());
   w.Field("write_epoch", index_->write_epoch());
   if (index_->snapshots_enabled()) {

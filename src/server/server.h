@@ -87,6 +87,7 @@
 #include "net/epoll.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "zdb/db.h"
 
 namespace zdb {
 namespace net {
@@ -148,6 +149,15 @@ class Server {
  public:
   /// The index must outlive the server. Call Start() to begin serving.
   Server(SpatialIndex* index, ServerOptions options);
+
+  /// Serves a whole zdb::DB — the way to expose a sharded DB: queries
+  /// and mutations scatter-gather through the DB facade (per-shard
+  /// epoch pinning happens inside each shard engine) and STATS reports
+  /// the per-shard counter breakdown. A single-shard DB behind this
+  /// constructor serves byte-identically to the index constructor
+  /// above. The DB must outlive the server.
+  Server(DB* db, ServerOptions options);
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -286,7 +296,8 @@ class Server {
   void SendReply(const ConnPtr& conn, uint8_t opcode, uint64_t request_id,
                  std::string_view payload);
 
-  SpatialIndex* index_;
+  SpatialIndex* index_;      ///< shard 0 under the DB constructor
+  DB* db_ = nullptr;         ///< set by the DB constructor only
   ServerOptions options_;
   std::unique_ptr<QueryExecutor> exec_;
   uint16_t port_ = 0;

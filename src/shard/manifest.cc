@@ -1,0 +1,68 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "shard/manifest.h"
+
+#include <cstring>
+
+#include "shard/routing.h"
+
+namespace zdb {
+namespace shard {
+
+namespace {
+
+constexpr char kMagic[4] = {'z', 's', 'h', 'm'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kManifestSize = 16;
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+bool IsManifest(const File* file) {
+  if (file->Size() < kManifestSize) return false;
+  char magic[4];
+  if (!file->Read(0, sizeof(magic), magic).ok()) return false;
+  return std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+Result<ShardManifest> ReadManifest(const File* file) {
+  char buf[kManifestSize];
+  ZDB_RETURN_IF_ERROR(file->Read(0, sizeof(buf), buf));
+  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad shard manifest magic");
+  }
+  const uint32_t version = LoadU32(buf + 4);
+  if (version != kVersion) {
+    return Status::Corruption("unsupported shard manifest version " +
+                              std::to_string(version));
+  }
+  ShardManifest m;
+  m.shard_count = LoadU32(buf + 8);
+  if (m.shard_count < 2 || m.shard_count > kMaxShards) {
+    return Status::Corruption("shard manifest count out of range: " +
+                              std::to_string(m.shard_count));
+  }
+  return m;
+}
+
+Status WriteManifest(File* file, const ShardManifest& m) {
+  char buf[kManifestSize] = {};
+  std::memcpy(buf, kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  std::memcpy(buf + 4, &version, sizeof(version));
+  std::memcpy(buf + 8, &m.shard_count, sizeof(m.shard_count));
+  ZDB_RETURN_IF_ERROR(file->Write(0, buf, sizeof(buf)));
+  return file->Sync();
+}
+
+std::string ShardFilePath(const std::string& path, uint32_t shard) {
+  return path + ".shard" + std::to_string(shard);
+}
+
+}  // namespace shard
+}  // namespace zdb

@@ -1,0 +1,75 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "shard/routing.h"
+
+#include <cassert>
+
+#include "zorder/morton.h"
+#include "zorder/zelement.h"
+
+namespace zdb {
+namespace shard {
+
+namespace {
+
+/// Smallest b with 2^b >= n (prefix regions must be at least as
+/// numerous as shards so round-robin dealing reaches every shard).
+uint32_t PrefixBitsFor(uint32_t n) {
+  uint32_t b = 0;
+  while ((1u << b) < n) ++b;
+  return b;
+}
+
+}  // namespace
+
+ShardRouting::ShardRouting(uint32_t shards, const Rect& world,
+                           uint32_t grid_bits)
+    : shards_(shards),
+      prefix_bits_(PrefixBitsFor(shards)),
+      mapper_(world, grid_bits) {
+  assert(shards_ >= 1 && shards_ <= kMaxShards);
+  const uint32_t zbits = 2 * grid_bits;
+  assert(prefix_bits_ <= zbits);
+  const uint32_t nprefix = prefixes();
+  prefix_regions_.reserve(nprefix);
+  shard_world_.resize(shards_);
+  for (uint32_t p = 0; p < nprefix; ++p) {
+    const ZElement elem(static_cast<uint64_t>(p) << (zbits - prefix_bits_),
+                        static_cast<uint8_t>(prefix_bits_),
+                        static_cast<uint8_t>(grid_bits));
+    prefix_regions_.push_back(elem.ToGridRect());
+    shard_world_[ShardForPrefix(p)].push_back(
+        mapper_.ToWorld(prefix_regions_.back()));
+  }
+}
+
+uint32_t ShardRouting::ShardForCell(GridCoord gx, GridCoord gy) const {
+  if (prefix_bits_ == 0) return 0;
+  const uint64_t z = MortonEncode(gx, gy, mapper_.bits());
+  const uint32_t prefix =
+      static_cast<uint32_t>(z >> (2 * mapper_.bits() - prefix_bits_));
+  return ShardForPrefix(prefix);
+}
+
+uint64_t ShardRouting::MaskForGridRect(const GridRect& g) const {
+  if (shards_ == 1) return 1;
+  uint64_t mask = 0;
+  for (uint32_t p = 0; p < prefixes(); ++p) {
+    if (prefix_regions_[p].Intersects(g)) {
+      mask |= 1ULL << ShardForPrefix(p);
+    }
+  }
+  return mask;
+}
+
+double ShardRouting::MinDistance(uint32_t shard, const Point& p) const {
+  double best = -1.0;
+  for (const Rect& r : shard_world_[shard]) {
+    const double d = r.DistanceTo(p);
+    if (best < 0.0 || d < best) best = d;
+  }
+  return best;
+}
+
+}  // namespace shard
+}  // namespace zdb

@@ -2,20 +2,14 @@
 
 #include "zdb/db.h"
 
-#include <cstring>
+#include <algorithm>
 
-#include "storage/buffer_pool.h"
+#include "shard/manifest.h"
 #include "storage/file.h"
-#include "storage/pager.h"
 
 namespace zdb {
 
 namespace {
-
-/// First page allocated after formatting: the DB's one-page catalog,
-/// holding the spatial index's master page id at offset 0. Reserving it
-/// up front pins it at a well-known id so Open never needs a directory.
-constexpr PageId kCatalogPage = 1;
 
 bool IsMemoryPath(const std::string& path) {
   return path.empty() || path == ":memory:";
@@ -24,14 +18,13 @@ bool IsMemoryPath(const std::string& path) {
 }  // namespace
 
 struct DB::Impl {
-  std::unique_ptr<Pager> pager;
-  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<shard::ShardRouter> router;
+  bool sharded = false;  ///< N > 1: route writes/queries through router
 };
 
 DB::~DB() {
-  // The index owns the group-commit thread; destroy it (draining
-  // durability) before the pool/pager it writes through.
-  index_.reset();
+  // The router owns the engines; each engine stops its group-commit
+  // thread before its pool/pager goes.
   impl_.reset();
 }
 
@@ -40,77 +33,73 @@ Result<std::unique_ptr<DB>> DB::Open(const std::string& path,
   if (options.cache_pages == 0) {
     return Status::InvalidArgument("cache_pages must be >= 1");
   }
+  if (options.shards < 1 || options.shards > shard::kMaxShards) {
+    return Status::InvalidArgument(
+        "shards must be in [1, " + std::to_string(shard::kMaxShards) + "]");
+  }
+
+  shard::ShardEngineOptions eopt;
+  eopt.index = options.index;
+  eopt.page_size = options.page_size;
+  eopt.cache_pages = options.cache_pages;
+  eopt.memory_journal = options.memory_journal;
+  eopt.group_commit = options.group_commit;
+  eopt.snapshot_reads = options.snapshot_reads;
+
+  // Resolve the shard layout. The stored layout always wins on reopen:
+  // a file starting with the shard manifest magic reopens sharded with
+  // the stored count, any other non-empty file reopens as a classic
+  // single-shard DB, and only a fresh path honours options.shards.
+  uint32_t n = options.shards;
+  std::vector<std::string> shard_paths;
+  if (IsMemoryPath(path)) {
+    shard_paths.assign(n, path);
+  } else {
+    std::unique_ptr<File> main_file;
+    ZDB_ASSIGN_OR_RETURN(main_file, PosixFile::Open(path));
+    const bool fresh = main_file->Size() == 0;
+    if (!fresh && shard::IsManifest(main_file.get())) {
+      shard::ShardManifest manifest;
+      ZDB_ASSIGN_OR_RETURN(manifest, shard::ReadManifest(main_file.get()));
+      n = manifest.shard_count;
+    } else if (!fresh) {
+      n = 1;
+    } else if (n > 1) {
+      ZDB_RETURN_IF_ERROR(
+          shard::WriteManifest(main_file.get(), shard::ShardManifest{n}));
+    }
+    main_file.reset();  // release the sniffing handle before the engines open
+    if (n == 1) {
+      shard_paths.push_back(path);
+    } else {
+      for (uint32_t s = 0; s < n; ++s) {
+        shard_paths.push_back(shard::ShardFilePath(path, s));
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<shard::ShardEngine>> engines;
+  engines.reserve(n);
+  for (const std::string& p : shard_paths) {
+    std::unique_ptr<shard::ShardEngine> engine;
+    ZDB_ASSIGN_OR_RETURN(engine, shard::ShardEngine::Open(p, eopt));
+    engines.push_back(std::move(engine));
+  }
+
   std::unique_ptr<DB> db(new DB());
   db->impl_ = std::make_unique<Impl>();
+  db->journaled_ = engines[0]->journaled();
+  db->impl_->sharded = n > 1;
 
-  std::unique_ptr<File> file, journal;
-  bool fresh = true;
-  if (IsMemoryPath(path)) {
-    file = std::make_unique<MemFile>();
-    if (options.memory_journal) journal = std::make_unique<MemFile>();
-  } else {
-    ZDB_ASSIGN_OR_RETURN(file, PosixFile::Open(path));
-    ZDB_ASSIGN_OR_RETURN(journal, PosixFile::Open(path + "-journal"));
-    fresh = file->Size() == 0;
-  }
-  db->journaled_ = journal != nullptr;
-
-  // Pager::Open with a journal runs crash recovery: a batch interrupted
-  // before its commit — including a group of published-but-not-durable
-  // write batches — is rolled back here, as a unit.
-  if (journal != nullptr) {
-    ZDB_ASSIGN_OR_RETURN(
-        db->impl_->pager,
-        Pager::Open(std::move(file), std::move(journal), options.page_size));
-  } else {
-    ZDB_ASSIGN_OR_RETURN(db->impl_->pager,
-                         Pager::Open(std::move(file), options.page_size));
-  }
-  Pager* pager = db->impl_->pager.get();
-  db->impl_->pool =
-      std::make_unique<BufferPool>(pager, options.cache_pages);
-  BufferPool* pool = db->impl_->pool.get();
-
-  if (fresh) {
-    // Create: reserve the catalog page, build an empty index, and make
-    // the formatted state durable as one atomic batch (journaled DBs).
-    const bool batch = db->journaled_;
-    if (batch) ZDB_RETURN_IF_ERROR(pager->BeginBatch());
-    {
-      PageRef catalog;
-      ZDB_ASSIGN_OR_RETURN(catalog, pool->New());
-      if (catalog.id() != kCatalogPage) {
-        return Status::Corruption("catalog page landed at page " +
-                                  std::to_string(catalog.id()));
-      }
-      std::memset(catalog.mutable_data(), 0, sizeof(PageId));
-    }
-    ZDB_ASSIGN_OR_RETURN(db->index_,
-                         SpatialIndex::Create(pool, options.index));
-    PageId master;
-    ZDB_ASSIGN_OR_RETURN(master, db->index_->Checkpoint());
-    {
-      PageRef catalog;
-      ZDB_ASSIGN_OR_RETURN(catalog, pool->Fetch(kCatalogPage));
-      std::memcpy(catalog.mutable_data(), &master, sizeof(master));
-    }
-    ZDB_RETURN_IF_ERROR(pool->FlushAll());
-    ZDB_RETURN_IF_ERROR(batch ? pager->CommitBatch() : pager->Sync());
-  } else {
-    PageId master = kInvalidPageId;
-    {
-      PageRef catalog;
-      ZDB_ASSIGN_OR_RETURN(catalog, pool->Fetch(kCatalogPage));
-      std::memcpy(&master, catalog.data(), sizeof(master));
-    }
-    ZDB_ASSIGN_OR_RETURN(db->index_, SpatialIndex::Open(pool, master));
-  }
-
-  if (db->journaled_ && options.group_commit) {
-    ZDB_RETURN_IF_ERROR(db->index_->StartGroupCommit());
-  }
-  if (options.snapshot_reads) {
-    ZDB_RETURN_IF_ERROR(db->index_->EnableSnapshots());
+  // Routing comes from the engines' actual (possibly reopened) index
+  // options, not the caller's, so a reopened DB routes exactly as it
+  // did when created.
+  const SpatialIndexOptions& iopt = engines[0]->index()->options();
+  shard::ShardRouting routing(n, iopt.world, iopt.grid_bits);
+  db->impl_->router = std::make_unique<shard::ShardRouter>(std::move(engines),
+                                                           std::move(routing));
+  if (db->impl_->sharded) {
+    ZDB_RETURN_IF_ERROR(db->impl_->router->RecoverState());
   }
   return db;
 }
@@ -119,118 +108,158 @@ Result<std::unique_ptr<DB>> DB::Open(const std::string& path,
 
 Result<std::vector<ObjectId>> DB::Window(const Rect& window,
                                          QueryStats* stats) {
-  return index_->WindowQuery(window, stats);
+  if (impl_->sharded) return impl_->router->Window(window, stats);
+  return index()->WindowQuery(window, stats);
 }
 
 Result<std::vector<ObjectId>> DB::Point(const zdb::Point& p, QueryStats* stats) {
-  return index_->PointQuery(p, stats);
+  if (impl_->sharded) return impl_->router->Point(p, stats);
+  return index()->PointQuery(p, stats);
 }
 
 Result<std::vector<ObjectId>> DB::Containment(const Rect& window,
                                               QueryStats* stats) {
-  return index_->ContainmentQuery(window, stats);
+  if (impl_->sharded) return impl_->router->Containment(window, stats);
+  return index()->ContainmentQuery(window, stats);
 }
 
 Result<std::vector<std::pair<ObjectId, double>>> DB::Nearest(
     const zdb::Point& p, size_t k, QueryStats* stats) {
-  return index_->NearestNeighbors(p, k, stats);
+  if (impl_->sharded) return impl_->router->Nearest(p, k, stats);
+  return index()->NearestNeighbors(p, k, stats);
 }
 
 // --------------------------------------------------------------- updates
 
 Result<ObjectId> DB::Insert(const Rect& mbr, uint32_t payload) {
-  return index_->Insert(mbr, payload);
+  if (impl_->sharded) return impl_->router->Insert(mbr, payload);
+  return index()->Insert(mbr, payload);
 }
 
 Result<ObjectId> DB::InsertPolygon(const Polygon& poly) {
-  return index_->InsertPolygon(poly);
+  if (impl_->sharded) return impl_->router->InsertPolygon(poly);
+  return index()->InsertPolygon(poly);
 }
 
-Status DB::Erase(ObjectId oid) { return index_->Erase(oid); }
+Status DB::Erase(ObjectId oid) {
+  if (impl_->sharded) return impl_->router->Erase(oid);
+  return index()->Erase(oid);
+}
 
 Status DB::BulkLoad(const std::vector<Rect>& data, double fill) {
-  return index_->BulkLoad(data, fill);
+  if (impl_->sharded) return impl_->router->BulkLoad(data, fill);
+  return index()->BulkLoad(data, fill);
 }
 
 Result<std::vector<ObjectId>> DB::Apply(const WriteBatch& batch,
                                         Durability durability) {
-  return index_->ApplyBatch(batch, durability);
+  if (impl_->sharded) return impl_->router->Apply(batch, durability);
+  return index()->ApplyBatch(batch, durability);
 }
 
 // ------------------------------------------------------------ durability
 
-Status DB::Checkpoint() {
-  if (index_->group_commit_active()) {
-    // Everything written is already published; durability is the
-    // pipeline's job — just wait it out.
-    return index_->WaitDurable(index_->write_epoch());
-  }
-  Pager* pager = impl_->pager.get();
-  if (journaled_ && !pager->in_batch()) {
-    ZDB_RETURN_IF_ERROR(pager->BeginBatch());
-    Status st = index_->Checkpoint().status();
-    if (st.ok()) st = impl_->pool->FlushAll();
-    if (st.ok()) st = pager->CommitBatch();
-    if (!st.ok() && pager->in_batch()) {
-      Status undo = pager->AbortBatch();
-      if (!undo.ok()) {
-        return Status::Corruption("checkpoint failed (" + st.ToString() +
-                                  ") and rollback failed too: " +
-                                  undo.ToString());
-      }
-    }
-    return st;
-  }
-  ZDB_RETURN_IF_ERROR(index_->Checkpoint().status());
-  ZDB_RETURN_IF_ERROR(impl_->pool->FlushAll());
-  return pager->Sync();
-}
+Status DB::Checkpoint() { return impl_->router->Checkpoint(); }
 
 Status DB::WaitDurable(uint64_t epoch, uint64_t timeout_ms) {
-  if (!index_->group_commit_active()) {
+  if (!index()->group_commit_active()) {
     return Status::InvalidArgument("group-commit pipeline not running");
   }
-  return index_->WaitDurable(epoch, timeout_ms);
+  if (impl_->sharded) return impl_->router->WaitDurable(epoch, timeout_ms);
+  return index()->WaitDurable(epoch, timeout_ms);
 }
 
 // -------------------------------------------------------------- plumbing
 
 DBStats DB::Stats() const {
-  const Pager* pager = impl_->pager.get();
+  const shard::ShardRouter* router = impl_->router.get();
   DBStats s;
-  s.objects = index_->object_count();
-  s.index_entries = index_->build_stats().index_entries;
-  s.redundancy = index_->build_stats().redundancy();
-  s.write_epoch = index_->write_epoch();
-  s.durable_epoch = index_->durable_epoch();
-  s.journal_commits = pager->commit_count();
-  s.pages = pager->page_count();
-  s.page_size = pager->page_size();
-  s.group_commit = index_->group_commit_active();
-  s.snapshot_reads = index_->snapshots_enabled();
-  if (s.snapshot_reads) {
-    const EpochStats es = index_->epoch_stats();
-    s.pinned_epochs = es.pinned;
-    s.pins_taken = es.pins_taken;
-    const PageVersionStats vs = index_->version_stats();
-    s.page_versions = vs.live;
-    s.version_bytes = vs.bytes;
-    s.versions_saved = vs.saved;
-    s.versions_reclaimed = vs.reclaimed;
+  s.shards = router->shards();
+  s.objects = impl_->sharded ? router->object_count()
+                             : router->index(0)->object_count();
+  s.write_epoch = impl_->sharded ? router->write_epoch()
+                                 : router->index(0)->write_epoch();
+  s.durable_epoch = router->index(0)->durable_epoch();
+  s.page_size = router->engine(0)->pager()->page_size();
+  s.group_commit = router->index(0)->group_commit_active();
+  s.snapshot_reads = router->index(0)->snapshots_enabled();
+  for (uint32_t i = 0; i < router->shards(); ++i) {
+    const SpatialIndex* index = router->index(i);
+    const Pager* pager = router->engine(i)->pager();
+    s.index_entries += index->build_stats().index_entries;
+    s.journal_commits += pager->commit_count();
+    s.pages += pager->page_count();
+    s.durable_epoch = std::min(s.durable_epoch, index->durable_epoch());
+    if (index->snapshots_enabled()) {
+      const EpochStats es = index->epoch_stats();
+      s.pinned_epochs += es.pinned;
+      s.pins_taken += es.pins_taken;
+      const PageVersionStats vs = index->version_stats();
+      s.page_versions += vs.live;
+      s.version_bytes += vs.bytes;
+      s.versions_saved += vs.saved;
+      s.versions_reclaimed += vs.reclaimed;
+    }
   }
+  s.redundancy =
+      s.objects == 0 ? 0.0 : static_cast<double>(s.index_entries) / s.objects;
   return s;
 }
 
-const IoStats& DB::io_stats() const { return impl_->pager->io_stats(); }
+std::vector<shard::ShardCounters> DB::ShardStats() const {
+  std::vector<shard::ShardCounters> out;
+  out.reserve(impl_->router->shards());
+  for (uint32_t s = 0; s < impl_->router->shards(); ++s) {
+    out.push_back(impl_->router->CountersOf(s));
+  }
+  return out;
+}
+
+bool DB::sharded() const { return impl_->sharded; }
+
+uint32_t DB::shards() const { return impl_->router->shards(); }
+
+uint64_t DB::write_epoch() const {
+  return impl_->sharded ? impl_->router->write_epoch()
+                        : impl_->router->index(0)->write_epoch();
+}
+
+uint64_t DB::object_count() const {
+  return impl_->sharded ? impl_->router->object_count()
+                        : impl_->router->index(0)->object_count();
+}
+
+const IndexBuildStats& DB::build_stats() const {
+  return impl_->router->index(0)->build_stats();
+}
+
+const IoStats& DB::io_stats() const {
+  return impl_->router->engine(0)->pager()->io_stats();
+}
 
 void DB::set_simulated_read_latency_us(uint32_t us) {
-  impl_->pager->set_simulated_read_latency_us(us);
+  for (uint32_t s = 0; s < impl_->router->shards(); ++s) {
+    impl_->router->engine(s)->pager()->set_simulated_read_latency_us(us);
+  }
 }
 
-Status DB::ClearCache() { return impl_->pool->Clear(); }
+Status DB::ClearCache() {
+  for (uint32_t s = 0; s < impl_->router->shards(); ++s) {
+    ZDB_RETURN_IF_ERROR(impl_->router->engine(s)->pool()->Clear());
+  }
+  return Status::OK();
+}
 
 std::unique_ptr<QueryExecutor> DB::NewExecutor(size_t threads) {
-  return std::make_unique<QueryExecutor>(index_.get(), threads);
+  if (impl_->sharded) {
+    return std::make_unique<QueryExecutor>(impl_->router->indexes(),
+                                           impl_->router->routing(), threads);
+  }
+  return std::make_unique<QueryExecutor>(index(), threads);
 }
+
+SpatialIndex* DB::index() { return impl_->router->index(0); }
+
+shard::ShardRouter* DB::router() { return impl_->router.get(); }
 
 }  // namespace zdb

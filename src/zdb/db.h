@@ -28,6 +28,18 @@
 // DBOptions::memory_journal to get journaled crash-atomic batches and
 // the group-commit pipeline on an in-memory file (tests, benches).
 //
+// Sharding: DBOptions::shards > 1 partitions the z-order keyspace by
+// top-level Morton prefix into N independent shard engines (each its
+// own file, pager, buffer pool, index, epoch domain and group-commit
+// pipeline) behind this same facade — queries scatter to overlapping
+// shards and gather + dedup by oid, writes split by routing prefix and
+// fan out to the per-shard pipelines, and object ids stay byte-identical
+// to a single-shard DB's. On disk the main path holds a small manifest
+// and shard i lives at `path + ".shard<i>"`; a sharded file always
+// reopens sharded (the stored layout wins, like stored index options).
+// The default shards = 1 preserves today's one-file layout exactly.
+// See DESIGN.md "Sharded partitions".
+//
 // Every fallible entry point returns Status/Result<T> (common/status.h).
 
 #ifndef ZDB_ZDB_DB_H_
@@ -40,6 +52,7 @@
 
 #include "core/spatial_index.h"
 #include "exec/executor.h"
+#include "shard/router.h"
 
 namespace zdb {
 
@@ -53,7 +66,7 @@ struct DBOptions {
   /// Page size of a newly created database file.
   uint32_t page_size = kDefaultPageSize;
 
-  /// Buffer-pool capacity in frames.
+  /// Buffer-pool capacity in frames (per shard engine).
   size_t cache_pages = 256;
 
   /// Give an in-memory DB a (memory-backed) rollback journal, enabling
@@ -73,20 +86,31 @@ struct DBOptions {
   /// writer and a writer never stalls readers. Disable to get the legacy
   /// latched reader path.
   bool snapshot_reads = true;
+
+  /// Number of z-prefix shard engines, 1..64. Used when creating; a
+  /// reopened DB keeps its stored shard layout. 1 (the default) is the
+  /// classic single-engine DB.
+  uint32_t shards = 1;
 };
 
-/// Aggregate counters served by DB::Stats().
+/// Aggregate counters served by DB::Stats(). For a sharded DB the
+/// storage counters (entries, pages, commits, versions) sum over the
+/// shards, `objects` counts each object once (not per replica),
+/// `write_epoch` is the router's published-batch counter and
+/// `durable_epoch` the most conservative (minimum) per-shard durable
+/// epoch. Per-shard breakdowns come from DB::ShardStats().
 struct DBStats {
   uint64_t objects = 0;        ///< live objects
-  uint64_t index_entries = 0;  ///< z-elements stored in the B+-tree
+  uint64_t index_entries = 0;  ///< z-elements stored in the B+-tree(s)
   double redundancy = 0.0;     ///< entries per object
-  uint64_t write_epoch = 0;    ///< published writer sections
+  uint64_t write_epoch = 0;    ///< published writer sections / batches
   uint64_t durable_epoch = 0;  ///< highest epoch fsynced (group mode)
   uint64_t journal_commits = 0;  ///< durable batch commits (coalesced)
-  uint32_t pages = 0;          ///< pages allocated in the file
+  uint32_t pages = 0;          ///< pages allocated in the file(s)
   uint32_t page_size = 0;
   bool group_commit = false;   ///< pipeline currently running
   bool snapshot_reads = false;  ///< epoch-pinned latch-free queries on
+  uint32_t shards = 1;          ///< shard engines behind the facade
   uint64_t pinned_epochs = 0;   ///< snapshot pins currently open
   uint64_t pins_taken = 0;      ///< snapshot pins ever taken
   uint64_t page_versions = 0;   ///< before-image page versions retained
@@ -101,12 +125,13 @@ class DB {
   /// in-memory DB; anything else is a file path whose rollback journal
   /// lives at `path + "-journal"` (crash recovery runs here). A file
   /// that already holds a database is reopened with its stored index
-  /// options; otherwise it is created with `options.index`.
+  /// options and shard layout; otherwise it is created with
+  /// `options.index` / `options.shards`.
   [[nodiscard]] static Result<std::unique_ptr<DB>> Open(const std::string& path,
                                           const DBOptions& options = {});
 
-  /// Stops the group-commit pipeline (draining pending durability) and
-  /// tears the stack down.
+  /// Stops the group-commit pipeline(s) (draining pending durability)
+  /// and tears the stack down.
   ~DB();
 
   DB(const DB&) = delete;
@@ -142,60 +167,81 @@ class DB {
   /// Bulk loads rectangles into an empty DB.
   [[nodiscard]] Status BulkLoad(const std::vector<Rect>& data, double fill = 0.9);
 
-  /// Applies `batch` atomically. kDurable (default) returns once the
-  /// batch is fsynced; kPublished returns once readers can see it (the
-  /// batch becomes durable asynchronously and rolls back as a unit if a
+  /// Applies `batch` atomically (per shard — see DESIGN.md "Sharded
+  /// partitions" for the cross-shard visibility contract). kDurable
+  /// (default) returns once the batch is fsynced on every involved
+  /// shard; kPublished returns once readers can see it (the batch
+  /// becomes durable asynchronously and rolls back as a unit if a
   /// crash beats the fsync).
   [[nodiscard]] Result<std::vector<ObjectId>> Apply(
       const WriteBatch& batch, Durability durability = Durability::kDurable);
 
   // ---------------------------------------------------------- durability
 
-  /// Makes everything written so far durable: waits out the pipeline in
-  /// group mode, or checkpoints + flushes + commits synchronously
+  /// Makes everything written so far durable: waits out the pipeline(s)
+  /// in group mode, or checkpoints + flushes + commits synchronously
   /// otherwise. No-op-ish for an unjournaled in-memory DB (state is
   /// checkpointed so Stats()/reopen paths stay coherent).
   [[nodiscard]] Status Checkpoint();
 
   /// Blocks until `epoch` is durable (group mode; see
-  /// SpatialIndex::WaitDurable). timeout_ms 0 waits indefinitely.
+  /// SpatialIndex::WaitDurable). timeout_ms 0 waits indefinitely. On a
+  /// sharded DB this waits on every shard's durable epoch as of the
+  /// call (conservative for older epochs).
   [[nodiscard]] Status WaitDurable(uint64_t epoch, uint64_t timeout_ms = 0);
 
   // ------------------------------------------------------------ plumbing
 
   DBStats Stats() const;
 
-  uint64_t write_epoch() const { return index_->write_epoch(); }
-  uint64_t object_count() const { return index_->object_count(); }
-  const IndexBuildStats& build_stats() const { return index_->build_stats(); }
+  /// Per-shard counter breakdown (one entry for a single-shard DB).
+  std::vector<shard::ShardCounters> ShardStats() const;
 
-  /// Cumulative page I/O counters of the underlying pager.
+  bool sharded() const;
+  uint32_t shards() const;
+
+  uint64_t write_epoch() const;
+  uint64_t object_count() const;
+
+  /// Shard 0's build counters (exact for a single-shard DB; for a
+  /// sharded DB use Stats(), which aggregates).
+  const IndexBuildStats& build_stats() const;
+
+  /// Cumulative page I/O counters of shard 0's pager (the only pager of
+  /// a single-shard DB).
   const IoStats& io_stats() const;
 
-  /// Benchmarking aid: simulated per-page-read device latency (see
-  /// Pager::set_simulated_read_latency_us).
+  /// Benchmarking aid: simulated per-page-read device latency on every
+  /// shard (see Pager::set_simulated_read_latency_us).
   void set_simulated_read_latency_us(uint32_t us);
 
-  /// Benchmarking aid: drops every clean cached page so the next query
-  /// runs against a cold cache. Fails if dirty or pinned pages would be
-  /// lost — checkpoint first.
+  /// Benchmarking aid: drops every clean cached page on every shard so
+  /// the next query runs against a cold cache. Fails if dirty or pinned
+  /// pages would be lost — checkpoint first.
   [[nodiscard]] Status ClearCache();
 
-  /// A query executor driving this DB's index over `threads` workers.
-  /// The executor must not outlive the DB.
+  /// A query executor driving this DB over `threads` workers. For a
+  /// sharded DB the executor scatter-gathers across the shard engines
+  /// (parallelizing across shards before slicing within them). The
+  /// executor must not outlive the DB.
   std::unique_ptr<QueryExecutor> NewExecutor(size_t threads);
 
-  /// The underlying index — the escape hatch for engine-level wiring
-  /// (net::Server, diagnostics like LevelHistogram or btree stats).
-  /// Prefer the typed DB methods for data operations.
-  SpatialIndex* index() { return index_.get(); }
+  /// Shard 0's index — the escape hatch for engine-level wiring and
+  /// diagnostics (LevelHistogram, btree stats). It is the whole engine
+  /// of a single-shard DB; on a sharded DB it sees only shard 0's
+  /// slice, so prefer the typed DB methods for data operations.
+  SpatialIndex* index();
+
+  /// The router behind a sharded DB; nullptr semantics never arise —
+  /// a single-shard DB has a router too (with one engine and trivial
+  /// routing). Engine-level wiring for the server and tests.
+  shard::ShardRouter* router();
 
  private:
   DB() = default;
 
-  struct Impl;  ///< owns file/journal/pager/pool in construction order
+  struct Impl;  ///< owns the router (which owns the shard engines)
   std::unique_ptr<Impl> impl_;
-  std::unique_ptr<SpatialIndex> index_;
   bool journaled_ = false;
 };
 
