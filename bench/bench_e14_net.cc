@@ -229,7 +229,7 @@ void RunPhase(const Workload& w, size_t readers, Table* table,
 
   std::atomic<bool> writer_done{false};
   std::thread writer([&] {
-    auto c = Client::ConnectTcp("127.0.0.1", server.port());
+    auto c = Client::Connect("tcp://127.0.0.1:" + std::to_string(server.port()));
     if (!c.ok()) return;
     Client client = std::move(c).value();
     for (const WriteBatch& batch : w.batches) {
@@ -249,7 +249,7 @@ void RunPhase(const Workload& w, size_t readers, Table* table,
   const uint64_t t0 = NowMicros();
   for (size_t r = 0; r < readers; ++r) {
     threads.emplace_back([&, r] {
-      auto c = Client::ConnectTcp("127.0.0.1", server.port());
+      auto c = Client::Connect("tcp://127.0.0.1:" + std::to_string(server.port()));
       if (!c.ok()) return;
       Client client = std::move(c).value();
       ReaderResult& res = results[r];
@@ -351,7 +351,7 @@ void RunSaturation(size_t clients) {
   const uint64_t t0 = NowMicros();
   for (size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&] {
-      auto conn = Client::ConnectTcp("127.0.0.1", server.port());
+      auto conn = Client::Connect("tcp://127.0.0.1:" + std::to_string(server.port()));
       if (!conn.ok()) return;
       Client client = std::move(conn).value();
       int done = 0;
@@ -453,7 +453,7 @@ void RunConnectionHorde(size_t total, size_t procs) {
       conns.reserve(per_child);
       uint32_t established = 0;
       for (size_t i = 0; i < per_child; ++i) {
-        auto conn = Client::ConnectTcp("127.0.0.1", port);
+        auto conn = Client::Connect("tcp://127.0.0.1:" + std::to_string(port));
         if (!conn.ok()) break;
         Client client = std::move(conn).value();
         if (!client.Ping().ok()) break;
@@ -521,7 +521,7 @@ void RunConnectionHorde(size_t total, size_t procs) {
   // Probe latency with the horde parked in the epoll sets.
   std::vector<uint64_t> probe_us;
   {
-    auto conn = Client::ConnectTcp("127.0.0.1", port);
+    auto conn = Client::Connect("tcp://127.0.0.1:" + std::to_string(port));
     if (conn.ok()) {
       Client probe = std::move(conn).value();
       for (int i = 0; i < 500; ++i) {

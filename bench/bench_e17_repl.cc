@@ -1,0 +1,365 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// E17: group-commit log shipping to read replicas. One leader and two
+// followers run in-process over real loopback sockets; the leader ships
+// every committed batch as an epoch-stamped log record, the followers
+// replay through the normal publish path. Three questions:
+//
+//   * replica correctness: after catch-up, every follower answers every
+//     window/point/kNN query byte-identically to the leader (same ids,
+//     same order — leader-assigned oids replay verbatim).
+//   * read scaling: aggregate closed-loop window qps with reads
+//     round-robined across the two followers
+//     (ReadPreference::kFollower) vs the same readers against one
+//     standalone node.
+//   * staleness: while a writer streams batches into the leader, how
+//     far behind (in publish epochs) do the followers trail, and does a
+//     bounded-staleness read honestly reject when the bound is tighter
+//     than the lag.
+//
+// Also exercised end-to-end: a write sent to a follower comes back
+// NOT_LEADER naming the leader's endpoint, and the client follows the
+// redirect transparently.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/runner.h"
+#include "bench_util/table.h"
+#include "client/client.h"
+#include "server/server.h"
+#include "zdb/db.h"
+
+namespace zdb {
+namespace {
+
+using net::Client;
+using net::ClientOptions;
+using net::ReadPreference;
+using net::Server;
+using net::ServerOptions;
+using net::ServerRole;
+
+constexpr uint64_t kSeed = 0xE17;
+constexpr size_t kInitialObjects = 4000;
+constexpr size_t kStreamBatches = 48;
+constexpr size_t kInsertsPerBatch = 32;
+constexpr size_t kWindows = 16;
+constexpr size_t kPoints = 8;
+constexpr size_t kKnnPoints = 4;
+constexpr uint32_t kKnnK = 8;
+constexpr double kSelectivity = 0.01;
+constexpr int kReadPhaseMs = 400;
+constexpr size_t kReaders = 4;
+
+struct Node {
+  std::unique_ptr<DB> db;
+  std::unique_ptr<Server> server;
+  std::string uri;
+};
+
+Node StartNode(ServerRole role, const std::string& leader_uri) {
+  DBOptions dopt;
+  dopt.index.data = DecomposeOptions::SizeBound(8);
+  dopt.memory_journal = true;
+  auto db_r = DB::Open("", dopt);
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "e17: open failed: %s\n",
+                 db_r.status().ToString().c_str());
+    std::exit(1);
+  }
+  Node n;
+  n.db = std::move(db_r).value();
+  ServerOptions sopt;
+  sopt.port = 0;  // ephemeral
+  sopt.workers = 4;
+  sopt.idle_timeout_ms = 0;
+  sopt.role = role;
+  sopt.leader_endpoint = leader_uri;
+  n.server = std::make_unique<Server>(n.db.get(), sopt);
+  const Status s = n.server->Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "e17: server start failed: %s\n",
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  n.uri = "tcp://127.0.0.1:" + std::to_string(n.server->port());
+  return n;
+}
+
+/// Polls until `db` has applied through `target_epoch` (its own write
+/// epoch reaching the leader's, since every leader commit ships exactly
+/// one record and both start at epoch zero).
+void AwaitCatchUp(const DB& db, uint64_t target_epoch) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (db.write_epoch() < target_epoch) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::fprintf(stderr, "e17: follower never caught up (%llu < %llu)\n",
+                   static_cast<unsigned long long>(db.write_epoch()),
+                   static_cast<unsigned long long>(target_epoch));
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+struct QuerySet {
+  std::vector<Rect> windows;
+  std::vector<Point> points;
+  std::vector<Point> knn_points;
+};
+
+/// Byte-identical check: every query answered by `probe` must equal the
+/// leader's answer exactly (ids and order). Returns mismatch count.
+uint64_t VerifyIdentical(Client& leader, Client& probe, const QuerySet& q) {
+  uint64_t mismatches = 0;
+  for (const Rect& w : q.windows) {
+    auto a = leader.Window(w);
+    auto b = probe.Window(w);
+    if (!a.ok() || !b.ok() || a.value().ids != b.value().ids) ++mismatches;
+  }
+  for (const Point& p : q.points) {
+    auto a = leader.Point(p);
+    auto b = probe.Point(p);
+    if (!a.ok() || !b.ok() || a.value().ids != b.value().ids) ++mismatches;
+  }
+  for (const Point& p : q.knn_points) {
+    auto a = leader.Nearest(p, kKnnK);
+    auto b = probe.Nearest(p, kKnnK);
+    if (!a.ok() || !b.ok() || a.value().hits != b.value().hits) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+/// Closed-loop window readers against `make_client`'s connections for
+/// kReadPhaseMs; returns aggregate queries served.
+uint64_t ReadPhase(const QuerySet& q,
+                   const std::function<Result<Client>()>& make_client) {
+  std::atomic<uint64_t> total{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      auto c = make_client();
+      if (!c.ok()) return;
+      Client client = std::move(c).value();
+      uint64_t served = 0;
+      size_t i = r;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (client.Window(q.windows[i % q.windows.size()]).ok()) ++served;
+        ++i;
+      }
+      total.fetch_add(served);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(kReadPhaseMs));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  return total.load();
+}
+
+int Run() {
+  // ---- topology: one leader, two followers, real sockets ------------
+  Node leader = StartNode(ServerRole::kLeader, "");
+  Node f1 = StartNode(ServerRole::kFollower, leader.uri);
+  Node f2 = StartNode(ServerRole::kFollower, leader.uri);
+  const std::vector<std::string> followers = {f1.uri, f2.uri};
+
+  // ---- seed through the wire (the sink is attached, so it ships) ----
+  DataGenOptions dg;
+  dg.distribution = Distribution::kClusters;
+  dg.seed = kSeed;
+  const std::vector<Rect> initial = GenerateData(kInitialObjects, dg);
+
+  auto lc_r = Client::Connect(leader.uri);
+  if (!lc_r.ok()) {
+    std::fprintf(stderr, "e17: leader connect failed\n");
+    return 1;
+  }
+  Client leader_client = std::move(lc_r).value();
+  {
+    WriteBatch batch;
+    for (const Rect& r : initial) batch.Insert(r);
+    auto r = leader_client.Apply(batch);
+    if (!r.ok()) {
+      std::fprintf(stderr, "e17: seed apply failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ---- a write aimed at a follower redirects to the leader ----------
+  auto fc_r = Client::Connect(f1.uri);
+  if (!fc_r.ok()) {
+    std::fprintf(stderr, "e17: follower connect failed\n");
+    return 1;
+  }
+  Client redirected = std::move(fc_r).value();
+  {
+    WriteBatch one;
+    one.Insert(Rect{0.5, 0.5, 0.51, 0.51});
+    auto r = redirected.Apply(one);
+    if (!r.ok() || redirected.endpoint() != leader.uri) {
+      std::fprintf(stderr, "e17: NOT_LEADER redirect failed (%s)\n",
+                   r.ok() ? redirected.endpoint().c_str()
+                          : r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  AwaitCatchUp(*f1.db, leader.db->write_epoch());
+  AwaitCatchUp(*f2.db, leader.db->write_epoch());
+
+  QueryGenOptions qopt;
+  qopt.seed = kSeed + 2;
+  QuerySet q;
+  q.windows = GenerateWindows(kWindows, kSelectivity, qopt);
+  q.points = GeneratePoints(kPoints, kSeed + 4);
+  q.knn_points = GeneratePoints(kKnnPoints, kSeed + 5);
+
+  // ---- gate 1: followers answer byte-identically --------------------
+  uint64_t mismatches = 0;
+  for (const std::string& uri : followers) {
+    auto c = Client::Connect(uri);
+    if (!c.ok()) {
+      std::fprintf(stderr, "e17: probe connect failed\n");
+      return 1;
+    }
+    Client probe = std::move(c).value();
+    mismatches += VerifyIdentical(leader_client, probe, q);
+  }
+  std::printf("replica check: %llu mismatches across %zu queries x 2 "
+              "followers\n",
+              static_cast<unsigned long long>(mismatches),
+              q.windows.size() + q.points.size() + q.knn_points.size());
+
+  // ---- read scaling: standalone vs leader + 2 followers -------------
+  Node solo = StartNode(ServerRole::kStandalone, "");
+  {
+    auto c = Client::Connect(solo.uri);
+    if (!c.ok()) return 1;
+    Client sc = std::move(c).value();
+    WriteBatch batch;
+    for (const Rect& r : initial) batch.Insert(r);
+    if (!sc.Apply(batch).ok()) return 1;
+  }
+  const uint64_t solo_served = ReadPhase(q, [&] {
+    return Client::Connect(solo.uri);
+  });
+  const uint64_t repl_served = ReadPhase(q, [&] {
+    ClientOptions copt;
+    copt.read_preference = ReadPreference::kFollower;
+    copt.followers = followers;
+    return Client::Connect(leader.uri, copt);
+  });
+
+  Table t("E17: read throughput, 4 closed-loop readers",
+          {"topology", "window qps", "speedup"});
+  const double solo_qps = solo_served * 1000.0 / kReadPhaseMs;
+  const double repl_qps = repl_served * 1000.0 / kReadPhaseMs;
+  t.AddRow({"standalone", Fmt(solo_qps, 0), Fmt(1.0)});
+  t.AddRow({"leader+2 followers", Fmt(repl_qps, 0),
+            Fmt(solo_qps > 0 ? repl_qps / solo_qps : 0.0)});
+  t.Print();
+
+  // ---- lag under a live write stream --------------------------------
+  DataGenOptions dg2;
+  dg2.distribution = Distribution::kUniformLarge;
+  dg2.seed = kSeed ^ 0x9e3779b97f4a7c15ULL;
+  const auto extra = GenerateData(kStreamBatches * kInsertsPerBatch, dg2);
+
+  std::atomic<bool> writing{true};
+  uint64_t max_lag = 0;
+  uint64_t lag_samples = 0;
+  uint64_t lag_sum = 0;
+  std::thread sampler([&] {
+    while (writing.load(std::memory_order_relaxed)) {
+      const uint64_t head = leader.db->write_epoch();
+      const uint64_t applied =
+          std::min(f1.db->write_epoch(), f2.db->write_epoch());
+      const uint64_t lag = head > applied ? head - applied : 0;
+      max_lag = std::max(max_lag, lag);
+      lag_sum += lag;
+      ++lag_samples;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (size_t b = 0; b < kStreamBatches; ++b) {
+    WriteBatch batch;
+    for (size_t i = 0; i < kInsertsPerBatch; ++i) {
+      batch.Insert(extra[b * kInsertsPerBatch + i]);
+    }
+    if (!leader_client.Apply(batch, Durability::kPublished).ok()) {
+      std::fprintf(stderr, "e17: stream apply failed\n");
+      return 1;
+    }
+  }
+  writing.store(false);
+  sampler.join();
+
+  // A read bounded tighter than the live lag must have been honest; a
+  // read with a loose bound must succeed on a caught-up follower.
+  AwaitCatchUp(*f1.db, leader.db->write_epoch());
+  AwaitCatchUp(*f2.db, leader.db->write_epoch());
+  {
+    ClientOptions copt;
+    copt.read_preference = ReadPreference::kBoundedStaleness;
+    copt.max_lag_epochs = 1u << 20;  // loose: follower must serve it
+    copt.followers = followers;
+    auto c = Client::Connect(leader.uri, copt);
+    if (!c.ok()) return 1;
+    Client bounded = std::move(c).value();
+    if (!bounded.Window(q.windows[0]).ok()) {
+      std::fprintf(stderr, "e17: bounded-staleness read failed\n");
+      return 1;
+    }
+  }
+
+  Table lt("E17: follower staleness during the write stream",
+           {"metric", "epochs"});
+  lt.AddRow({"batches streamed", Fmt(static_cast<uint64_t>(kStreamBatches))});
+  lt.AddRow({"max lag", Fmt(max_lag)});
+  lt.AddRow({"mean lag",
+             Fmt(lag_samples ? static_cast<double>(lag_sum) / lag_samples
+                             : 0.0)});
+  lt.Print();
+
+  // ---- gate 2: byte-identical again after the stream ----------------
+  for (const std::string& uri : followers) {
+    auto c = Client::Connect(uri);
+    if (!c.ok()) return 1;
+    Client probe = std::move(c).value();
+    mismatches += VerifyIdentical(leader_client, probe, q);
+  }
+  std::printf("replica check after stream: %llu total mismatches\n",
+              static_cast<unsigned long long>(mismatches));
+
+  f1.server->Stop();
+  f2.server->Stop();
+  leader.server->Stop();
+  solo.server->Stop();
+
+  if (mismatches != 0) {
+    std::fprintf(stderr, "E17 FAILED: follower answers diverged\n");
+    return 1;
+  }
+  std::printf("E17 passed: followers byte-identical, redirect + bounded "
+              "staleness exercised\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace zdb
+
+int main() { return zdb::Run(); }

@@ -23,6 +23,15 @@
 //                     the stored layout)
 //   --preload N       seed N random rectangles before serving
 //   --seed S          preload RNG seed        (default 42)
+//   --role R          standalone | leader | follower (default standalone)
+//   --leader URI      leader endpoint, follower role only
+//                     (tcp://host:port or unix://path)
+//   --repl-retain N   leader log ring size, records (default 0 = all)
+//   --repl-window N   per-follower unacked record cap (default 64)
+//
+// A leader ships every committed batch to subscribed followers; a
+// follower replays the leader's log (reconnecting with backoff) and
+// rejects direct writes with NOT_LEADER naming the leader's endpoint.
 //
 // The database runs the group-commit durability pipeline (an in-memory
 // server uses a memory-backed journal), so APPLY requests choose between
@@ -93,6 +102,25 @@ int main(int argc, char** argv) {
       preload = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--role") {
+      const std::string role = next();
+      if (role == "standalone") {
+        opt.role = net::ServerRole::kStandalone;
+      } else if (role == "leader") {
+        opt.role = net::ServerRole::kLeader;
+      } else if (role == "follower") {
+        opt.role = net::ServerRole::kFollower;
+      } else {
+        std::fprintf(stderr,
+                     "--role wants standalone, leader or follower\n");
+        return 2;
+      }
+    } else if (arg == "--leader") {
+      opt.leader_endpoint = next();
+    } else if (arg == "--repl-retain") {
+      opt.repl_retain_records = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--repl-window") {
+      opt.repl_window = std::strtoul(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return 2;
@@ -114,6 +142,16 @@ int main(int argc, char** argv) {
   }
   auto db = std::move(db_r).value();
 
+  net::Server server(db.get(), opt);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "zdb_server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Preload after Start(): on a leader the commit sink attaches during
+  // Start, so seeding earlier would leave the seed batch out of the
+  // shipped log and followers permanently missing it.
   if (preload > 0) {
     std::mt19937_64 rng(seed);
     std::uniform_real_distribution<double> pos(0.0, 0.94);
@@ -127,17 +165,17 @@ int main(int argc, char** argv) {
     if (!r.ok()) {
       std::fprintf(stderr, "preload failed: %s\n",
                    r.status().ToString().c_str());
+      server.Stop();
       return 1;
     }
     std::printf("zdb_server: preloaded %zu objects (seed %llu)\n", preload,
                 static_cast<unsigned long long>(seed));
   }
-
-  net::Server server(db.get(), opt);
-  Status s = server.Start();
-  if (!s.ok()) {
-    std::fprintf(stderr, "zdb_server: %s\n", s.ToString().c_str());
-    return 1;
+  if (opt.role == net::ServerRole::kLeader) {
+    std::printf("zdb_server: role leader\n");
+  } else if (opt.role == net::ServerRole::kFollower) {
+    std::printf("zdb_server: role follower, leader %s\n",
+                opt.leader_endpoint.c_str());
   }
   if (opt.tcp) {
     std::printf(

@@ -58,21 +58,18 @@ void PrintRemoteHelp() {
       "  help | quit\n");
 }
 
+/// Maps the legacy --connect spellings ("HOST:PORT", "unix:PATH") onto
+/// endpoint URIs; URIs pass through untouched.
+std::string TargetToUri(const std::string& target) {
+  if (target.rfind("tcp://", 0) == 0 || target.rfind("unix://", 0) == 0) {
+    return target;
+  }
+  if (target.rfind("unix:", 0) == 0) return "unix://" + target.substr(5);
+  return "tcp://" + target;
+}
+
 int RunRemote(const std::string& target) {
-  Result<net::Client> conn =
-      target.rfind("unix:", 0) == 0
-          ? net::Client::ConnectUnix(target.substr(5))
-          : [&]() -> Result<net::Client> {
-              const auto colon = target.rfind(':');
-              if (colon == std::string::npos) {
-                return Status::InvalidArgument(
-                    "--connect wants HOST:PORT or unix:PATH");
-              }
-              return net::Client::ConnectTcp(
-                  target.substr(0, colon),
-                  static_cast<uint16_t>(std::strtoul(
-                      target.c_str() + colon + 1, nullptr, 10)));
-            }();
+  Result<net::Client> conn = net::Client::Connect(TargetToUri(target));
   if (!conn.ok()) {
     std::fprintf(stderr, "connect: %s\n", conn.status().ToString().c_str());
     return 1;

@@ -5,47 +5,70 @@
 namespace zdb {
 namespace net {
 
+Client::Client(Channel primary, std::string endpoint, ClientOptions options)
+    : primary_(std::move(primary)),
+      endpoint_(std::move(endpoint)),
+      options_(std::move(options)) {
+  followers_.resize(options_.followers.size());
+}
+
+Result<Client> Client::Connect(const std::string& endpoint,
+                               ClientOptions options) {
+  for (const std::string& f : options.followers) {
+    // Fail fast on a typo'd follower URI instead of at first query.
+    ZDB_RETURN_IF_ERROR(ParseEndpoint(f).status());
+  }
+  Channel ch;
+  ZDB_ASSIGN_OR_RETURN(ch.sock, ConnectEndpoint(endpoint));
+  return Client(std::move(ch), endpoint, std::move(options));
+}
+
 Result<Client> Client::ConnectTcp(const std::string& host, uint16_t port) {
-  Socket s;
-  ZDB_ASSIGN_OR_RETURN(s, TcpConnect(host, port));
-  return Client(std::move(s));
+  return Connect("tcp://" + host + ":" + std::to_string(port));
 }
 
 Result<Client> Client::ConnectUnix(const std::string& path) {
-  Socket s;
-  ZDB_ASSIGN_OR_RETURN(s, UnixConnect(path));
-  return Client(std::move(s));
+  return Connect("unix://" + path);
 }
 
-Result<std::string> Client::RoundTrip(Opcode op, std::string_view payload,
-                                      uint16_t version, WireError* wire_err) {
+void Client::Close() {
+  primary_.sock.Close();
+  for (auto& ch : followers_) {
+    if (ch != nullptr) ch->sock.Close();
+  }
+}
+
+Result<std::string> Client::RoundTripOn(Channel& ch, Opcode op,
+                                        std::string_view payload,
+                                        uint16_t version,
+                                        WireError* wire_err) {
   if (wire_err != nullptr) *wire_err = WireError::kOk;
-  if (!sock_.valid()) {
+  if (!ch.sock.valid()) {
     return Status::Unavailable("client connection is closed");
   }
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = ch.next_request_id++;
   const std::string frame = BuildFrame(op, 0, id, payload, version);
-  ZDB_RETURN_IF_ERROR(WriteFully(sock_, frame.data(), frame.size()));
+  ZDB_RETURN_IF_ERROR(WriteFully(ch.sock, frame.data(), frame.size()));
 
   char buf[16 * 1024];
   for (;;) {
     Frame reply;
     WireError err;
     FrameHeader err_header;
-    const auto next = assembler_.Poll(&reply, &err, &err_header);
+    const auto next = ch.assembler.Poll(&reply, &err, &err_header);
     if (next == FrameAssembler::Next::kError) {
-      sock_.Close();
+      ch.sock.Close();
       return Status::IOError(std::string("reply framing error: ") +
                              WireErrorName(err));
     }
     if (next == FrameAssembler::Next::kNeedMore) {
       size_t n = 0;
-      ZDB_ASSIGN_OR_RETURN(n, ReadSome(sock_, buf, sizeof(buf)));
+      ZDB_ASSIGN_OR_RETURN(n, ReadSome(ch.sock, buf, sizeof(buf)));
       if (n == 0) {
-        sock_.Close();
+        ch.sock.Close();
         return Status::Unavailable("server closed the connection");
       }
-      assembler_.Feed(buf, n);
+      ch.assembler.Feed(buf, n);
       continue;
     }
     if ((reply.header.flags & kFlagReply) == 0 ||
@@ -53,7 +76,7 @@ Result<std::string> Client::RoundTrip(Opcode op, std::string_view payload,
         reply.header.opcode != static_cast<uint8_t>(op)) {
       // Single in-flight request per connection: anything else is a
       // protocol violation, and the stream can't be trusted after it.
-      sock_.Close();
+      ch.sock.Close();
       return Status::IOError("reply does not match the request");
     }
 
@@ -72,7 +95,7 @@ Result<std::string> Client::RoundTrip(Opcode op, std::string_view payload,
       case WireError::kBadMagic:
         if (status != WireError::kMalformed &&
             status != WireError::kUnknownOpcode) {
-          sock_.Close();
+          ch.sock.Close();
         }
         return Status::IOError(std::string("server rejected request: ") +
                                WireErrorName(status) +
@@ -84,10 +107,84 @@ Result<std::string> Client::RoundTrip(Opcode op, std::string_view payload,
   }
 }
 
+Result<std::string> Client::LeaderRoundTrip(Opcode op,
+                                            std::string_view payload,
+                                            uint16_t version,
+                                            WireError* wire_err) {
+  for (int attempt = 0;; ++attempt) {
+    WireError err = WireError::kOk;
+    auto r = RoundTripOn(primary_, op, payload, version, &err);
+    if (wire_err != nullptr) *wire_err = err;
+    if (r.ok() || err != WireError::kNotLeader || attempt > 0) return r;
+    // NOT_LEADER carries the real leader's URI in the message: move the
+    // primary channel there and retry once. A fresh Channel resets the
+    // assembler and request-id stream along with the socket.
+    const std::string redirect(r.status().message());
+    if (redirect.empty()) return r;
+    auto redialed = ConnectEndpoint(redirect);
+    if (!redialed.ok()) return r;
+    primary_ = Channel{};
+    primary_.sock = std::move(redialed.value());
+    endpoint_ = redirect;
+  }
+}
+
+Client::Channel* Client::FollowerChannel(size_t idx) {
+  std::unique_ptr<Channel>& slot = followers_[idx];
+  if (slot != nullptr && slot->sock.valid()) return slot.get();
+  auto s = ConnectEndpoint(options_.followers[idx]);
+  if (!s.ok()) {
+    slot.reset();
+    return nullptr;
+  }
+  slot = std::make_unique<Channel>();
+  slot->sock = std::move(s.value());
+  return slot.get();
+}
+
+Result<std::string> Client::QueryRoundTrip(
+    Opcode op, const std::function<std::string(uint64_t)>& encode) {
+  const bool bounded =
+      options_.read_preference == ReadPreference::kBoundedStaleness;
+  const uint64_t bound = bounded ? options_.max_lag_epochs
+                                 : kNoStalenessBound;
+  // A bound rides as the wire-v3 trailer; without one the payload is
+  // byte-identical to v1, so the frame says v1 and any server takes it.
+  const std::string payload = encode(bound);
+  const uint16_t version = bounded ? uint16_t{3} : kMinWireVersion;
+
+  if (options_.read_preference != ReadPreference::kLeader &&
+      !followers_.empty()) {
+    for (size_t i = 0; i < followers_.size(); ++i) {
+      const size_t idx = (rr_ + i) % followers_.size();
+      Channel* ch = FollowerChannel(idx);
+      if (ch == nullptr) continue;  // unreachable; try the next
+      WireError err = WireError::kOk;
+      auto r = RoundTripOn(*ch, op, payload, version, &err);
+      if (r.ok()) {
+        rr_ = (idx + 1) % followers_.size();
+        return r;
+      }
+      if (err == WireError::kStaleRead) break;  // leader is never stale
+      if (err != WireError::kOk) {
+        // The follower answered with a real engine error (bad rect,
+        // busy, ...) — that is the result, not a routing failure.
+        return r;
+      }
+      // No reply at all (connect reset, framing loss): drop the channel
+      // so the next call re-dials, and try the next follower.
+      followers_[idx].reset();
+    }
+  }
+  return LeaderRoundTrip(op, payload, version);
+}
+
 Result<QueryReply> Client::Window(const Rect& w) {
   std::string body;
-  ZDB_ASSIGN_OR_RETURN(body,
-                       RoundTrip(Opcode::kWindow, EncodeWindowRequest(w)));
+  ZDB_ASSIGN_OR_RETURN(
+      body, QueryRoundTrip(Opcode::kWindow, [&](uint64_t max_lag) {
+        return EncodeWindowRequest(w, max_lag);
+      }));
   QueryReply out;
   if (!DecodeIdListReplyBody(body, &out.epoch_before, &out.epoch_after,
                              &out.ids)) {
@@ -98,8 +195,10 @@ Result<QueryReply> Client::Window(const Rect& w) {
 
 Result<QueryReply> Client::Point(const zdb::Point& p) {
   std::string body;
-  ZDB_ASSIGN_OR_RETURN(body,
-                       RoundTrip(Opcode::kPoint, EncodePointRequest(p)));
+  ZDB_ASSIGN_OR_RETURN(
+      body, QueryRoundTrip(Opcode::kPoint, [&](uint64_t max_lag) {
+        return EncodePointRequest(p, max_lag);
+      }));
   QueryReply out;
   if (!DecodeIdListReplyBody(body, &out.epoch_before, &out.epoch_after,
                              &out.ids)) {
@@ -110,8 +209,10 @@ Result<QueryReply> Client::Point(const zdb::Point& p) {
 
 Result<KnnReplyData> Client::Nearest(const zdb::Point& p, uint32_t k) {
   std::string body;
-  ZDB_ASSIGN_OR_RETURN(body,
-                       RoundTrip(Opcode::kKnn, EncodeKnnRequest(p, k)));
+  ZDB_ASSIGN_OR_RETURN(
+      body, QueryRoundTrip(Opcode::kKnn, [&](uint64_t max_lag) {
+        return EncodeKnnRequest(p, k, max_lag);
+      }));
   KnnReplyData out;
   if (!DecodeKnnReplyBody(body, &out.epoch_before, &out.epoch_after,
                           &out.hits)) {
@@ -127,8 +228,9 @@ Result<ApplyReplyData> Client::Apply(const WriteBatch& batch,
   const bool flagged = durability != Durability::kDurable;
   const uint16_t version = flagged ? uint16_t{2} : kMinWireVersion;
   WireError wire_err = WireError::kOk;
-  auto r = RoundTrip(Opcode::kApply, EncodeApplyRequest(batch, durability),
-                     version, &wire_err);
+  auto r = LeaderRoundTrip(Opcode::kApply,
+                           EncodeApplyRequest(batch, durability), version,
+                           &wire_err);
   if (!r.ok()) {
     if (flagged && (wire_err == WireError::kBadVersion ||
                     wire_err == WireError::kMalformed)) {
@@ -147,7 +249,7 @@ Result<ApplyReplyData> Client::Apply(const WriteBatch& batch,
 
 Result<std::string> Client::Stats() {
   std::string body;
-  ZDB_ASSIGN_OR_RETURN(body, RoundTrip(Opcode::kStats, {}));
+  ZDB_ASSIGN_OR_RETURN(body, LeaderRoundTrip(Opcode::kStats, {}));
   std::string json;
   if (!DecodeStatsReplyBody(body, &json)) {
     return Status::IOError("malformed STATS reply body");
@@ -155,10 +257,10 @@ Result<std::string> Client::Stats() {
   return json;
 }
 
-Status Client::Ping() { return RoundTrip(Opcode::kPing, {}).status(); }
+Status Client::Ping() { return LeaderRoundTrip(Opcode::kPing, {}).status(); }
 
 Status Client::Shutdown() {
-  return RoundTrip(Opcode::kShutdown, {}).status();
+  return LeaderRoundTrip(Opcode::kShutdown, {}).status();
 }
 
 }  // namespace net

@@ -1,9 +1,29 @@
 // Copyright (c) zdb authors. Licensed under the MIT license.
 //
 // Synchronous client for the zdb wire protocol (net/wire.h): one
-// blocking request/reply exchange per call over a single connection.
-// Not thread-safe — use one Client per thread (the server multiplexes
-// connections cheaply).
+// blocking request/reply exchange per call. Not thread-safe — use one
+// Client per thread (the server multiplexes connections cheaply).
+//
+// A Client is opened against one endpoint URI ("tcp://host:port" or
+// "unix://path") and optionally knows a set of follower endpoints.
+// ClientOptions::read_preference decides where queries go:
+//
+//   kLeader            everything on the primary connection (default —
+//                      exactly the pre-replication behavior).
+//   kFollower          WINDOW/POINT/KNN round-robin across the
+//                      followers (lazily connected); writes and admin
+//                      ops stay on the leader. An unreachable follower
+//                      is skipped; with none reachable the leader
+//                      serves the read.
+//   kBoundedStaleness  like kFollower, but every query carries
+//                      max_lag_epochs (wire v3). A follower lagging
+//                      past the bound answers STALE_READ and the
+//                      client transparently retries on the leader,
+//                      which is never stale.
+//
+// Writes against a follower are answered NOT_LEADER with the leader's
+// URI in the message; the client reconnects its primary channel there
+// and retries once, so a caller pointed at the wrong node self-heals.
 //
 // Server-side typed errors are rebuilt as the Status the engine
 // produced, through the bidirectional Status <-> WireError table in
@@ -19,6 +39,8 @@
 #define ZDB_CLIENT_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +52,24 @@
 
 namespace zdb {
 namespace net {
+
+/// Where queries (WINDOW/POINT/KNN) are routed.
+enum class ReadPreference : uint8_t {
+  kLeader,            ///< every request on the primary endpoint
+  kFollower,          ///< queries round-robin across the followers
+  kBoundedStaleness,  ///< followers, rejected past max_lag_epochs
+};
+
+struct ClientOptions {
+  ReadPreference read_preference = ReadPreference::kLeader;
+  /// kBoundedStaleness only: the maximum replication lag, in epochs,
+  /// a query tolerates. Rides in the request (wire v3); a follower
+  /// that cannot honor it rejects and the leader serves the read.
+  uint64_t max_lag_epochs = 0;
+  /// Follower endpoint URIs for read routing. Connected lazily, on
+  /// first use; a dead follower is skipped and retried on later calls.
+  std::vector<std::string> followers;
+};
 
 /// Window / point / kNN reply: the ids (or scored hits) plus the epoch
 /// bracket the server observed around execution.
@@ -52,7 +92,16 @@ struct ApplyReplyData {
 
 class Client {
  public:
+  /// Opens a client against `endpoint` ("tcp://host:port" or
+  /// "unix://path"). The connection is established eagerly; follower
+  /// connections (if `options.followers` is non-empty) are lazy.
+  [[nodiscard]] static Result<Client> Connect(const std::string& endpoint,
+                                              ClientOptions options = {});
+
+  /// Deprecated: use Connect("tcp://host:port"). Thin compatibility
+  /// wrapper over Connect(); new call sites should pass a URI.
   [[nodiscard]] static Result<Client> ConnectTcp(const std::string& host, uint16_t port);
+  /// Deprecated: use Connect("unix://path").
   [[nodiscard]] static Result<Client> ConnectUnix(const std::string& path);
 
   Client(Client&&) = default;
@@ -65,7 +114,8 @@ class Client {
   /// after the batch is fsynced — encoded exactly as wire v1, so it
   /// works against servers of any version. kPublished acks as soon as
   /// readers can see the batch (wire v2); a pre-v2 server rejects that
-  /// flag and the call fails with a clear InvalidArgument.
+  /// flag and the call fails with a clear InvalidArgument. Against a
+  /// follower the write is redirected to the leader (one retry).
   [[nodiscard]] Result<ApplyReplyData> Apply(const WriteBatch& batch,
                                Durability durability = Durability::kDurable);
   [[nodiscard]] Result<std::string> Stats();
@@ -74,25 +124,61 @@ class Client {
   /// starts draining).
   [[nodiscard]] Status Shutdown();
 
-  /// Closes the connection; further calls fail.
-  void Close() { sock_.Close(); }
-  bool connected() const { return sock_.valid(); }
+  /// The endpoint the primary channel currently points at — updated
+  /// when a NOT_LEADER redirect moves it.
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Closes every connection; further calls fail.
+  void Close();
+  bool connected() const { return primary_.sock.valid(); }
 
  private:
-  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+  /// One connection: socket + frame reassembly + request-id counter.
+  /// Replaced wholesale on reconnect (a fresh assembler drops any
+  /// poisoned framing state).
+  struct Channel {
+    Socket sock;
+    uint64_t next_request_id = 1;
+    FrameAssembler assembler;
+  };
 
-  /// Sends one request frame and blocks for the matching reply payload
-  /// (validating magic/version/request id, surfacing typed errors as the
-  /// Status codes documented above). `version` marks the request frame;
-  /// plain requests send kMinWireVersion so any server accepts them.
-  /// If `wire_err` is non-null it receives the reply's raw wire code.
-  [[nodiscard]] Result<std::string> RoundTrip(Opcode op, std::string_view payload,
-                                uint16_t version = kMinWireVersion,
-                                WireError* wire_err = nullptr);
+  Client(Channel primary, std::string endpoint, ClientOptions options);
 
-  Socket sock_;
-  uint64_t next_request_id_ = 1;
-  FrameAssembler assembler_;
+  /// Sends one request frame on `ch` and blocks for the matching reply
+  /// payload (validating magic/version/request id, surfacing typed
+  /// errors as the Status codes documented above). `version` marks the
+  /// request frame; plain requests send kMinWireVersion so any server
+  /// accepts them. If `wire_err` is non-null it receives the reply's
+  /// raw wire code (kOk when no reply arrived at all).
+  [[nodiscard]] Result<std::string> RoundTripOn(Channel& ch, Opcode op,
+                                  std::string_view payload,
+                                  uint16_t version = kMinWireVersion,
+                                  WireError* wire_err = nullptr);
+
+  /// Round-trips on the primary channel, transparently following one
+  /// NOT_LEADER redirect (the rejection message is the leader's URI).
+  [[nodiscard]] Result<std::string> LeaderRoundTrip(Opcode op,
+                                      std::string_view payload,
+                                      uint16_t version = kMinWireVersion,
+                                      WireError* wire_err = nullptr);
+
+  /// Routes one query per the read preference; `encode` builds the
+  /// payload for a given staleness bound.
+  [[nodiscard]] Result<std::string> QueryRoundTrip(
+      Opcode op, const std::function<std::string(uint64_t)>& encode);
+
+  /// The follower channel at `idx`, connecting lazily; nullptr when
+  /// the follower is unreachable right now.
+  Channel* FollowerChannel(size_t idx);
+
+  Channel primary_;
+  std::string endpoint_;
+  ClientOptions options_;
+  /// Lazily connected follower channels, parallel to
+  /// options_.followers. A slot resets to null on failure and is
+  /// re-dialed on the next use.
+  std::vector<std::unique_ptr<Channel>> followers_;
+  size_t rr_ = 0;  ///< round-robin cursor over followers_
 };
 
 }  // namespace net

@@ -32,6 +32,7 @@ class [[nodiscard]] Status {
     kUnavailable,  ///< server shutting down / endpoint unreachable
     kTimedOut,     ///< deadline expired before the operation completed
     kAborted,      ///< snapshot epoch rolled back; re-pin and retry
+    kNotLeader,    ///< write sent to a follower; message names the leader
   };
 
   /// Constructs an OK status.
@@ -71,6 +72,11 @@ class [[nodiscard]] Status {
   static Status Aborted(std::string msg = "") {
     return Status(Code::kAborted, std::move(msg));
   }
+  /// The message is the leader's endpoint URI (e.g. "tcp://host:port")
+  /// when the rejecting follower knows it — clients redirect on it.
+  static Status NotLeader(std::string msg = "") {
+    return Status(Code::kNotLeader, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -83,6 +89,7 @@ class [[nodiscard]] Status {
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotLeader() const { return code_ == Code::kNotLeader; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -104,6 +111,7 @@ class [[nodiscard]] Status {
       case Code::kUnavailable: name = "Unavailable"; break;
       case Code::kTimedOut: name = "TimedOut"; break;
       case Code::kAborted: name = "Aborted"; break;
+      case Code::kNotLeader: name = "NotLeader"; break;
     }
     if (msg_.empty()) return name;
     return name + ": " + msg_;

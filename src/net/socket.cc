@@ -162,6 +162,59 @@ Result<Socket> UnixConnect(const std::string& path) {
   return s;
 }
 
+// --------------------------------------------------------- endpoint URIs
+
+Result<Endpoint> ParseEndpoint(const std::string& uri) {
+  Endpoint ep;
+  if (uri.rfind("unix://", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = uri.substr(7);
+    if (ep.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path in endpoint: " +
+                                     uri);
+    }
+    return ep;
+  }
+  if (uri.rfind("tcp://", 0) != 0) {
+    return Status::InvalidArgument(
+        "endpoint must be tcp://host:port or unix://path: " + uri);
+  }
+  const std::string rest = uri.substr(6);
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == rest.size()) {
+    return Status::InvalidArgument("tcp endpoint wants host:port: " + uri);
+  }
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.host = rest.substr(0, colon);
+  unsigned long port = 0;
+  for (size_t i = colon + 1; i < rest.size(); ++i) {
+    const char c = rest[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-numeric port in endpoint: " + uri);
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in endpoint: " + uri);
+    }
+  }
+  ep.port = static_cast<uint16_t>(port);
+  return ep;
+}
+
+Result<Socket> Connect(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    return UnixConnect(endpoint.path);
+  }
+  return TcpConnect(endpoint.host, endpoint.port);
+}
+
+Result<Socket> ConnectEndpoint(const std::string& uri) {
+  Endpoint ep;
+  ZDB_ASSIGN_OR_RETURN(ep, ParseEndpoint(uri));
+  return Connect(ep);
+}
+
 Result<Socket> Accept(Socket& listener) {
   for (;;) {
     const int fd = ::accept(listener.fd(), nullptr, nullptr);

@@ -63,6 +63,30 @@ Result<Socket> UnixListen(const std::string& path, int backlog = 64);
 /// Blocking unix-domain connect.
 Result<Socket> UnixConnect(const std::string& path);
 
+// ------------------------------------------------------- endpoint URIs
+//
+// One string names any listener: "tcp://host:port" or "unix://path".
+// The client API, the server's --leader flag and the follower applier
+// all speak these, so a connection target is a single value instead of
+// a (kind, host, port, path) bundle.
+
+/// A parsed endpoint URI.
+struct Endpoint {
+  enum class Kind : uint8_t { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;   ///< kTcp: numeric or resolvable host
+  uint16_t port = 0;  ///< kTcp
+  std::string path;   ///< kUnix: socket file path
+};
+
+/// Parses "tcp://host:port" / "unix://path". Typed InvalidArgument on an
+/// unknown scheme, a missing or non-numeric port, or an empty target.
+[[nodiscard]] Result<Endpoint> ParseEndpoint(const std::string& uri);
+
+/// Blocking connect to a parsed or textual endpoint.
+Result<Socket> Connect(const Endpoint& endpoint);
+Result<Socket> ConnectEndpoint(const std::string& uri);
+
 /// Accepts one connection. Blocks; fails with kUnavailable once the
 /// listening socket is shut down.
 Result<Socket> Accept(Socket& listener);

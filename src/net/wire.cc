@@ -35,7 +35,7 @@ void PutU64(std::string* dst, uint64_t v) {
 
 bool KnownOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kPing) &&
-         op <= static_cast<uint8_t>(Opcode::kShutdown);
+         op <= static_cast<uint8_t>(Opcode::kLogAck);
 }
 
 const char* OpcodeName(Opcode op) {
@@ -47,6 +47,9 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kApply: return "apply";
     case Opcode::kStats: return "stats";
     case Opcode::kShutdown: return "shutdown";
+    case Opcode::kSubscribe: return "subscribe";
+    case Opcode::kLogRecord: return "log_record";
+    case Opcode::kLogAck: return "log_ack";
   }
   return "unknown";
 }
@@ -69,6 +72,8 @@ const char* WireErrorName(WireError e) {
     case WireError::kNoSpace: return "no_space";
     case WireError::kAlreadyExists: return "already_exists";
     case WireError::kTimedOut: return "timed_out";
+    case WireError::kNotLeader: return "not_leader";
+    case WireError::kStaleRead: return "stale_read";
   }
   return "unknown";
 }
@@ -91,6 +96,7 @@ WireError StatusCodeToWireError(Status::Code code) {
     // No dedicated wire code: a rolled-back snapshot epoch is a server-
     // side condition the client retries like any transient server error.
     case Status::Code::kAborted: return WireError::kServerError;
+    case Status::Code::kNotLeader: return WireError::kNotLeader;
   }
   return WireError::kServerError;
 }
@@ -108,6 +114,11 @@ Status::Code WireErrorToStatusCode(WireError e) {
     case WireError::kNoSpace: return Status::Code::kNoSpace;
     case WireError::kAlreadyExists: return Status::Code::kAlreadyExists;
     case WireError::kTimedOut: return Status::Code::kTimedOut;
+    case WireError::kNotLeader: return Status::Code::kNotLeader;
+    // A stale-read rejection is a retry-elsewhere condition, like a
+    // draining server: the replica is reachable but cannot honour the
+    // staleness bound right now.
+    case WireError::kStaleRead: return Status::Code::kUnavailable;
     // Framing/protocol violations have no engine-side Status of their
     // own; they collapse onto the protocol catch-all.
     case WireError::kMalformed:
@@ -138,6 +149,8 @@ Status WireErrorToStatus(WireError e, std::string message) {
       return Status::Unavailable(std::move(message));
     case Status::Code::kTimedOut: return Status::TimedOut(std::move(message));
     case Status::Code::kAborted: return Status::Aborted(std::move(message));
+    case Status::Code::kNotLeader:
+      return Status::NotLeader(std::move(message));
   }
   return Status::IOError(std::move(message));
 }
@@ -260,48 +273,77 @@ bool PayloadReader::GetLengthPrefixedString(std::string* v) {
 
 // ------------------------------------------------------ request payloads
 
-std::string EncodeWindowRequest(const Rect& w) {
+namespace {
+
+/// Appends the optional v3 staleness-bound trailer; kNoStalenessBound
+/// (the default) keeps the payload byte-identical to v1.
+void PutStalenessBound(std::string* dst, uint64_t max_lag) {
+  if (max_lag != kNoStalenessBound) PutU64(dst, max_lag);
+}
+
+/// Consumes the optional trailing bound when the caller asked for it
+/// (max_lag non-null); strict v1 parsing otherwise. Returns false only
+/// on a malformed trailer (wrong length is caught by the caller's
+/// AtEnd()).
+bool GetStalenessBound(PayloadReader* r, uint64_t* max_lag) {
+  if (max_lag == nullptr) return true;
+  *max_lag = kNoStalenessBound;
+  if (r->remaining() == 8) return r->GetU64(max_lag);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeWindowRequest(const Rect& w, uint64_t max_lag) {
   std::string out;
-  out.reserve(32);
+  out.reserve(40);
   PutDouble(&out, w.xlo);
   PutDouble(&out, w.ylo);
   PutDouble(&out, w.xhi);
   PutDouble(&out, w.yhi);
+  PutStalenessBound(&out, max_lag);
   return out;
 }
 
-bool DecodeWindowRequest(std::string_view payload, Rect* w) {
+bool DecodeWindowRequest(std::string_view payload, Rect* w,
+                         uint64_t* max_lag) {
   PayloadReader r(payload);
   return r.GetDouble(&w->xlo) && r.GetDouble(&w->ylo) &&
-         r.GetDouble(&w->xhi) && r.GetDouble(&w->yhi) && r.AtEnd();
+         r.GetDouble(&w->xhi) && r.GetDouble(&w->yhi) &&
+         GetStalenessBound(&r, max_lag) && r.AtEnd();
 }
 
-std::string EncodePointRequest(const Point& p) {
+std::string EncodePointRequest(const Point& p, uint64_t max_lag) {
   std::string out;
-  out.reserve(16);
+  out.reserve(24);
   PutDouble(&out, p.x);
   PutDouble(&out, p.y);
+  PutStalenessBound(&out, max_lag);
   return out;
 }
 
-bool DecodePointRequest(std::string_view payload, Point* p) {
+bool DecodePointRequest(std::string_view payload, Point* p,
+                        uint64_t* max_lag) {
   PayloadReader r(payload);
-  return r.GetDouble(&p->x) && r.GetDouble(&p->y) && r.AtEnd();
+  return r.GetDouble(&p->x) && r.GetDouble(&p->y) &&
+         GetStalenessBound(&r, max_lag) && r.AtEnd();
 }
 
-std::string EncodeKnnRequest(const Point& p, uint32_t k) {
+std::string EncodeKnnRequest(const Point& p, uint32_t k, uint64_t max_lag) {
   std::string out;
-  out.reserve(20);
+  out.reserve(28);
   PutDouble(&out, p.x);
   PutDouble(&out, p.y);
   PutU32(&out, k);
+  PutStalenessBound(&out, max_lag);
   return out;
 }
 
-bool DecodeKnnRequest(std::string_view payload, Point* p, uint32_t* k) {
+bool DecodeKnnRequest(std::string_view payload, Point* p, uint32_t* k,
+                      uint64_t* max_lag) {
   PayloadReader r(payload);
   return r.GetDouble(&p->x) && r.GetDouble(&p->y) && r.GetU32(k) &&
-         r.AtEnd();
+         GetStalenessBound(&r, max_lag) && r.AtEnd();
 }
 
 std::string EncodeApplyRequest(const WriteBatch& batch,

@@ -50,12 +50,17 @@ constexpr uint32_t kMagic = 0x315A4442u;  // "BDZ1" on the wire
 ///   2 — APPLY payload may carry a trailing durability byte (Durability);
 ///       absent means kDurable, so v2 APPLY without the byte is
 ///       byte-identical to v1.
+///   3 — replication: SUBSCRIBE / LOG_RECORD / LOG_ACK opcodes, the
+///       NOT_LEADER and STALE_READ error codes, and an optional trailing
+///       u64 staleness bound (max lag in epochs) on WINDOW/POINT/KNN
+///       request payloads; absent means unbounded, so v3 queries without
+///       the bound stay byte-identical to v1.
 /// Receivers accept any version in [kMinWireVersion, kWireVersion];
 /// senders mark a frame with the lowest version whose feature set it
 /// uses, so new clients interoperate with old servers until they
 /// actually exercise a new feature (which an old server then rejects
 /// with a typed kBadVersion reply).
-constexpr uint16_t kWireVersion = 2;
+constexpr uint16_t kWireVersion = 3;
 constexpr uint16_t kMinWireVersion = 1;
 /// Upper bound on payload_len; larger headers are rejected with
 /// kFrameTooLarge before any allocation happens.
@@ -72,10 +77,18 @@ enum class Opcode : uint8_t {
   kApply = 5,     ///< atomic insert/erase batch (ApplyBatch)
   kStats = 6,     ///< server + engine counters as JSON
   kShutdown = 7,  ///< request graceful server shutdown
+  /// Replication (wire v3). A follower SUBSCRIBEs on a leader carrying
+  /// its last applied epoch; the leader replies, then pushes LOG_RECORD
+  /// frames (flags 0, request_id 0 — the one server-initiated frame in
+  /// the protocol) on the same connection; the follower acknowledges
+  /// applied records with fire-and-forget LOG_ACK frames (no reply).
+  kSubscribe = 8,   ///< follower handshake: u64 last applied epoch
+  kLogRecord = 9,   ///< leader push: u64 leader epoch + one log record
+  kLogAck = 10,     ///< follower ack: u64 applied epoch (no reply)
 };
 
 /// One past the largest opcode value; sizes per-opcode counter arrays.
-constexpr size_t kOpcodeLimit = 8;
+constexpr size_t kOpcodeLimit = 11;
 
 [[nodiscard]] bool KnownOpcode(uint8_t op);
 const char* OpcodeName(Opcode op);
@@ -101,6 +114,13 @@ enum class WireError : uint8_t {
   kNoSpace = 13,       ///< Status::kNoSpace
   kAlreadyExists = 14, ///< Status::kAlreadyExists
   kTimedOut = 15,      ///< Status::kTimedOut (durability wait deadline)
+  /// Write sent to a follower. The message is the leader's endpoint URI
+  /// when known — clients reconnect there and retry (Status::kNotLeader).
+  kNotLeader = 16,
+  /// Bounded-staleness query rejected: the follower's replication lag
+  /// exceeds the request's bound (or its applier is disconnected).
+  /// Clients fall back to the leader; maps onto Status::kUnavailable.
+  kStaleRead = 17,
 };
 
 const char* WireErrorName(WireError e);
@@ -204,16 +224,34 @@ class PayloadReader {
 };
 
 // ------------------------------------------------------ request payloads
+//
+// Query requests (WINDOW/POINT/KNN) may carry an optional trailing u64
+// staleness bound — the maximum replication lag, in epochs, the caller
+// tolerates from a follower (wire v3). kNoStalenessBound (the encode
+// default) omits the trailer, keeping the payload byte-identical to v1;
+// frames carrying the bound must be marked version 3. Decoders read the
+// trailer only when handed a non-null `max_lag` out-param (the strict
+// v1/v2 parse otherwise rejects the extra bytes as malformed, exactly
+// how a pre-v3 server responds to the bound).
 
-std::string EncodeWindowRequest(const Rect& w);
-[[nodiscard]] bool DecodeWindowRequest(std::string_view payload, Rect* w);
+/// "No staleness bound": any replica state answers the query.
+constexpr uint64_t kNoStalenessBound = ~uint64_t{0};
 
-std::string EncodePointRequest(const Point& p);
-[[nodiscard]] bool DecodePointRequest(std::string_view payload, Point* p);
+std::string EncodeWindowRequest(const Rect& w,
+                                uint64_t max_lag = kNoStalenessBound);
+[[nodiscard]] bool DecodeWindowRequest(std::string_view payload, Rect* w,
+                                       uint64_t* max_lag = nullptr);
 
-std::string EncodeKnnRequest(const Point& p, uint32_t k);
+std::string EncodePointRequest(const Point& p,
+                               uint64_t max_lag = kNoStalenessBound);
+[[nodiscard]] bool DecodePointRequest(std::string_view payload, Point* p,
+                                      uint64_t* max_lag = nullptr);
+
+std::string EncodeKnnRequest(const Point& p, uint32_t k,
+                             uint64_t max_lag = kNoStalenessBound);
 [[nodiscard]] bool DecodeKnnRequest(std::string_view payload, Point* p,
-                                    uint32_t* k);
+                                    uint32_t* k,
+                                    uint64_t* max_lag = nullptr);
 
 /// Batch of inserts (kind 0: mbr + payload word) and erases (kind 1:
 /// oid), applied atomically server-side via SpatialIndex::ApplyBatch.

@@ -1,0 +1,159 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+
+#include "repl/record.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "net/wire.h"
+
+namespace zdb {
+namespace repl {
+
+namespace {
+
+void PutU32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+
+void PutU64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(dst, bits);
+}
+
+/// FNV-1a over the record body — cheap, order-sensitive, and enough to
+/// catch a misaligned or bit-flipped replay before it mutates state.
+uint32_t Fnv1a(std::string_view bytes) {
+  uint32_t h = 0x811C9DC5u;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string EncodeLogRecord(const LogRecord& record) {
+  std::string out;
+  out.reserve(16 + 41 * record.batch.ops.size());
+  PutU64(&out, record.epoch);
+  PutU32(&out, static_cast<uint32_t>(record.batch.ops.size()));
+  for (const WriteOp& op : record.batch.ops) {
+    if (op.kind == WriteOp::Kind::kInsert) {
+      out.push_back(0);
+      PutDouble(&out, op.mbr.xlo);
+      PutDouble(&out, op.mbr.ylo);
+      PutDouble(&out, op.mbr.xhi);
+      PutDouble(&out, op.mbr.yhi);
+      PutU32(&out, op.payload);
+      PutU32(&out, op.preassigned);
+    } else {
+      out.push_back(1);
+      PutU32(&out, op.oid);
+    }
+  }
+  PutU32(&out, Fnv1a(out));
+  return out;
+}
+
+bool DecodeLogRecord(std::string_view payload, LogRecord* record) {
+  if (payload.size() < 16) return false;  // epoch + count + checksum
+  const std::string_view body = payload.substr(0, payload.size() - 4);
+  const uint32_t stored = DecodeFixed32(payload.data() + payload.size() - 4);
+  if (stored != Fnv1a(body)) return false;
+
+  net::PayloadReader r(body);
+  uint32_t count;
+  if (!r.GetU64(&record->epoch) || !r.GetU32(&count)) return false;
+  // Smallest op is 5 bytes (kind + oid): a hostile count cannot drive
+  // allocation past the bytes actually present.
+  if (count > r.remaining() / 5) return false;
+  record->batch.ops.clear();
+  record->batch.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t kind;
+    if (!r.GetU8(&kind)) return false;
+    WriteOp op;
+    if (kind == 0) {
+      op.kind = WriteOp::Kind::kInsert;
+      if (!r.GetDouble(&op.mbr.xlo) || !r.GetDouble(&op.mbr.ylo) ||
+          !r.GetDouble(&op.mbr.xhi) || !r.GetDouble(&op.mbr.yhi) ||
+          !r.GetU32(&op.payload) || !r.GetU32(&op.preassigned)) {
+        return false;
+      }
+    } else if (kind == 1) {
+      op.kind = WriteOp::Kind::kErase;
+      if (!r.GetU32(&op.oid)) return false;
+    } else {
+      return false;
+    }
+    record->batch.ops.push_back(op);
+  }
+  return r.AtEnd();
+}
+
+// --------------------------------------------------- opcode payload codecs
+
+std::string EncodeSubscribeRequest(uint64_t last_applied_epoch) {
+  std::string out;
+  PutU64(&out, last_applied_epoch);
+  return out;
+}
+
+bool DecodeSubscribeRequest(std::string_view payload,
+                            uint64_t* last_applied_epoch) {
+  net::PayloadReader r(payload);
+  return r.GetU64(last_applied_epoch) && r.AtEnd();
+}
+
+std::string EncodeSubscribeReply(uint64_t leader_epoch) {
+  std::string out;
+  out.push_back(static_cast<char>(net::WireError::kOk));
+  PutU64(&out, leader_epoch);
+  return out;
+}
+
+bool DecodeSubscribeReplyBody(std::string_view body, uint64_t* leader_epoch) {
+  net::PayloadReader r(body);
+  return r.GetU64(leader_epoch) && r.AtEnd();
+}
+
+std::string EncodeLogRecordFrame(uint64_t leader_epoch,
+                                 std::string_view encoded_record) {
+  std::string out;
+  out.reserve(8 + encoded_record.size());
+  PutU64(&out, leader_epoch);
+  out.append(encoded_record.data(), encoded_record.size());
+  return out;
+}
+
+bool DecodeLogRecordFrame(std::string_view payload, uint64_t* leader_epoch,
+                          LogRecord* record) {
+  net::PayloadReader r(payload);
+  if (!r.GetU64(leader_epoch)) return false;
+  return DecodeLogRecord(payload.substr(8), record);
+}
+
+std::string EncodeLogAck(uint64_t applied_epoch) {
+  std::string out;
+  PutU64(&out, applied_epoch);
+  return out;
+}
+
+bool DecodeLogAck(std::string_view payload, uint64_t* applied_epoch) {
+  net::PayloadReader r(payload);
+  return r.GetU64(applied_epoch) && r.AtEnd();
+}
+
+}  // namespace repl
+}  // namespace zdb

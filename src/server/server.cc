@@ -2,6 +2,8 @@
 
 #include "server/server.h"
 
+#include "repl/record.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -62,6 +64,30 @@ constexpr size_t kCompactThreshold = 256 * 1024;
 
 }  // namespace
 
+Status ServerOptions::Validate() const {
+  if (!tcp && unix_path.empty()) {
+    return Status::InvalidArgument("no listener configured");
+  }
+  if (workers == 0) {
+    return Status::InvalidArgument("server needs at least one worker");
+  }
+  if (net_threads == 0) {
+    return Status::InvalidArgument("server needs at least one net thread");
+  }
+  if (role == ServerRole::kFollower) {
+    if (leader_endpoint.empty()) {
+      return Status::InvalidArgument(
+          "follower role requires a leader endpoint "
+          "(tcp://host:port or unix://path)");
+    }
+    ZDB_RETURN_IF_ERROR(ParseEndpoint(leader_endpoint).status());
+  } else if (!leader_endpoint.empty()) {
+    return Status::InvalidArgument(
+        "leader_endpoint is only meaningful for the follower role");
+  }
+  return Status::OK();
+}
+
 Server::Server(SpatialIndex* index, ServerOptions options)
     : index_(index), options_(std::move(options)) {}
 
@@ -74,14 +100,10 @@ Status Server::Start() {
   if (started_.exchange(true)) {
     return Status::AlreadyExists("server already started");
   }
-  if (!options_.tcp && options_.unix_path.empty()) {
-    return Status::InvalidArgument("no listener configured");
-  }
-  if (options_.workers == 0) {
-    return Status::InvalidArgument("server needs at least one worker");
-  }
-  if (options_.net_threads == 0) {
-    return Status::InvalidArgument("server needs at least one net thread");
+  ZDB_RETURN_IF_ERROR(options_.Validate());
+  if (options_.role != ServerRole::kStandalone && db_ == nullptr) {
+    return Status::InvalidArgument(
+        "replication roles require the DB-serving constructor");
   }
 
   if (options_.tcp) {
@@ -104,6 +126,25 @@ Status Server::Start() {
                 ? db_->NewExecutor(options_.exec_threads)
                 : std::make_unique<QueryExecutor>(index_,
                                                   options_.exec_threads);
+  }
+
+  // Replication roles, wired before serving begins so no committed
+  // batch can slip past the sink and no follower query can observe a
+  // half-started applier.
+  if (options_.role == ServerRole::kLeader) {
+    repl::ShipperOptions sopt;
+    sopt.retain_records = options_.repl_retain_records;
+    sopt.window = options_.repl_window;
+    shipper_ =
+        std::make_unique<repl::LogShipper>(db_->write_epoch(), sopt);
+    ZDB_RETURN_IF_ERROR(db_->SetCommitSink(shipper_.get()));
+    shipper_->Start();
+  } else if (options_.role == ServerRole::kFollower) {
+    repl::ApplierOptions aopt;
+    aopt.leader_endpoint = options_.leader_endpoint;
+    aopt.initial_applied_epoch = options_.repl_initial_applied_epoch;
+    applier_ = std::make_unique<repl::Applier>(db_, aopt);
+    ZDB_RETURN_IF_ERROR(applier_->Start());
   }
 
   // Create every fallible per-thread resource before spawning anything,
@@ -150,6 +191,17 @@ void Server::Stop() {
   queue_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
   workers_.clear();
+
+  // Replication teardown sits between the worker join and the net-thread
+  // join: workers are gone (no new SUBSCRIBEs), but the net threads are
+  // still alive — the shipper's send callbacks resolve connections
+  // through net_, so it must be fully stopped before net_.clear().
+  if (applier_ != nullptr) applier_->Stop();
+  if (shipper_ != nullptr) {
+    // Detach first so no commit can reach OnCommit after the join.
+    (void)db_->SetCommitSink(nullptr);
+    shipper_->Stop();
+  }
 
   // 4. Net threads flush whatever replies are still buffered (bounded
   //    by drain_flush_ms against stuck peers), close their connections,
@@ -347,6 +399,8 @@ void Server::HandleAccept(NetThread& nt, ListenerState& ls) {
         counters_.accepted.fetch_add(1, std::memory_order_relaxed);
         auto conn = std::make_shared<Connection>();
         conn->sock = std::move(s);
+        conn->token =
+            next_conn_token_.fetch_add(1, std::memory_order_relaxed);
         conn->owner = next_owner_;
         next_owner_ = (next_owner_ + 1) % net_.size();
         NetThread& owner = *net_[conn->owner];
@@ -562,6 +616,7 @@ void Server::CloseConnection(NetThread& nt, const ConnPtr& conn,
     conn->sock.Close();
     nt.conns.erase(fd);
   }
+  if (shipper_ != nullptr) shipper_->Unsubscribe(conn->token);
 }
 
 std::chrono::steady_clock::time_point Server::IdleScan(
@@ -569,6 +624,9 @@ std::chrono::steady_clock::time_point Server::IdleScan(
   const auto idle = std::chrono::milliseconds(options_.idle_timeout_ms);
   std::vector<ConnPtr> victims;
   for (auto& [fd, conn] : nt.conns) {
+    // A subscribed follower is silent between commits by design; it is
+    // never idle-reaped.
+    if (conn->subscriber.load(std::memory_order_acquire)) continue;
     // The idle clock only ticks while nothing is in flight and nothing
     // is buffered: a client quietly waiting for a slow reply (or slowly
     // draining a large one) is not idle.
@@ -610,6 +668,21 @@ void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
       counters_.ops[op].errors.fetch_add(1, std::memory_order_relaxed);
     }
     SendReply(conn, op, id, EncodeErrorReply(code, WireErrorName(code)));
+    return;
+  }
+  if (op == static_cast<uint8_t>(Opcode::kLogAck)) {
+    // Fire-and-forget flow control, consumed inline on the net thread
+    // (no reply, no admission) so a saturated worker pool can never
+    // stall the shipping window it is supposed to open.
+    OpcodeCounters& oc = counters_.ops[op];
+    uint64_t applied = 0;
+    if (shipper_ != nullptr &&
+        repl::DecodeLogAck(frame.payload, &applied)) {
+      shipper_->Ack(conn->token, applied);
+      oc.count.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      oc.errors.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   // The rejection reason is decided under the same lock hold as the
@@ -663,7 +736,15 @@ void Server::HandleRequest(const Request& req) {
   const uint8_t op = req.frame.header.opcode;
   const auto t0 = Clock::now();
   bool is_error = false;
-  const std::string payload = ExecuteRequest(req.frame, &is_error);
+  if (op == static_cast<uint8_t>(Opcode::kSubscribe)) {
+    // Subscribe sends its own reply: the reply must be buffered before
+    // the cursor is activated, or the first pushed record could precede
+    // it on the wire.
+    is_error = HandleSubscribe(req);
+  } else {
+    const std::string payload = ExecuteRequest(req.frame, &is_error);
+    SendReply(req.conn, op, req.frame.header.request_id, payload);
+  }
   const uint64_t us = MicrosSince(t0);
 
   OpcodeCounters& oc = counters_.ops[op];
@@ -672,8 +753,53 @@ void Server::HandleRequest(const Request& req) {
   oc.total_micros.fetch_add(us, std::memory_order_relaxed);
   BumpMax(&oc.max_micros, us);
 
-  SendReply(req.conn, op, req.frame.header.request_id, payload);
   req.conn->pending.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool Server::HandleSubscribe(const Request& req) {
+  const ConnPtr& conn = req.conn;
+  const uint64_t id = req.frame.header.request_id;
+  const auto op = static_cast<uint8_t>(Opcode::kSubscribe);
+  auto reject = [&](WireError code, std::string_view msg) {
+    SendReply(conn, op, id, EncodeErrorReply(code, msg));
+    return true;
+  };
+  if (shipper_ == nullptr) {
+    if (options_.role == ServerRole::kFollower) {
+      // The message is the leader's URI; clients redirect there.
+      return reject(WireError::kNotLeader, options_.leader_endpoint);
+    }
+    return reject(WireError::kInvalidArgument,
+                  "server is not a replication leader");
+  }
+  uint64_t last_applied = 0;
+  if (!repl::DecodeSubscribeRequest(req.frame.payload, &last_applied)) {
+    return reject(WireError::kMalformed,
+                  "bounds-checked payload decode failed");
+  }
+  // The shipper outlives every connection (Stop() tears it down before
+  // the net threads), but a connection can die while the shipper still
+  // holds its cursor — the send callback must not keep the Connection
+  // alive, so it goes through a weak_ptr and drops frames for the dead.
+  std::weak_ptr<Connection> weak = conn;
+  auto send = [this, weak](std::string frame) {
+    if (ConnPtr c = weak.lock()) PushFrame(c, std::move(frame));
+  };
+  auto head = shipper_->Subscribe(conn->token, last_applied,
+                                  std::move(send));
+  if (!head.ok()) {
+    return reject(StatusCodeToWireError(head.status().code()),
+                  head.status().message());
+  }
+  conn->subscriber.store(true, std::memory_order_release);
+  // Reply first (buffered under the connection write lock), then unpark
+  // the cursor: the reply always precedes the first pushed record.
+  PushFrame(conn,
+            BuildFrame(Opcode::kSubscribe, kFlagReply, id,
+                       repl::EncodeSubscribeReply(head.value()),
+                       /*version=*/3));
+  shipper_->Activate(conn->token);
+  return false;
 }
 
 std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
@@ -691,6 +817,23 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
     *is_error = true;
     return EncodeErrorReply(StatusCodeToWireError(s.code()), s.message());
   };
+  // Bounded-staleness admission (the v3 trailing bound on queries). A
+  // leader or standalone node serves its own commits and is never
+  // stale; only a follower can fall behind, and then the honest answer
+  // is a typed rejection, not silently stale data.
+  const bool v3 = frame.header.version >= 3;
+  auto within_bound = [&](uint64_t max_lag) {
+    if (max_lag == kNoStalenessBound || applier_ == nullptr) return true;
+    return repl::WithinStaleness(applier_->leader_epoch(),
+                                 applier_->applied_epoch(),
+                                 applier_->connected(), max_lag);
+  };
+  auto stale_rejected = [&] {
+    counters_.stale_rejected.fetch_add(1, std::memory_order_relaxed);
+    *is_error = true;
+    return EncodeErrorReply(WireError::kStaleRead,
+                            "replication lag exceeds the requested bound");
+  };
 
   switch (opcode) {
     case Opcode::kPing:
@@ -698,7 +841,12 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
 
     case Opcode::kWindow: {
       Rect w;
-      if (!DecodeWindowRequest(frame.payload, &w)) return malformed();
+      uint64_t max_lag = kNoStalenessBound;
+      if (!DecodeWindowRequest(frame.payload, &w,
+                               v3 ? &max_lag : nullptr)) {
+        return malformed();
+      }
+      if (!within_bound(max_lag)) return stale_rejected();
       const bool parallel = exec_ != nullptr && w.valid() &&
                             w.area() >= options_.parallel_window_area;
       if (db_ != nullptr && db_->sharded()) {
@@ -737,7 +885,12 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
 
     case Opcode::kPoint: {
       Point p;
-      if (!DecodePointRequest(frame.payload, &p)) return malformed();
+      uint64_t max_lag = kNoStalenessBound;
+      if (!DecodePointRequest(frame.payload, &p,
+                              v3 ? &max_lag : nullptr)) {
+        return malformed();
+      }
+      if (!within_bound(max_lag)) return stale_rejected();
       if (db_ != nullptr && db_->sharded()) {
         const uint64_t e0 = db_->write_epoch();
         auto r = db_->Point(p);
@@ -764,7 +917,12 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
     case Opcode::kKnn: {
       Point p;
       uint32_t k;
-      if (!DecodeKnnRequest(frame.payload, &p, &k)) return malformed();
+      uint64_t max_lag = kNoStalenessBound;
+      if (!DecodeKnnRequest(frame.payload, &p, &k,
+                            v3 ? &max_lag : nullptr)) {
+        return malformed();
+      }
+      if (!within_bound(max_lag)) return stale_rejected();
       if (db_ != nullptr && db_->sharded()) {
         const uint64_t e0 = db_->write_epoch();
         auto r = db_->Nearest(p, k);
@@ -789,6 +947,16 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
     }
 
     case Opcode::kApply: {
+      if (options_.role == ServerRole::kFollower) {
+        // Followers apply only what the leader ships; a direct write
+        // would fork the replica. The reply message is the leader's
+        // URI so clients can redirect without a directory service.
+        counters_.not_leader_rejected.fetch_add(1,
+                                                std::memory_order_relaxed);
+        *is_error = true;
+        return EncodeErrorReply(WireError::kNotLeader,
+                                options_.leader_endpoint);
+      }
       // The trailing durability byte is a v2 feature: a v1 frame is
       // parsed strictly (trailing byte -> malformed), matching what a
       // pre-v2 server would do.
@@ -803,7 +971,10 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
       // commits synchronously off-pipeline); kPublished acks as soon as
       // readers can see the batch. Sharded batches split by routing
       // prefix inside the router and overlap their per-shard fsyncs.
-      if (db_ != nullptr && db_->sharded()) {
+      // Writes always go through the DB facade when one exists: that is
+      // where the replication commit sink hooks in, so bypassing it to
+      // the raw index would commit without shipping.
+      if (db_ != nullptr) {
         auto r = db_->Apply(batch, durability);
         if (!r.ok()) return engine_error(r.status());
         return EncodeApplyReply(db_->write_epoch(), r.value());
@@ -824,6 +995,15 @@ std::string Server::ExecuteRequest(const Frame& frame, bool* is_error) {
       shutdown_cv_.NotifyAll();
       return EncodeEmptyReply();
     }
+
+    case Opcode::kSubscribe:
+    case Opcode::kLogRecord:
+    case Opcode::kLogAck:
+      // kSubscribe executes in HandleSubscribe before this switch is
+      // reached; the other two are leader-push / fire-and-forget frames
+      // consumed on the net threads. Reaching here is a dispatch bug —
+      // fall through to the typed rejection.
+      break;
   }
   *is_error = true;
   return EncodeErrorReply(WireError::kUnknownOpcode,
@@ -835,9 +1015,11 @@ void Server::SendReply(const ConnPtr& conn, uint8_t opcode,
   // Replies are always v1-encodable, so they are marked with the lowest
   // version — a v1 client talking to this server never sees a frame it
   // must reject.
-  const std::string frame =
-      BuildFrame(static_cast<Opcode>(opcode), kFlagReply, request_id,
-                 payload, kMinWireVersion);
+  PushFrame(conn, BuildFrame(static_cast<Opcode>(opcode), kFlagReply,
+                             request_id, payload, kMinWireVersion));
+}
+
+void Server::PushFrame(const ConnPtr& conn, std::string frame) {
   bool enqueue = false;
   {
     MutexLock lock(conn->write_mu);
@@ -906,6 +1088,50 @@ std::string Server::StatsJson() const {
   w.Field("received", counters_.frames.load(std::memory_order_relaxed));
   w.Field("framing_errors",
           counters_.framing_errors.load(std::memory_order_relaxed));
+  w.EndObject();
+
+  w.Key("replication").BeginObject();
+  switch (options_.role) {
+    case ServerRole::kStandalone:
+      w.Field("role", "standalone");
+      break;
+    case ServerRole::kLeader: {
+      w.Field("role", "leader");
+      const repl::ShipperStats s = shipper_->Snapshot();
+      w.Field("followers", static_cast<uint64_t>(s.followers));
+      w.Field("head_epoch", s.head_epoch);
+      w.Field("floor_epoch", s.floor_epoch);
+      w.Field("min_acked_epoch", s.min_acked_epoch);
+      w.Field("records_appended", s.records_appended);
+      w.Field("records_shipped", s.records_shipped);
+      w.Field("records_evicted", s.records_evicted);
+      w.Field("acks_received", s.acks_received);
+      w.Field("subscribes", s.subscribes);
+      w.Field("retained", static_cast<uint64_t>(s.retained));
+      break;
+    }
+    case ServerRole::kFollower: {
+      w.Field("role", "follower");
+      const repl::ApplierStats s = applier_->Snapshot();
+      w.Field("connected", static_cast<uint64_t>(s.connected ? 1 : 0));
+      w.Field("leader_epoch", s.leader_epoch);
+      w.Field("applied_epoch", s.applied_epoch);
+      // Lag in epochs — exactly what a kBoundedStaleness read bounds.
+      w.Field("lag_epochs", s.leader_epoch > s.applied_epoch
+                                ? s.leader_epoch - s.applied_epoch
+                                : 0);
+      w.Field("records_applied", s.records_applied);
+      w.Field("duplicates_skipped", s.duplicates_skipped);
+      w.Field("reconnects", s.reconnects);
+      w.Field("subscribe_rejects", s.subscribe_rejects);
+      w.Field("stream_errors", s.stream_errors);
+      break;
+    }
+  }
+  w.Field("stale_rejected",
+          counters_.stale_rejected.load(std::memory_order_relaxed));
+  w.Field("not_leader_rejected",
+          counters_.not_leader_rejected.load(std::memory_order_relaxed));
   w.EndObject();
 
   w.Key("ops").BeginObject();

@@ -87,10 +87,26 @@
 #include "net/epoll.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "repl/apply.h"
+#include "repl/ship.h"
 #include "zdb/db.h"
 
 namespace zdb {
 namespace net {
+
+/// Replication role of a server process (see DESIGN.md "Replication &
+/// log shipping").
+enum class ServerRole : uint8_t {
+  /// No replication: today's single-node server, byte-for-byte.
+  kStandalone,
+  /// Accepts writes, attaches a log shipper to the DB's commit stream
+  /// and serves SUBSCRIBE/LOG_ACK from follower processes.
+  kLeader,
+  /// Runs an applier that replays the leader's log into the local DB;
+  /// serves reads (with optional bounded-staleness admission) and
+  /// rejects writes with a typed NOT_LEADER naming the leader.
+  kFollower,
+};
 
 struct ServerOptions {
   bool tcp = true;               ///< listen on host:port
@@ -117,6 +133,27 @@ struct ServerOptions {
   /// errno (the real accept is skipped for that attempt). Lets tests
   /// exercise the EMFILE/ECONNABORTED retry paths deterministically.
   std::function<int()> accept_fault_injection;
+
+  // ----------------------------------------------------------- replication
+
+  ServerRole role = ServerRole::kStandalone;
+  /// kFollower: the leader's endpoint URI ("tcp://host:port" or
+  /// "unix://path"). Required for followers, rejected otherwise.
+  std::string leader_endpoint;
+  /// kLeader: log records retained for resubscribing followers
+  /// (0 = unlimited; see repl::ShipperOptions::retain_records).
+  size_t repl_retain_records = 0;
+  /// kLeader: per-follower in-flight window (flow control).
+  size_t repl_window = 64;
+  /// kFollower: epoch the local DB is already replicated up to (a
+  /// restarted follower resumes instead of demanding ancient history).
+  uint64_t repl_initial_applied_epoch = 0;
+
+  /// Typed rejection of every statically invalid knob combination (no
+  /// listener, zero workers or net threads, follower without a parseable
+  /// leader endpoint, ...). Start() calls this first, so a misconfigured
+  /// server fails with this exact Status before binding anything.
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Per-opcode latency/throughput counters. Relaxed atomics: written by
@@ -143,6 +180,10 @@ struct ServerCounters {
   std::atomic<uint64_t> accept_backoffs{0};
   /// Reads paused for out_buffer_limit flow control.
   std::atomic<uint64_t> read_pauses{0};
+  /// Follower: bounded-staleness queries rejected with STALE_READ.
+  std::atomic<uint64_t> stale_rejected{0};
+  /// Follower: writes rejected with NOT_LEADER.
+  std::atomic<uint64_t> not_leader_rejected{0};
 };
 
 class Server {
@@ -198,8 +239,12 @@ class Server {
   struct Connection {
     Socket sock;
     size_t owner = 0;                 ///< owning net thread index
+    uint64_t token = 0;               ///< process-unique id (repl cursors)
     std::atomic<bool> closed{false};  ///< set once by the owner; SendReply drops
     std::atomic<uint32_t> pending{0}; ///< admitted, reply not yet buffered
+    /// A follower subscribed on this connection: exempt from idle
+    /// reaping (a caught-up follower is silent between commits).
+    std::atomic<bool> subscriber{false};
 
     /// Write buffer: workers append encoded reply frames under write_mu
     /// and wake the owner to flush. `flush_queued` dedups wakeups while
@@ -291,16 +336,34 @@ class Server {
   /// Opcode-specific execution; returns the reply payload.
   std::string ExecuteRequest(const Frame& frame, bool* is_error);
 
+  /// SUBSCRIBE handshake on a leader: validates, buffers the success
+  /// reply, then activates the shipper cursor — in that order, so the
+  /// reply always precedes the first pushed LOG_RECORD in the
+  /// connection's write buffer. Returns whether the handshake errored.
+  bool HandleSubscribe(const Request& req);
+
   /// Appends an encoded reply frame to the connection's write buffer
   /// and schedules the owning net thread to flush it. Any thread.
   void SendReply(const ConnPtr& conn, uint8_t opcode, uint64_t request_id,
                  std::string_view payload);
+
+  /// SendReply's raw sibling: buffers an already-framed byte string
+  /// (the log shipper's push path). Any thread.
+  void PushFrame(const ConnPtr& conn, std::string frame);
 
   SpatialIndex* index_;      ///< shard 0 under the DB constructor
   DB* db_ = nullptr;         ///< set by the DB constructor only
   ServerOptions options_;
   std::unique_ptr<QueryExecutor> exec_;
   uint16_t port_ = 0;
+
+  /// kLeader: the DB's commit sink + follower cursor fan-out. Stopped
+  /// (and the sink detached) before the net threads go away — its send
+  /// callbacks resolve connections through net_.
+  std::unique_ptr<repl::LogShipper> shipper_;
+  /// kFollower: replays the leader's log into db_.
+  std::unique_ptr<repl::Applier> applier_;
+  std::atomic<uint64_t> next_conn_token_{1};
 
   Socket tcp_listener_;
   Socket unix_listener_;

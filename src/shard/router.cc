@@ -104,6 +104,49 @@ Status ShardRouter::PlanBatchLocked(const WriteBatch& batch, RoutePlan* plan) {
   return Status::OK();
 }
 
+Status ShardRouter::PlanReplicatedLocked(const WriteBatch& batch,
+                                         RoutePlan* plan) {
+  plan->sub.resize(shards());
+  plan->next_oid = next_oid_;
+  std::unordered_set<ObjectId> erased;
+  for (const WriteOp& op : batch.ops) {
+    if (op.kind == WriteOp::Kind::kInsert) {
+      if (op.preassigned == kNoPreassignedOid) {
+        return Status::InvalidArgument(
+            "replicated insert lacks a leader-assigned oid");
+      }
+      if (!op.mbr.valid()) return Status::InvalidArgument("invalid MBR");
+      const ObjectId oid = op.preassigned;
+      if (oid < masks_.size() && masks_[oid] != 0) {
+        return Status::InvalidArgument("replicated oid already live");
+      }
+      plan->next_oid = std::max(plan->next_oid, oid + 1);
+      const uint64_t mask = routing_.MaskForRect(op.mbr);
+      ZDB_RETURN_IF_ERROR(ForEachShard(mask, [&](uint32_t s) -> Status {
+        plan->sub[s].InsertWithOid(op.mbr, oid, op.payload);
+        return Status::OK();
+      }));
+      plan->insert_masks.emplace_back(oid, mask);
+      plan->inserted.push_back(oid);
+      plan->touched |= mask;
+    } else {
+      if (op.oid >= next_oid_) return Status::NotFound("oid out of range");
+      const uint64_t mask = masks_[op.oid];
+      if (mask == 0) return Status::NotFound("object already erased");
+      if (!erased.insert(op.oid).second) {
+        return Status::NotFound("object erased twice in batch");
+      }
+      ZDB_RETURN_IF_ERROR(ForEachShard(mask, [&](uint32_t s) -> Status {
+        plan->sub[s].Erase(op.oid);
+        return Status::OK();
+      }));
+      plan->erase_oids.push_back(op.oid);
+      plan->touched |= mask;
+    }
+  }
+  return Status::OK();
+}
+
 Status ShardRouter::FanOutLocked(RoutePlan* plan,
                                  std::vector<uint64_t>* wait_epochs) {
   // Publish per shard, in shard order. kPublished keeps the fan-out
@@ -168,6 +211,17 @@ Result<std::vector<ObjectId>> ShardRouter::Apply(const WriteBatch& batch,
   if (durability == Durability::kDurable) {
     ZDB_RETURN_IF_ERROR(WaitShardsDurable(plan.touched, wait_epochs, 0));
   }
+  return plan.inserted;
+}
+
+Result<std::vector<ObjectId>> ShardRouter::ApplyReplicated(
+    const WriteBatch& batch) {
+  RoutePlan plan;
+  std::vector<uint64_t> wait_epochs(shards(), 0);
+  MutexLock lock(router_mu_);
+  ZDB_RETURN_IF_ERROR(PlanReplicatedLocked(batch, &plan));
+  if (batch.empty()) return plan.inserted;
+  ZDB_RETURN_IF_ERROR(FanOutLocked(&plan, &wait_epochs));
   return plan.inserted;
 }
 

@@ -82,6 +82,14 @@ class ShardRouter {
   Result<std::vector<ObjectId>> Apply(const WriteBatch& batch,
                                       Durability durability);
 
+  /// Replays a leader-resolved batch on a follower: every insert must
+  /// carry its leader-assigned oid in WriteOp::preassigned (routed and
+  /// replicated under that id, so the replica's ids stay byte-identical
+  /// to the leader's), erases fan out by the stored owner masks.
+  /// Publish-time semantics (kPublished); durability follows via the
+  /// per-shard pipelines as usual.
+  Result<std::vector<ObjectId>> ApplyReplicated(const WriteBatch& batch);
+
   Result<ObjectId> Insert(const Rect& mbr, uint32_t payload);
   Result<ObjectId> InsertPolygon(const Polygon& poly);
   Status Erase(ObjectId oid);
@@ -140,6 +148,11 @@ class ShardRouter {
   };
 
   Status PlanBatchLocked(const WriteBatch& batch, RoutePlan* plan)
+      REQUIRES(router_mu_);
+  /// PlanBatchLocked's replicated twin: consumes preassigned oids
+  /// instead of assigning from the cursor (advancing the cursor past
+  /// them), so replay cannot fork the id sequence.
+  Status PlanReplicatedLocked(const WriteBatch& batch, RoutePlan* plan)
       REQUIRES(router_mu_);
   Status FanOutLocked(RoutePlan* plan,
                       std::vector<uint64_t>* wait_epochs)

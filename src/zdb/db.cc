@@ -3,6 +3,7 @@
 #include "zdb/db.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "shard/manifest.h"
 #include "storage/file.h"
@@ -20,6 +21,14 @@ bool IsMemoryPath(const std::string& path) {
 struct DB::Impl {
   std::unique_ptr<shard::ShardRouter> router;
   bool sharded = false;  ///< N > 1: route writes/queries through router
+
+  /// Replication hook. repl_mu_ serializes {publish, read epoch, emit}
+  /// so the sink observes batches in strictly increasing epoch order;
+  /// durability waits happen outside it. has_sink is the lock-free fast
+  /// path — the unhooked write path is byte-for-byte the old one.
+  Mutex repl_mu_;
+  CommitSink* sink GUARDED_BY(repl_mu_) = nullptr;
+  std::atomic<bool> has_sink{false};
 };
 
 DB::~DB() {
@@ -28,15 +37,20 @@ DB::~DB() {
   impl_.reset();
 }
 
-Result<std::unique_ptr<DB>> DB::Open(const std::string& path,
-                                     const DBOptions& options) {
-  if (options.cache_pages == 0) {
+Status DBOptions::Validate() const {
+  if (cache_pages == 0) {
     return Status::InvalidArgument("cache_pages must be >= 1");
   }
-  if (options.shards < 1 || options.shards > shard::kMaxShards) {
+  if (shards < 1 || shards > shard::kMaxShards) {
     return Status::InvalidArgument(
         "shards must be in [1, " + std::to_string(shard::kMaxShards) + "]");
   }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DB>> DB::Open(const std::string& path,
+                                     const DBOptions& options) {
+  ZDB_RETURN_IF_ERROR(options.Validate());
 
   shard::ShardEngineOptions eopt;
   eopt.index = options.index;
@@ -132,29 +146,114 @@ Result<std::vector<std::pair<ObjectId, double>>> DB::Nearest(
 // --------------------------------------------------------------- updates
 
 Result<ObjectId> DB::Insert(const Rect& mbr, uint32_t payload) {
+  if (impl_->has_sink.load(std::memory_order_acquire)) {
+    // Route through Apply so the mutation reaches the commit sink as a
+    // one-op batch (publish-time ack, like the direct path).
+    WriteBatch batch;
+    batch.Insert(mbr, payload);
+    std::vector<ObjectId> ids;
+    ZDB_ASSIGN_OR_RETURN(ids, Apply(batch, Durability::kPublished));
+    return ids[0];
+  }
   if (impl_->sharded) return impl_->router->Insert(mbr, payload);
   return index()->Insert(mbr, payload);
 }
 
 Result<ObjectId> DB::InsertPolygon(const Polygon& poly) {
+  if (impl_->has_sink.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "InsertPolygon has no batch representation to replicate; "
+        "not available while a commit sink is attached");
+  }
   if (impl_->sharded) return impl_->router->InsertPolygon(poly);
   return index()->InsertPolygon(poly);
 }
 
 Status DB::Erase(ObjectId oid) {
+  if (impl_->has_sink.load(std::memory_order_acquire)) {
+    WriteBatch batch;
+    batch.Erase(oid);
+    return Apply(batch, Durability::kPublished).status();
+  }
   if (impl_->sharded) return impl_->router->Erase(oid);
   return index()->Erase(oid);
 }
 
 Status DB::BulkLoad(const std::vector<Rect>& data, double fill) {
+  if (impl_->has_sink.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "BulkLoad bypasses the batch commit path; "
+        "not available while a commit sink is attached");
+  }
   if (impl_->sharded) return impl_->router->BulkLoad(data, fill);
   return index()->BulkLoad(data, fill);
 }
 
 Result<std::vector<ObjectId>> DB::Apply(const WriteBatch& batch,
                                         Durability durability) {
-  if (impl_->sharded) return impl_->router->Apply(batch, durability);
-  return index()->ApplyBatch(batch, durability);
+  if (!impl_->has_sink.load(std::memory_order_acquire)) {
+    if (impl_->sharded) return impl_->router->Apply(batch, durability);
+    return index()->ApplyBatch(batch, durability);
+  }
+
+  // Sink attached: publish and emit under repl_mu_ so OnCommit sees
+  // batches in strictly increasing epoch order, then satisfy kDurable
+  // outside the lock (concurrent committers overlap their fsyncs).
+  uint64_t publish_epoch = 0;
+  Result<std::vector<ObjectId>> r = std::vector<ObjectId>{};
+  {
+    MutexLock lock(impl_->repl_mu_);
+    if (impl_->sink == nullptr) {
+      // Detached between the fast-path check and the lock.
+      lock.Unlock();
+      if (impl_->sharded) return impl_->router->Apply(batch, durability);
+      return index()->ApplyBatch(batch, durability);
+    }
+    r = impl_->sharded
+            ? impl_->router->Apply(batch, Durability::kPublished)
+            : index()->ApplyBatch(batch, Durability::kPublished);
+    if (!r.ok()) return r;
+    if (!batch.empty()) {
+      publish_epoch = write_epoch();
+      WriteBatch resolved = batch;
+      size_t next_inserted = 0;
+      for (WriteOp& op : resolved.ops) {
+        if (op.kind == WriteOp::Kind::kInsert) {
+          op.preassigned = r.value()[next_inserted++];
+        }
+      }
+      impl_->sink->OnCommit(publish_epoch, resolved);
+    }
+  }
+  if (durability == Durability::kDurable && !batch.empty() &&
+      index()->group_commit_active()) {
+    ZDB_RETURN_IF_ERROR(WaitDurable(publish_epoch));
+  }
+  return r;
+}
+
+// ----------------------------------------------------------- replication
+
+Status DB::SetCommitSink(CommitSink* sink) {
+  MutexLock lock(impl_->repl_mu_);
+  if (sink != nullptr && impl_->sink != nullptr && impl_->sink != sink) {
+    return Status::InvalidArgument("a commit sink is already attached");
+  }
+  impl_->sink = sink;
+  impl_->has_sink.store(sink != nullptr, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<std::vector<ObjectId>> DB::ApplyReplicated(const WriteBatch& batch) {
+  for (const WriteOp& op : batch.ops) {
+    if (op.kind == WriteOp::Kind::kInsert &&
+        op.preassigned == kNoPreassignedOid) {
+      return Status::InvalidArgument(
+          "replicated insert lacks a leader-assigned oid");
+    }
+  }
+  if (impl_->sharded) return impl_->router->ApplyReplicated(batch);
+  return index()->ApplyBatch(batch, Durability::kPublished);
 }
 
 // ------------------------------------------------------------ durability

@@ -50,6 +50,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "core/commit_sink.h"
 #include "core/spatial_index.h"
 #include "exec/executor.h"
 #include "shard/router.h"
@@ -91,6 +94,13 @@ struct DBOptions {
   /// reopened DB keeps its stored shard layout. 1 (the default) is the
   /// classic single-engine DB.
   uint32_t shards = 1;
+
+  /// Typed rejection of every statically invalid knob combination
+  /// (cache_pages == 0, shards outside [1, 64], ...). DB::Open calls
+  /// this first, so invalid options yield this exact Status instead of
+  /// a partially opened stack; callers building configuration surfaces
+  /// (servers, tools) can validate without opening anything.
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Aggregate counters served by DB::Stats(). For a sharded DB the
@@ -175,6 +185,26 @@ class DB {
   /// crash beats the fsync).
   [[nodiscard]] Result<std::vector<ObjectId>> Apply(
       const WriteBatch& batch, Durability durability = Durability::kDurable);
+
+  // ----------------------------------------------------------- replication
+
+  /// Attaches `sink` as this DB's commit sink (core/commit_sink.h): from
+  /// now on every batch published through the facade is reported to
+  /// OnCommit with resolved oids, serialized by an internal replication
+  /// mutex so sink callbacks observe strictly increasing epochs. Pass
+  /// nullptr to detach. Fails if a different sink is already attached,
+  /// and while a sink is attached InsertPolygon/BulkLoad are rejected
+  /// (they have no batch representation to ship). The sink must stay
+  /// alive until detached.
+  [[nodiscard]] Status SetCommitSink(CommitSink* sink);
+
+  /// Replays a leader-resolved batch on a follower replica: every insert
+  /// must carry its leader-assigned oid in WriteOp::preassigned, which
+  /// is what keeps replica object ids byte-identical to the leader's.
+  /// Publish-time semantics (durability follows asynchronously through
+  /// the group-commit pipeline, exactly like the leader's own commit).
+  [[nodiscard]] Result<std::vector<ObjectId>> ApplyReplicated(
+      const WriteBatch& batch);
 
   // ---------------------------------------------------------- durability
 

@@ -1,0 +1,43 @@
+// FAIL case: advancing a replication follower cursor without holding
+// ship_mu. Mirrors the log shipper's discipline (repl/ship.h): the
+// per-follower cursor map is mutated by the ship loop (advance +
+// in-flight accounting), by Ack arriving on a net thread (window
+// release), and by Unsubscribe at connection teardown — every touch
+// must hold ship_mu. An ack handler that bumps the acked epoch
+// lock-free "because it's just one integer" is exactly the lost-update
+// race the annotations exist to catch. The analysis must reject both
+// the unlocked map probe and the unlocked cursor write.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+struct ShipCursors {
+  struct Cursor {
+    uint64_t next_index = 0;
+    uint64_t acked_epoch = 0;
+    uint64_t in_flight = 0;
+  };
+
+  zdb::Mutex ship_mu;
+  std::unordered_map<uint64_t, Cursor> followers GUARDED_BY(ship_mu);
+
+  // An ack path that forgot the shipper mutex: the cursor it releases
+  // is shared with the ship loop draining the same follower.
+  void Ack(uint64_t token, uint64_t applied) {
+    auto it = followers.find(token);  // no lock held
+    if (it == followers.end()) return;
+    if (applied > it->second.acked_epoch) {
+      it->second.acked_epoch = applied;  // lost-update race with ShipLoop
+      it->second.in_flight = 0;
+    }
+  }
+};
+
+int main() {
+  ShipCursors c;
+  c.Ack(1, 7);
+  return 0;
+}
