@@ -313,15 +313,15 @@ Result<std::vector<ObjectId>> QueryExecutor::ShardedParallelWindowBody(
   // (the scatter-gather contract, see shard/scatter.h). Latches are
   // reader-shared and writers take one shard at a time, so holding
   // several shard latches cannot deadlock the router fan-out.
-  std::vector<EpochPin> pins;
+  EpochPinSet pins(ns);
   std::vector<ReaderLatch> sections;
   std::vector<WindowPlan> plans(ns);
   for (size_t i = 0; i < ns; ++i) {
     SpatialIndex* ix = indexes_[shards[i]];
     std::unique_ptr<SpatialIndex::SnapshotReadScope> driver_scope;
     if (snapshots) {
-      pins.push_back(ix->PinEpoch());
-      ZDB_ASSIGN_OR_RETURN(driver_scope, ix->OpenSnapshot(pins.back()));
+      const EpochPin& pin = pins.Add(ix->PinEpoch());
+      ZDB_ASSIGN_OR_RETURN(driver_scope, ix->OpenSnapshot(pin));
     } else {
       sections.push_back(ix->ReaderSection());
     }
