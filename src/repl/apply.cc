@@ -35,23 +35,30 @@ Applier::Applier(DB* db, ApplierOptions options)
 Applier::~Applier() { Stop(); }
 
 Status Applier::Start() {
-  if (started_) return Status::OK();
+  {
+    MutexLock lock(mu_);
+    if (started_) return Status::OK();
+  }
   // Fail fast on a bad URI instead of burying it in reconnect retries.
   ZDB_RETURN_IF_ERROR(net::ParseEndpoint(options_.leader_endpoint).status());
-  started_ = true;
+  {
+    MutexLock lock(mu_);
+    started_ = true;
+  }
   thread_ = std::thread([this] { Run(); });
   return Status::OK();
 }
 
 void Applier::Stop() {
-  if (!started_) return;
   {
     MutexLock lock(mu_);
+    if (!started_) return;
     stop_requested_ = true;
     if (sock_.valid()) sock_.ShutdownBoth();  // unblock a blocked read
   }
   stop_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
+  MutexLock lock(mu_);
   started_ = false;
 }
 

@@ -129,8 +129,12 @@ class Applier {
   std::atomic<uint64_t> subscribe_rejects_{0};
   std::atomic<uint64_t> stream_errors_{0};
 
+  /// The session thread. Deliberately unannotated: callers must
+  /// serialize Start/Stop with each other (spawn and join cannot happen
+  /// under a mutex) — the same external contract the DB/server
+  /// lifecycle already provides.
   std::thread thread_;
-  bool started_ = false;
+  bool started_ GUARDED_BY(mu_) = false;  ///< Start/Stop bookkeeping
 };
 
 }  // namespace repl

@@ -19,19 +19,23 @@ LogShipper::LogShipper(uint64_t attach_epoch, ShipperOptions options)
 LogShipper::~LogShipper() { Stop(); }
 
 void LogShipper::Start() {
-  if (started_) return;
-  started_ = true;
+  {
+    MutexLock lock(ship_mu_);
+    if (started_) return;
+    started_ = true;
+  }
   thread_ = std::thread([this] { ShipLoop(); });
 }
 
 void LogShipper::Stop() {
-  if (!started_) return;
   {
     MutexLock lock(ship_mu_);
+    if (!started_) return;
     stop_ = true;
   }
   ship_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
+  MutexLock lock(ship_mu_);
   started_ = false;
 }
 

@@ -168,8 +168,12 @@ class LogShipper : public CommitSink {
   uint64_t records_evicted_ GUARDED_BY(ship_mu_) = 0;
   uint64_t subscribes_ GUARDED_BY(ship_mu_) = 0;
 
+  /// The shipper thread. Deliberately unannotated: callers must
+  /// serialize Start/Stop with each other (spawn and join cannot happen
+  /// under a mutex), which is the same external contract the server's
+  /// lifecycle already provides.
   std::thread thread_;
-  bool started_ = false;  ///< Start/Stop bookkeeping; external callers
+  bool started_ GUARDED_BY(ship_mu_) = false;  ///< Start/Stop bookkeeping
 };
 
 }  // namespace repl
