@@ -210,8 +210,11 @@ void Applier::RunSession() {
         stream_errors_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      applied_epoch_.store(record.epoch, std::memory_order_release);
+      // Counter before watermark: the release store below orders the
+      // relaxed increment, so anyone who acquires applied_epoch() >= e
+      // also sees the records_applied count that includes record e.
       records_applied_.fetch_add(1, std::memory_order_relaxed);
+      applied_epoch_.store(record.epoch, std::memory_order_release);
     }
 
     // Ack every received record (duplicates too — the ack is also the

@@ -444,6 +444,19 @@ TEST(ReplEndToEnd, KillAndResubscribeNoGapsNoDuplicates) {
   repl::Applier applier(fdb.get(), resume);
   ASSERT_TRUE(applier.Start().ok());
   AwaitEpoch(*fdb, leader.db->write_epoch());
+  // The DB's write epoch advances inside ApplyReplicated, a beat before
+  // the applier publishes its own watermark — wait for the applier's
+  // applied_epoch (which orders its counters) before sampling stats.
+  {
+    const uint64_t target = leader.db->write_epoch();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (applier.applied_epoch() < target) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "applier watermark stuck at " << applier.applied_epoch();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   const repl::ApplierStats st = applier.Snapshot();
   EXPECT_EQ(st.records_applied,
             leader.db->write_epoch() - applied_at_kill);
