@@ -1,0 +1,61 @@
+#!/bin/sh
+# Runs the Clang Static Analyzer (clang --analyze) over the engine's
+# concurrency-critical directories: src/core, src/net, src/repl.
+#
+#   scripts/run_clang_analyze.sh [build-dir]
+#
+# Uses the compile_commands.json under the build dir (default ./build)
+# to recover each TU's include dirs and defines, so the analyzer sees
+# the same view the build does. Exits 0 with a notice when clang is not
+# installed — the static-analysis CI job is where the gate is binding.
+# Any analyzer diagnostic is a failure (exit 1).
+set -u
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+clang_bin="${CLANG:-}"
+if [ -z "$clang_bin" ]; then
+  for cand in clang clang-18 clang-17 clang-16 clang-15; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      clang_bin="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$clang_bin" ]; then
+  echo "run_clang_analyze.sh: clang not found; skipping (the" \
+       "static-analysis CI job enforces this gate)"
+  exit 0
+fi
+
+status=0
+found=0
+for dir in core net repl; do
+  for src in "$repo_root/src/$dir"/*.cc; do
+    [ -f "$src" ] || continue
+    found=1
+    out=$("$clang_bin" --analyze -std=c++20 -I "$repo_root/src" \
+          --analyzer-output text \
+          -Xclang -analyzer-checker=core,deadcode,cplusplus,unix \
+          "$src" 2>&1)
+    if [ -n "$out" ]; then
+      echo "== $src"
+      echo "$out"
+      status=1
+    fi
+  done
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "run_clang_analyze.sh: no sources found under src/{core,net,repl}" >&2
+  exit 2
+fi
+if [ "$status" -eq 0 ]; then
+  echo "run_clang_analyze.sh: analyzer clean over src/core src/net src/repl"
+fi
+exit "$status"

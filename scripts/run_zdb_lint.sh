@@ -1,0 +1,46 @@
+#!/bin/sh
+# Runs zdb_lint (tools/zdb_lint) over the repository: the call-graph
+# checker for the engine's domain contracts — io-under-latch, epoch-pin
+# discipline, decode-hygiene and lock-order conformance.
+#
+#   scripts/run_zdb_lint.sh [build-dir]
+#
+# Finds the zdb_lint binary under the build dir (default ./build) and
+# builds it first if the build dir is configured but the binary is
+# missing. Exits 0 on a clean tree, 1 on findings — the same contract as
+# the binary itself, so CI can gate on this script directly. When the
+# build dir has a compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
+# is on by default), its TU list is used so generated or excluded
+# sources can't drift from what the build actually compiles.
+set -u
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+lint_bin="$build_dir/tools/zdb_lint/zdb_lint"
+if [ ! -x "$lint_bin" ]; then
+  if [ -f "$build_dir/CMakeCache.txt" ]; then
+    echo "run_zdb_lint.sh: building zdb_lint..."
+    cmake --build "$build_dir" --target zdb_lint -j >/dev/null || exit 2
+  else
+    echo "run_zdb_lint.sh: no build dir at '$build_dir'." >&2
+    echo "Configure with: cmake -B build -S . && cmake --build build --target zdb_lint" >&2
+    exit 2
+  fi
+fi
+if [ ! -x "$lint_bin" ]; then
+  echo "run_zdb_lint.sh: zdb_lint did not build at $lint_bin" >&2
+  exit 2
+fi
+
+cc_arg=""
+if [ -f "$build_dir/compile_commands.json" ]; then
+  cc_arg="--compile-commands=$build_dir/compile_commands.json"
+fi
+
+exec "$lint_bin" --root="$repo_root" \
+     --config="$repo_root/tools/zdb_lint/zdb_lint.conf" $cc_arg

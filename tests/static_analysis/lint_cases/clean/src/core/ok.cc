@@ -1,0 +1,40 @@
+// Positive control: the disciplined versions of every seeded pattern.
+// Latched sections stay in-memory, the lock order follows the declared
+// commit_mu_ -> latch_ chain, and pins stay on the stack. zdb_lint must
+// run this tree clean — proving the FAIL fixtures fail for the right
+// reason, not because the tool rejects everything.
+
+namespace zdb {
+
+class EpochPin {};
+class EpochManager {
+ public:
+  EpochPin Pin();
+};
+
+class SpatialIndex {
+ public:
+  void Write();
+  void ReadSnapshot();
+
+ private:
+  void MutateInMemory();
+  Mutex commit_mu_;
+  SharedMutex latch_;
+  EpochManager* mgr_ = nullptr;
+};
+
+void SpatialIndex::Write() {
+  MutexLock commit(commit_mu_);
+  WriterSection lock(this);
+  MutateInMemory();  // publish: no I/O under the latch
+}
+
+void SpatialIndex::MutateInMemory() {}
+
+void SpatialIndex::ReadSnapshot() {
+  EpochPin pin = mgr_->Pin();  // stack-scoped, dies in this frame
+  (void)pin;
+}
+
+}  // namespace zdb

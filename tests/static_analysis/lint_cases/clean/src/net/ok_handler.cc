@@ -1,0 +1,20 @@
+// Positive control, decode half: every accessor result flows into a
+// checked condition or a consumed status variable.
+
+#include <cstdint>
+
+namespace zdb {
+
+class PayloadReader;
+void UseCount(uint32_t n);
+
+bool HandleFrame(PayloadReader& reader) {
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) return false;  // checked directly
+  bool ok = reader.GetU32(&count);           // consumed via the variable
+  if (!ok) return false;
+  UseCount(count);
+  return true;
+}
+
+}  // namespace zdb

@@ -1,0 +1,19 @@
+// Seeded violation: a protocol handler reads a wire field and ignores
+// the accessor's success result — a short frame silently yields a
+// zero-initialized length that flows into the reply. zdb_lint must
+// reject this with [decode-hygiene].
+
+#include <cstdint>
+
+namespace zdb {
+
+class PayloadReader;
+void UseCount(uint32_t n);
+
+void HandleFrame(PayloadReader& reader) {
+  uint32_t count = 0;
+  reader.GetU32(&count);  // result ignored: truncated frames pass through
+  UseCount(count);
+}
+
+}  // namespace zdb

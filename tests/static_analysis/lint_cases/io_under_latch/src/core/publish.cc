@@ -1,0 +1,20 @@
+// Seeded violation: a publish function calls into the durability tail
+// while holding the exclusive writer latch. The sink (fsync) lives two
+// hops away in another TU — only the interprocedural search can see it.
+// zdb_lint must reject this with [io-under-latch].
+
+namespace zdb {
+
+void FlushTail();  // defined in src/storage/tail.cc
+
+class SpatialIndex {
+ public:
+  void Publish();
+};
+
+void SpatialIndex::Publish() {
+  WriterSection lock(this);
+  FlushTail();  // I/O under the exclusive latch
+}
+
+}  // namespace zdb

@@ -1,0 +1,24 @@
+// Seeded violation: the GC cycle holds gc_mu_ and calls into another TU
+// that takes the exclusive writer latch — inverting the declared
+// latch_ -> gc_mu_ order. Each TU is locally consistent; only the
+// call-graph propagation sees the inversion. zdb_lint must reject this
+// with [lock-order].
+
+namespace zdb {
+
+class SpatialIndex {
+ public:
+  void GcCycle();
+  void Reindex();  // defined in src/core/reindex.cc
+
+ private:
+  Mutex gc_mu_;
+  SharedMutex latch_;
+};
+
+void SpatialIndex::GcCycle() {
+  MutexLock g(gc_mu_);
+  Reindex();  // acquires latch_ while gc_mu_ is held
+}
+
+}  // namespace zdb

@@ -1,0 +1,11 @@
+// The other half of the seeded inversion: Reindex takes the writer
+// latch. On its own this is fine — the violation is the caller in
+// gc.cc that enters with gc_mu_ held.
+
+namespace zdb {
+
+void SpatialIndex::Reindex() {
+  WriterSection lock(this);
+}
+
+}  // namespace zdb

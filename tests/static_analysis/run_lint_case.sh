@@ -1,0 +1,53 @@
+#!/bin/sh
+# Drives one zdb_lint fixture (or positive control).
+#
+#   run_lint_case.sh <zdb_lint> <PASS|FAIL> <case-root> <conf> [check]
+#
+# FAIL fixtures are seeded violations: zdb_lint must report findings
+# (exit 1, not a usage/parse error) AND the diagnostic must come from
+# the named check — a fixture failing for any other reason (tool crash,
+# wrong check firing) is a broken fixture, not a caught violation. PASS
+# runs are positive controls: the disciplined version of the same
+# patterns, and the real tree, must stay finding-free.
+set -u
+
+lint="$1"
+mode="$2"
+root="$3"
+conf="$4"
+check="${5:-}"
+
+out=$("$lint" --root="$root" --config="$conf" 2>&1)
+status=$?
+
+case "$mode" in
+  PASS)
+    if [ "$status" -ne 0 ]; then
+      echo "$out"
+      echo "FAILED: expected a clean run for $root"
+      exit 1
+    fi
+    ;;
+  FAIL)
+    if [ "$status" -eq 0 ]; then
+      echo "FAILED: expected a $check finding for $root, ran clean"
+      exit 1
+    fi
+    if [ "$status" -ne 1 ]; then
+      echo "$out"
+      echo "FAILED: zdb_lint errored (status $status) instead of reporting"
+      exit 1
+    fi
+    if ! echo "$out" | grep -q "\[$check\]"; then
+      echo "$out"
+      echo "FAILED: $root was rejected, but not by the $check check"
+      exit 1
+    fi
+    ;;
+  *)
+    echo "unknown mode: $mode (want PASS or FAIL)"
+    exit 2
+    ;;
+esac
+
+exit 0

@@ -1,0 +1,184 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// Name-resolution call graph. Resolution is conservative: a qualified
+// call ("Pager::Sync") resolves exactly; an unqualified method call
+// resolves through the receiver-type hints in the config when possible
+// and otherwise to every function with that name. Conservative edges can
+// only ever make the reachability checks stricter (false paths are then
+// pruned by the allowlist with a written reason), never blind.
+
+#include <algorithm>
+#include <deque>
+
+#include "lint.h"
+
+namespace zdb {
+namespace lint {
+
+namespace {
+
+std::string LastComponent(const std::string& qname) {
+  const size_t pos = qname.rfind("::");
+  return pos == std::string::npos ? qname : qname.substr(pos + 2);
+}
+
+std::string ClassOf(const std::string& qname) {
+  const size_t pos = qname.rfind("::");
+  return pos == std::string::npos ? "" : qname.substr(0, pos);
+}
+
+}  // namespace
+
+CallGraph::CallGraph(const Model& model, const Config& cfg)
+    : model_(model), cfg_(cfg) {
+  for (const auto& [qname, fn] : model.functions) {
+    by_name_[LastComponent(qname)].push_back(&fn);
+  }
+}
+
+std::vector<const Function*> CallGraph::Resolve(const CallSite& call,
+                                                const Function& from) const {
+  auto it = by_name_.find(call.callee);
+  if (it == by_name_.end()) return {};
+  const std::vector<const Function*>& cands = it->second;
+  if (cands.size() == 1) return cands;
+
+  // Class-qualified receiver ("Pager::..." or a hinted member name).
+  std::string want_class;
+  if (!call.receiver.empty()) {
+    auto hint = cfg_.receiver_types.find(call.receiver);
+    if (hint != cfg_.receiver_types.end()) {
+      want_class = hint->second;
+    } else if (model_.classes.count(call.receiver) > 0) {
+      want_class = call.receiver;  // static call A::f()
+    }
+  } else {
+    // Unqualified call inside a class: prefer a method of that class.
+    want_class = ClassOf(from.qname);
+  }
+  if (!want_class.empty()) {
+    std::vector<const Function*> narrowed;
+    for (const Function* f : cands) {
+      if (ClassOf(f->qname) == want_class) narrowed.push_back(f);
+    }
+    if (!narrowed.empty()) return narrowed;
+    // An unqualified non-member call falls through to all candidates;
+    // a hinted receiver that matched nothing resolves to nothing (the
+    // hint is authoritative: "sock_" never reaches Pager::Read).
+    if (!call.receiver.empty() &&
+        cfg_.receiver_types.count(call.receiver) > 0) {
+      return {};
+    }
+  }
+  return cands;
+}
+
+bool CallGraph::IsSinkCall(const CallSite& call, const Function& from) const {
+  // Bare syscall wrappers (::pwrite, fsync) configured by name.
+  if (cfg_.io_sinks.count(call.callee) > 0) return true;
+  for (const Function* f : Resolve(call, from)) {
+    if (cfg_.io_sinks.count(f->qname) > 0) return true;
+    // "File::Sync" also covers overriders ("PosixFile::Sync").
+    if (cfg_.io_sinks.count(LastComponent(f->qname)) > 0) return true;
+  }
+  // Unresolvable method call whose name is a configured sink method
+  // ("file->Write" where File is interface-only in the model).
+  const std::string dotted =
+      (call.receiver.empty() ? "" : call.receiver + "::") + call.callee;
+  return cfg_.io_sinks.count(dotted) > 0;
+}
+
+std::optional<std::vector<std::string>> CallGraph::PathToSink(
+    const CallSite& root_call, const Function& from) const {
+  if (IsSinkCall(root_call, from)) {
+    return std::vector<std::string>{root_call.callee};
+  }
+  struct Item {
+    const Function* fn;
+    int parent;  ///< index into `seen`, -1 for roots
+  };
+  std::vector<Item> seen;
+  std::set<const Function*> visited;
+  std::deque<int> queue;
+  for (const Function* f : Resolve(root_call, from)) {
+    if (cfg_.io_allow.count(f->qname) > 0) continue;
+    if (visited.insert(f).second) {
+      seen.push_back({f, -1});
+      queue.push_back(static_cast<int>(seen.size()) - 1);
+    }
+  }
+  while (!queue.empty()) {
+    const int idx = queue.front();
+    queue.pop_front();
+    const Function* fn = seen[idx].fn;
+    for (const CallSite& c : fn->calls) {
+      if (IsSinkCall(c, *fn)) {
+        std::vector<std::string> path{c.callee};
+        for (int k = idx; k >= 0; k = seen[k].parent) {
+          path.push_back(seen[k].fn->qname);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      for (const Function* g : Resolve(c, *fn)) {
+        if (cfg_.io_allow.count(g->qname) > 0) continue;
+        if (visited.insert(g).second) {
+          seen.push_back({g, idx});
+          queue.push_back(static_cast<int>(seen.size()) - 1);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::map<std::string, std::vector<std::string>> CallGraph::AcquiredBy(
+    const CallSite& call, const Function& from) const {
+  std::map<std::string, std::vector<std::string>> out;
+  struct Item {
+    const Function* fn;
+    int parent;
+  };
+  std::vector<Item> seen;
+  std::set<const Function*> visited;
+  std::deque<int> queue;
+  for (const Function* f : Resolve(call, from)) {
+    if (visited.insert(f).second) {
+      seen.push_back({f, -1});
+      queue.push_back(static_cast<int>(seen.size()) - 1);
+    }
+  }
+  while (!queue.empty()) {
+    const int idx = queue.front();
+    queue.pop_front();
+    const Function* fn = seen[idx].fn;
+    auto witness = [&](int at) {
+      std::vector<std::string> path;
+      for (int k = at; k >= 0; k = seen[k].parent) {
+        path.push_back(seen[k].fn->qname);
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    };
+    for (const LockAcquire& a : fn->lock_acquires) {
+      if (out.count(a.lock) == 0) out[a.lock] = witness(idx);
+    }
+    for (const HeldLock& h : fn->acquires_ann) {
+      if (out.count(h.name) == 0) out[h.name] = witness(idx);
+    }
+    for (const CallSite& c : fn->calls) {
+      for (const Function* g : Resolve(c, *fn)) {
+        // A callee that REQUIRES a lock does not acquire it; only
+        // traverse — its own acquires still count.
+        if (visited.insert(g).second) {
+          seen.push_back({g, idx});
+          queue.push_back(static_cast<int>(seen.size()) - 1);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace zdb

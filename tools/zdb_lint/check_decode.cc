@@ -1,0 +1,61 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// decode-hygiene: in the protocol-facing directories every PayloadReader
+// accessor and wire-decode helper returns a success bool / Status that
+// must influence control flow. Three failure shapes are flagged:
+//
+//   (void)reader.GetU32(&x);        explicit discard
+//   reader.GetU32(&x);              implicit discard
+//   bool ok = reader.GetU32(&x);    assigned but never read again
+//
+// The check is path-scoped (decode_paths) because core/ test helpers may
+// legitimately decode trusted bytes.
+
+#include "lint.h"
+
+namespace zdb {
+namespace lint {
+
+namespace {
+
+bool InDecodePath(const std::string& file, const Config& cfg) {
+  for (const std::string& sub : cfg.decode_paths) {
+    if (file.find(sub) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckDecodeHygiene(const Model& model,
+                                           const Config& cfg) {
+  std::vector<Diagnostic> out;
+  for (const auto& [qname, fn] : model.functions) {
+    if (!fn.defined || !InDecodePath(fn.file, cfg)) continue;
+    for (const DecodeCall& dc : fn.decode_calls) {
+      std::string why;
+      if (dc.voided) {
+        why = "result explicitly discarded with (void)";
+      } else if (!dc.checked && dc.assigned_to.empty()) {
+        why = "result discarded (not checked, not assigned)";
+      } else if (!dc.checked && !dc.assigned_to.empty() &&
+                 !dc.assignee_read) {
+        why = "result assigned to '" + dc.assigned_to +
+              "' but never read";
+      } else {
+        continue;
+      }
+      Diagnostic d;
+      d.file = fn.file;
+      d.line = dc.line;
+      d.check = "decode-hygiene";
+      d.message = dc.callee + " in " + qname + ": " + why +
+                  "; decode results must flow into a checked status";
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace zdb

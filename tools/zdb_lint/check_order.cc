@@ -1,0 +1,144 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// lock-order conformance. The declared partial order (zdb_lint.conf
+// [lock_order], folded together with per-member ACQUIRED_AFTER edges) is
+// closed transitively; acquiring A while holding H is an inversion when
+// the order says A must come first (A ->* H). Two passes:
+//
+//   1. intra-function: every recorded acquisition against the locks held
+//      at that point (REQUIRES contracts count as held);
+//   2. cross-TU: every call site against the locks the callee subtree
+//      transitively acquires, with a witness call path — the case the
+//      per-member Clang annotations cannot see.
+
+#include <sstream>
+
+#include "lint.h"
+
+namespace zdb {
+namespace lint {
+
+namespace {
+
+class Order {
+ public:
+  Order(const Model& model, const Config& cfg) {
+    for (const auto& [a, b] : cfg.lock_order) edges_[a].insert(b);
+    // ACQUIRED_AFTER(pred) on member m of class C: pred -> C::m. The
+    // predecessor is qualified against C first, then a unique owner.
+    for (const auto& [cname, info] : model.classes) {
+      for (const auto& [member, pred] : info.after_edges) {
+        const std::string to = cname + "::" + member;
+        std::string from = pred;
+        if (from.find("::") == std::string::npos) {
+          if (info.mutex_members.count(from) > 0) {
+            from = cname + "::" + from;
+          } else {
+            std::string owner;
+            int owners = 0;
+            for (const auto& [oname, oinfo] : model.classes) {
+              if (oinfo.mutex_members.count(from) > 0) {
+                owner = oname;
+                ++owners;
+              }
+            }
+            if (owners == 1) from = owner + "::" + from;
+          }
+        }
+        edges_[from].insert(to);
+      }
+    }
+  }
+
+  /// True when the declared order requires `first` before `second`.
+  bool Before(const std::string& first, const std::string& second) const {
+    if (first == second) return false;
+    std::set<std::string> seen{first};
+    std::vector<std::string> stack{first};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      auto it = edges_.find(cur);
+      if (it == edges_.end()) continue;
+      for (const std::string& next : it->second) {
+        if (next == second) return true;
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> edges_;
+};
+
+std::string JoinPath(const std::vector<std::string>& path) {
+  std::ostringstream ss;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) ss << " -> ";
+    ss << path[i];
+  }
+  return ss.str();
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckLockOrder(const Model& model,
+                                       const CallGraph& graph,
+                                       const Config& cfg) {
+  const Order order(model, cfg);
+  std::vector<Diagnostic> out;
+  std::set<std::string> emitted;  // dedup (file:line:lock-pair)
+  auto emit = [&](const std::string& file, int line,
+                  const std::string& acquired, const std::string& held,
+                  const std::string& context) {
+    const std::string key = file + ":" + std::to_string(line) + ":" +
+                            acquired + ":" + held;
+    if (!emitted.insert(key).second) return;
+    Diagnostic d;
+    d.file = file;
+    d.line = line;
+    d.check = "lock-order";
+    d.message = "acquires " + acquired + " while holding " + held +
+                ", but the declared order is " + acquired + " before " +
+                held + context;
+    out.push_back(std::move(d));
+  };
+
+  for (const auto& [qname, fn] : model.functions) {
+    if (cfg.order_allow.count(qname) > 0) continue;
+    // Pass 1: direct acquisitions.
+    for (const LockAcquire& a : fn.lock_acquires) {
+      for (const HeldLock& h : a.held) {
+        if (order.Before(a.lock, h.name)) {
+          emit(fn.file, a.line, a.lock, h.name, " (in " + qname + ")");
+        }
+      }
+    }
+    // Pass 2: acquisitions reached through callees, cross-TU.
+    for (const CallSite& call : fn.calls) {
+      if (call.held.empty()) continue;
+      bool relevant = false;
+      for (const HeldLock& h : call.held) {
+        // Only chase the graph when a held lock participates in the
+        // declared order at all — keeps the BFS off cold paths.
+        if (h.name.find("::") != std::string::npos) relevant = true;
+      }
+      if (!relevant) continue;
+      const auto acquired = graph.AcquiredBy(call, fn);
+      for (const auto& [lock, witness] : acquired) {
+        for (const HeldLock& h : call.held) {
+          if (lock == h.name) continue;
+          if (order.Before(lock, h.name)) {
+            emit(fn.file, call.line, lock, h.name,
+                 " (via " + qname + " -> " + JoinPath(witness) + ")");
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace zdb

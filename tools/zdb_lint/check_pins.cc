@@ -1,0 +1,58 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// epoch-pin discipline: an EpochPin is a stack-scoped capability tied to
+// the creating thread's read epoch. Storing pins in containers or on the
+// heap, keeping one as a class member, or returning one from a function
+// detaches its lifetime from the scope that pinned the epoch and holds
+// GC back indefinitely. Only the sanctioned plumbing (EpochManager::Pin,
+// SnapshotReadScope and friends listed in pin_return_allow, plus the
+// files that implement them in pin_file_allow) may traffic pins.
+
+#include "lint.h"
+
+namespace zdb {
+namespace lint {
+
+namespace {
+
+bool FileAllowed(const std::string& file, const Config& cfg) {
+  for (const std::string& sub : cfg.pin_file_allow) {
+    if (file.find(sub) != std::string::npos) return true;
+  }
+  return false;
+}
+
+const char* KindWord(PinEvent::Kind k) {
+  switch (k) {
+    case PinEvent::Kind::kContainer: return "stored in a container";
+    case PinEvent::Kind::kHeap: return "heap-allocated";
+    case PinEvent::Kind::kReturn: return "returned by value";
+    case PinEvent::Kind::kMember: return "held as a class member";
+  }
+  return "misused";
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckEpochPins(const Model& model, const Config& cfg) {
+  std::vector<Diagnostic> out;
+  for (const PinEvent& ev : model.pin_events) {
+    if (FileAllowed(ev.file, cfg)) continue;
+    if (ev.kind == PinEvent::Kind::kReturn &&
+        cfg.pin_return_allow.count(ev.enclosing) > 0) {
+      continue;
+    }
+    Diagnostic d;
+    d.file = ev.file;
+    d.line = ev.line;
+    d.check = "epoch-pin";
+    d.message = cfg.pin_type + " " + KindWord(ev.kind) + " (" + ev.detail +
+                ") in " + ev.enclosing +
+                "; pins must stay stack-scoped in their creating function";
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace zdb

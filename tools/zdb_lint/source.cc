@@ -1,0 +1,176 @@
+// Copyright (c) zdb authors. Licensed under the MIT license.
+//
+// File loading, scrubbing and lexing. Scrub() blanks out everything the
+// token-level analysis must not trip over — comments, string and char
+// literals (including raw strings), and preprocessor directives with
+// their continuation lines — while keeping every remaining byte at its
+// original offset, so token line numbers match the file on disk.
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "lint.h"
+
+namespace zdb {
+namespace lint {
+
+std::optional<std::string> LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Blanks [i, j) in *out, preserving newlines.
+void Blank(std::string* out, size_t i, size_t j) {
+  for (size_t k = i; k < j && k < out->size(); ++k) {
+    if ((*out)[k] != '\n') (*out)[k] = ' ';
+  }
+}
+
+}  // namespace
+
+std::string Scrub(const std::string& text) {
+  std::string out = text;
+  size_t i = 0;
+  const size_t n = text.size();
+  bool at_line_start = true;  // only whitespace seen since the last \n
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {
+      // Preprocessor directive: blank through any continuation lines.
+      size_t j = i;
+      while (j < n) {
+        if (text[j] == '\n') {
+          if (j > 0 && text[j - 1] == '\\') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      Blank(&out, i, j);
+      i = j;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) at_line_start = false;
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      size_t j = i;
+      while (j < n && text[j] != '\n') ++j;
+      Blank(&out, i, j);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) ++j;
+      j = (j + 1 < n) ? j + 2 : n;
+      Blank(&out, i, j);
+      i = j;
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+        (i == 0 || !IsIdentChar(text[i - 1]))) {
+      // Raw string: R"delim( ... )delim"
+      size_t d = i + 2;
+      while (d < n && text[d] != '(') ++d;
+      const std::string closer =
+          ")" + text.substr(i + 2, d - (i + 2)) + "\"";
+      const size_t end = text.find(closer, d);
+      const size_t j = (end == std::string::npos) ? n : end + closer.size();
+      Blank(&out, i, j);
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      // Skip a suffixed char literal like u8'x' via the quote itself.
+      size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      j = (j < n) ? j + 1 : n;
+      // Keep the quotes' positions blank too, but a char literal used as
+      // a digit separator guard ('0') is never semantically interesting
+      // to the lint, so blanking is always safe.
+      Blank(&out, i, j);
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::vector<Token> Lex(const std::string& s) {
+  std::vector<Token> toks;
+  toks.reserve(s.size() / 6);
+  int line = 1;
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(s[j])) ++j;
+      toks.push_back({Token::Kind::kIdent, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < n && (IsIdentChar(s[j]) || s[j] == '.' || s[j] == '\'')) ++j;
+      toks.push_back({Token::Kind::kNumber, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuators the analysis cares about; everything else
+    // is emitted one char at a time.
+    static const char* kTwo[] = {"::", "->", "&&", "||", "==", "!=", "<=",
+                                 ">=", "+=", "-=", "*=", "/=", "|=", "&=",
+                                 "^=", "<<", ">>", "++", "--"};
+    std::string two = s.substr(i, 2);
+    bool matched = false;
+    for (const char* t : kTwo) {
+      if (two == t) {
+        toks.push_back({Token::Kind::kPunct, two, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return toks;
+}
+
+}  // namespace lint
+}  // namespace zdb
